@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation A2 — regression method: Levenberg-Marquardt vs the
+ * multivariate secant (Broyden) method that SAS NLIN used in the
+ * paper. Compares converged SSR and iteration counts across
+ * distribution families and sample shapes.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "stats/stats.hh"
+
+int
+main()
+{
+    using namespace cchar::stats;
+
+    std::cout << "A2: CDF regression — Levenberg-Marquardt vs "
+                 "multivariate secant (SAS NLIN style)\n\n";
+    std::cout << std::left << std::setw(26) << "truth" << std::right
+              << std::setw(12) << "lm-ssr" << std::setw(9) << "lm-it"
+              << std::setw(12) << "sec-ssr" << std::setw(9) << "sec-it"
+              << "\n";
+    std::cout << std::string(68, '-') << "\n";
+
+    std::vector<std::unique_ptr<Distribution>> truths;
+    truths.push_back(std::make_unique<Exponential>(0.8));
+    truths.push_back(std::make_unique<HyperExponential2>(0.2, 4.0, 0.3));
+    truths.push_back(std::make_unique<Weibull>(1.5, 2.0));
+    truths.push_back(std::make_unique<GammaDist>(2.2, 1.1));
+    truths.push_back(std::make_unique<LogNormal>(0.3, 0.7));
+
+    for (const auto &truth : truths) {
+        Rng rng{99};
+        std::vector<double> xs(20000);
+        for (auto &x : xs)
+            x = truth->sample(rng);
+        Ecdf ecdf{xs};
+        auto pts = ecdf.regressionPoints(200);
+        auto s = SummaryStats::compute(xs);
+
+        auto fitWith = [&](FitMethod method) {
+            auto d = truth->clone();
+            d->initFromMoments(s);
+            NonlinearLeastSquares::Options opts;
+            opts.method = method;
+            return std::pair{NonlinearLeastSquares::fitCdf(*d, pts, opts),
+                             std::move(d)};
+        };
+        auto [lm, lmDist] = fitWith(FitMethod::LevenbergMarquardt);
+        auto [sec, secDist] = fitWith(FitMethod::Secant);
+
+        std::cout << std::left << std::setw(26) << truth->describe()
+                  << std::right << std::scientific
+                  << std::setprecision(3) << std::setw(12) << lm.ssr
+                  << std::setw(9) << lm.iterations << std::setw(12)
+                  << sec.ssr << std::setw(9) << sec.iterations << "\n";
+    }
+    std::cout << "\nExpected shape: both reach comparable SSR; the "
+                 "secant method may need more iterations but avoids "
+                 "per-step Jacobians.\n";
+    return 0;
+}

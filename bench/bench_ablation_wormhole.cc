@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation A1 — wormhole channel-holding discipline.
+ *
+ * The network model holds every channel of a message's path until the
+ * tail drains (the paper-era CSIM wormhole model). The ablation
+ * compares it against early per-hop release (a virtual-cut-through
+ * approximation) on the same synthetic load, at increasing injection
+ * rates — quantifying how much of the reported contention comes from
+ * the holding discipline.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+
+namespace {
+
+using namespace cchar;
+
+struct LoadResult
+{
+    double latencyMean;
+    double contentionMean;
+    double utilization;
+};
+
+LoadResult
+runLoad(mesh::ChannelHolding holding, double rate_per_node)
+{
+    desim::Simulator sim;
+    mesh::MeshConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.holding = holding;
+    trace::TrafficLog log;
+    mesh::MeshNetwork net{sim, cfg, &log};
+    stats::Rng seedRng{7};
+    for (int node = 0; node < 16; ++node) {
+        sim.spawn(
+            [](mesh::MeshNetwork *n, int src, double rate,
+               std::uint64_t seed) -> desim::Task<void> {
+                stats::Rng rng{seed};
+                for (int i = 0; i < 400; ++i) {
+                    co_await n->sim().delay(rng.exponential(rate));
+                    int dst = static_cast<int>(rng.below(16));
+                    if (dst == src)
+                        dst = (dst + 1) % 16;
+                    mesh::Packet pkt;
+                    pkt.src = src;
+                    pkt.dst = dst;
+                    pkt.bytes = 32;
+                    n->post(std::move(pkt));
+                }
+            }(&net, node, rate_per_node, seedRng.raw()),
+            "load");
+        sim.spawn(
+            [](mesh::MeshNetwork *n, int node2) -> desim::Task<void> {
+                for (;;)
+                    (void)co_await n->rxQueue(node2).receive();
+            }(&net, node),
+            "sink");
+    }
+    sim.run();
+    return {net.latencyStats().mean(), net.contentionStats().mean(),
+            net.averageChannelUtilization(sim.now())};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "A1: wormhole channel holding — full-pipeline vs "
+                 "early release (uniform random traffic, 32B)\n\n";
+    std::cout << std::right << std::setw(12) << "rate(msg/us)"
+              << std::setw(12) << "full-lat" << std::setw(12)
+              << "early-lat" << std::setw(12) << "full-cont"
+              << std::setw(12) << "early-cont" << std::setw(11)
+              << "full-util" << std::setw(11) << "early-util"
+              << "\n";
+    std::cout << std::string(82, '-') << "\n";
+    for (double rate : {2.0, 5.0, 10.0, 20.0}) {
+        auto full =
+            runLoad(cchar::mesh::ChannelHolding::FullPipeline, rate);
+        auto early =
+            runLoad(cchar::mesh::ChannelHolding::EarlyRelease, rate);
+        std::cout << std::fixed << std::setprecision(2) << std::setw(12)
+                  << rate << std::setprecision(4) << std::setw(12)
+                  << full.latencyMean << std::setw(12)
+                  << early.latencyMean << std::setw(12)
+                  << full.contentionMean << std::setw(12)
+                  << early.contentionMean << std::setprecision(3)
+                  << std::setw(11) << full.utilization << std::setw(11)
+                  << early.utilization << "\n";
+    }
+    std::cout << "\nExpected shape: early release lowers contention, "
+                 "increasingly so at higher load.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment F-LS — why the uniform-traffic assumption misleads.
+ *
+ * The paper's motivation: "most performance models for interconnection
+ * networks have been accused of making unrealistic assumptions about
+ * the communication workload[, t]he most critical one being the
+ * uniform traffic assumption". This figure sweeps the offered load
+ * and compares the mesh latency under (a) the classical assumption —
+ * exponential inter-arrivals, uniform destinations, fixed length —
+ * and (b) the application-fitted model of IS (favorite-processor
+ * spatial pattern, hyperexponential arrivals, bimodal lengths). The
+ * shapes diverge increasingly with load: the fitted model saturates
+ * earlier because traffic converges on the favorite processor.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace cchar;
+    using namespace cchar::bench;
+
+    // Fit the IS application once.
+    auto report = sharedMemoryReport("is");
+    auto fitted = core::SyntheticModel::fromReport(report);
+
+    // The classical model: same per-source rates and message count,
+    // but exponential gaps, uniform destinations, fixed mean length.
+    core::SyntheticModel uniform;
+    uniform.mesh = fitted.mesh;
+    uniform.nprocs = fitted.nprocs;
+    int meanLen =
+        static_cast<int>(report.volume.lengthStats.mean + 0.5);
+    uniform.lengthPmf = {{meanLen, 1.0}};
+    for (const auto &sm : fitted.sources) {
+        core::SyntheticModel::SourceModel um;
+        um.source = sm.source;
+        um.messageCount = sm.messageCount;
+        um.interArrival = std::make_unique<stats::Exponential>(
+            1.0 / sm.interArrival->mean());
+        std::vector<double> dest(
+            static_cast<std::size_t>(uniform.nprocs),
+            1.0 / static_cast<double>(uniform.nprocs - 1));
+        dest[static_cast<std::size_t>(sm.source)] = 0.0;
+        um.destination = stats::DiscretePmf{std::move(dest)};
+        uniform.sources.push_back(std::move(um));
+    }
+
+    std::cout << "F-LS: latency vs offered load — uniform assumption "
+                 "vs fitted IS model (time_scale < 1 = higher load)\n\n";
+    std::cout << std::right << std::setw(11) << "time-scale"
+              << std::setw(13) << "unif-lat" << std::setw(13)
+              << "fitted-lat" << std::setw(13) << "unif-cont"
+              << std::setw(13) << "fitted-cont" << std::setw(11)
+              << "unif-util" << std::setw(12) << "fitted-util"
+              << "\n";
+    std::cout << std::string(86, '-') << "\n";
+
+    for (double scale : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+        auto u = core::SyntheticTrafficGenerator::run(uniform, 31,
+                                                      scale);
+        auto f = core::SyntheticTrafficGenerator::run(fitted, 31,
+                                                      scale);
+        std::cout << std::fixed << std::setprecision(2) << std::setw(11)
+                  << scale << std::setprecision(4) << std::setw(13)
+                  << u.latencyMean << std::setw(13) << f.latencyMean
+                  << std::setw(13) << u.contentionMean << std::setw(13)
+                  << f.contentionMean << std::setprecision(3)
+                  << std::setw(11) << u.avgChannelUtilization
+                  << std::setw(12) << f.avgChannelUtilization << "\n";
+    }
+    std::cout << "\nExpected shape: comparable at light load; the "
+                 "fitted (favorite-processor) model shows markedly "
+                 "higher latency as load grows — the uniform "
+                 "assumption underestimates hot-spot contention.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment F-SP — "fraction of messages sent by a processor to
+ * others in the system": per-source destination distributions for
+ * processors p0 and p1 of every application, the paper's spatial
+ * distribution figures.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+
+namespace {
+
+void
+printSource(const cchar::core::CharacterizationReport &report, int src)
+{
+    for (const auto &sf : report.spatialPerSource) {
+        if (sf.source != src)
+            continue;
+        std::cout << "# " << report.application << " p" << src << " — "
+                  << sf.classification.describe() << "\n";
+        std::cout << "# dest  fraction  model\n";
+        for (std::size_t d = 0; d < sf.observed.size(); ++d) {
+            std::cout << "  " << std::setw(4) << d << std::setw(10)
+                      << std::fixed << std::setprecision(4)
+                      << sf.observed[d] << std::setw(10)
+                      << sf.classification.model[d] << "\n";
+        }
+        std::cout << "\n";
+        return;
+    }
+    std::cout << "# " << report.application << " p" << src
+              << " — no traffic\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cchar::bench;
+
+    std::cout << "F-SP: spatial distribution — fraction of messages "
+                 "sent by p0/p1 to each destination\n\n";
+    for (const auto &name : sharedMemoryAppNames()) {
+        auto report = sharedMemoryReport(name);
+        printSource(report, 0);
+        printSource(report, 1);
+    }
+    for (const auto &name : messagePassingAppNames()) {
+        auto report = messagePassingReport(name);
+        printSource(report, 0);
+        printSource(report, 1);
+    }
+    return 0;
+}

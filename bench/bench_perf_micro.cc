@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment P1 — engineering microbenchmarks (google-benchmark):
+ * simulation-kernel event throughput, mesh message throughput, and
+ * distribution-fitter cost. Not a paper experiment; tracks the
+ * simulator's own performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "desim/desim.hh"
+#include "mesh/mesh.hh"
+#include "stats/stats.hh"
+
+namespace {
+
+using namespace cchar;
+
+void
+BM_DesimEventThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        desim::Simulator sim;
+        sim.spawn([](desim::Simulator &s) -> desim::Task<void> {
+            for (int i = 0; i < 10000; ++i)
+                co_await s.delay(1.0);
+        }(sim));
+        sim.run();
+        benchmark::DoNotOptimize(sim.processedEvents());
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DesimEventThroughput);
+
+void
+BM_MeshMessageThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        desim::Simulator sim;
+        mesh::MeshConfig cfg;
+        cfg.width = 4;
+        cfg.height = 4;
+        mesh::MeshNetwork net{sim, cfg};
+        for (int node = 0; node < 16; ++node) {
+            sim.spawn([](mesh::MeshNetwork *n,
+                         int node2) -> desim::Task<void> {
+                for (;;)
+                    (void)co_await n->rxQueue(node2).receive();
+            }(&net, node));
+        }
+        sim.spawn([](mesh::MeshNetwork *n) -> desim::Task<void> {
+            stats::Rng rng{3};
+            for (int i = 0; i < 2000; ++i) {
+                int src = static_cast<int>(rng.below(16));
+                int dst = static_cast<int>(rng.below(16));
+                if (src == dst)
+                    continue;
+                mesh::Packet pkt;
+                pkt.src = src;
+                pkt.dst = dst;
+                pkt.bytes = 32;
+                (void)co_await n->transfer(std::move(pkt));
+            }
+        }(&net));
+        sim.run();
+        benchmark::DoNotOptimize(net.messageCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MeshMessageThroughput);
+
+void
+BM_FitterBestFit(benchmark::State &state)
+{
+    stats::Rng rng{1};
+    stats::HyperExponential2 truth{0.3, 3.0, 0.4};
+    std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+    for (auto &x : xs)
+        x = truth.sample(rng);
+    stats::DistributionFitter fitter;
+    for (auto _ : state) {
+        auto best = fitter.bestFit(xs);
+        benchmark::DoNotOptimize(best.gof.r2);
+    }
+}
+BENCHMARK(BM_FitterBestFit)->Arg(1000)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

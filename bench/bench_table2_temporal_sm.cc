@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment T2 — fitted inter-arrival time distributions for the
+ * shared-memory applications (dynamic strategy).
+ *
+ * The paper's central result: the message generation of each
+ * application "can be expressed in terms of commonly used
+ * distributions", obtained by non-linear regression of candidate CDFs
+ * on the network log. Rows: aggregate fit per application, plus the
+ * per-processor fits for p0..p3 as the paper plots per-processor
+ * distributions.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+
+namespace {
+
+void
+printFit(const std::string &app, const cchar::core::TemporalFit &fit)
+{
+    std::cout << std::left << std::setw(10) << app << std::setw(6)
+              << (fit.source < 0 ? std::string{"all"}
+                                 : "p" + std::to_string(fit.source))
+              << std::right << std::setw(7) << fit.stats.count
+              << std::setw(10) << std::fixed << std::setprecision(4)
+              << fit.stats.mean << std::setw(7) << std::setprecision(2)
+              << fit.stats.cv << "  " << std::left << std::setw(44)
+              << (fit.fit.dist ? fit.fit.dist->describe()
+                               : std::string{"-"})
+              << std::right << std::setw(7) << std::setprecision(4)
+              << fit.fit.gof.r2 << std::setw(8) << fit.fit.gof.ks
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cchar;
+    using namespace cchar::bench;
+
+    std::cout << "T2: inter-arrival time distribution fits, "
+                 "shared-memory suite (dynamic strategy)\n\n";
+    std::cout << std::left << std::setw(10) << "app" << std::setw(6)
+              << "src" << std::right << std::setw(7) << "n"
+              << std::setw(10) << "mean(us)" << std::setw(7) << "CV"
+              << "  " << std::left << std::setw(44) << "best fit"
+              << std::right << std::setw(7) << "R2" << std::setw(8)
+              << "KS"
+              << "\n";
+    std::cout << std::string(99, '-') << "\n";
+
+    for (const auto &name : sharedMemoryAppNames()) {
+        auto report = sharedMemoryReport(name);
+        printFit(name, report.temporalAggregate);
+        int shown = 0;
+        for (const auto &fit : report.temporalPerSource) {
+            if (shown++ >= 4)
+                break;
+            printFit(name, fit);
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

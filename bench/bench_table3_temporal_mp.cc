@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Experiment T3 — fitted inter-arrival time distributions for the
+ * NAS message-passing applications (static strategy: SP2-model
+ * execution, application-level trace, replay into the 4x2 mesh).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+
+namespace {
+
+void
+printFit(const std::string &app, const cchar::core::TemporalFit &fit)
+{
+    std::cout << std::left << std::setw(10) << app << std::setw(6)
+              << (fit.source < 0 ? std::string{"all"}
+                                 : "p" + std::to_string(fit.source))
+              << std::right << std::setw(7) << fit.stats.count
+              << std::setw(11) << std::fixed << std::setprecision(3)
+              << fit.stats.mean << std::setw(7) << std::setprecision(2)
+              << fit.stats.cv << "  " << std::left << std::setw(44)
+              << (fit.fit.dist ? fit.fit.dist->describe()
+                               : std::string{"-"})
+              << std::right << std::setw(7) << std::setprecision(4)
+              << fit.fit.gof.r2 << std::setw(8) << fit.fit.gof.ks
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cchar;
+    using namespace cchar::bench;
+
+    std::cout << "T3: inter-arrival time distribution fits, "
+                 "message-passing suite (static strategy)\n\n";
+    std::cout << std::left << std::setw(10) << "app" << std::setw(6)
+              << "src" << std::right << std::setw(7) << "n"
+              << std::setw(11) << "mean(us)" << std::setw(7) << "CV"
+              << "  " << std::left << std::setw(44) << "best fit"
+              << std::right << std::setw(7) << "R2" << std::setw(8)
+              << "KS"
+              << "\n";
+    std::cout << std::string(100, '-') << "\n";
+
+    for (const auto &name : messagePassingAppNames()) {
+        auto report = messagePassingReport(name);
+        printFit(name, report.temporalAggregate);
+        for (const auto &fit : report.temporalPerSource)
+            printFit(name, fit);
+        std::cout << "\n";
+    }
+    return 0;
+}

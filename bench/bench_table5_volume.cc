@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment T5 — the volume attribute: message counts and message
+ * length distributions per application ("volume of communication is
+ * specified by the number of messages and the message length
+ * distribution").
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common.hh"
+
+namespace {
+
+void
+printRow(const cchar::core::CharacterizationReport &report)
+{
+    const auto &v = report.volume;
+    double minCount = 1e300, maxCount = 0.0;
+    for (double c : v.perSourceCounts) {
+        if (c > 0.0) {
+            minCount = std::min(minCount, c);
+            maxCount = std::max(maxCount, c);
+        }
+    }
+    std::cout << std::left << std::setw(10) << report.application
+              << std::right << std::setw(9) << v.messageCount
+              << std::setw(12) << std::fixed << std::setprecision(0)
+              << v.totalBytes << std::setw(9) << std::setprecision(1)
+              << v.lengthStats.mean << std::setw(8)
+              << static_cast<int>(v.lengthStats.min) << std::setw(8)
+              << static_cast<int>(v.lengthStats.max) << std::setw(9)
+              << std::setprecision(0) << minCount << std::setw(9)
+              << maxCount << "   ";
+    for (const auto &[bytes, prob] : v.lengthPmf) {
+        std::cout << bytes << "B:" << std::setprecision(2)
+                  << std::fixed << prob << " ";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cchar::bench;
+
+    std::cout << "T5: volume attribute — message count and length "
+                 "distribution\n\n";
+    std::cout << std::left << std::setw(10) << "app" << std::right
+              << std::setw(9) << "msgs" << std::setw(12) << "bytes"
+              << std::setw(9) << "mean(B)" << std::setw(8) << "min"
+              << std::setw(8) << "max" << std::setw(9) << "src-min"
+              << std::setw(9) << "src-max"
+              << "   length pmf\n";
+    std::cout << std::string(110, '-') << "\n";
+
+    for (const auto &name : sharedMemoryAppNames())
+        printRow(sharedMemoryReport(name));
+    for (const auto &name : messagePassingAppNames())
+        printRow(messagePassingReport(name));
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment T6 — the SP2 communication-software overhead model.
+ *
+ * The paper validates "the software overheads amount to
+ * 4.63e-2 x + 73.42 microseconds to transfer x bytes of data". This
+ * bench measures the end-to-end one-message completion time of the MP
+ * runtime across message sizes, subtracts the (tiny) mesh network
+ * time, and fits the linear model back — the recovered coefficients
+ * must match the configured model.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "common.hh"
+
+namespace {
+
+using namespace cchar;
+
+/** End-to-end completion time of one `bytes`-sized message. */
+double
+oneMessageTime(int bytes)
+{
+    desim::Simulator sim;
+    mp::MpWorld world{sim, bench::standardWorld()};
+    double done = 0.0;
+    world.spawnRank(0, [](mp::MpWorld &w, int n) -> desim::Task<void> {
+        mp::MpContext ctx{w, 0};
+        co_await ctx.send(1, n);
+    }(world, bytes));
+    world.spawnRank(1, [](mp::MpWorld &w, double &t) -> desim::Task<void> {
+        mp::MpContext ctx{w, 1};
+        (void)co_await ctx.recv(0);
+        t = w.sim().now();
+    }(world, done));
+    world.run();
+    // Remove the mesh transit time to isolate the software overhead.
+    double network = world.network().latencyStats().mean();
+    return done - network;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "T6: SP2 communication software overhead "
+                 "(paper model: 73.42 + 0.0463 x us)\n\n";
+    std::cout << std::right << std::setw(9) << "bytes" << std::setw(14)
+              << "overhead(us)" << std::setw(14) << "model(us)"
+              << std::setw(10) << "error%"
+              << "\n";
+    std::cout << std::string(47, '-') << "\n";
+
+    std::vector<int> sizes{0, 16, 64, 256, 1024, 4096, 16384, 65536};
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (int bytes : sizes) {
+        double t = oneMessageTime(bytes);
+        double model = 73.42 + 0.0463 * bytes;
+        std::cout << std::setw(9) << bytes << std::setw(14)
+                  << std::fixed << std::setprecision(3) << t
+                  << std::setw(14) << model << std::setw(10)
+                  << std::setprecision(2)
+                  << (t - model) / model * 100.0 << "\n";
+        sx += bytes;
+        sy += t;
+        sxx += static_cast<double>(bytes) * bytes;
+        sxy += static_cast<double>(bytes) * t;
+    }
+    double n = static_cast<double>(sizes.size());
+    double beta = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    double alpha = (sy - beta * sx) / n;
+    std::cout << "\nrecovered linear model: " << std::setprecision(2)
+              << alpha << " + " << std::setprecision(5) << beta
+              << " x us   (paper: 73.42 + 0.0463 x us)\n";
+    return 0;
+}

@@ -1,0 +1,26 @@
+#include "app.hh"
+
+namespace cchar::apps {
+
+void
+launch(ccnuma::Machine &machine, SharedMemoryApp &app)
+{
+    app.setup(machine);
+    for (int p = 0; p < machine.nprocs(); ++p) {
+        machine.spawnProcess(
+            p, app.runProcess(ccnuma::ProcContext{machine, p}),
+            app.name() + "-p" + std::to_string(p));
+    }
+}
+
+void
+launch(mp::MpWorld &world, MessagePassingApp &app)
+{
+    app.setup(world);
+    for (int r = 0; r < world.size(); ++r) {
+        world.spawnRank(r, app.runRank(mp::MpContext{world, r}),
+                        app.name() + "-r" + std::to_string(r));
+    }
+}
+
+} // namespace cchar::apps

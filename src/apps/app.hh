@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Common interface of the workload applications.
+ *
+ * The paper characterizes five shared-memory applications (1D-FFT, IS,
+ * Cholesky, Maxflow, Nbody) executed on the simulated CC-NUMA machine,
+ * and two message-passing applications (3D-FFT, MG from the NAS suite)
+ * executed on the SP2. Every application here performs its real
+ * computation (natively, SPASM-style) and self-verifies its result, so
+ * the traffic fed to the characterization pipeline comes from a
+ * genuine execution of the algorithm.
+ */
+
+#ifndef CCHAR_APPS_APP_HH
+#define CCHAR_APPS_APP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccnuma/machine.hh"
+#include "mp/mp.hh"
+
+namespace cchar::apps {
+
+/** A shared-memory (dynamic strategy) application. */
+class SharedMemoryApp
+{
+  public:
+    virtual ~SharedMemoryApp() = default;
+
+    /** Short identifier, e.g. "1d-fft". */
+    virtual std::string name() const = 0;
+
+    /** Allocate shared regions and initialize problem data. */
+    virtual void setup(ccnuma::Machine &machine) = 0;
+
+    /** Per-processor program. */
+    virtual desim::Task<void> runProcess(ccnuma::ProcContext ctx) = 0;
+
+    /** Check the computed result after the run. */
+    virtual bool verify() const = 0;
+};
+
+/** A message-passing (static strategy) application. */
+class MessagePassingApp
+{
+  public:
+    virtual ~MessagePassingApp() = default;
+
+    virtual std::string name() const = 0;
+    virtual void setup(mp::MpWorld &world) = 0;
+    virtual desim::Task<void> runRank(mp::MpContext ctx) = 0;
+    virtual bool verify() const = 0;
+};
+
+/** Set up and spawn an application on a machine (does not run it). */
+void launch(ccnuma::Machine &machine, SharedMemoryApp &app);
+
+/** Set up and spawn an application on an MP world (does not run it). */
+void launch(mp::MpWorld &world, MessagePassingApp &app);
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_APP_HH

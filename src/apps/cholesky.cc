@@ -1,0 +1,128 @@
+#include "cholesky.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace cchar::apps {
+
+void
+SparseCholesky::setup(ccnuma::Machine &machine)
+{
+    int n = params_.n;
+    if (n < 2)
+        throw std::invalid_argument("cholesky: n too small");
+
+    matrix_ = std::make_unique<ccnuma::SharedArray<double>>(
+        machine, static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+        ccnuma::Placement::Interleaved);
+    cursor_ = std::make_unique<ccnuma::SharedArray<int>>(machine, 1, 0);
+
+    // Generate a sparse SPD matrix: A = L0 L0^T + n I.
+    stats::Rng rng{params_.seed};
+    std::vector<double> l0(static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(n),
+                           0.0);
+    for (int i = 0; i < n; ++i) {
+        l0[idx(i, i)] = rng.uniform(0.5, 1.5);
+        for (int j = 0; j < i; ++j) {
+            if (rng.chance(params_.density))
+                l0[idx(i, j)] = rng.uniform(-1.0, 1.0);
+        }
+    }
+    original_.assign(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(n),
+                     0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            double sum = (i == j) ? static_cast<double>(n) : 0.0;
+            for (int k = 0; k <= j; ++k)
+                sum += l0[idx(i, k)] * l0[idx(j, k)];
+            original_[idx(i, j)] = sum;
+            original_[idx(j, i)] = sum;
+        }
+    }
+    for (std::size_t e = 0; e < original_.size(); ++e)
+        (*matrix_)[e] = original_[e];
+}
+
+desim::Task<void>
+SparseCholesky::runProcess(ccnuma::ProcContext ctx)
+{
+    int n = params_.n;
+    int nprocs = ctx.nprocs();
+    int self = ctx.self();
+    auto &a = *matrix_;
+
+    for (int k = 0; k < n; ++k) {
+        // Dynamically claim the pivot task through the shared cursor.
+        co_await ctx.lock(cursorLock);
+        int next = co_await cursor_->get(ctx, 0);
+        bool mine = (next == k);
+        if (mine)
+            co_await cursor_->put(ctx, 0, k + 1);
+        co_await ctx.unlock(cursorLock);
+
+        if (mine) {
+            double pivot = co_await a.get(ctx, idx(k, k));
+            double lkk = std::sqrt(pivot);
+            co_await a.put(ctx, idx(k, k), lkk);
+            co_await ctx.compute(params_.opCost);
+            for (int i = k + 1; i < n; ++i) {
+                double v = a[idx(i, k)]; // sparsity probe (native)
+                if (v == 0.0)
+                    continue;
+                (void)co_await a.get(ctx, idx(i, k));
+                co_await a.put(ctx, idx(i, k), v / lkk);
+                co_await ctx.compute(params_.opCost);
+            }
+        }
+        co_await ctx.barrier(0);
+
+        // Sparse trailing update: column j of the remaining matrix is
+        // touched only if L[j][k] != 0; columns are assigned
+        // cyclically.
+        for (int j = k + 1; j < n; ++j) {
+            if (j % nprocs != self)
+                continue;
+            double ljk = a[idx(j, k)];
+            if (ljk == 0.0)
+                continue;
+            (void)co_await a.get(ctx, idx(j, k));
+            for (int i = j; i < n; ++i) {
+                double lik = a[idx(i, k)];
+                if (lik == 0.0)
+                    continue;
+                (void)co_await a.get(ctx, idx(i, k));
+                double old = co_await a.get(ctx, idx(i, j));
+                co_await a.put(ctx, idx(i, j), old - lik * ljk);
+                co_await ctx.compute(params_.opCost);
+            }
+        }
+        co_await ctx.barrier(0);
+    }
+}
+
+bool
+SparseCholesky::verify() const
+{
+    if (!matrix_)
+        return false;
+    int n = params_.n;
+    // Reconstruct L L^T from the lower triangle and compare with A.
+    double worst = 0.0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            double sum = 0.0;
+            for (int k = 0; k <= j; ++k)
+                sum += (*matrix_)[idx(i, k)] * (*matrix_)[idx(j, k)];
+            worst = std::max(worst,
+                             std::fabs(sum - original_[idx(i, j)]));
+        }
+    }
+    return worst < 1e-8 * static_cast<double>(n);
+}
+
+} // namespace cchar::apps

@@ -1,0 +1,81 @@
+#include "fft1d.hh"
+
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace cchar::apps {
+
+void
+Fft1D::setup(ccnuma::Machine &machine)
+{
+    std::size_t n = params_.n;
+    auto nprocs = static_cast<std::size_t>(machine.nprocs());
+    if (!isPowerOfTwo(n) || n < 2 * nprocs)
+        throw std::invalid_argument("1d-fft: n must be a power of two "
+                                    ">= 2 * nprocs");
+
+    data_ = std::make_unique<ccnuma::SharedArray<Complex>>(
+        machine, n, ccnuma::Placement::Blocked);
+
+    stats::Rng rng{params_.seed};
+    std::vector<Complex> input(n);
+    for (auto &x : input)
+        x = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+
+    // Sequential reference of the same input.
+    reference_ = input;
+    fftInPlace(reference_);
+
+    // The simulated run starts from the bit-reversed layout.
+    bitReverse(input);
+    for (std::size_t i = 0; i < n; ++i)
+        (*data_)[i] = input[i];
+}
+
+desim::Task<void>
+Fft1D::runProcess(ccnuma::ProcContext ctx)
+{
+    std::size_t n = params_.n;
+    auto nprocs = static_cast<std::size_t>(ctx.nprocs());
+    std::size_t block = n / nprocs;
+    auto self = static_cast<std::size_t>(ctx.self());
+    auto &data = *data_;
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        double angle = -2.0 * 3.14159265358979323846 /
+                       static_cast<double>(len);
+        std::size_t half = len / 2;
+        // This processor executes the butterflies whose low index
+        // falls in its block; for len <= block all accesses stay in
+        // the local partition (the paper's local phases).
+        for (std::size_t i = self * block; i < (self + 1) * block; ++i) {
+            if ((i & half) != 0)
+                continue;
+            std::size_t j = i + half;
+            Complex u = co_await data.get(ctx, i);
+            Complex v = co_await data.get(ctx, j);
+            // Twiddle index: position within the span.
+            std::size_t k = i & (half - 1);
+            Complex w = std::polar(1.0, angle * static_cast<double>(k));
+            Complex t = v * w;
+            co_await ctx.compute(params_.butterflyCost);
+            co_await data.put(ctx, i, u + t);
+            co_await data.put(ctx, j, u - t);
+        }
+        co_await ctx.barrier(0);
+    }
+}
+
+bool
+Fft1D::verify() const
+{
+    if (!data_)
+        return false;
+    std::vector<Complex> result(params_.n);
+    for (std::size_t i = 0; i < params_.n; ++i)
+        result[i] = (*data_)[i];
+    return maxError(result, reference_) < 1e-6;
+}
+
+} // namespace cchar::apps

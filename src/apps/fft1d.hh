@@ -1,0 +1,59 @@
+/**
+ * @file
+ * 1D-FFT shared-memory application.
+ *
+ * Reproduces the SPASM 1D-FFT workload: "Each processor works on an
+ * assigned portion of the data space that is equally partitioned.
+ * There are three main phases in the execution. In the first and last
+ * phase, the processors perform the radix-2 Butterfly computation,
+ * which is an entirely local operation." The middle stages pair
+ * elements across processor blocks and generate the communication.
+ *
+ * The implementation runs a real radix-2 FFT: the data lives in a
+ * block-distributed SharedArray (each block homed at its owner), the
+ * input is bit-reversed up front, and stages proceed from short
+ * spans (purely local) to long spans (remote partners), separated by
+ * barriers. The result is verified against a sequential FFT.
+ */
+
+#ifndef CCHAR_APPS_FFT1D_HH
+#define CCHAR_APPS_FFT1D_HH
+
+#include <memory>
+#include <vector>
+
+#include "app.hh"
+#include "fft_util.hh"
+
+namespace cchar::apps {
+
+/** 1D-FFT workload. */
+class Fft1D : public SharedMemoryApp
+{
+  public:
+    struct Params
+    {
+        /** Number of complex points (power of two, >= 2 * nprocs). */
+        std::size_t n = 256;
+        /** Compute time charged per butterfly (us). */
+        double butterflyCost = 0.05;
+        std::uint64_t seed = 1;
+    };
+
+    Fft1D() : Fft1D(Params{}) {}
+    explicit Fft1D(const Params &params) : params_(params) {}
+
+    std::string name() const override { return "1d-fft"; }
+    void setup(ccnuma::Machine &machine) override;
+    desim::Task<void> runProcess(ccnuma::ProcContext ctx) override;
+    bool verify() const override;
+
+  private:
+    Params params_;
+    std::vector<Complex> reference_;
+    std::unique_ptr<ccnuma::SharedArray<Complex>> data_;
+};
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_FFT1D_HH

@@ -1,0 +1,84 @@
+#include "fft_util.hh"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cchar::apps {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+void
+bitReverse(std::vector<Complex> &xs)
+{
+    std::size_t n = xs.size();
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(xs[i], xs[j]);
+    }
+}
+
+void
+fftInPlace(std::vector<Complex> &xs, bool inverse)
+{
+    std::size_t n = xs.size();
+    if (!isPowerOfTwo(n))
+        throw std::invalid_argument("fft: size must be a power of two");
+    bitReverse(xs);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        double angle = 2.0 * std::numbers::pi / static_cast<double>(len);
+        if (!inverse)
+            angle = -angle;
+        Complex wlen{std::cos(angle), std::sin(angle)};
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w{1.0, 0.0};
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                Complex u = xs[i + k];
+                Complex v = xs[i + k + len / 2] * w;
+                xs[i + k] = u + v;
+                xs[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &xs, bool inverse)
+{
+    std::size_t n = xs.size();
+    std::vector<Complex> out(n);
+    double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex acc{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) {
+            double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+            acc += xs[j] * Complex{std::cos(angle), std::sin(angle)};
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+double
+maxError(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    if (a.size() != b.size())
+        return 1e300;
+    return worst;
+}
+
+} // namespace cchar::apps

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small FFT helpers shared by the 1D-FFT and 3D-FFT applications:
+ * an in-place iterative radix-2 transform and a reference naive DFT
+ * for verification.
+ */
+
+#ifndef CCHAR_APPS_FFT_UTIL_HH
+#define CCHAR_APPS_FFT_UTIL_HH
+
+#include <complex>
+#include <vector>
+
+namespace cchar::apps {
+
+using Complex = std::complex<double>;
+
+/** True if n is a power of two (and > 0). */
+bool isPowerOfTwo(std::size_t n);
+
+/** Bit-reversal permutation of `xs` in place (n must be 2^k). */
+void bitReverse(std::vector<Complex> &xs);
+
+/**
+ * In-place iterative radix-2 Cooley-Tukey FFT.
+ * @param inverse if true computes the unscaled inverse transform.
+ */
+void fftInPlace(std::vector<Complex> &xs, bool inverse = false);
+
+/** O(n^2) reference DFT (verification only). */
+std::vector<Complex> naiveDft(const std::vector<Complex> &xs,
+                              bool inverse = false);
+
+/** Max |a_i - b_i| over two equal-length vectors. */
+double maxError(const std::vector<Complex> &a,
+                const std::vector<Complex> &b);
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_FFT_UTIL_HH

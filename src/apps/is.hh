@@ -1,0 +1,67 @@
+/**
+ * @file
+ * IS — Integer Sort shared-memory application.
+ *
+ * Reproduces the SPASM IS kernel: "IS is an Integer Sort kernel that
+ * uses bucket sort to rank a list of integers. This application also
+ * has a regular communication pattern. The input data is equally
+ * partitioned among the processors. Each processor maintains local
+ * buckets for the chunk of the input list that is allocated to it",
+ * after which the local buckets are merged into global bucket arrays.
+ *
+ * The global bucket structures are homed at processor 0 (the "master"
+ * arrays), which reproduces the favorite-processor / bimodal-uniform
+ * spatial pattern the paper reports for IS: p0 receives the maximum
+ * number of messages while the remaining traffic (ranked-key
+ * placement into the block-distributed output) is spread evenly.
+ */
+
+#ifndef CCHAR_APPS_IS_HH
+#define CCHAR_APPS_IS_HH
+
+#include <memory>
+#include <vector>
+
+#include "app.hh"
+
+namespace cchar::apps {
+
+/** Integer Sort (bucket-sort ranking) workload. */
+class IntegerSort : public SharedMemoryApp
+{
+  public:
+    struct Params
+    {
+        /** Number of keys (multiple of nprocs). */
+        std::size_t n = 1024;
+        /** Number of buckets. */
+        int buckets = 32;
+        /** Key range [0, maxKey). */
+        int maxKey = 4096;
+        /** Compute time charged per key operation (us). */
+        double opCost = 0.02;
+        std::uint64_t seed = 7;
+    };
+
+    IntegerSort() : IntegerSort(Params{}) {}
+    explicit IntegerSort(const Params &params) : params_(params) {}
+
+    std::string name() const override { return "is"; }
+    void setup(ccnuma::Machine &machine) override;
+    desim::Task<void> runProcess(ccnuma::ProcContext ctx) override;
+    bool verify() const override;
+
+  private:
+    /** Lock id protecting bucket b (offset past the barrier ids). */
+    int bucketLock(int b) const { return 16 + b; }
+
+    Params params_;
+    std::vector<int> original_;
+    std::unique_ptr<ccnuma::SharedArray<int>> keys_;      // blocked
+    std::unique_ptr<ccnuma::SharedArray<int>> bucketNext_; // at node 0
+    std::unique_ptr<ccnuma::SharedArray<int>> output_;    // blocked
+};
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_IS_HH

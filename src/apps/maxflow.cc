@@ -1,0 +1,306 @@
+#include "maxflow.hh"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace cchar::apps {
+
+void
+Maxflow::setup(ccnuma::Machine &machine)
+{
+    int n = params_.n;
+    if (n < 4)
+        throw std::invalid_argument("maxflow: n too small");
+
+    // Random directed graph plus a guaranteed s->...->t chain.
+    stats::Rng rng{params_.seed};
+    adjacency_.assign(static_cast<std::size_t>(n), {});
+    arcs_.clear();
+    capacity_.clear();
+    auto addEdge = [&](int u, int v, int cap) {
+        int a = static_cast<int>(arcs_.size());
+        arcs_.push_back({u, v, a + 1});
+        arcs_.push_back({v, u, a});
+        capacity_.push_back(static_cast<double>(cap));
+        capacity_.push_back(0.0);
+        adjacency_[static_cast<std::size_t>(u)].push_back(a);
+        adjacency_[static_cast<std::size_t>(v)].push_back(a + 1);
+    };
+    for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+            if (u == v || v == 0 || u == n - 1)
+                continue; // no edges into s or out of t
+            if (rng.chance(params_.edgeProbability)) {
+                addEdge(u, v,
+                        1 + static_cast<int>(rng.below(
+                                static_cast<std::uint64_t>(
+                                    params_.maxCapacity))));
+            }
+        }
+    }
+    for (int u = 0; u + 1 < n; ++u)
+        addEdge(u, u + 1,
+                1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                        params_.maxCapacity))));
+
+    referenceFlow_ = edmondsKarp();
+
+    resid_ = std::make_unique<ccnuma::SharedArray<double>>(
+        machine, arcs_.size(), ccnuma::Placement::Interleaved);
+    excess_ = std::make_unique<ccnuma::SharedArray<double>>(
+        machine, static_cast<std::size_t>(n),
+        ccnuma::Placement::Interleaved);
+    height_ = std::make_unique<ccnuma::SharedArray<int>>(
+        machine, static_cast<std::size_t>(n),
+        ccnuma::Placement::Interleaved);
+    std::size_t ringCap =
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n) * 8;
+    ring_ = std::make_unique<ccnuma::SharedArray<int>>(
+        machine, ringCap, ccnuma::Placement::Interleaved);
+    qmeta_ = std::make_unique<ccnuma::SharedArray<int>>(machine, 3, 0);
+
+    for (std::size_t a = 0; a < arcs_.size(); ++a)
+        (*resid_)[a] = capacity_[a];
+    for (int v = 0; v < n; ++v) {
+        (*excess_)[static_cast<std::size_t>(v)] = 0.0;
+        (*height_)[static_cast<std::size_t>(v)] = 0;
+    }
+    (*height_)[0] = n;
+    (*qmeta_)[0] = (*qmeta_)[1] = (*qmeta_)[2] = 0;
+}
+
+double
+Maxflow::edmondsKarp() const
+{
+    std::vector<double> resid = capacity_;
+    int n = params_.n;
+    double flow = 0.0;
+    for (;;) {
+        std::vector<int> throughArc(static_cast<std::size_t>(n), -1);
+        std::deque<int> frontier{0};
+        throughArc[0] = -2;
+        while (!frontier.empty() && throughArc[static_cast<std::size_t>(
+                                        n - 1)] == -1) {
+            int u = frontier.front();
+            frontier.pop_front();
+            for (int a : adjacency_[static_cast<std::size_t>(u)]) {
+                int v = arcs_[static_cast<std::size_t>(a)].to;
+                if (resid[static_cast<std::size_t>(a)] > 0.0 &&
+                    throughArc[static_cast<std::size_t>(v)] == -1) {
+                    throughArc[static_cast<std::size_t>(v)] = a;
+                    frontier.push_back(v);
+                }
+            }
+        }
+        if (throughArc[static_cast<std::size_t>(n - 1)] == -1)
+            break;
+        double bottleneck = 1e300;
+        for (int v = n - 1; v != 0;) {
+            int a = throughArc[static_cast<std::size_t>(v)];
+            bottleneck =
+                std::min(bottleneck, resid[static_cast<std::size_t>(a)]);
+            v = arcs_[static_cast<std::size_t>(a)].from;
+        }
+        for (int v = n - 1; v != 0;) {
+            int a = throughArc[static_cast<std::size_t>(v)];
+            resid[static_cast<std::size_t>(a)] -= bottleneck;
+            resid[static_cast<std::size_t>(
+                arcs_[static_cast<std::size_t>(a)].rev)] += bottleneck;
+            v = arcs_[static_cast<std::size_t>(a)].from;
+        }
+        flow += bottleneck;
+    }
+    return flow;
+}
+
+desim::Task<void>
+Maxflow::enqueue(ccnuma::ProcContext &ctx, int v)
+{
+    co_await ctx.lock(queueLock);
+    int tail = co_await qmeta_->get(ctx, 1);
+    if (static_cast<std::size_t>(tail) -
+            static_cast<std::size_t>((*qmeta_)[0]) >=
+        ring_->size()) {
+        throw std::logic_error("maxflow: work ring overflow");
+    }
+    co_await ring_->put(
+        ctx, static_cast<std::size_t>(tail) % ring_->size(), v);
+    co_await qmeta_->put(ctx, 1, tail + 1);
+    co_await ctx.unlock(queueLock);
+}
+
+desim::Task<void>
+Maxflow::discharge(ccnuma::ProcContext &ctx, int u)
+{
+    int n = params_.n;
+    auto &resid = *resid_;
+    auto &excess = *excess_;
+    auto &height = *height_;
+    auto su = static_cast<std::size_t>(u);
+
+    for (;;) {
+        // One sweep of push attempts over u's arcs.
+        for (int a : adjacency_[su]) {
+            const Arc &arc = arcs_[static_cast<std::size_t>(a)];
+            int v = arc.to;
+            int first = std::min(u, v), second = std::max(u, v);
+            co_await ctx.lock(vertexLock(first));
+            co_await ctx.lock(vertexLock(second));
+            double eu = co_await excess.get(ctx, su);
+            if (eu <= 0.0) {
+                co_await ctx.unlock(vertexLock(second));
+                co_await ctx.unlock(vertexLock(first));
+                co_return;
+            }
+            double r = co_await resid.get(ctx,
+                                          static_cast<std::size_t>(a));
+            int hu = co_await height.get(ctx, su);
+            int hv =
+                co_await height.get(ctx, static_cast<std::size_t>(v));
+            bool becameActive = false;
+            if (r > 0.0 && hu == hv + 1) {
+                double delta = std::min(eu, r);
+                co_await resid.put(ctx, static_cast<std::size_t>(a),
+                                   r - delta);
+                double rrev = resid[static_cast<std::size_t>(arc.rev)];
+                co_await resid.put(ctx,
+                                   static_cast<std::size_t>(arc.rev),
+                                   rrev + delta);
+                co_await excess.put(ctx, su, eu - delta);
+                double ev =
+                    co_await excess.get(ctx, static_cast<std::size_t>(v));
+                co_await excess.put(ctx, static_cast<std::size_t>(v),
+                                    ev + delta);
+                becameActive =
+                    (ev == 0.0 && v != 0 && v != n - 1);
+                co_await ctx.compute(params_.opCost);
+            }
+            co_await ctx.unlock(vertexLock(second));
+            co_await ctx.unlock(vertexLock(first));
+            if (becameActive)
+                co_await enqueue(ctx, v);
+        }
+
+        // Drained?
+        co_await ctx.lock(vertexLock(u));
+        double eu = co_await excess.get(ctx, su);
+        co_await ctx.unlock(vertexLock(u));
+        if (eu <= 0.0)
+            co_return;
+
+        // Relabel: lock u and all neighbors in ascending order, take
+        // the true minimum over residual arcs.
+        std::vector<int> who{u};
+        for (int a : adjacency_[su])
+            who.push_back(arcs_[static_cast<std::size_t>(a)].to);
+        std::sort(who.begin(), who.end());
+        who.erase(std::unique(who.begin(), who.end()), who.end());
+        for (int w : who)
+            co_await ctx.lock(vertexLock(w));
+        int best = 2 * n + 1;
+        for (int a : adjacency_[su]) {
+            double r =
+                co_await resid.get(ctx, static_cast<std::size_t>(a));
+            if (r > 0.0) {
+                int hv = co_await height.get(
+                    ctx, static_cast<std::size_t>(
+                             arcs_[static_cast<std::size_t>(a)].to));
+                best = std::min(best, hv);
+            }
+        }
+        co_await height.put(ctx, su, best + 1);
+        co_await ctx.compute(params_.opCost);
+        for (auto it = who.rbegin(); it != who.rend(); ++it)
+            co_await ctx.unlock(vertexLock(*it));
+    }
+}
+
+desim::Task<void>
+Maxflow::runProcess(ccnuma::ProcContext ctx)
+{
+    int n = params_.n;
+    auto &resid = *resid_;
+    auto &excess = *excess_;
+
+    // Processor 0 saturates the source's outgoing arcs.
+    if (ctx.self() == 0) {
+        for (int a : adjacency_[0]) {
+            const Arc &arc = arcs_[static_cast<std::size_t>(a)];
+            double cap = capacity_[static_cast<std::size_t>(a)];
+            if (cap <= 0.0)
+                continue;
+            int v = arc.to;
+            co_await ctx.lock(vertexLock(v));
+            co_await resid.put(ctx, static_cast<std::size_t>(a), 0.0);
+            co_await resid.put(ctx, static_cast<std::size_t>(arc.rev),
+                               cap);
+            double ev =
+                co_await excess.get(ctx, static_cast<std::size_t>(v));
+            co_await excess.put(ctx, static_cast<std::size_t>(v),
+                                ev + cap);
+            co_await ctx.unlock(vertexLock(v));
+            if (v != n - 1)
+                co_await enqueue(ctx, v);
+        }
+    }
+    co_await ctx.barrier(0);
+
+    // Worker loop with shared-queue termination detection.
+    for (;;) {
+        co_await ctx.lock(queueLock);
+        int head = co_await qmeta_->get(ctx, 0);
+        int tail = co_await qmeta_->get(ctx, 1);
+        if (head < tail) {
+            int u = co_await ring_->get(
+                ctx, static_cast<std::size_t>(head) % ring_->size());
+            co_await qmeta_->put(ctx, 0, head + 1);
+            int busy = co_await qmeta_->get(ctx, 2);
+            co_await qmeta_->put(ctx, 2, busy + 1);
+            co_await ctx.unlock(queueLock);
+
+            co_await discharge(ctx, u);
+
+            co_await ctx.lock(queueLock);
+            int busyNow = co_await qmeta_->get(ctx, 2);
+            co_await qmeta_->put(ctx, 2, busyNow - 1);
+            co_await ctx.unlock(queueLock);
+        } else {
+            int busy = co_await qmeta_->get(ctx, 2);
+            co_await ctx.unlock(queueLock);
+            if (busy == 0)
+                break;
+            co_await ctx.compute(2.0); // back off and poll again
+        }
+    }
+}
+
+bool
+Maxflow::verify() const
+{
+    if (!excess_)
+        return false;
+    int n = params_.n;
+    // The sink's excess is the achieved flow value.
+    double flow = (*excess_)[static_cast<std::size_t>(n - 1)];
+    if (flow != referenceFlow_)
+        return false;
+    // Conservation: every interior vertex drained its excess.
+    for (int v = 1; v < n - 1; ++v) {
+        if ((*excess_)[static_cast<std::size_t>(v)] != 0.0)
+            return false;
+    }
+    // Capacity constraints: residuals within [0, cap + reverse cap].
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+        double r = (*resid_)[a];
+        double total = capacity_[a] +
+                       capacity_[static_cast<std::size_t>(arcs_[a].rev)];
+        if (r < 0.0 || r > total)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cchar::apps

@@ -1,0 +1,349 @@
+#include "mg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace cchar::apps {
+
+namespace {
+
+constexpr int tagGhostUp = 300;
+constexpr int tagGhostDown = 301;
+constexpr int tagRestrict = 302;
+constexpr int tagProlong = 303;
+
+} // namespace
+
+int
+Multigrid::activeRanks(int extent) const
+{
+    return std::min(nranks_, extent);
+}
+
+std::pair<int, int>
+Multigrid::planeRange(int extent, int rank) const
+{
+    int active = activeRanks(extent);
+    if (rank >= active)
+        return {0, 0};
+    int per = extent / active;
+    int rem = extent % active;
+    int z0 = rank * per + std::min(rank, rem);
+    int z1 = z0 + per + (rank < rem ? 1 : 0);
+    return {z0, z1};
+}
+
+void
+Multigrid::setup(mp::MpWorld &world)
+{
+    nranks_ = world.size();
+    int n = params_.n;
+    if ((n & (n - 1)) != 0)
+        throw std::invalid_argument("mg: n must be a power of two");
+    if ((nranks_ & (nranks_ - 1)) != 0)
+        throw std::invalid_argument("mg: rank count must be a power "
+                                    "of two");
+    if (n >> (params_.levels - 1) < 4)
+        throw std::invalid_argument("mg: too many levels for n");
+
+    levels_.clear();
+    scratch_.clear();
+    for (int l = 0; l < params_.levels; ++l) {
+        int ext = n >> l;
+        Level lev;
+        lev.extent = ext;
+        std::size_t total = static_cast<std::size_t>(ext) *
+                            static_cast<std::size_t>(ext) *
+                            static_cast<std::size_t>(ext);
+        lev.u.assign(total, 0.0);
+        lev.f.assign(total, 0.0);
+        levels_.push_back(std::move(lev));
+        scratch_.emplace_back(total, 0.0);
+    }
+
+    // Random smooth-ish right-hand side on the finest grid interior.
+    stats::Rng rng{params_.seed};
+    Level &fine = levels_[0];
+    for (int z = 1; z < n - 1; ++z)
+        for (int y = 1; y < n - 1; ++y)
+            for (int x = 1; x < n - 1; ++x)
+                fine.f[at(n, x, y, z)] = rng.uniform(-1.0, 1.0);
+    residuals_.clear();
+}
+
+void
+Multigrid::smoothPlanes(Level &level, int z0, int z1)
+{
+    // Damped Jacobi on interior points of planes [z0, z1); new values
+    // land in a scratch copy merged back by the caller's barrier
+    // protocol (Jacobi semantics independent of rank order).
+    int ext = level.extent;
+    for (int z = std::max(z0, 1); z < std::min(z1, ext - 1); ++z) {
+        for (int y = 1; y < ext - 1; ++y) {
+            for (int x = 1; x < ext - 1; ++x) {
+                double sum = level.u[at(ext, x - 1, y, z)] +
+                             level.u[at(ext, x + 1, y, z)] +
+                             level.u[at(ext, x, y - 1, z)] +
+                             level.u[at(ext, x, y + 1, z)] +
+                             level.u[at(ext, x, y, z - 1)] +
+                             level.u[at(ext, x, y, z + 1)];
+                double jac = (sum + level.f[at(ext, x, y, z)]) / 6.0;
+                std::size_t i = at(ext, x, y, z);
+                scratch_[static_cast<std::size_t>(
+                    &level - levels_.data())][i] =
+                    (1.0 - params_.omega) * level.u[i] +
+                    params_.omega * jac;
+            }
+        }
+    }
+}
+
+void
+Multigrid::computeResidual(const Level &level, std::vector<double> &out,
+                           int z0, int z1) const
+{
+    int ext = level.extent;
+    for (int z = std::max(z0, 1); z < std::min(z1, ext - 1); ++z) {
+        for (int y = 1; y < ext - 1; ++y) {
+            for (int x = 1; x < ext - 1; ++x) {
+                double sum = level.u[at(ext, x - 1, y, z)] +
+                             level.u[at(ext, x + 1, y, z)] +
+                             level.u[at(ext, x, y - 1, z)] +
+                             level.u[at(ext, x, y + 1, z)] +
+                             level.u[at(ext, x, y, z - 1)] +
+                             level.u[at(ext, x, y, z + 1)];
+                out[at(ext, x, y, z)] =
+                    level.f[at(ext, x, y, z)] -
+                    (6.0 * level.u[at(ext, x, y, z)] - sum);
+            }
+        }
+    }
+}
+
+double
+Multigrid::residualNormSq(const Level &level, int z0, int z1) const
+{
+    std::vector<double> r(level.u.size(), 0.0);
+    computeResidual(level, r, z0, z1);
+    double s = 0.0;
+    for (double v : r)
+        s += v * v;
+    return s;
+}
+
+desim::Task<void>
+Multigrid::exchangeGhosts(mp::MpContext &ctx, int lvl)
+{
+    int ext = levels_[static_cast<std::size_t>(lvl)].extent;
+    int active = activeRanks(ext);
+    int rank = ctx.rank();
+    int planeBytes = ext * ext * 8;
+    if (rank >= active)
+        co_return;
+    if (rank + 1 < active)
+        co_await ctx.send(rank + 1, planeBytes, tagGhostUp + lvl * 16);
+    if (rank > 0)
+        co_await ctx.send(rank - 1, planeBytes, tagGhostDown + lvl * 16);
+    if (rank > 0)
+        (void)co_await ctx.recv(rank - 1, tagGhostUp + lvl * 16);
+    if (rank + 1 < active)
+        (void)co_await ctx.recv(rank + 1, tagGhostDown + lvl * 16);
+}
+
+desim::Task<void>
+Multigrid::vCycle(mp::MpContext &ctx, int lvl)
+{
+    Level &level = levels_[static_cast<std::size_t>(lvl)];
+    int ext = level.extent;
+    int rank = ctx.rank();
+    auto [z0, z1] = planeRange(ext, rank);
+    double sweepCost = params_.pointCost * static_cast<double>(ext) *
+                       static_cast<double>(ext) *
+                       static_cast<double>(z1 - z0);
+
+    auto jacobiSweep = [&](int count) -> desim::Task<void> {
+        for (int s = 0; s < count; ++s) {
+            co_await exchangeGhosts(ctx, lvl);
+            smoothPlanes(level, z0, z1);
+            co_await ctx.compute(sweepCost);
+            co_await ctx.barrier();
+            // Merge this rank's planes from the scratch buffer.
+            for (int z = std::max(z0, 1);
+                 z < std::min(z1, ext - 1); ++z) {
+                for (int y = 1; y < ext - 1; ++y)
+                    for (int x = 1; x < ext - 1; ++x)
+                        level.u[at(ext, x, y, z)] =
+                            scratch_[static_cast<std::size_t>(lvl)]
+                                    [at(ext, x, y, z)];
+            }
+            co_await ctx.barrier();
+        }
+    };
+
+    if (lvl == params_.levels - 1) {
+        co_await jacobiSweep(12); // coarsest-level "solve"
+        co_return;
+    }
+
+    co_await jacobiSweep(params_.preSmooth);
+
+    // Residual on own planes, then redistribute fine planes to the
+    // coarse owners (plane messages), then restrict (injection x4).
+    computeResidual(level, scratch_[static_cast<std::size_t>(lvl)], z0,
+                    z1);
+    co_await ctx.barrier();
+
+    Level &coarse = levels_[static_cast<std::size_t>(lvl + 1)];
+    int cext = coarse.extent;
+    int planeBytes = ext * ext * 8;
+    for (int cz = 0; cz < cext; ++cz) {
+        auto srcRange = planeRange(ext, rank);
+        auto dstRange = planeRange(cext, rank);
+        int fz = 2 * cz;
+        bool iOwnFine = fz >= srcRange.first && fz < srcRange.second;
+        bool iOwnCoarse = cz >= dstRange.first && cz < dstRange.second;
+        // Find the owners deterministically.
+        int fineOwner = 0, coarseOwner = 0;
+        for (int r = 0; r < nranks_; ++r) {
+            auto pr = planeRange(ext, r);
+            if (fz >= pr.first && fz < pr.second)
+                fineOwner = r;
+            auto cr = planeRange(cext, r);
+            if (cz >= cr.first && cz < cr.second)
+                coarseOwner = r;
+        }
+        if (fineOwner != coarseOwner) {
+            if (iOwnFine)
+                co_await ctx.send(coarseOwner, planeBytes,
+                                  tagRestrict + lvl * 16);
+            if (iOwnCoarse)
+                (void)co_await ctx.recv(fineOwner,
+                                        tagRestrict + lvl * 16);
+        }
+    }
+    co_await ctx.barrier();
+    if (rank == 0) {
+        std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+        const auto &r = scratch_[static_cast<std::size_t>(lvl)];
+        // Full-weighting restriction (tensor of [1/4, 1/2, 1/4]),
+        // scaled by 4 for the h^2-absorbed coarse operator.
+        auto w1 = [](int d) { return d == 0 ? 0.5 : 0.25; };
+        for (int z = 1; z < cext - 1; ++z) {
+            for (int y = 1; y < cext - 1; ++y) {
+                for (int x = 1; x < cext - 1; ++x) {
+                    double acc = 0.0;
+                    for (int dz = -1; dz <= 1; ++dz)
+                        for (int dy = -1; dy <= 1; ++dy)
+                            for (int dx = -1; dx <= 1; ++dx)
+                                acc += w1(dx) * w1(dy) * w1(dz) *
+                                       r[at(ext, 2 * x + dx,
+                                            2 * y + dy, 2 * z + dz)];
+                    coarse.f[at(cext, x, y, z)] = 4.0 * acc;
+                }
+            }
+        }
+    }
+    co_await ctx.barrier();
+
+    co_await vCycle(ctx, lvl + 1);
+
+    // Prolongate the coarse correction (trilinear) back to the fine
+    // grid; plane redistribution mirrors the restriction.
+    for (int cz = 0; cz < cext; ++cz) {
+        int fz = 2 * cz;
+        int fineOwner = 0, coarseOwner = 0;
+        for (int r = 0; r < nranks_; ++r) {
+            auto pr = planeRange(ext, r);
+            if (fz >= pr.first && fz < pr.second)
+                fineOwner = r;
+            auto cr = planeRange(cext, r);
+            if (cz >= cr.first && cz < cr.second)
+                coarseOwner = r;
+        }
+        auto srcRange = planeRange(cext, rank);
+        auto dstRange = planeRange(ext, rank);
+        bool iOwnCoarse = cz >= srcRange.first && cz < srcRange.second;
+        bool iOwnFine = fz >= dstRange.first && fz < dstRange.second;
+        if (fineOwner != coarseOwner) {
+            if (iOwnCoarse)
+                co_await ctx.send(fineOwner, planeBytes,
+                                  tagProlong + lvl * 16);
+            if (iOwnFine)
+                (void)co_await ctx.recv(coarseOwner,
+                                        tagProlong + lvl * 16);
+        }
+    }
+    co_await ctx.barrier();
+    if (rank == 0) {
+        for (int z = 1; z < ext - 1; ++z) {
+            for (int y = 1; y < ext - 1; ++y) {
+                for (int x = 1; x < ext - 1; ++x) {
+                    // Trilinear interpolation of the coarse grid.
+                    double acc = 0.0;
+                    for (int dz = 0; dz < 2; ++dz) {
+                        for (int dy = 0; dy < 2; ++dy) {
+                            for (int dx = 0; dx < 2; ++dx) {
+                                int cx = (x + dx) / 2;
+                                int cy = (y + dy) / 2;
+                                int cz2 = (z + dz) / 2;
+                                double wx = (x % 2 == 0) ? (dx ? 0.0 : 1.0)
+                                                         : 0.5;
+                                double wy = (y % 2 == 0) ? (dy ? 0.0 : 1.0)
+                                                         : 0.5;
+                                double wz = (z % 2 == 0) ? (dz ? 0.0 : 1.0)
+                                                         : 0.5;
+                                if (cx < cext && cy < cext && cz2 < cext)
+                                    acc += wx * wy * wz *
+                                           coarse.u[at(cext, cx, cy,
+                                                       cz2)];
+                            }
+                        }
+                    }
+                    level.u[at(ext, x, y, z)] += acc;
+                }
+            }
+        }
+    }
+    co_await ctx.barrier();
+
+    co_await jacobiSweep(params_.postSmooth);
+}
+
+desim::Task<void>
+Multigrid::runRank(mp::MpContext ctx)
+{
+    // Initial residual norm (u = 0 so it is ||f||), reduced to rank 0
+    // and broadcast — the NAS-MG norm check pattern.
+    if (ctx.rank() == 0)
+        residuals_.push_back(std::sqrt(
+            residualNormSq(levels_[0], 0, levels_[0].extent)));
+    co_await ctx.barrier();
+
+    for (int cycle = 0; cycle < params_.vCycles; ++cycle) {
+        co_await vCycle(ctx, 0);
+        co_await ctx.allreduce(8); // residual norm reduction
+        if (ctx.rank() == 0)
+            residuals_.push_back(std::sqrt(
+                residualNormSq(levels_[0], 0, levels_[0].extent)));
+        co_await ctx.barrier();
+    }
+}
+
+bool
+Multigrid::verify() const
+{
+    if (residuals_.size() !=
+        static_cast<std::size_t>(params_.vCycles) + 1) {
+        return false;
+    }
+    for (std::size_t i = 1; i < residuals_.size(); ++i) {
+        if (residuals_[i] >= residuals_[i - 1])
+            return false;
+    }
+    return residuals_.back() < 0.5 * residuals_.front();
+}
+
+} // namespace cchar::apps

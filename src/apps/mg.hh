@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MG — NAS-style 3-D multigrid kernel (message passing).
+ *
+ * Reproduces the paper's MG workload: "The multigrid benchmark is a
+ * simple multigrid solver in computing a three dimensional potential
+ * field. It solves only a constant coefficient equation, on a uniform
+ * cubical field. It requires a power-of-two number of processors."
+ *
+ * A real V-cycle solver for the 7-point Poisson equation: weighted-
+ * Jacobi smoothing with ghost-plane exchanges between z-neighbour
+ * ranks, full-coarsening restriction and prolongation with plane
+ * redistribution messages, and a residual-norm allreduce per cycle.
+ * Verified by the residual norm dropping monotonically across
+ * V-cycles.
+ */
+
+#ifndef CCHAR_APPS_MG_HH
+#define CCHAR_APPS_MG_HH
+
+#include <memory>
+#include <vector>
+
+#include "app.hh"
+
+namespace cchar::apps {
+
+/** NAS-MG-style multigrid workload. */
+class Multigrid : public MessagePassingApp
+{
+  public:
+    struct Params
+    {
+        /** Finest grid extent (power of two, multiple of nranks). */
+        int n = 16;
+        /** Grid levels (finest has extent n, coarsest n >> (levels-1)). */
+        int levels = 3;
+        /** V-cycles to run. */
+        int vCycles = 2;
+        /** Jacobi sweeps before/after coarse correction. */
+        int preSmooth = 2;
+        int postSmooth = 2;
+        /** Jacobi damping factor. */
+        double omega = 0.8;
+        /** Compute cost per grid point per sweep (us). */
+        double pointCost = 0.001;
+        std::uint64_t seed = 29;
+    };
+
+    Multigrid() : Multigrid(Params{}) {}
+    explicit Multigrid(const Params &params) : params_(params) {}
+
+    std::string name() const override { return "mg"; }
+    void setup(mp::MpWorld &world) override;
+    desim::Task<void> runRank(mp::MpContext ctx) override;
+    bool verify() const override;
+
+    /** Residual L2 norm after each V-cycle (index 0 = initial). */
+    const std::vector<double> &residualHistory() const
+    {
+        return residuals_;
+    }
+
+  private:
+    /** One grid level: solution u, right-hand side f, extent. */
+    struct Level
+    {
+        int extent;
+        std::vector<double> u;
+        std::vector<double> f;
+    };
+
+    static std::size_t
+    at(int ext, int x, int y, int z)
+    {
+        return (static_cast<std::size_t>(z) * static_cast<std::size_t>(ext) +
+                static_cast<std::size_t>(y)) *
+                   static_cast<std::size_t>(ext) +
+               static_cast<std::size_t>(x);
+    }
+
+    /** Ranks that own planes at a level (extent may be < nranks). */
+    int activeRanks(int extent) const;
+    /** Plane range [z0, z1) of `rank` at a level. */
+    std::pair<int, int> planeRange(int extent, int rank) const;
+
+    void smoothPlanes(Level &level, int z0, int z1);
+    double residualNormSq(const Level &level, int z0, int z1) const;
+    void computeResidual(const Level &fine, std::vector<double> &out,
+                         int z0, int z1) const;
+
+    desim::Task<void> exchangeGhosts(mp::MpContext &ctx, int lvl);
+    desim::Task<void> vCycle(mp::MpContext &ctx, int lvl);
+
+    Params params_;
+    int nranks_ = 0;
+    std::vector<Level> levels_;
+    std::vector<std::vector<double>> scratch_; ///< per-level residual
+    std::vector<double> residuals_;
+};
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_MG_HH

@@ -1,0 +1,142 @@
+#include "nbody.hh"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace cchar::apps {
+
+void
+Nbody::accumulate(const Body &on, const Body &from, double softening,
+                  double &ax, double &ay, double &az)
+{
+    double dx = from.x - on.x;
+    double dy = from.y - on.y;
+    double dz = from.z - on.z;
+    double r2 = dx * dx + dy * dy + dz * dz + softening * softening;
+    double inv = 1.0 / (r2 * std::sqrt(r2));
+    ax += from.mass * dx * inv;
+    ay += from.mass * dy * inv;
+    az += from.mass * dz * inv;
+}
+
+void
+Nbody::setup(ccnuma::Machine &machine)
+{
+    auto nprocs = static_cast<std::size_t>(machine.nprocs());
+    if (params_.n % nprocs != 0)
+        throw std::invalid_argument("nbody: n must be a multiple of "
+                                    "nprocs");
+
+    bodies_ = std::make_unique<ccnuma::SharedArray<Body>>(
+        machine, params_.n, ccnuma::Placement::Blocked);
+    accel_ = std::make_unique<ccnuma::SharedArray<double>>(
+        machine, params_.n * 3, ccnuma::Placement::Blocked);
+
+    stats::Rng rng{params_.seed};
+    for (std::size_t i = 0; i < params_.n; ++i) {
+        Body b;
+        b.x = rng.uniform(-1.0, 1.0);
+        b.y = rng.uniform(-1.0, 1.0);
+        b.z = rng.uniform(-1.0, 1.0);
+        b.vx = rng.uniform(-0.1, 0.1);
+        b.vy = rng.uniform(-0.1, 0.1);
+        b.vz = rng.uniform(-0.1, 0.1);
+        b.mass = rng.uniform(0.5, 1.5);
+        (*bodies_)[i] = b;
+    }
+
+    // Sequential reference with the identical summation order.
+    reference_.resize(params_.n);
+    for (std::size_t i = 0; i < params_.n; ++i)
+        reference_[i] = (*bodies_)[i];
+    for (int step = 0; step < params_.steps; ++step) {
+        std::vector<std::array<double, 3>> acc(params_.n,
+                                               {0.0, 0.0, 0.0});
+        for (std::size_t i = 0; i < params_.n; ++i) {
+            for (std::size_t j = 0; j < params_.n; ++j) {
+                if (j != i) {
+                    accumulate(reference_[i], reference_[j],
+                               params_.softening, acc[i][0], acc[i][1],
+                               acc[i][2]);
+                }
+            }
+        }
+        for (std::size_t i = 0; i < params_.n; ++i) {
+            Body &b = reference_[i];
+            b.vx += acc[i][0] * params_.dt;
+            b.vy += acc[i][1] * params_.dt;
+            b.vz += acc[i][2] * params_.dt;
+            b.x += b.vx * params_.dt;
+            b.y += b.vy * params_.dt;
+            b.z += b.vz * params_.dt;
+        }
+    }
+}
+
+desim::Task<void>
+Nbody::runProcess(ccnuma::ProcContext ctx)
+{
+    auto nprocs = static_cast<std::size_t>(ctx.nprocs());
+    std::size_t block = params_.n / nprocs;
+    auto self = static_cast<std::size_t>(ctx.self());
+    auto &bodies = *bodies_;
+    auto &accel = *accel_;
+
+    for (int step = 0; step < params_.steps; ++step) {
+        // Phase 1: force computation — reads every other body.
+        for (std::size_t i = self * block; i < (self + 1) * block; ++i) {
+            double ax = 0.0, ay = 0.0, az = 0.0;
+            Body mine = co_await bodies.get(ctx, i);
+            for (std::size_t j = 0; j < params_.n; ++j) {
+                if (j == i)
+                    continue;
+                Body other = co_await bodies.get(ctx, j);
+                accumulate(mine, other, params_.softening, ax, ay, az);
+                co_await ctx.compute(params_.pairCost);
+            }
+            co_await accel.put(ctx, 3 * i + 0, ax);
+            co_await accel.put(ctx, 3 * i + 1, ay);
+            co_await accel.put(ctx, 3 * i + 2, az);
+        }
+        co_await ctx.barrier(0);
+
+        // Phase 2: integrate own bodies (local).
+        for (std::size_t i = self * block; i < (self + 1) * block; ++i) {
+            Body b = co_await bodies.get(ctx, i);
+            double ax = co_await accel.get(ctx, 3 * i + 0);
+            double ay = co_await accel.get(ctx, 3 * i + 1);
+            double az = co_await accel.get(ctx, 3 * i + 2);
+            b.vx += ax * params_.dt;
+            b.vy += ay * params_.dt;
+            b.vz += az * params_.dt;
+            b.x += b.vx * params_.dt;
+            b.y += b.vy * params_.dt;
+            b.z += b.vz * params_.dt;
+            co_await bodies.put(ctx, i, b);
+        }
+
+        // Phase 3: step barrier.
+        co_await ctx.barrier(0);
+    }
+}
+
+bool
+Nbody::verify() const
+{
+    if (!bodies_)
+        return false;
+    for (std::size_t i = 0; i < params_.n; ++i) {
+        const Body &got = (*bodies_)[i];
+        const Body &want = reference_[i];
+        if (got.x != want.x || got.y != want.y || got.z != want.z ||
+            got.vx != want.vx || got.vy != want.vy || got.vz != want.vz) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cchar::apps

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Nbody shared-memory application.
+ *
+ * Reproduces the SPLASH-style Nbody workload the paper uses: "The
+ * Nbody application simulates over time the movement of bodies due to
+ * the gravitational forces exerted on one another... The parallel
+ * implementation statically allocates a set of bodies to each
+ * processor and goes through three phases for each simulated time
+ * step": force computation (reads of every other body's position),
+ * position/velocity update (local writes), and a barrier.
+ *
+ * Direct O(n^2) force summation; the parallel result is verified to
+ * match a sequential simulation bit for bit (same summation order).
+ */
+
+#ifndef CCHAR_APPS_NBODY_HH
+#define CCHAR_APPS_NBODY_HH
+
+#include <memory>
+#include <vector>
+
+#include "app.hh"
+
+namespace cchar::apps {
+
+/** Gravitational N-body workload. */
+class Nbody : public SharedMemoryApp
+{
+  public:
+    struct Params
+    {
+        /** Number of bodies (multiple of nprocs). */
+        std::size_t n = 64;
+        /** Simulated time steps. */
+        int steps = 2;
+        double dt = 0.01;
+        double softening = 0.05;
+        /** Compute time charged per body-body interaction (us). */
+        double pairCost = 0.01;
+        std::uint64_t seed = 3;
+    };
+
+    struct Body
+    {
+        double x, y, z;
+        double vx, vy, vz;
+        double mass;
+    };
+
+    Nbody() : Nbody(Params{}) {}
+    explicit Nbody(const Params &params) : params_(params) {}
+
+    std::string name() const override { return "nbody"; }
+    void setup(ccnuma::Machine &machine) override;
+    desim::Task<void> runProcess(ccnuma::ProcContext ctx) override;
+    bool verify() const override;
+
+  private:
+    static void accumulate(const Body &on, const Body &from,
+                           double softening, double &ax, double &ay,
+                           double &az);
+
+    Params params_;
+    std::vector<Body> reference_;
+    std::unique_ptr<ccnuma::SharedArray<Body>> bodies_; // blocked
+    std::unique_ptr<ccnuma::SharedArray<double>> accel_; // blocked, 3n
+};
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_NBODY_HH

@@ -1,0 +1,106 @@
+#include "cache.hh"
+
+#include <stdexcept>
+
+namespace cchar::ccnuma {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.lines <= 0 || cfg_.assoc <= 0 || cfg_.lines % cfg_.assoc != 0)
+        throw std::invalid_argument("cache: lines must be a multiple of "
+                                    "associativity");
+    if (cfg_.lineBytes <= 0 ||
+        (cfg_.lineBytes & (cfg_.lineBytes - 1)) != 0) {
+        throw std::invalid_argument("cache: lineBytes must be a power "
+                                    "of two");
+    }
+    ways_.resize(static_cast<std::size_t>(cfg_.lines));
+}
+
+std::size_t
+Cache::setBase(Addr line_addr) const
+{
+    auto set = static_cast<std::size_t>(
+        (line_addr / static_cast<Addr>(cfg_.lineBytes)) %
+        static_cast<Addr>(cfg_.sets()));
+    return set * static_cast<std::size_t>(cfg_.assoc);
+}
+
+Cache::Line *
+Cache::lookup(Addr line_addr)
+{
+    Line *line = probe(line_addr);
+    if (line)
+        line->lru = ++tick_;
+    return line;
+}
+
+Cache::Line *
+Cache::probe(Addr line_addr)
+{
+    std::size_t base = setBase(line_addr);
+    for (int w = 0; w < cfg_.assoc; ++w) {
+        Line &line = ways_[base + static_cast<std::size_t>(w)];
+        if (line.state != LineState::Invalid && line.addr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+std::optional<Cache::Line>
+Cache::victimFor(Addr line_addr)
+{
+    std::size_t base = setBase(line_addr);
+    Line *oldest = nullptr;
+    for (int w = 0; w < cfg_.assoc; ++w) {
+        Line &line = ways_[base + static_cast<std::size_t>(w)];
+        if (line.state == LineState::Invalid)
+            return std::nullopt; // free way available
+        if (!oldest || line.lru < oldest->lru)
+            oldest = &line;
+    }
+    return *oldest;
+}
+
+void
+Cache::insert(Addr line_addr, LineState state, std::uint64_t value)
+{
+    if (Line *existing = probe(line_addr)) {
+        existing->state = state;
+        existing->value = value;
+        existing->lru = ++tick_;
+        return;
+    }
+    std::size_t base = setBase(line_addr);
+    for (int w = 0; w < cfg_.assoc; ++w) {
+        Line &line = ways_[base + static_cast<std::size_t>(w)];
+        if (line.state == LineState::Invalid) {
+            line.addr = line_addr;
+            line.state = state;
+            line.value = value;
+            line.lru = ++tick_;
+            return;
+        }
+    }
+    throw std::logic_error("cache: insert without a free way");
+}
+
+void
+Cache::invalidate(Addr line_addr)
+{
+    if (Line *line = probe(line_addr))
+        line->state = LineState::Invalid;
+}
+
+int
+Cache::validLines() const
+{
+    int n = 0;
+    for (const Line &line : ways_) {
+        if (line.state != LineState::Invalid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace cchar::ccnuma

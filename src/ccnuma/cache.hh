@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-node set-associative data cache with LRU replacement.
+ *
+ * The cache tracks line state (M/S/I) and a per-line 64-bit value used
+ * by the protocol verification tests; applications perform their real
+ * computation natively and use the cache purely for timing, exactly as
+ * SPASM traps only "interesting" memory instructions.
+ */
+
+#ifndef CCHAR_CCNUMA_CACHE_HH
+#define CCHAR_CCNUMA_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "protocol.hh"
+
+namespace cchar::ccnuma {
+
+/** Coherence state of a cached line. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    int lines = 1024; ///< total lines
+    int assoc = 4;    ///< ways per set
+    int lineBytes = 32;
+
+    int sets() const { return lines / assoc; }
+};
+
+/** Set-associative write-back cache. */
+class Cache
+{
+  public:
+    struct Line
+    {
+        Addr addr = 0; ///< line-aligned address
+        LineState state = LineState::Invalid;
+        std::uint64_t value = 0;
+        std::uint64_t lru = 0;
+    };
+
+    explicit Cache(const CacheConfig &cfg);
+
+    int lineBytes() const { return cfg_.lineBytes; }
+
+    /** Line-align an address. */
+    Addr
+    lineOf(Addr a) const
+    {
+        return a & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    }
+
+    /** Find a valid line (updates LRU). Null if absent/invalid. */
+    Line *lookup(Addr line_addr);
+
+    /** Find without touching LRU (probe path). */
+    Line *probe(Addr line_addr);
+
+    /**
+     * Choose a victim slot in the set of `line_addr`.
+     * @return the victim line contents if a valid line must be
+     *         evicted, nullopt if a free way exists.
+     */
+    std::optional<Line> victimFor(Addr line_addr);
+
+    /**
+     * Install (or update in place) a line.
+     * @pre a free way exists (call victimFor + invalidate first).
+     */
+    void insert(Addr line_addr, LineState state, std::uint64_t value);
+
+    /** Drop a line (silent or probe-induced). No-op if absent. */
+    void invalidate(Addr line_addr);
+
+    /** Number of valid lines currently held. */
+    int validLines() const;
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+  private:
+    std::size_t setBase(Addr line_addr) const;
+
+    CacheConfig cfg_;
+    std::vector<Line> ways_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace cchar::ccnuma
+
+#endif // CCHAR_CCNUMA_CACHE_HH

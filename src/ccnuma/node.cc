@@ -1,0 +1,607 @@
+#include "node.hh"
+
+#include <stdexcept>
+
+#include "machine.hh"
+
+namespace cchar::ccnuma {
+
+namespace {
+
+std::uint64_t
+bit(int node)
+{
+    return std::uint64_t{1} << node;
+}
+
+} // namespace
+
+NodeController::NodeController(Machine &machine, int id)
+    : machine_(&machine), id_(id), cache_(machine.config().cache)
+{
+}
+
+void
+NodeController::start()
+{
+    machine_->sim().spawn(dispatcher(),
+                          "dispatcher-" + std::to_string(id_));
+}
+
+// ---------------------------------------------------------------
+// messaging helpers
+
+int
+NodeController::bytesOf(CoherenceOp op) const
+{
+    switch (op) {
+      case CoherenceOp::Data:
+      case CoherenceOp::WbData:
+      case CoherenceOp::WriteBack:
+        return machine_->config().dataBytes();
+      default:
+        return machine_->config().controlBytes;
+    }
+}
+
+void
+NodeController::postMsg(int dst, const CoherenceMsg &msg)
+{
+    mesh::Packet pkt;
+    pkt.src = id_;
+    pkt.dst = dst;
+    pkt.bytes = bytesOf(msg.op);
+    switch (msg.op) {
+      case CoherenceOp::Data:
+      case CoherenceOp::WbData:
+      case CoherenceOp::WriteBack:
+        pkt.kind = trace::MessageKind::Data;
+        break;
+      case CoherenceOp::LockReq:
+      case CoherenceOp::LockGrant:
+      case CoherenceOp::Unlock:
+      case CoherenceOp::BarrierArrive:
+      case CoherenceOp::BarrierRelease:
+        pkt.kind = trace::MessageKind::Sync;
+        break;
+      default:
+        pkt.kind = trace::MessageKind::Control;
+        break;
+    }
+    pkt.tag = static_cast<std::uint64_t>(msg.op);
+    pkt.payload = msg;
+    machine_->network().post(std::move(pkt));
+}
+
+// ---------------------------------------------------------------
+// dispatcher
+
+desim::Task<void>
+NodeController::dispatcher()
+{
+    auto &queue = machine_->network().rxQueue(id_);
+    for (;;) {
+        mesh::Packet pkt = co_await queue.receive();
+        auto msg = std::any_cast<CoherenceMsg>(pkt.payload);
+        handleMessage(msg, pkt.src);
+    }
+}
+
+void
+NodeController::handleMessage(const CoherenceMsg &msg, int from)
+{
+    switch (msg.op) {
+      case CoherenceOp::GetS:
+      case CoherenceOp::GetX:
+      case CoherenceOp::Upgrade:
+      case CoherenceOp::WriteBack: {
+        // Home-side request: run as its own process so the dispatcher
+        // never blocks on a line lock.
+        auto tx = [](NodeController *node, CoherenceMsg m,
+                     int req) -> desim::Task<void> {
+            HomeReply rep =
+                co_await node->homeTransaction(m.op, req, m.addr, m.value);
+            CoherenceMsg reply;
+            reply.addr = m.addr;
+            if (m.op == CoherenceOp::WriteBack) {
+                reply.op = CoherenceOp::WbAck;
+            } else {
+                reply.op = rep.withData ? CoherenceOp::Data
+                                        : CoherenceOp::Ack;
+                reply.value = rep.value;
+                reply.exclusive = rep.exclusive;
+            }
+            node->postMsg(req, reply);
+        };
+        machine_->sim().spawn(tx(this, msg, from),
+                              "home-tx-" + std::to_string(id_));
+        break;
+      }
+      case CoherenceOp::Inv:
+      case CoherenceOp::Fetch:
+      case CoherenceOp::FetchInv:
+        handleProbe(msg, from);
+        break;
+      case CoherenceOp::InvAck:
+      case CoherenceOp::WbData:
+        handleHomeResponse(msg, from);
+        break;
+      case CoherenceOp::Data:
+      case CoherenceOp::Ack:
+      case CoherenceOp::WbAck:
+      case CoherenceOp::LockGrant:
+      case CoherenceOp::BarrierRelease:
+        handleResponse(msg);
+        break;
+      case CoherenceOp::LockReq:
+        homeLockRequest(from, msg.id);
+        break;
+      case CoherenceOp::Unlock:
+        homeUnlock(msg.id);
+        break;
+      case CoherenceOp::BarrierArrive:
+        homeBarrierArrive(from, msg.id,
+                          static_cast<int>(msg.value));
+        break;
+    }
+}
+
+void
+NodeController::handleProbe(const CoherenceMsg &msg, int from)
+{
+    switch (msg.op) {
+      case CoherenceOp::Inv: {
+        cache_.invalidate(msg.addr);
+        CoherenceMsg ack;
+        ack.op = CoherenceOp::InvAck;
+        ack.addr = msg.addr;
+        postMsg(from, ack);
+        break;
+      }
+      case CoherenceOp::Fetch:
+      case CoherenceOp::FetchInv: {
+        std::uint64_t value;
+        if (Cache::Line *line = cache_.probe(msg.addr)) {
+            value = line->value;
+            line->state = msg.op == CoherenceOp::FetchInv
+                              ? LineState::Invalid
+                              : LineState::Shared;
+        } else if (auto it = wbPending_.find(msg.addr);
+                   it != wbPending_.end()) {
+            // The line's data is already in flight to the home as a
+            // WriteBack; answer the recall from the pending copy.
+            value = it->second;
+        } else {
+            throw std::logic_error(
+                "ccnuma: recall for a line this node does not hold");
+        }
+        CoherenceMsg wb;
+        wb.op = CoherenceOp::WbData;
+        wb.addr = msg.addr;
+        wb.value = value;
+        postMsg(from, wb);
+        break;
+      }
+      default:
+        throw std::logic_error("ccnuma: bad probe opcode");
+    }
+}
+
+void
+NodeController::handleHomeResponse(const CoherenceMsg &msg, int)
+{
+    auto it = collectors_.find(msg.addr);
+    if (it == collectors_.end())
+        throw std::logic_error("ccnuma: unexpected home response");
+    Collector *c = it->second;
+    if (msg.op == CoherenceOp::WbData)
+        c->wbValue = msg.value;
+    if (--c->needed == 0)
+        c->event.trigger();
+}
+
+void
+NodeController::handleResponse(const CoherenceMsg &msg)
+{
+    if (!slot_.event)
+        throw std::logic_error("ccnuma: response with no request "
+                               "outstanding");
+    switch (msg.op) {
+      case CoherenceOp::Data:
+        slot_.value = msg.value;
+        slot_.exclusive = msg.exclusive;
+        break;
+      case CoherenceOp::Ack:
+        slot_.exclusive = msg.exclusive;
+        break;
+      case CoherenceOp::WbAck:
+      case CoherenceOp::LockGrant:
+      case CoherenceOp::BarrierRelease:
+        break;
+      default:
+        throw std::logic_error("ccnuma: bad response opcode");
+    }
+    slot_.event->trigger();
+}
+
+// ---------------------------------------------------------------
+// processor side
+
+desim::Task<void>
+NodeController::awaitSlot()
+{
+    co_await slot_.event->wait();
+    slot_.event.reset();
+}
+
+desim::Task<NodeController::HomeReply>
+NodeController::requestLine(CoherenceOp op, Addr line_addr)
+{
+    int home = machine_->homeOf(line_addr);
+    std::uint64_t wbValue = 0;
+    if (op == CoherenceOp::WriteBack) {
+        auto it = wbPending_.find(line_addr);
+        if (it == wbPending_.end())
+            throw std::logic_error("ccnuma: writeback without pending "
+                                   "value");
+        wbValue = it->second;
+    }
+    if (home == id_) {
+        // Local directory: no network round trip.
+        HomeReply rep =
+            co_await homeTransaction(op, id_, line_addr, wbValue);
+        co_return rep;
+    }
+    ++remoteTx_;
+    slot_.addr = line_addr;
+    slot_.value = 0;
+    slot_.exclusive = false;
+    slot_.event = std::make_unique<desim::SimEvent>(machine_->sim());
+    CoherenceMsg msg;
+    msg.op = op;
+    msg.addr = line_addr;
+    msg.value = wbValue;
+    postMsg(home, msg);
+    co_await awaitSlot();
+    HomeReply rep;
+    rep.value = slot_.value;
+    rep.exclusive = slot_.exclusive;
+    co_return rep;
+}
+
+desim::Task<void>
+NodeController::makeRoomFor(Addr line_addr)
+{
+    auto victim = cache_.victimFor(line_addr);
+    if (!victim)
+        co_return;
+    cache_.invalidate(victim->addr);
+    if (victim->state == LineState::Modified) {
+        wbPending_[victim->addr] = victim->value;
+        (void)co_await requestLine(CoherenceOp::WriteBack, victim->addr);
+        wbPending_.erase(victim->addr);
+    }
+    // Shared victims are dropped silently; the directory keeps a
+    // stale (superset) sharer bit, which is safe for invalidation.
+}
+
+desim::Task<std::uint64_t>
+NodeController::load(Addr a)
+{
+    Addr line_addr = machine_->lineOf(a);
+    ++loads_;
+    co_await machine_->sim().delay(machine_->config().cacheHitTime);
+    if (Cache::Line *line = cache_.lookup(line_addr)) {
+        ++cache_.hits;
+        co_return line->value;
+    }
+    ++cache_.misses;
+    co_await makeRoomFor(line_addr);
+    HomeReply rep = co_await requestLine(CoherenceOp::GetS, line_addr);
+    cache_.insert(line_addr,
+                  rep.exclusive ? LineState::Modified : LineState::Shared,
+                  rep.value);
+    co_return rep.value;
+}
+
+desim::Task<void>
+NodeController::store(Addr a, std::uint64_t value)
+{
+    Addr line_addr = machine_->lineOf(a);
+    ++stores_;
+    co_await machine_->sim().delay(machine_->config().cacheHitTime);
+    Cache::Line *line = cache_.lookup(line_addr);
+    if (line && line->state == LineState::Modified) {
+        ++cache_.hits;
+        line->value = value;
+        co_return;
+    }
+    ++cache_.misses;
+    CoherenceOp op =
+        line ? CoherenceOp::Upgrade : CoherenceOp::GetX;
+    if (!line)
+        co_await makeRoomFor(line_addr);
+    (void)co_await requestLine(op, line_addr);
+    // The shared copy may have been invalidated while the upgrade was
+    // in flight; in that case the home sent full data instead.
+    line = cache_.probe(line_addr);
+    if (line) {
+        line->state = LineState::Modified;
+        line->value = value;
+    } else {
+        cache_.insert(line_addr, LineState::Modified, value);
+    }
+    co_return;
+}
+
+desim::Task<void>
+NodeController::lock(int lock_id)
+{
+    int home = lock_id % machine_->nprocs();
+    co_await machine_->sim().delay(machine_->config().syncProcessTime);
+    slot_.syncId = lock_id;
+    slot_.event = std::make_unique<desim::SimEvent>(machine_->sim());
+    if (home == id_) {
+        homeLockRequest(id_, lock_id);
+    } else {
+        CoherenceMsg msg;
+        msg.op = CoherenceOp::LockReq;
+        msg.id = lock_id;
+        postMsg(home, msg);
+    }
+    co_await awaitSlot();
+}
+
+desim::Task<void>
+NodeController::unlock(int lock_id)
+{
+    int home = lock_id % machine_->nprocs();
+    co_await machine_->sim().delay(machine_->config().syncProcessTime);
+    if (home == id_) {
+        homeUnlock(lock_id);
+    } else {
+        CoherenceMsg msg;
+        msg.op = CoherenceOp::Unlock;
+        msg.id = lock_id;
+        postMsg(home, msg);
+    }
+    co_return;
+}
+
+desim::Task<void>
+NodeController::barrier(int barrier_id, int participants)
+{
+    if (participants <= 0)
+        participants = machine_->nprocs();
+    int home = barrier_id % machine_->nprocs();
+    co_await machine_->sim().delay(machine_->config().syncProcessTime);
+    slot_.syncId = barrier_id;
+    slot_.event = std::make_unique<desim::SimEvent>(machine_->sim());
+    if (home == id_) {
+        homeBarrierArrive(id_, barrier_id, participants);
+    } else {
+        CoherenceMsg msg;
+        msg.op = CoherenceOp::BarrierArrive;
+        msg.id = barrier_id;
+        msg.value = static_cast<std::uint64_t>(participants);
+        postMsg(home, msg);
+    }
+    co_await awaitSlot();
+}
+
+// ---------------------------------------------------------------
+// home side
+
+desim::Resource &
+NodeController::lineLock(Addr line_addr)
+{
+    auto &slot = lineLocks_[line_addr];
+    if (!slot) {
+        slot = std::make_unique<desim::Resource>(
+            machine_->sim(), 1, "line-" + std::to_string(line_addr));
+    }
+    return *slot;
+}
+
+NodeController::DirEntry &
+NodeController::dirEntry(Addr line_addr)
+{
+    return dir_[line_addr];
+}
+
+DirState
+NodeController::dirStateOf(Addr line_addr) const
+{
+    auto it = dir_.find(line_addr);
+    return it == dir_.end() ? DirState::Uncached : it->second.state;
+}
+
+std::uint64_t
+NodeController::dirSharersOf(Addr line_addr) const
+{
+    auto it = dir_.find(line_addr);
+    return it == dir_.end() ? 0 : it->second.sharers;
+}
+
+desim::Task<std::uint64_t>
+NodeController::recallFromOwner(Addr line_addr, int owner, bool invalidate)
+{
+    if (owner == id_) {
+        // The home node's own cache holds the modified copy.
+        std::uint64_t value;
+        if (Cache::Line *line = cache_.probe(line_addr)) {
+            value = line->value;
+            line->state =
+                invalidate ? LineState::Invalid : LineState::Shared;
+        } else if (auto it = wbPending_.find(line_addr);
+                   it != wbPending_.end()) {
+            value = it->second;
+        } else {
+            throw std::logic_error("ccnuma: home owner lost the line");
+        }
+        co_return value;
+    }
+    Collector c{machine_->sim()};
+    c.needed = 1;
+    collectors_[line_addr] = &c;
+    CoherenceMsg msg;
+    msg.op = invalidate ? CoherenceOp::FetchInv : CoherenceOp::Fetch;
+    msg.addr = line_addr;
+    postMsg(owner, msg);
+    co_await c.event.wait();
+    collectors_.erase(line_addr);
+    co_return c.wbValue;
+}
+
+desim::Task<NodeController::HomeReply>
+NodeController::homeTransaction(CoherenceOp op, int requester,
+                                Addr line_addr, std::uint64_t wb_value)
+{
+    desim::Resource &lk = lineLock(line_addr);
+    co_await lk.acquire();
+    desim::ResourceHold hold{lk};
+    const MachineConfig &cfg = machine_->config();
+    co_await machine_->sim().delay(cfg.dirLookupTime);
+    DirEntry &e = dirEntry(line_addr);
+
+    HomeReply rep;
+    switch (op) {
+      case CoherenceOp::GetS: {
+        if (e.state == DirState::Modified) {
+            std::uint64_t v =
+                co_await recallFromOwner(line_addr, e.owner, false);
+            e.memValue = v;
+            e.state = DirState::Shared;
+            e.sharers = bit(e.owner);
+            e.owner = -1;
+        }
+        co_await machine_->sim().delay(cfg.memoryLatency);
+        e.sharers |= bit(requester);
+        if (e.state == DirState::Uncached)
+            e.state = DirState::Shared;
+        rep.value = e.memValue;
+        rep.exclusive = false;
+        rep.withData = true;
+        break;
+      }
+      case CoherenceOp::GetX:
+      case CoherenceOp::Upgrade: {
+        bool wasSharer = (e.sharers & bit(requester)) != 0;
+        if (e.state == DirState::Modified) {
+            std::uint64_t v =
+                co_await recallFromOwner(line_addr, e.owner, true);
+            e.memValue = v;
+        } else {
+            int needed = 0;
+            for (int s = 0; s < machine_->nprocs(); ++s) {
+                if (s == requester || !(e.sharers & bit(s)))
+                    continue;
+                if (s == id_) {
+                    cache_.invalidate(line_addr);
+                } else {
+                    CoherenceMsg inv;
+                    inv.op = CoherenceOp::Inv;
+                    inv.addr = line_addr;
+                    postMsg(s, inv);
+                    ++needed;
+                }
+            }
+            if (needed > 0) {
+                Collector c{machine_->sim()};
+                c.needed = needed;
+                collectors_[line_addr] = &c;
+                co_await c.event.wait();
+                collectors_.erase(line_addr);
+            }
+        }
+        co_await machine_->sim().delay(cfg.memoryLatency);
+        e.state = DirState::Modified;
+        e.owner = requester;
+        e.sharers = bit(requester);
+        rep.value = e.memValue;
+        rep.exclusive = true;
+        // An upgrade whose shared copy survived needs no data.
+        rep.withData =
+            !(op == CoherenceOp::Upgrade && wasSharer);
+        break;
+      }
+      case CoherenceOp::WriteBack: {
+        if (e.state == DirState::Modified && e.owner == requester) {
+            e.memValue = wb_value;
+            e.state = DirState::Uncached;
+            e.sharers = 0;
+            e.owner = -1;
+        }
+        // Otherwise the ownership already moved on (a recall raced
+        // the write-back); the stale write-back is ignored.
+        co_await machine_->sim().delay(cfg.memoryLatency);
+        rep.withData = false;
+        break;
+      }
+      default:
+        throw std::logic_error("ccnuma: bad home transaction opcode");
+    }
+    co_return rep;
+}
+
+// ---------------------------------------------------------------
+// synchronization home side
+
+void
+NodeController::deliverSyncGrant(int to, CoherenceOp op, int sync_id)
+{
+    if (to == id_) {
+        if (!slot_.event || slot_.syncId != sync_id)
+            throw std::logic_error("ccnuma: sync grant with no local "
+                                   "waiter");
+        slot_.event->trigger();
+        return;
+    }
+    CoherenceMsg msg;
+    msg.op = op;
+    msg.id = sync_id;
+    postMsg(to, msg);
+}
+
+void
+NodeController::homeLockRequest(int from, int lock_id)
+{
+    HomeLock &lk = locks_[lock_id];
+    if (!lk.held) {
+        lk.held = true;
+        deliverSyncGrant(from, CoherenceOp::LockGrant, lock_id);
+    } else {
+        lk.waiters.push_back(from);
+    }
+}
+
+void
+NodeController::homeUnlock(int lock_id)
+{
+    HomeLock &lk = locks_[lock_id];
+    if (!lk.held)
+        throw std::logic_error("ccnuma: unlock of a free lock");
+    if (!lk.waiters.empty()) {
+        int next = lk.waiters.front();
+        lk.waiters.pop_front();
+        deliverSyncGrant(next, CoherenceOp::LockGrant, lock_id);
+    } else {
+        lk.held = false;
+    }
+}
+
+void
+NodeController::homeBarrierArrive(int from, int barrier_id,
+                                  int participants)
+{
+    HomeBarrier &b = barriers_[barrier_id];
+    b.arrived.push_back(from);
+    if (static_cast<int>(b.arrived.size()) == participants) {
+        std::vector<int> release = std::move(b.arrived);
+        b.arrived.clear();
+        for (int p : release)
+            deliverSyncGrant(p, CoherenceOp::BarrierRelease, barrier_id);
+    }
+}
+
+} // namespace cchar::ccnuma

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Per-node controller of the CC-NUMA machine: the processor-side cache
+ * controller, the home-side full-map directory, and the home-side
+ * lock/barrier synchronization controller.
+ *
+ * Concurrency structure (one per node):
+ *  - the *processor* coroutine (application code) blocks on each
+ *    shared-memory access until it globally completes — this is how
+ *    sequential consistency is enforced;
+ *  - the *dispatcher* coroutine drains the node's network receive
+ *    queue; it never blocks on protocol state, so remote requests are
+ *    always answered (deadlock freedom);
+ *  - *home transactions* are spawned per incoming directory request
+ *    and serialize on a per-line lock.
+ */
+
+#ifndef CCHAR_CCNUMA_NODE_HH
+#define CCHAR_CCNUMA_NODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache.hh"
+#include "desim/desim.hh"
+#include "protocol.hh"
+
+namespace cchar::ccnuma {
+
+class Machine;
+
+/** Directory entry states. */
+enum class DirState : std::uint8_t
+{
+    Uncached,
+    Shared,
+    Modified,
+};
+
+/** One node of the machine. */
+class NodeController
+{
+  public:
+    NodeController(Machine &machine, int id);
+
+    NodeController(const NodeController &) = delete;
+    NodeController &operator=(const NodeController &) = delete;
+
+    /** Spawn the network dispatcher process. */
+    void start();
+
+    int id() const { return id_; }
+
+    // ------------- processor-side API (blocking, SC) -------------
+
+    /** Load the line containing `a`; returns the line value. */
+    desim::Task<std::uint64_t> load(Addr a);
+
+    /** Store `value` to the line containing `a`. */
+    desim::Task<void> store(Addr a, std::uint64_t value);
+
+    /** Acquire a global lock (queued FIFO at its home node). */
+    desim::Task<void> lock(int lock_id);
+
+    /** Release a global lock. */
+    desim::Task<void> unlock(int lock_id);
+
+    /**
+     * Barrier across `participants` processors (0 = all processors).
+     * Every participant must pass the same count.
+     */
+    desim::Task<void> barrier(int barrier_id, int participants = 0);
+
+    // ------------------------- statistics ------------------------
+
+    const Cache &cache() const { return cache_; }
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t remoteTransactions() const { return remoteTx_; }
+
+    // ----------------- home-side entry points --------------------
+    // (public so a node can invoke its own home functions locally,
+    // and so the machine's tests can inspect directory state)
+
+    struct HomeReply
+    {
+        std::uint64_t value = 0;
+        bool exclusive = false;
+        bool withData = true;
+    };
+
+    /**
+     * Execute one directory transaction at this (home) node on
+     * behalf of `requester`. Serializes on the line lock; may message
+     * owners/sharers and wait for their replies.
+     */
+    desim::Task<HomeReply> homeTransaction(CoherenceOp op, int requester,
+                                           Addr line_addr,
+                                           std::uint64_t wb_value);
+
+    /** Directory state of a line at this home (testing/diagnosis). */
+    DirState dirStateOf(Addr line_addr) const;
+
+    /** Sharer bitmap of a line at this home (testing/diagnosis). */
+    std::uint64_t dirSharersOf(Addr line_addr) const;
+
+  private:
+    struct DirEntry
+    {
+        DirState state = DirState::Uncached;
+        std::uint64_t sharers = 0; ///< bitmap, bit i = node i
+        int owner = -1;
+        std::uint64_t memValue = 0;
+    };
+
+    /** Response collector for InvAck / WbData at the home side. */
+    struct Collector
+    {
+        int needed = 0;
+        std::uint64_t wbValue = 0;
+        desim::SimEvent event;
+
+        explicit Collector(desim::Simulator &sim) : event(sim) {}
+    };
+
+    /** The processor's single outstanding-request slot. */
+    struct ReqSlot
+    {
+        Addr addr = 0;
+        std::int32_t syncId = -1;
+        std::uint64_t value = 0;
+        bool exclusive = false;
+        std::unique_ptr<desim::SimEvent> event;
+    };
+
+    struct HomeLock
+    {
+        bool held = false;
+        std::deque<int> waiters;
+    };
+
+    struct HomeBarrier
+    {
+        std::vector<int> arrived;
+    };
+
+    // dispatcher and message handling
+    desim::Task<void> dispatcher();
+    void handleMessage(const CoherenceMsg &msg, int from);
+    void handleProbe(const CoherenceMsg &msg, int from);
+    void handleResponse(const CoherenceMsg &msg);
+    void handleHomeResponse(const CoherenceMsg &msg, int from);
+
+    // cache-side internals
+    desim::Task<void> makeRoomFor(Addr line_addr);
+    desim::Task<HomeReply> requestLine(CoherenceOp op, Addr line_addr);
+    desim::Task<void> awaitSlot();
+
+    // home-side internals
+    desim::Resource &lineLock(Addr line_addr);
+    DirEntry &dirEntry(Addr line_addr);
+    desim::Task<std::uint64_t> recallFromOwner(Addr line_addr, int owner,
+                                               bool invalidate);
+
+    // synchronization home side
+    void homeLockRequest(int from, int lock_id);
+    void homeUnlock(int lock_id);
+    void homeBarrierArrive(int from, int barrier_id, int participants);
+    void deliverSyncGrant(int to, CoherenceOp op, int sync_id);
+
+    // messaging
+    void postMsg(int dst, const CoherenceMsg &msg);
+    int bytesOf(CoherenceOp op) const;
+
+    Machine *machine_;
+    int id_;
+    Cache cache_;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t remoteTx_ = 0;
+
+    ReqSlot slot_;
+    std::unordered_map<Addr, std::uint64_t> wbPending_;
+
+    std::unordered_map<Addr, DirEntry> dir_;
+    std::unordered_map<Addr, std::unique_ptr<desim::Resource>> lineLocks_;
+    std::unordered_map<Addr, Collector *> collectors_;
+
+    std::unordered_map<int, HomeLock> locks_;
+    std::unordered_map<int, HomeBarrier> barriers_;
+};
+
+} // namespace cchar::ccnuma
+
+#endif // CCHAR_CCNUMA_NODE_HH

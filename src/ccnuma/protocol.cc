@@ -1,0 +1,47 @@
+#include "protocol.hh"
+
+namespace cchar::ccnuma {
+
+std::string
+toString(CoherenceOp op)
+{
+    switch (op) {
+      case CoherenceOp::GetS:
+        return "GetS";
+      case CoherenceOp::GetX:
+        return "GetX";
+      case CoherenceOp::Upgrade:
+        return "Upgrade";
+      case CoherenceOp::WriteBack:
+        return "WriteBack";
+      case CoherenceOp::Data:
+        return "Data";
+      case CoherenceOp::Ack:
+        return "Ack";
+      case CoherenceOp::WbAck:
+        return "WbAck";
+      case CoherenceOp::Inv:
+        return "Inv";
+      case CoherenceOp::Fetch:
+        return "Fetch";
+      case CoherenceOp::FetchInv:
+        return "FetchInv";
+      case CoherenceOp::InvAck:
+        return "InvAck";
+      case CoherenceOp::WbData:
+        return "WbData";
+      case CoherenceOp::LockReq:
+        return "LockReq";
+      case CoherenceOp::LockGrant:
+        return "LockGrant";
+      case CoherenceOp::Unlock:
+        return "Unlock";
+      case CoherenceOp::BarrierArrive:
+        return "BarrierArrive";
+      case CoherenceOp::BarrierRelease:
+        return "BarrierRelease";
+    }
+    return "?";
+}
+
+} // namespace cchar::ccnuma

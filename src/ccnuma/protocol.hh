@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Coherence protocol message vocabulary.
+ *
+ * The simulated CC-NUMA machine follows the paper's description of the
+ * SPASM target: "an invalidation-based cache coherence scheme with
+ * sequential consistency using a full-map directory". The protocol is
+ * a three-state (M/S/I) full-map directory protocol in which the home
+ * node serializes transactions per line and collects invalidation
+ * acknowledgements before granting exclusive ownership.
+ */
+
+#ifndef CCHAR_CCNUMA_PROTOCOL_HH
+#define CCHAR_CCNUMA_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cchar::ccnuma {
+
+/** Byte address in the simulated shared address space. */
+using Addr = std::uint64_t;
+
+/** Protocol message opcodes. */
+enum class CoherenceOp : std::uint8_t
+{
+    // requester -> home
+    GetS,       ///< read miss
+    GetX,       ///< write miss
+    Upgrade,    ///< write hit on a shared copy
+    WriteBack,  ///< dirty eviction (expects WbAck)
+    // home -> requester
+    Data,       ///< line data reply (shared or exclusive)
+    Ack,        ///< dataless exclusive grant for an Upgrade
+    WbAck,      ///< write-back acknowledgement
+    // home -> third party
+    Inv,        ///< invalidate a shared copy
+    Fetch,      ///< downgrade M owner to S, return data
+    FetchInv,   ///< invalidate M owner, return data
+    // third party -> home
+    InvAck,     ///< invalidation done
+    WbData,     ///< data returned for Fetch/FetchInv
+    // synchronization (requester <-> sync home)
+    LockReq,
+    LockGrant,
+    Unlock,
+    BarrierArrive,
+    BarrierRelease,
+};
+
+/** Name of an opcode (diagnostics). */
+std::string toString(CoherenceOp op);
+
+/** Wire payload of every coherence / synchronization message. */
+struct CoherenceMsg
+{
+    CoherenceOp op;
+    Addr addr = 0;      ///< line address (coherence ops)
+    std::uint64_t value = 0; ///< line value (data carriers)
+    std::int32_t id = 0;     ///< lock / barrier identifier (sync ops)
+    /** True when the grant carries exclusive (M) permission. */
+    bool exclusive = false;
+};
+
+} // namespace cchar::ccnuma
+
+#endif // CCHAR_CCNUMA_PROTOCOL_HH

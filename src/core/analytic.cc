@@ -1,0 +1,199 @@
+#include "analytic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cchar::core {
+
+namespace {
+
+enum Direction { East = 0, West = 1, North = 2, South = 3 };
+
+/** Per-source rate (msg/us) from the fitted temporal attribute. */
+std::vector<double>
+sourceRates(const CharacterizationReport &report)
+{
+    std::vector<double> rates(static_cast<std::size_t>(report.nprocs),
+                              0.0);
+    // Rate per source: messages / makespan (robust even when a
+    // per-source fit is unavailable).
+    double makespan = report.network.makespan;
+    if (makespan <= 0.0)
+        return rates;
+    for (int src = 0; src < report.nprocs; ++src) {
+        rates[static_cast<std::size_t>(src)] =
+            report.volume.perSourceCounts[static_cast<std::size_t>(src)] /
+            makespan;
+    }
+    return rates;
+}
+
+/** Walk the XY route, invoking fn(channelIndex) per hop. */
+template <typename Fn>
+void
+walkRoute(const mesh::MeshConfig &mesh, int src, int dst, Fn &&fn)
+{
+    int x = src % mesh.width, y = src / mesh.width;
+    int dx = dst % mesh.width, dy = dst / mesh.width;
+    while (x != dx) {
+        int node = y * mesh.width + x;
+        if (dx > x) {
+            fn(node * 4 + East);
+            ++x;
+        } else {
+            fn(node * 4 + West);
+            --x;
+        }
+    }
+    while (y != dy) {
+        int node = y * mesh.width + x;
+        if (dy > y) {
+            fn(node * 4 + North);
+            ++y;
+        } else {
+            fn(node * 4 + South);
+            --y;
+        }
+    }
+}
+
+/** First two moments of the channel service time (per message). */
+void
+serviceMoments(const CharacterizationReport &report, double &mean,
+               double &second)
+{
+    // A message holds a channel for the header hop delay plus the
+    // body serialization (FullPipeline holding makes the per-channel
+    // occupancy approximately the downstream drain time; we use the
+    // single-hop service as the M/G/1 service and let the per-hop sum
+    // capture the path).
+    const mesh::MeshConfig &mesh = report.mesh;
+    mean = 0.0;
+    second = 0.0;
+    for (const auto &[bytes, prob] : report.volume.lengthPmf) {
+        int flits = 1 + (bytes + mesh.flitBytes - 1) / mesh.flitBytes;
+        double s = mesh.routerDelay +
+                   static_cast<double>(flits) * mesh.flitTime;
+        mean += prob * s;
+        second += prob * s * s;
+    }
+}
+
+} // namespace
+
+std::vector<double>
+AnalyticMeshModel::channelLoads(const CharacterizationReport &report,
+                                double load_factor)
+{
+    const mesh::MeshConfig &mesh = report.mesh;
+    std::vector<double> loads(
+        static_cast<std::size_t>(mesh.nodes()) * 4, 0.0);
+    auto rates = sourceRates(report);
+    for (const auto &spatial : report.spatialPerSource) {
+        int src = spatial.source;
+        double rate =
+            rates[static_cast<std::size_t>(src)] * load_factor;
+        if (rate <= 0.0)
+            continue;
+        const auto &pmf = spatial.classification.model;
+        for (std::size_t dst = 0; dst < pmf.size(); ++dst) {
+            double p = pmf[dst];
+            if (p <= 0.0 || static_cast<int>(dst) == src)
+                continue;
+            walkRoute(mesh, src, static_cast<int>(dst),
+                      [&](int ch) {
+                          loads[static_cast<std::size_t>(ch)] +=
+                              rate * p;
+                      });
+        }
+    }
+    return loads;
+}
+
+AnalyticPrediction
+AnalyticMeshModel::evaluate(const CharacterizationReport &report,
+                            double load_factor)
+{
+    AnalyticPrediction out;
+    const mesh::MeshConfig &mesh = report.mesh;
+    if (report.nprocs <= 1 || report.volume.messageCount == 0)
+        return out;
+
+    double sMean = 0.0, sSecond = 0.0;
+    serviceMoments(report, sMean, sSecond);
+    if (sMean <= 0.0)
+        return out;
+
+    // Arrival burstiness from the fitted aggregate process.
+    double cva2 = 1.0;
+    {
+        double cv = report.temporalAggregate.stats.cv;
+        if (cv > 0.0)
+            cva2 = cv * cv;
+    }
+
+    auto loads = channelLoads(report, load_factor);
+
+    // Per-channel waiting times (M/G/1 with a burstiness correction;
+    // reduces to Pollaczek-Khinchine for CV_a = 1).
+    std::vector<double> wait(loads.size(), 0.0);
+    double utilSum = 0.0;
+    int utilCount = 0;
+    for (std::size_t ch = 0; ch < loads.size(); ++ch) {
+        double lambda = loads[ch];
+        if (lambda <= 0.0)
+            continue;
+        double rho = lambda * sMean;
+        utilSum += std::min(rho, 1.0);
+        ++utilCount;
+        out.maxChannelUtilization =
+            std::max(out.maxChannelUtilization, rho);
+        if (rho >= 1.0) {
+            out.stable = false;
+            wait[ch] = 1e6; // saturated channel sentinel
+            continue;
+        }
+        double pk = lambda * sSecond / (2.0 * (1.0 - rho));
+        wait[ch] = pk * (cva2 + 1.0) / 2.0;
+    }
+    out.avgChannelUtilization =
+        utilCount ? utilSum / static_cast<double>(utilCount) : 0.0;
+
+    // Route-weighted mean latency.
+    auto rates = sourceRates(report);
+    double totalRate = 0.0, accLatency = 0.0, accWait = 0.0;
+    for (const auto &spatial : report.spatialPerSource) {
+        int src = spatial.source;
+        double rate =
+            rates[static_cast<std::size_t>(src)] * load_factor;
+        if (rate <= 0.0)
+            continue;
+        const auto &pmf = spatial.classification.model;
+        for (std::size_t dst = 0; dst < pmf.size(); ++dst) {
+            double p = pmf[dst];
+            if (p <= 0.0 || static_cast<int>(dst) == src)
+                continue;
+            double flowRate = rate * p;
+            int hops = 0;
+            double w = 0.0;
+            walkRoute(mesh, src, static_cast<int>(dst), [&](int ch) {
+                ++hops;
+                w += wait[static_cast<std::size_t>(ch)];
+            });
+            // No-load part: header per hop + mean body drain.
+            double body = sMean - mesh.routerDelay;
+            double noLoad =
+                static_cast<double>(hops) * mesh.routerDelay + body;
+            accLatency += flowRate * (noLoad + w);
+            accWait += flowRate * w;
+            totalRate += flowRate;
+        }
+    }
+    if (totalRate > 0.0) {
+        out.latencyMean = accLatency / totalRate;
+        out.contentionMean = accWait / totalRate;
+    }
+    return out;
+}
+
+} // namespace cchar::core

@@ -1,0 +1,240 @@
+#include "analyzers.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace cchar::core {
+
+// ---------------------------------------------------------------
+// TemporalAnalyzer
+
+TemporalFit
+TemporalAnalyzer::analyzeAggregate(const trace::TrafficLog &log) const
+{
+    TemporalFit out;
+    out.source = -1;
+    auto gaps = log.interArrivalTimes(-1);
+    out.stats = stats::SummaryStats::compute(gaps);
+    out.fit = fitter_.bestFit(gaps);
+    return out;
+}
+
+TemporalFit
+TemporalAnalyzer::analyzeSource(const trace::TrafficLog &log,
+                                int source) const
+{
+    TemporalFit out;
+    out.source = source;
+    auto gaps = log.interArrivalTimes(source);
+    out.stats = stats::SummaryStats::compute(gaps);
+    out.fit = fitter_.bestFit(gaps);
+    return out;
+}
+
+std::vector<TemporalFit>
+TemporalAnalyzer::analyzeAllSources(const trace::TrafficLog &log,
+                                    std::size_t min_samples) const
+{
+    std::vector<TemporalFit> fits;
+    for (int src = 0; src < log.nprocs(); ++src) {
+        auto gaps = log.interArrivalTimes(src);
+        if (gaps.size() < min_samples)
+            continue;
+        fits.push_back(analyzeSource(log, src));
+    }
+    return fits;
+}
+
+std::vector<TemporalFit>
+TemporalAnalyzer::analyzeWindows(const trace::TrafficLog &log,
+                                 int windows,
+                                 std::size_t min_samples) const
+{
+    std::vector<TemporalFit> fits;
+    if (windows <= 0 || log.empty())
+        return fits;
+    double end = log.lastDeliverTime();
+    if (end <= 0.0)
+        return fits;
+    double width = end / static_cast<double>(windows);
+
+    // Bucket injection times by window.
+    std::vector<std::vector<double>> buckets(
+        static_cast<std::size_t>(windows));
+    for (const auto &rec : log.records()) {
+        auto w = static_cast<std::size_t>(rec.injectTime / width);
+        if (w >= buckets.size())
+            w = buckets.size() - 1;
+        buckets[w].push_back(rec.injectTime);
+    }
+    for (int w = 0; w < windows; ++w) {
+        auto &times = buckets[static_cast<std::size_t>(w)];
+        std::sort(times.begin(), times.end());
+        std::vector<double> gaps;
+        for (std::size_t i = 1; i < times.size(); ++i)
+            gaps.push_back(times[i] - times[i - 1]);
+        TemporalFit fit;
+        fit.source = w; // window index doubles as the label
+        fit.stats = stats::SummaryStats::compute(gaps);
+        if (gaps.size() >= min_samples)
+            fit.fit = fitter_.bestFit(gaps);
+        fits.push_back(std::move(fit));
+    }
+    return fits;
+}
+
+// ---------------------------------------------------------------
+// SpatialAnalyzer
+
+SpatialFit
+SpatialAnalyzer::analyzeSource(const trace::TrafficLog &log,
+                               int source) const
+{
+    SpatialFit out;
+    out.source = source;
+    out.observed =
+        stats::DiscretePmf::fromCounts(log.destinationCounts(source));
+    out.classification = classifier_.classify(out.observed, source);
+    return out;
+}
+
+std::vector<SpatialFit>
+SpatialAnalyzer::analyzeAllSources(const trace::TrafficLog &log) const
+{
+    std::vector<SpatialFit> fits;
+    auto counts = log.sourceCounts();
+    for (int src = 0; src < log.nprocs(); ++src) {
+        if (counts[static_cast<std::size_t>(src)] > 0.0)
+            fits.push_back(analyzeSource(log, src));
+    }
+    return fits;
+}
+
+stats::SpatialClassification
+SpatialAnalyzer::analyzeAggregate(const trace::TrafficLog &log) const
+{
+    // Average the per-source destination PMFs ("a simple averaging of
+    // the means of all the processors can be done to define a single
+    // expression"), then classify. Self-destinations are structurally
+    // zero per source, so the aggregate PMF has no meaningful self
+    // entry: classify with self = -1.
+    int n = log.nprocs();
+    std::vector<double> avg(static_cast<std::size_t>(n), 0.0);
+    int contributing = 0;
+    for (int src = 0; src < n; ++src) {
+        auto pmf =
+            stats::DiscretePmf::fromCounts(log.destinationCounts(src));
+        if (pmf.size() == 0)
+            continue;
+        bool any = false;
+        for (std::size_t i = 0; i < pmf.size(); ++i) {
+            avg[i] += pmf[i];
+            if (pmf[i] > 0.0)
+                any = true;
+        }
+        if (any)
+            ++contributing;
+    }
+    stats::SpatialClassification out;
+    if (contributing == 0)
+        return out;
+    return classifier_.classify(stats::DiscretePmf{std::move(avg)}, -1);
+}
+
+std::vector<double>
+SpatialAnalyzer::hopDistanceProfile(const trace::TrafficLog &log,
+                                    const mesh::MeshConfig &mesh)
+{
+    bool torus = mesh.topology == mesh::Topology::Torus;
+    int maxHops = torus ? mesh.width / 2 + mesh.height / 2
+                        : (mesh.width - 1) + (mesh.height - 1);
+    std::vector<double> counts(static_cast<std::size_t>(maxHops) + 1,
+                               0.0);
+    double total = 0.0;
+    auto dist1d = [torus](int a, int b, int extent) {
+        int d = std::abs(a - b);
+        return torus ? std::min(d, extent - d) : d;
+    };
+    for (const auto &rec : log.records()) {
+        int sx = rec.src % mesh.width, sy = rec.src / mesh.width;
+        int dx = rec.dst % mesh.width, dy = rec.dst / mesh.width;
+        int hops = dist1d(sx, dx, mesh.width) +
+                   dist1d(sy, dy, mesh.height);
+        counts[static_cast<std::size_t>(hops)] += 1.0;
+        total += 1.0;
+    }
+    if (total > 0.0) {
+        for (double &c : counts)
+            c /= total;
+    }
+    return counts;
+}
+
+// ---------------------------------------------------------------
+// BandwidthAnalyzer
+
+std::vector<double>
+BandwidthAnalyzer::profile(const trace::TrafficLog &log, int windows,
+                           int source)
+{
+    std::vector<double> out;
+    if (windows <= 0 || log.empty())
+        return out;
+    double end = log.lastDeliverTime();
+    if (end <= 0.0)
+        return out;
+    double width = end / static_cast<double>(windows);
+    out.assign(static_cast<std::size_t>(windows), 0.0);
+    for (const auto &rec : log.records()) {
+        if (source >= 0 && rec.src != source)
+            continue;
+        auto w = static_cast<std::size_t>(rec.injectTime / width);
+        if (w >= out.size())
+            w = out.size() - 1;
+        out[w] += rec.bytes;
+    }
+    for (double &bytes : out)
+        bytes /= width;
+    return out;
+}
+
+double
+BandwidthAnalyzer::peakToMean(const std::vector<double> &profile)
+{
+    if (profile.empty())
+        return 0.0;
+    double sum = 0.0, peak = 0.0;
+    for (double v : profile) {
+        sum += v;
+        peak = std::max(peak, v);
+    }
+    double mean = sum / static_cast<double>(profile.size());
+    return mean > 0.0 ? peak / mean : 0.0;
+}
+
+// ---------------------------------------------------------------
+// VolumeAnalyzer
+
+VolumeCharacterization
+VolumeAnalyzer::analyze(const trace::TrafficLog &log) const
+{
+    VolumeCharacterization out;
+    out.messageCount = log.size();
+    auto lengths = log.messageLengths();
+    out.lengthStats = stats::SummaryStats::compute(lengths);
+    for (double b : lengths)
+        out.totalBytes += b;
+    std::map<int, double> sizes;
+    for (const auto &rec : log.records())
+        sizes[rec.bytes] += 1.0;
+    for (auto &[bytes, count] : sizes) {
+        out.lengthPmf.emplace_back(
+            bytes, count / static_cast<double>(out.messageCount));
+    }
+    out.perSourceCounts = log.sourceCounts();
+    return out;
+}
+
+} // namespace cchar::core

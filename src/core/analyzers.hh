@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The three attribute analyzers of the characterization methodology.
+ *
+ * Each analyzer consumes the network activity log and produces one of
+ * the paper's three communication attributes: TemporalAnalyzer fits
+ * the message inter-arrival time distribution (the SAS regression
+ * step), SpatialAnalyzer classifies the destination distribution per
+ * source, and VolumeAnalyzer summarizes message counts and lengths.
+ */
+
+#ifndef CCHAR_CORE_ANALYZERS_HH
+#define CCHAR_CORE_ANALYZERS_HH
+
+#include "report.hh"
+
+namespace cchar::core {
+
+/** Fits inter-arrival time distributions. */
+class TemporalAnalyzer
+{
+  public:
+    explicit TemporalAnalyzer(stats::DistributionFitter fitter =
+                                  stats::DistributionFitter{})
+        : fitter_(std::move(fitter))
+    {}
+
+    /** Aggregate arrival process at the network. */
+    TemporalFit analyzeAggregate(const trace::TrafficLog &log) const;
+
+    /** One source's arrival process. */
+    TemporalFit analyzeSource(const trace::TrafficLog &log,
+                              int source) const;
+
+    /** All sources (skips sources with < minSamples messages). */
+    std::vector<TemporalFit>
+    analyzeAllSources(const trace::TrafficLog &log,
+                      std::size_t min_samples = 8) const;
+
+    /**
+     * Phase profile: split the run into `windows` equal time slices
+     * and fit the aggregate arrival process of each slice
+     * independently. Applications with compute/communicate phases
+     * (e.g. the FFTs' local vs transpose stages) show markedly
+     * different rates and families across windows.
+     *
+     * Windows with fewer than `min_samples` messages get summary
+     * statistics but no fit (fit.dist left null).
+     */
+    std::vector<TemporalFit>
+    analyzeWindows(const trace::TrafficLog &log, int windows,
+                   std::size_t min_samples = 8) const;
+
+  private:
+    stats::DistributionFitter fitter_;
+};
+
+/** Classifies per-source destination distributions. */
+class SpatialAnalyzer
+{
+  public:
+    explicit SpatialAnalyzer(stats::SpatialClassifier classifier =
+                                 stats::SpatialClassifier{})
+        : classifier_(classifier)
+    {}
+
+    /** One source's destination PMF and classification. */
+    SpatialFit analyzeSource(const trace::TrafficLog &log,
+                             int source) const;
+
+    /** All sources with at least one message. */
+    std::vector<SpatialFit>
+    analyzeAllSources(const trace::TrafficLog &log) const;
+
+    /** Classification of the source-averaged destination PMF. */
+    stats::SpatialClassification
+    analyzeAggregate(const trace::TrafficLog &log) const;
+
+    /** Fraction of messages at each hop distance on the given mesh. */
+    static std::vector<double>
+    hopDistanceProfile(const trace::TrafficLog &log,
+                       const mesh::MeshConfig &mesh);
+
+  private:
+    stats::SpatialClassifier classifier_;
+};
+
+/** Summarizes message counts and lengths. */
+class VolumeAnalyzer
+{
+  public:
+    VolumeCharacterization analyze(const trace::TrafficLog &log) const;
+};
+
+/**
+ * Offered-bandwidth profile over time, after the bandwidth
+ * requirements characterization the paper builds on: bytes offered to
+ * the network per time window (aggregate or per source).
+ */
+class BandwidthAnalyzer
+{
+  public:
+    /**
+     * @param log     Network log.
+     * @param windows Number of equal time slices.
+     * @param source  Restrict to one source, or -1 for all.
+     * @return bytes/us offered in each window.
+     */
+    static std::vector<double> profile(const trace::TrafficLog &log,
+                                       int windows, int source = -1);
+
+    /** Peak-to-mean ratio of the profile (burstiness indicator). */
+    static double peakToMean(const std::vector<double> &profile);
+};
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_ANALYZERS_HH

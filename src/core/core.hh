@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Umbrella header for the characterization methodology core.
+ */
+
+#ifndef CCHAR_CORE_CORE_HH
+#define CCHAR_CORE_CORE_HH
+
+#include "analytic.hh"
+#include "analyzers.hh"
+#include "patterns.hh"
+#include "pipeline.hh"
+#include "replay.hh"
+#include "report.hh"
+#include "synthetic.hh"
+
+#endif // CCHAR_CORE_CORE_HH

@@ -1,0 +1,214 @@
+#include "patterns.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cchar::core {
+
+std::string
+toString(StructuredPattern pattern)
+{
+    switch (pattern) {
+      case StructuredPattern::RingShift:
+        return "ring-shift";
+      case StructuredPattern::Butterfly:
+        return "butterfly";
+      case StructuredPattern::BitReverse:
+        return "bit-reverse";
+      case StructuredPattern::Transpose:
+        return "transpose";
+      case StructuredPattern::HotSpot:
+        return "hot-spot";
+      case StructuredPattern::None:
+        return "none";
+    }
+    return "?";
+}
+
+std::string
+StructuredPatternMatch::describe() const
+{
+    std::ostringstream os;
+    os << toString(pattern);
+    switch (pattern) {
+      case StructuredPattern::RingShift:
+        os << "(k=" << parameter << ")";
+        break;
+      case StructuredPattern::Butterfly:
+        os << "(mask=" << parameter << ")";
+        break;
+      case StructuredPattern::HotSpot:
+        os << "(node=" << parameter << ")";
+        break;
+      default:
+        break;
+    }
+    os << " coverage=" << coverage;
+    return os.str();
+}
+
+std::vector<std::vector<double>>
+trafficMatrix(const trace::TrafficLog &log)
+{
+    auto n = static_cast<std::size_t>(log.nprocs());
+    std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+    for (const auto &rec : log.records()) {
+        if (rec.src >= 0 && rec.src < log.nprocs() && rec.dst >= 0 &&
+            rec.dst < log.nprocs()) {
+            m[static_cast<std::size_t>(rec.src)]
+             [static_cast<std::size_t>(rec.dst)] += 1.0;
+        }
+    }
+    return m;
+}
+
+namespace {
+
+bool
+isPow2(int n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+int
+bitReverse(int value, int bits)
+{
+    int out = 0;
+    for (int b = 0; b < bits; ++b) {
+        out = (out << 1) | (value & 1);
+        value >>= 1;
+    }
+    return out;
+}
+
+/** Coverage of the permutation dst = perm(src). */
+double
+permutationCoverage(const std::vector<std::vector<double>> &m,
+                    const std::vector<int> &perm, double total)
+{
+    if (total <= 0.0)
+        return 0.0;
+    double hit = 0.0;
+    for (std::size_t src = 0; src < m.size(); ++src) {
+        int dst = perm[src];
+        if (dst >= 0 && dst != static_cast<int>(src))
+            hit += m[src][static_cast<std::size_t>(dst)];
+    }
+    return hit / total;
+}
+
+} // namespace
+
+StructuredPatternMatch
+StructuredPatternDetector::analyze(const trace::TrafficLog &log) const
+{
+    return analyzeMatrix(trafficMatrix(log));
+}
+
+StructuredPatternMatch
+StructuredPatternDetector::analyzeMatrix(
+    const std::vector<std::vector<double>> &matrix) const
+{
+    StructuredPatternMatch out;
+    int p = static_cast<int>(matrix.size());
+    if (p < 2)
+        return out;
+
+    double total = 0.0;
+    std::vector<double> inbound(static_cast<std::size_t>(p), 0.0);
+    for (int s = 0; s < p; ++s) {
+        for (int d = 0; d < p; ++d) {
+            total += matrix[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(d)];
+            inbound[static_cast<std::size_t>(d)] +=
+                matrix[static_cast<std::size_t>(s)]
+                      [static_cast<std::size_t>(d)];
+        }
+    }
+    if (total <= 0.0)
+        return out;
+
+    struct Candidate
+    {
+        StructuredPattern pattern;
+        int parameter;
+        double coverage;
+    };
+    std::vector<Candidate> candidates;
+
+    // Ring shifts.
+    for (int k = 1; k < p; ++k) {
+        std::vector<int> perm(static_cast<std::size_t>(p));
+        for (int s = 0; s < p; ++s)
+            perm[static_cast<std::size_t>(s)] = (s + k) % p;
+        candidates.push_back({StructuredPattern::RingShift, k,
+                              permutationCoverage(matrix, perm, total)});
+    }
+
+    if (isPow2(p)) {
+        // Butterfly (XOR masks).
+        for (int mask = 1; mask < p; ++mask) {
+            std::vector<int> perm(static_cast<std::size_t>(p));
+            for (int s = 0; s < p; ++s)
+                perm[static_cast<std::size_t>(s)] = s ^ mask;
+            candidates.push_back(
+                {StructuredPattern::Butterfly, mask,
+                 permutationCoverage(matrix, perm, total)});
+        }
+        // Bit reverse.
+        int bits = 0;
+        while ((1 << bits) < p)
+            ++bits;
+        std::vector<int> perm(static_cast<std::size_t>(p));
+        for (int s = 0; s < p; ++s)
+            perm[static_cast<std::size_t>(s)] = bitReverse(s, bits);
+        candidates.push_back({StructuredPattern::BitReverse, 0,
+                              permutationCoverage(matrix, perm, total)});
+    }
+
+    // Transpose on the rank grid.
+    int width = opts_.gridWidth;
+    if (width <= 0) {
+        int root = static_cast<int>(std::lround(std::sqrt(p)));
+        width = (root * root == p) ? root : 0;
+    }
+    if (width > 0 && p % width == 0) {
+        int height = p / width;
+        if (width == height) {
+            std::vector<int> perm(static_cast<std::size_t>(p));
+            for (int s = 0; s < p; ++s) {
+                int x = s % width, y = s / width;
+                perm[static_cast<std::size_t>(s)] = x * width + y;
+            }
+            candidates.push_back(
+                {StructuredPattern::Transpose, 0,
+                 permutationCoverage(matrix, perm, total)});
+        }
+    }
+
+    // Hot spot: one destination absorbs most of the traffic.
+    auto hotIt = std::max_element(inbound.begin(), inbound.end());
+    candidates.push_back(
+        {StructuredPattern::HotSpot,
+         static_cast<int>(hotIt - inbound.begin()), *hotIt / total});
+
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.coverage > b.coverage;
+                     });
+
+    for (const auto &cand : candidates)
+        out.alternatives.emplace_back(cand.pattern, cand.coverage);
+    if (!candidates.empty() &&
+        candidates.front().coverage >= opts_.minCoverage) {
+        out.pattern = candidates.front().pattern;
+        out.parameter = candidates.front().parameter;
+        out.coverage = candidates.front().coverage;
+    } else if (!candidates.empty()) {
+        out.coverage = candidates.front().coverage;
+    }
+    return out;
+}
+
+} // namespace cchar::core

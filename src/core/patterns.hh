@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Structured traffic-pattern detection over the full source->destination
+ * matrix.
+ *
+ * The per-source classifier (stats::SpatialClassifier) recognizes
+ * uniform / bimodal-uniform / single-destination shapes. Many parallel
+ * algorithms additionally induce *structured* global patterns that the
+ * ICN literature models directly — ring shifts, butterfly/cube
+ * (rank XOR mask), bit-reverse, transpose, and hot-spot convergence.
+ * This analyzer tests the observed traffic matrix against each of
+ * those generators and reports the best structural explanation, giving
+ * the characterization a vocabulary matching classic synthetic
+ * workloads.
+ */
+
+#ifndef CCHAR_CORE_PATTERNS_HH
+#define CCHAR_CORE_PATTERNS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace cchar::core {
+
+/** Structured global patterns tested against the traffic matrix. */
+enum class StructuredPattern
+{
+    RingShift,   ///< dst = (src + k) mod P for a fixed k
+    Butterfly,   ///< dst = src XOR m for a fixed mask m
+    BitReverse,  ///< dst = bit-reverse(src) (P a power of two)
+    Transpose,   ///< dst = transpose of src on the rank grid
+    HotSpot,     ///< a single destination receives most traffic
+    None,        ///< no structural generator explains the matrix
+};
+
+std::string toString(StructuredPattern pattern);
+
+/** Outcome of the structural analysis. */
+struct StructuredPatternMatch
+{
+    StructuredPattern pattern = StructuredPattern::None;
+    /** Pattern parameter: shift k, XOR mask m, or hot node id. */
+    int parameter = 0;
+    /** Fraction of all messages explained by the generator. */
+    double coverage = 0.0;
+    /** Runner-up matches ordered by coverage. */
+    std::vector<std::pair<StructuredPattern, double>> alternatives;
+
+    std::string describe() const;
+};
+
+/** Detects structured global patterns in a traffic log. */
+class StructuredPatternDetector
+{
+  public:
+    struct Options
+    {
+        /** Minimum coverage to report a match. */
+        double minCoverage = 0.5;
+        /** Rank-grid width for the transpose test (0 = square). */
+        int gridWidth = 0;
+    };
+
+    StructuredPatternDetector() : opts_(Options{}) {}
+    explicit StructuredPatternDetector(Options opts) : opts_(opts) {}
+
+    /** Analyze a log's src->dst message-count matrix. */
+    StructuredPatternMatch analyze(const trace::TrafficLog &log) const;
+
+    /** Analyze a raw P x P count matrix (row = source). */
+    StructuredPatternMatch
+    analyzeMatrix(const std::vector<std::vector<double>> &matrix) const;
+
+  private:
+    Options opts_;
+};
+
+/** Build the P x P message-count matrix of a log. */
+std::vector<std::vector<double>>
+trafficMatrix(const trace::TrafficLog &log);
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_PATTERNS_HH

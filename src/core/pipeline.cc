@@ -1,0 +1,125 @@
+#include "pipeline.hh"
+
+namespace cchar::core {
+
+namespace {
+
+double
+averageHops(const trace::TrafficLog &log)
+{
+    if (log.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &rec : log.records())
+        sum += rec.hops;
+    return sum / static_cast<double>(log.size());
+}
+
+} // namespace
+
+CharacterizationReport
+CharacterizationPipeline::analyze(const trace::TrafficLog &log,
+                                  const mesh::MeshConfig &mesh,
+                                  const std::string &application,
+                                  Strategy strategy,
+                                  const NetworkSummary &network) const
+{
+    CharacterizationReport report;
+    report.application = application;
+    report.strategy = strategy;
+    report.nprocs = log.nprocs();
+    report.mesh = mesh;
+    report.network = network;
+    report.network.avgHops = averageHops(log);
+
+    TemporalAnalyzer temporal{opts_.fitter};
+    report.temporalAggregate = temporal.analyzeAggregate(log);
+    if (opts_.perSource) {
+        report.temporalPerSource =
+            temporal.analyzeAllSources(log, opts_.minSamplesPerSource);
+    }
+
+    SpatialAnalyzer spatial{opts_.classifier};
+    report.spatialPerSource = spatial.analyzeAllSources(log);
+    report.spatialAggregate = spatial.analyzeAggregate(log);
+    report.hopDistancePmf = SpatialAnalyzer::hopDistanceProfile(log, mesh);
+
+    report.volume = VolumeAnalyzer{}.analyze(log);
+
+    // Per-message-class breakdown and structured global pattern.
+    for (trace::MessageKind kind :
+         {trace::MessageKind::Data, trace::MessageKind::Control,
+          trace::MessageKind::Sync}) {
+        trace::TrafficLog sub = log.filterKind(kind);
+        if (sub.empty())
+            continue;
+        CharacterizationReport::KindBreakdown kb;
+        kb.kind = kind;
+        kb.volume = VolumeAnalyzer{}.analyze(sub);
+        kb.temporal = temporal.analyzeAggregate(sub);
+        report.perKind.push_back(std::move(kb));
+    }
+    report.structured = StructuredPatternDetector{}.analyze(log);
+    return report;
+}
+
+CharacterizationReport
+CharacterizationPipeline::runDynamic(apps::SharedMemoryApp &app,
+                                     const ccnuma::MachineConfig &cfg) const
+{
+    desim::Simulator sim;
+    ccnuma::Machine machine{sim, cfg};
+    apps::launch(machine, app);
+    machine.run();
+
+    NetworkSummary net;
+    net.latencyMean = machine.network().latencyStats().mean();
+    net.latencyMax = machine.network().latencyStats().max();
+    net.contentionMean = machine.network().contentionStats().mean();
+    net.makespan = machine.log().lastDeliverTime();
+    net.avgChannelUtilization =
+        machine.network().averageChannelUtilization(sim.now());
+    net.maxChannelUtilization =
+        machine.network().maxChannelUtilization(sim.now());
+
+    CharacterizationReport report = analyze(
+        machine.log(), cfg.mesh, app.name(), Strategy::Dynamic, net);
+    report.verified = app.verify();
+    return report;
+}
+
+CharacterizationReport
+CharacterizationPipeline::runStatic(apps::MessagePassingApp &app,
+                                    const mp::MpConfig &cfg,
+                                    trace::Trace *trace_out) const
+{
+    // Phase 1: execute on the SP2-model runtime, collecting the
+    // application-level trace.
+    desim::Simulator sim;
+    mp::MpWorld world{sim, cfg};
+    world.enableTracing();
+    apps::launch(world, app);
+    world.run();
+    bool verified = app.verify();
+    trace::Trace trace = world.collectedTrace();
+    if (trace_out)
+        *trace_out = trace;
+
+    // Phase 2: intelligent replay into the 2-D mesh simulator.
+    DriveResult replayed = TraceReplayer::replay(trace, cfg.mesh);
+
+    NetworkSummary net;
+    net.latencyMean = replayed.latencyMean;
+    net.latencyMax = replayed.latencyMax;
+    net.contentionMean = replayed.contentionMean;
+    net.makespan = replayed.makespan;
+    net.avgChannelUtilization = replayed.avgChannelUtilization;
+    net.maxChannelUtilization = replayed.maxChannelUtilization;
+
+    CharacterizationReport report = analyze(
+        replayed.log, cfg.mesh, app.name(), Strategy::Static, net);
+    report.verified = verified;
+    return report;
+}
+
+} // namespace cchar::core

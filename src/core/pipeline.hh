@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The end-to-end characterization pipeline — the paper's methodology.
+ *
+ * Dynamic strategy: execute a shared-memory application on the
+ * simulated CC-NUMA machine (execution-driven, with network feedback),
+ * log every coherence/synchronization message the 2-D mesh carries,
+ * and run the statistical analysis on the log.
+ *
+ * Static strategy: execute a message-passing application on the
+ * SP2-model runtime with application-level tracing, replay the trace
+ * into the same 2-D mesh simulator, and analyze the replayed log.
+ */
+
+#ifndef CCHAR_CORE_PIPELINE_HH
+#define CCHAR_CORE_PIPELINE_HH
+
+#include "analyzers.hh"
+#include "apps/app.hh"
+#include "replay.hh"
+#include "report.hh"
+
+namespace cchar::core {
+
+/** Analysis knobs of the pipeline. */
+struct PipelineOptions
+{
+    stats::DistributionFitter fitter{};
+    stats::SpatialClassifier classifier{};
+    /** Minimum messages for a per-source temporal fit. */
+    std::size_t minSamplesPerSource = 8;
+    /** Produce per-source fits (aggregate only if false). */
+    bool perSource = true;
+};
+
+/** Runs applications and produces characterization reports. */
+class CharacterizationPipeline
+{
+  public:
+    CharacterizationPipeline() : opts_() {}
+
+    explicit CharacterizationPipeline(PipelineOptions opts)
+        : opts_(std::move(opts))
+    {}
+
+    /**
+     * Dynamic strategy: run `app` on a CC-NUMA machine of the given
+     * configuration and characterize the generated traffic.
+     */
+    CharacterizationReport
+    runDynamic(apps::SharedMemoryApp &app,
+               const ccnuma::MachineConfig &cfg) const;
+
+    /**
+     * Static strategy: run `app` on the MP runtime with tracing,
+     * replay the trace into the mesh, and characterize the replayed
+     * traffic.
+     *
+     * @param trace_out Optional sink for the collected trace.
+     */
+    CharacterizationReport
+    runStatic(apps::MessagePassingApp &app, const mp::MpConfig &cfg,
+              trace::Trace *trace_out = nullptr) const;
+
+    /** Shared analysis step on an existing network log. */
+    CharacterizationReport
+    analyze(const trace::TrafficLog &log, const mesh::MeshConfig &mesh,
+            const std::string &application, Strategy strategy,
+            const NetworkSummary &network) const;
+
+  private:
+    PipelineOptions opts_;
+};
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_PIPELINE_HH

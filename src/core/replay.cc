@@ -1,0 +1,70 @@
+#include "replay.hh"
+
+#include <stdexcept>
+
+#include "desim/desim.hh"
+
+namespace cchar::core {
+
+namespace {
+
+desim::Task<void>
+sourceProcess(mesh::MeshNetwork *net, std::vector<trace::TraceEvent> evs,
+              bool blocking)
+{
+    for (const auto &ev : evs) {
+        co_await net->sim().delay(ev.sinceLast);
+        mesh::Packet pkt;
+        pkt.src = ev.src;
+        pkt.dst = ev.dst;
+        pkt.bytes = ev.bytes;
+        pkt.kind = ev.kind;
+        if (blocking)
+            (void)co_await net->transfer(std::move(pkt));
+        else
+            net->post(std::move(pkt));
+    }
+}
+
+/** Drain every packet delivered to a node (replay has no consumers). */
+desim::Task<void>
+sinkProcess(mesh::MeshNetwork *net, int node)
+{
+    for (;;)
+        (void)co_await net->rxQueue(node).receive();
+}
+
+} // namespace
+
+DriveResult
+TraceReplayer::replay(const trace::Trace &trace,
+                      const mesh::MeshConfig &mesh, bool blocking)
+{
+    if (trace.nprocs() > mesh.width * mesh.height)
+        throw std::invalid_argument("replay: trace does not fit on "
+                                    "the mesh");
+    DriveResult result;
+    desim::Simulator sim;
+    mesh::MeshNetwork net{sim, mesh, &result.log};
+    for (int node = 0; node < mesh.width * mesh.height; ++node)
+        sim.spawn(sinkProcess(&net, node), "sink");
+    for (int src = 0; src < trace.nprocs(); ++src) {
+        auto evs = trace.eventsOfSource(src);
+        if (!evs.empty()) {
+            sim.spawn(sourceProcess(&net, std::move(evs), blocking),
+                      "replay-src-" + std::to_string(src));
+        }
+    }
+    sim.run();
+
+    result.makespan = result.log.lastDeliverTime();
+    result.latencyMean = net.latencyStats().mean();
+    result.latencyMax = net.latencyStats().max();
+    result.contentionMean = net.contentionStats().mean();
+    result.avgChannelUtilization =
+        net.averageChannelUtilization(sim.now());
+    result.maxChannelUtilization = net.maxChannelUtilization(sim.now());
+    return result;
+}
+
+} // namespace cchar::core

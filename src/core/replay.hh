@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace replay into the 2-D mesh — the paper's static strategy.
+ *
+ * "These traces are then fed intelligently to our network simulator to
+ * avoid the traditional pitfalls of trace-driven simulation. Since the
+ * order of execution of events on our network simulator would be the
+ * same as the order of execution on any machine, the event generator
+ * does not have to be informed or stalled."
+ *
+ * One replay process per source preserves each source's event order
+ * and re-applies the recorded compute gap ("time since the last
+ * network activity at the source") between its messages, while the
+ * network itself determines delivery times and contention.
+ */
+
+#ifndef CCHAR_CORE_REPLAY_HH
+#define CCHAR_CORE_REPLAY_HH
+
+#include "mesh/mesh.hh"
+#include "trace/record.hh"
+#include "trace/trace.hh"
+
+namespace cchar::core {
+
+/** Outcome of driving the mesh with a message stream. */
+struct DriveResult
+{
+    trace::TrafficLog log;
+    double makespan = 0.0;
+    double latencyMean = 0.0;
+    double latencyMax = 0.0;
+    double contentionMean = 0.0;
+    double avgChannelUtilization = 0.0;
+    double maxChannelUtilization = 0.0;
+};
+
+/** Replays application traces into a mesh network. */
+class TraceReplayer
+{
+  public:
+    /**
+     * Replay a trace on a fresh mesh of the given configuration.
+     *
+     * @param blocking If true (default), a source waits for each of
+     *        its messages to drain before its next compute gap —
+     *        preserving per-source dependences. If false, messages
+     *        are injected open-loop (the ablation mode).
+     */
+    static DriveResult replay(const trace::Trace &trace,
+                              const mesh::MeshConfig &mesh,
+                              bool blocking = true);
+};
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_REPLAY_HH

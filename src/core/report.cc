@@ -1,0 +1,220 @@
+#include "report.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cchar::core {
+
+std::string
+toString(Strategy strategy)
+{
+    return strategy == Strategy::Dynamic ? "dynamic" : "static";
+}
+
+namespace {
+
+void
+printTemporal(std::ostream &os, const TemporalFit &fit)
+{
+    os << "    mean=" << std::setprecision(4) << fit.stats.mean
+       << "us cv=" << fit.stats.cv << " n=" << fit.stats.count;
+    if (fit.fit.dist) {
+        os << "  fit=" << fit.fit.dist->describe()
+           << "  R2=" << std::setprecision(4) << fit.fit.gof.r2
+           << " KS=" << fit.fit.gof.ks;
+    }
+    os << "\n";
+}
+
+} // namespace
+
+void
+CharacterizationReport::print(std::ostream &os) const
+{
+    os << "=== Communication characterization: " << application
+       << " (" << toString(strategy) << " strategy, " << nprocs
+       << " processors, " << mesh.width << "x" << mesh.height
+       << " mesh) ===\n";
+
+    os << "-- Temporal attribute (message inter-arrival time) --\n";
+    os << "  aggregate:\n";
+    printTemporal(os, temporalAggregate);
+    for (const auto &fit : temporalPerSource) {
+        os << "  p" << fit.source << ":\n";
+        printTemporal(os, fit);
+    }
+
+    os << "-- Spatial attribute (destination distribution) --\n";
+    os << "  aggregate: " << spatialAggregate.describe()
+       << " (tvd=" << std::setprecision(3) << spatialAggregate.modelTvd
+       << ")\n";
+    for (const auto &fit : spatialPerSource) {
+        os << "  p" << fit.source << ": "
+           << fit.classification.describe() << " (tvd="
+           << std::setprecision(3) << fit.classification.modelTvd
+           << ")\n";
+    }
+    os << "  hop-distance pmf:";
+    for (std::size_t h = 0; h < hopDistancePmf.size(); ++h)
+        os << " " << h << ":" << std::setprecision(3)
+           << hopDistancePmf[h];
+    os << "\n";
+
+    os << "  structured pattern: " << structured.describe() << "\n";
+
+    os << "-- Volume attribute (message count and length) --\n";
+    os << "  messages=" << volume.messageCount
+       << " totalBytes=" << std::setprecision(6) << volume.totalBytes
+       << " meanLength=" << std::setprecision(4)
+       << volume.lengthStats.mean << "B\n";
+    os << "  length pmf:";
+    for (const auto &[bytes, prob] : volume.lengthPmf)
+        os << " " << bytes << "B:" << std::setprecision(3) << prob;
+    os << "\n";
+    for (const auto &kb : perKind) {
+        os << "  class " << trace::toString(kb.kind) << ": msgs="
+           << kb.volume.messageCount << " bytes="
+           << std::setprecision(6) << kb.volume.totalBytes
+           << " IAT mean=" << std::setprecision(4)
+           << kb.temporal.stats.mean << "us cv="
+           << kb.temporal.stats.cv;
+        if (kb.temporal.fit.dist)
+            os << " fit=" << kb.temporal.fit.dist->name();
+        os << "\n";
+    }
+
+    os << "-- Network behaviour --\n";
+    os << "  latency mean=" << std::setprecision(4)
+       << network.latencyMean << "us max=" << network.latencyMax
+       << "us contention mean=" << network.contentionMean
+       << "us avgHops=" << network.avgHops << "\n";
+    os << "  makespan=" << network.makespan
+       << "us channel-util avg=" << network.avgChannelUtilization
+       << " max=" << network.maxChannelUtilization << "\n";
+}
+
+namespace {
+
+/** Minimal JSON emission helpers (no external dependency). */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+void
+jsonTemporal(std::ostream &os, const TemporalFit &fit)
+{
+    os << "{\"source\":" << fit.source << ",\"count\":"
+       << fit.stats.count << ",\"mean\":" << fit.stats.mean
+       << ",\"cv\":" << fit.stats.cv;
+    if (fit.fit.dist) {
+        os << ",\"family\":";
+        jsonString(os, fit.fit.dist->name());
+        os << ",\"params\":[";
+        auto ps = fit.fit.dist->params();
+        for (std::size_t i = 0; i < ps.size(); ++i)
+            os << (i ? "," : "") << ps[i];
+        os << "],\"r2\":" << fit.fit.gof.r2 << ",\"ks\":"
+           << fit.fit.gof.ks;
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+CharacterizationReport::writeJson(std::ostream &os) const
+{
+    os << "{\"application\":";
+    jsonString(os, application);
+    os << ",\"strategy\":";
+    jsonString(os, toString(strategy));
+    os << ",\"nprocs\":" << nprocs << ",\"verified\":"
+       << (verified ? "true" : "false");
+    os << ",\"mesh\":{\"width\":" << mesh.width << ",\"height\":"
+       << mesh.height << ",\"topology\":";
+    jsonString(os, mesh.topology == mesh::Topology::Torus ? "torus"
+                                                          : "mesh");
+    os << "}";
+
+    os << ",\"temporal\":{\"aggregate\":";
+    jsonTemporal(os, temporalAggregate);
+    os << ",\"perSource\":[";
+    for (std::size_t i = 0; i < temporalPerSource.size(); ++i) {
+        if (i)
+            os << ",";
+        jsonTemporal(os, temporalPerSource[i]);
+    }
+    os << "]}";
+
+    os << ",\"spatial\":{\"aggregatePattern\":";
+    jsonString(os, stats::toString(spatialAggregate.pattern));
+    os << ",\"structured\":";
+    jsonString(os, structured.describe());
+    os << ",\"perSource\":[";
+    for (std::size_t i = 0; i < spatialPerSource.size(); ++i) {
+        const auto &sf = spatialPerSource[i];
+        if (i)
+            os << ",";
+        os << "{\"source\":" << sf.source << ",\"pattern\":";
+        jsonString(os, stats::toString(sf.classification.pattern));
+        os << ",\"tvd\":" << sf.classification.modelTvd
+           << ",\"pmf\":[";
+        for (std::size_t d = 0; d < sf.observed.size(); ++d)
+            os << (d ? "," : "") << sf.observed[d];
+        os << "]}";
+    }
+    os << "],\"hopDistancePmf\":[";
+    for (std::size_t h = 0; h < hopDistancePmf.size(); ++h)
+        os << (h ? "," : "") << hopDistancePmf[h];
+    os << "]}";
+
+    os << ",\"volume\":{\"messages\":" << volume.messageCount
+       << ",\"totalBytes\":" << volume.totalBytes
+       << ",\"meanLength\":" << volume.lengthStats.mean
+       << ",\"lengthPmf\":[";
+    for (std::size_t i = 0; i < volume.lengthPmf.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"bytes\":" << volume.lengthPmf[i].first
+           << ",\"p\":" << volume.lengthPmf[i].second << "}";
+    }
+    os << "]}";
+
+    os << ",\"network\":{\"latencyMean\":" << network.latencyMean
+       << ",\"latencyMax\":" << network.latencyMax
+       << ",\"contentionMean\":" << network.contentionMean
+       << ",\"makespan\":" << network.makespan
+       << ",\"avgChannelUtilization\":"
+       << network.avgChannelUtilization << ",\"avgHops\":"
+       << network.avgHops << "}";
+    os << "}\n";
+}
+
+std::string
+CharacterizationReport::summaryRow() const
+{
+    std::ostringstream os;
+    os << std::left << std::setw(10) << application << std::right
+       << std::setw(9) << volume.messageCount << std::setw(11)
+       << std::fixed << std::setprecision(2) << volume.lengthStats.mean
+       << std::setw(12) << temporalAggregate.stats.mean << std::setw(8)
+       << std::setprecision(2) << temporalAggregate.stats.cv
+       << "  " << std::left << std::setw(24)
+       << (temporalAggregate.fit.dist
+               ? temporalAggregate.fit.dist->name()
+               : std::string{"-"})
+       << std::left << std::setw(18)
+       << stats::toString(spatialAggregate.pattern);
+    return os.str();
+}
+
+} // namespace cchar::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The communication characterization data model — the paper's output:
+ * for one application run, the temporal attribute (inter-arrival time
+ * distribution per source and aggregate), the spatial attribute
+ * (destination distribution per source, classified against standard
+ * patterns), and the volume attribute (message count and length
+ * distribution), plus a summary of the observed network behaviour.
+ */
+
+#ifndef CCHAR_CORE_REPORT_HH
+#define CCHAR_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hh"
+#include "patterns.hh"
+#include "stats/stats.hh"
+#include "trace/record.hh"
+
+namespace cchar::core {
+
+/** Temporal attribute of one source (or the aggregate). */
+struct TemporalFit
+{
+    int source = -1; ///< -1 = aggregate over all sources
+    stats::SummaryStats stats;
+    stats::FitResult fit;
+};
+
+/** Spatial attribute of one source. */
+struct SpatialFit
+{
+    int source = 0;
+    stats::DiscretePmf observed;
+    stats::SpatialClassification classification;
+};
+
+/** Volume attribute of the run. */
+struct VolumeCharacterization
+{
+    std::size_t messageCount = 0;
+    double totalBytes = 0.0;
+    stats::SummaryStats lengthStats;
+    /** Distinct message sizes and their probability. */
+    std::vector<std::pair<int, double>> lengthPmf;
+    /** Messages injected per source. */
+    std::vector<double> perSourceCounts;
+};
+
+/** Observed network behaviour of the run. */
+struct NetworkSummary
+{
+    double latencyMean = 0.0;
+    double latencyMax = 0.0;
+    double contentionMean = 0.0;
+    double makespan = 0.0;
+    double avgChannelUtilization = 0.0;
+    double maxChannelUtilization = 0.0;
+    double avgHops = 0.0;
+};
+
+/** Acquisition strategy used for the run. */
+enum class Strategy
+{
+    Dynamic, ///< execution-driven CC-NUMA (SPASM substitute)
+    Static,  ///< trace from the MP runtime replayed into the mesh
+};
+
+std::string toString(Strategy strategy);
+
+/** Full characterization of one application run. */
+struct CharacterizationReport
+{
+    std::string application;
+    Strategy strategy = Strategy::Dynamic;
+    int nprocs = 0;
+    mesh::MeshConfig mesh;
+    /** Result of the application's self-verification. */
+    bool verified = false;
+
+    TemporalFit temporalAggregate;
+    std::vector<TemporalFit> temporalPerSource;
+    std::vector<SpatialFit> spatialPerSource;
+    /** Attribute breakdown per message class (control/data/sync). */
+    struct KindBreakdown
+    {
+        trace::MessageKind kind;
+        VolumeCharacterization volume;
+        TemporalFit temporal;
+    };
+    std::vector<KindBreakdown> perKind;
+    /** Structured global pattern explanation (ring/butterfly/...). */
+    StructuredPatternMatch structured;
+    /** Destination distribution aggregated over sources. */
+    stats::SpatialClassification spatialAggregate;
+    /** Fraction of traffic at each hop distance (index = hops). */
+    std::vector<double> hopDistancePmf;
+    VolumeCharacterization volume;
+    NetworkSummary network;
+
+    /** Paper-style multi-section text rendering. */
+    void print(std::ostream &os) const;
+
+    /** One summary row: app, msgs, rate, fit, pattern. */
+    std::string summaryRow() const;
+
+    /** Machine-readable JSON rendering (all attributes and fits). */
+    void writeJson(std::ostream &os) const;
+};
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_REPORT_HH

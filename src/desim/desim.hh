@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the discrete-event simulation kernel.
+ */
+
+#ifndef CCHAR_DESIM_DESIM_HH
+#define CCHAR_DESIM_DESIM_HH
+
+#include "event.hh"
+#include "mailbox.hh"
+#include "resource.hh"
+#include "simulator.hh"
+#include "statistics.hh"
+#include "task.hh"
+
+#endif // CCHAR_DESIM_DESIM_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One-shot and pulse condition events for simulated processes.
+ *
+ * SimEvent supports two uses:
+ *  - latch: trigger() fires the event permanently; waiters (present and
+ *    future) proceed. reset() re-arms it.
+ *  - pulse: pulse() wakes only the processes currently waiting and
+ *    leaves the event unfired.
+ */
+
+#ifndef CCHAR_DESIM_EVENT_HH
+#define CCHAR_DESIM_EVENT_HH
+
+#include <coroutine>
+#include <vector>
+
+#include "simulator.hh"
+
+namespace cchar::desim {
+
+/** Broadcast condition variable for simulated processes. */
+class SimEvent
+{
+  public:
+    explicit SimEvent(Simulator &sim) : sim_(&sim) {}
+
+    SimEvent(const SimEvent &) = delete;
+    SimEvent &operator=(const SimEvent &) = delete;
+    SimEvent(SimEvent &&) = default;
+    SimEvent &operator=(SimEvent &&) = default;
+
+    class Wait
+    {
+      public:
+        explicit Wait(SimEvent *ev) : ev_(ev) {}
+
+        bool await_ready() const noexcept { return ev_->fired_; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            ev_->waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+
+      private:
+        SimEvent *ev_;
+    };
+
+    /** Suspend until the event fires (no-op if already fired). */
+    Wait wait() { return Wait{this}; }
+
+    /** Latch the event and wake all waiters. */
+    void
+    trigger()
+    {
+        fired_ = true;
+        wakeAll();
+    }
+
+    /** Wake current waiters without latching. */
+    void pulse() { wakeAll(); }
+
+    /** Re-arm a latched event. */
+    void reset() { fired_ = false; }
+
+    bool fired() const { return fired_; }
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+  private:
+    void
+    wakeAll()
+    {
+        for (auto h : waiters_)
+            sim_->scheduleResume(h, sim_->now());
+        waiters_.clear();
+    }
+
+    Simulator *sim_;
+    bool fired_ = false;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace cchar::desim
+
+#endif // CCHAR_DESIM_EVENT_HH

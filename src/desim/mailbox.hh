@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Typed FIFO message queue between simulated processes.
+ *
+ * Mailbox<T> is the inter-process communication primitive of the
+ * kernel: senders never block, receivers block until a message is
+ * available. Delivery to blocked receivers is direct-handoff (the
+ * message is moved into the receiver's await frame at send time), so a
+ * message can never be stolen by a receiver that arrived later —
+ * receive order is strictly FIFO among waiters.
+ */
+
+#ifndef CCHAR_DESIM_MAILBOX_HH
+#define CCHAR_DESIM_MAILBOX_HH
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "simulator.hh"
+
+namespace cchar::desim {
+
+/** Unbounded FIFO mailbox. */
+template <typename T>
+class Mailbox
+{
+  public:
+    explicit Mailbox(Simulator &sim) : sim_(&sim) {}
+
+    Mailbox(const Mailbox &) = delete;
+    Mailbox &operator=(const Mailbox &) = delete;
+    Mailbox(Mailbox &&) = default;
+    Mailbox &operator=(Mailbox &&) = default;
+
+    /** Awaitable returned by receive(). */
+    class Receive
+    {
+      public:
+        explicit Receive(Mailbox *mb) : mb_(mb) {}
+
+        bool
+        await_ready()
+        {
+            if (!mb_->items_.empty()) {
+                value_.emplace(std::move(mb_->items_.front()));
+                mb_->items_.pop_front();
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            mb_->receivers_.push_back({h, &value_});
+        }
+
+        T await_resume() { return std::move(*value_); }
+
+      private:
+        Mailbox *mb_;
+        std::optional<T> value_{};
+    };
+
+    /** Block until a message arrives; returns it. */
+    Receive receive() { return Receive{this}; }
+
+    /** Deposit a message; wakes the head receiver, if any. */
+    void
+    send(T value)
+    {
+        if (!receivers_.empty()) {
+            Waiter w = receivers_.front();
+            receivers_.pop_front();
+            w.slot->emplace(std::move(value));
+            sim_->scheduleResume(w.handle, sim_->now());
+        } else {
+            items_.push_back(std::move(value));
+        }
+    }
+
+    /** Non-blocking receive. */
+    std::optional<T>
+    tryReceive()
+    {
+        if (items_.empty())
+            return std::nullopt;
+        T v = std::move(items_.front());
+        items_.pop_front();
+        return v;
+    }
+
+    /** Messages queued (excludes in-flight handoffs). */
+    std::size_t pending() const { return items_.size(); }
+
+    /** Receivers currently blocked. */
+    std::size_t blockedReceivers() const { return receivers_.size(); }
+
+  private:
+    struct Waiter
+    {
+        std::coroutine_handle<> handle;
+        std::optional<T> *slot;
+    };
+
+    Simulator *sim_;
+    std::deque<T> items_;
+    std::deque<Waiter> receivers_;
+};
+
+} // namespace cchar::desim
+
+#endif // CCHAR_DESIM_MAILBOX_HH

@@ -1,0 +1,134 @@
+#include "simulator.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cchar::desim {
+
+void
+Delay::await_suspend(std::coroutine_handle<> h)
+{
+    SimTime dt = dt_ < 0.0 ? 0.0 : dt_;
+    sim_->scheduleResume(h, sim_->now() + dt);
+}
+
+Simulator::~Simulator()
+{
+    // Frames still on the calendar belong to root processes owned by
+    // processes_; destroying the Task<void> runners tears down the
+    // whole suspended coroutine chains.
+}
+
+Task<void>
+Simulator::processRunner(Task<void> body,
+                         std::shared_ptr<ProcessState> state, Simulator *sim)
+{
+    try {
+        co_await std::move(body);
+    } catch (...) {
+        state->error = std::current_exception();
+    }
+    state->done = true;
+    for (auto h : state->joiners)
+        sim->scheduleResume(h, sim->now());
+    state->joiners.clear();
+}
+
+ProcessRef
+Simulator::spawn(Task<void> body, std::string name)
+{
+    auto state = std::make_shared<ProcessState>();
+    if (name.empty()) {
+        std::ostringstream os;
+        os << "process-" << processes_.size();
+        name = os.str();
+    }
+    state->name = std::move(name);
+
+    Task<void> runner = processRunner(std::move(body), state, this);
+    // Schedule the runner's first resumption at the current time; the
+    // frame itself stays owned by the registry entry so teardown is
+    // deterministic even if the process never completes.
+    calendar_.push(Event{now_, seq_++, runner.rawHandle(), {}});
+    processes_.push_back(RootProcess{std::move(runner), state});
+    return ProcessRef{std::move(state), this};
+}
+
+void
+Simulator::scheduleResume(std::coroutine_handle<> h, SimTime at)
+{
+    if (at < now_)
+        at = now_;
+    calendar_.push(Event{at, seq_++, h, {}});
+}
+
+void
+Simulator::schedule(std::function<void()> fn, SimTime at)
+{
+    if (at < now_)
+        at = now_;
+    calendar_.push(Event{at, seq_++, {}, std::move(fn)});
+}
+
+void
+Simulator::dispatch(Event &ev)
+{
+    now_ = ev.time;
+    ++processed_;
+    if (ev.handle)
+        ev.handle.resume();
+    else if (ev.fn)
+        ev.fn();
+}
+
+void
+Simulator::run()
+{
+    while (!calendar_.empty()) {
+        if (processed_ >= maxEvents_)
+            throw std::runtime_error(
+                "desim: event cap exceeded (runaway simulation?)");
+        Event ev = calendar_.top();
+        calendar_.pop();
+        dispatch(ev);
+    }
+    rethrowProcessErrors();
+}
+
+void
+Simulator::runUntil(SimTime t)
+{
+    while (!calendar_.empty() && calendar_.top().time <= t) {
+        if (processed_ >= maxEvents_)
+            throw std::runtime_error(
+                "desim: event cap exceeded (runaway simulation?)");
+        Event ev = calendar_.top();
+        calendar_.pop();
+        dispatch(ev);
+    }
+    if (now_ < t)
+        now_ = t;
+    rethrowProcessErrors();
+}
+
+void
+Simulator::rethrowProcessErrors() const
+{
+    for (const auto &proc : processes_) {
+        if (proc.state->error)
+            std::rethrow_exception(proc.state->error);
+    }
+}
+
+std::vector<std::string>
+Simulator::unfinishedProcesses() const
+{
+    std::vector<std::string> names;
+    for (const auto &proc : processes_) {
+        if (!proc.state->done)
+            names.push_back(proc.state->name);
+    }
+    return names;
+}
+
+} // namespace cchar::desim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Observation accumulators used across the simulators.
+ *
+ * Tally accumulates independent observations (message latencies,
+ * waiting times); TimeWeighted integrates a piecewise-constant signal
+ * over simulated time (queue lengths, buffer occupancy).
+ */
+
+#ifndef CCHAR_DESIM_STATISTICS_HH
+#define CCHAR_DESIM_STATISTICS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace cchar::desim {
+
+/** Accumulator over independent observations. */
+class Tally
+{
+  public:
+    void
+    record(double x)
+    {
+        ++count_;
+        sum_ += x;
+        sumSq_ += x * x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double m = mean();
+        double v = sumSq_ / static_cast<double>(count_) - m * m;
+        return v > 0.0 ? v : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Coefficient of variation (stddev / mean). */
+    double
+    cv() const
+    {
+        double m = mean();
+        return m != 0.0 ? stddev() / m : 0.0;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Time-weighted integral of a piecewise-constant signal. */
+class TimeWeighted
+{
+  public:
+    explicit TimeWeighted(double initial = 0.0) : value_(initial) {}
+
+    /** Record a new value effective at time t. */
+    void
+    update(double value, double t)
+    {
+        integral_ += value_ * (t - lastTime_);
+        value_ = value;
+        lastTime_ = t;
+    }
+
+    double value() const { return value_; }
+
+    /** Time average over [0, t]. */
+    double
+    average(double t) const
+    {
+        if (t <= 0.0)
+            return value_;
+        double integral = integral_ + value_ * (t - lastTime_);
+        return integral / t;
+    }
+
+  private:
+    double value_;
+    double integral_ = 0.0;
+    double lastTime_ = 0.0;
+};
+
+} // namespace cchar::desim
+
+#endif // CCHAR_DESIM_STATISTICS_HH

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Coroutine task type for the process-oriented discrete-event kernel.
+ *
+ * A Task<T> is a lazily-started coroutine representing (a slice of) a
+ * simulated process. Tasks compose: a task may co_await another task,
+ * which transfers control to the child until the child either completes
+ * or suspends on a kernel awaitable (Delay, Resource::acquire,
+ * Mailbox::receive, ...). This mirrors the process abstraction of the
+ * CSIM package used by the original paper, expressed with C++20
+ * coroutines.
+ */
+
+#ifndef CCHAR_DESIM_TASK_HH
+#define CCHAR_DESIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace cchar::desim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** Common promise state shared by all task specializations. */
+struct PromiseBase
+{
+    /** Coroutine to resume when this task completes (symmetric transfer). */
+    std::coroutine_handle<> continuation{};
+    /** Exception thrown out of the coroutine body, if any. */
+    std::exception_ptr exception{};
+
+    /** Tasks are lazy: they run only once awaited or spawned. */
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    /**
+     * Final awaiter: transfer control back to the awaiting coroutine.
+     * Root processes (spawned, never awaited) simply stop here; the
+     * Simulator owns and later destroys their frames.
+     */
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            auto &promise = h.promise();
+            if (promise.continuation)
+                return promise.continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+} // namespace detail
+
+/**
+ * Lazily-started coroutine with a result of type T.
+ *
+ * Ownership: the Task object owns the coroutine frame and destroys it in
+ * its destructor. When used as `co_await child()`, the temporary Task
+ * lives until the full expression completes, which is after the child
+ * has finished, so the frame lifetime is always correct.
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value{};
+
+        Task get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        template <typename U>
+        void return_value(U &&v) { value.emplace(std::forward<U>(v)); }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True if this task refers to a live coroutine frame. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /** True once the coroutine body has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Awaiter implementing child-task composition. */
+    struct Awaiter
+    {
+        std::coroutine_handle<promise_type> child;
+
+        bool await_ready() const noexcept { return !child || child.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            child.promise().continuation = parent;
+            return child;
+        }
+
+        T
+        await_resume()
+        {
+            auto &promise = child.promise();
+            if (promise.exception)
+                std::rethrow_exception(promise.exception);
+            return std::move(*promise.value);
+        }
+    };
+
+    Awaiter operator co_await() && noexcept { return Awaiter{handle_}; }
+    Awaiter operator co_await() & noexcept { return Awaiter{handle_}; }
+
+    /**
+     * Release ownership of the coroutine frame to the caller.
+     * Used by the Simulator when adopting a root process.
+     */
+    std::coroutine_handle<promise_type>
+    release()
+    {
+        return std::exchange(handle_, nullptr);
+    }
+
+    /** Start or resume the coroutine (kernel use only). */
+    void resume() { handle_.resume(); }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_{};
+};
+
+/** Void specialization of Task. */
+template <>
+class [[nodiscard]] Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_void() {}
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return !handle_ || handle_.done(); }
+
+    struct Awaiter
+    {
+        std::coroutine_handle<promise_type> child;
+
+        bool await_ready() const noexcept { return !child || child.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            child.promise().continuation = parent;
+            return child;
+        }
+
+        void
+        await_resume()
+        {
+            auto &promise = child.promise();
+            if (promise.exception)
+                std::rethrow_exception(promise.exception);
+        }
+    };
+
+    Awaiter operator co_await() && noexcept { return Awaiter{handle_}; }
+    Awaiter operator co_await() & noexcept { return Awaiter{handle_}; }
+
+    std::coroutine_handle<promise_type>
+    release()
+    {
+        return std::exchange(handle_, nullptr);
+    }
+
+    void resume() { handle_.resume(); }
+
+    /** Non-owning view of the coroutine frame (kernel use only). */
+    std::coroutine_handle<> rawHandle() const { return handle_; }
+
+    /** Exception captured by the promise, if the body threw. */
+    std::exception_ptr
+    exception() const
+    {
+        return handle_ ? handle_.promise().exception : nullptr;
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_{};
+};
+
+} // namespace cchar::desim
+
+#endif // CCHAR_DESIM_TASK_HH

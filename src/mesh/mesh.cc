@@ -1,0 +1,287 @@
+#include "mesh.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cchar::mesh {
+
+namespace {
+
+/** Direction encoding for per-node outgoing channels. */
+enum Direction { East = 0, West = 1, North = 2, South = 3 };
+
+/** Signed steps toward dst in one dimension (mesh: direct). */
+int
+meshDelta(int from, int to)
+{
+    return to - from;
+}
+
+/** Signed steps toward dst in one ring (torus: shortest way). */
+int
+torusDelta(int from, int to, int extent)
+{
+    int fwd = (to - from + extent) % extent;  // steps in + direction
+    int bwd = fwd - extent;                   // steps in - direction
+    return fwd <= -bwd ? fwd : bwd;
+}
+
+} // namespace
+
+MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
+                         trace::TrafficLog *log)
+    : sim_(&sim), cfg_(cfg), log_(log)
+{
+    if (cfg_.width < 1 || cfg_.height < 1)
+        throw std::invalid_argument("mesh: degenerate dimensions");
+    if (cfg_.flitBytes < 1)
+        throw std::invalid_argument("mesh: flitBytes must be positive");
+    if (cfg_.virtualChannels < 1)
+        throw std::invalid_argument("mesh: need at least one VC");
+    if (cfg_.topology == Topology::Torus && cfg_.virtualChannels < 2)
+        throw std::invalid_argument("mesh: torus needs >= 2 virtual "
+                                    "channels (dateline scheme)");
+
+    int n = cfg_.nodes();
+    bool torus = cfg_.topology == Topology::Torus;
+    if (log_)
+        log_->setNprocs(n);
+    lanes_.resize(static_cast<std::size_t>(n) * 4);
+    for (int node = 0; node < n; ++node) {
+        int x = nodeX(node), y = nodeY(node);
+        auto makeLanes = [&](int dir, const char *label) {
+            auto &vcs =
+                lanes_[static_cast<std::size_t>(node) * 4 +
+                       static_cast<std::size_t>(dir)];
+            for (int vc = 0; vc < cfg_.virtualChannels; ++vc) {
+                vcs.push_back(std::make_unique<desim::Resource>(
+                    *sim_, 1,
+                    "ch-" + std::to_string(node) + "-" + label + "-v" +
+                        std::to_string(vc)));
+            }
+        };
+        if (x + 1 < cfg_.width || (torus && cfg_.width > 1))
+            makeLanes(East, "E");
+        if (x > 0 || (torus && cfg_.width > 1))
+            makeLanes(West, "W");
+        if (y + 1 < cfg_.height || (torus && cfg_.height > 1))
+            makeLanes(North, "N");
+        if (y > 0 || (torus && cfg_.height > 1))
+            makeLanes(South, "S");
+        injection_.push_back(std::make_unique<desim::Resource>(
+            *sim_, 1, "inj-" + std::to_string(node)));
+        rx_.push_back(std::make_unique<desim::Mailbox<Packet>>(*sim_));
+    }
+}
+
+int
+MeshNetwork::hopCount(int src, int dst) const
+{
+    if (cfg_.topology == Topology::Torus) {
+        return std::abs(torusDelta(nodeX(src), nodeX(dst), cfg_.width)) +
+               std::abs(
+                   torusDelta(nodeY(src), nodeY(dst), cfg_.height));
+    }
+    return std::abs(nodeX(src) - nodeX(dst)) +
+           std::abs(nodeY(src) - nodeY(dst));
+}
+
+std::vector<MeshNetwork::Hop>
+MeshNetwork::route(int src, int dst) const
+{
+    std::vector<Hop> hops;
+    bool torus = cfg_.topology == Topology::Torus;
+    int x = nodeX(src), y = nodeY(src);
+    int dxTotal = torus ? torusDelta(x, nodeX(dst), cfg_.width)
+                        : meshDelta(x, nodeX(dst));
+    int dyTotal = torus ? torusDelta(y, nodeY(dst), cfg_.height)
+                        : meshDelta(y, nodeY(dst));
+
+    for (int step = 0; step < std::abs(dxTotal); ++step) {
+        Hop hop;
+        hop.from = nodeId(x, y);
+        hop.isX = true;
+        if (dxTotal > 0) {
+            hop.dir = East;
+            hop.wrap = (x == cfg_.width - 1);
+            x = (x + 1) % cfg_.width;
+        } else {
+            hop.dir = West;
+            hop.wrap = (x == 0);
+            x = (x - 1 + cfg_.width) % cfg_.width;
+        }
+        hops.push_back(hop);
+    }
+    for (int step = 0; step < std::abs(dyTotal); ++step) {
+        Hop hop;
+        hop.from = nodeId(x, y);
+        hop.isX = false;
+        if (dyTotal > 0) {
+            hop.dir = North;
+            hop.wrap = (y == cfg_.height - 1);
+            y = (y + 1) % cfg_.height;
+        } else {
+            hop.dir = South;
+            hop.wrap = (y == 0);
+            y = (y - 1 + cfg_.height) % cfg_.height;
+        }
+        hops.push_back(hop);
+    }
+    return hops;
+}
+
+desim::Resource &
+MeshNetwork::lane(const Hop &hop, bool crossed_dateline)
+{
+    auto &vcs = lanes_[static_cast<std::size_t>(hop.from) * 4 +
+                       static_cast<std::size_t>(hop.dir)];
+    if (vcs.empty())
+        throw std::logic_error("mesh: hop over a missing link");
+    int v = cfg_.virtualChannels;
+    int base = 0, span = v;
+    if (cfg_.topology == Topology::Torus) {
+        // Dateline scheme: lower class before crossing, upper after.
+        span = v / 2;
+        base = crossed_dateline ? span : 0;
+        if (span == 0) {
+            span = 1;
+            base = 0;
+        }
+    }
+    // Among the permitted class, take the least-loaded lane
+    // (deterministic tie-break toward the lowest index).
+    desim::Resource *best = vcs[static_cast<std::size_t>(base)].get();
+    for (int i = 1; i < span; ++i) {
+        desim::Resource *cand =
+            vcs[static_cast<std::size_t>(base + i)].get();
+        std::size_t candLoad =
+            cand->queueLength() + static_cast<std::size_t>(cand->inUse());
+        std::size_t bestLoad =
+            best->queueLength() + static_cast<std::size_t>(best->inUse());
+        if (candLoad < bestLoad)
+            best = cand;
+    }
+    return *best;
+}
+
+int
+MeshNetwork::flitsOf(int bytes) const
+{
+    return 1 + (bytes + cfg_.flitBytes - 1) / cfg_.flitBytes;
+}
+
+double
+MeshNetwork::noLoadLatency(int hops, int bytes) const
+{
+    return static_cast<double>(hops) * cfg_.routerDelay +
+           static_cast<double>(flitsOf(bytes)) * cfg_.flitTime;
+}
+
+desim::Task<trace::MessageRecord>
+MeshNetwork::transfer(Packet pkt)
+{
+    if (pkt.src < 0 || pkt.src >= cfg_.nodes() || pkt.dst < 0 ||
+        pkt.dst >= cfg_.nodes()) {
+        throw std::invalid_argument("mesh: node id out of range");
+    }
+    if (pkt.src == pkt.dst)
+        throw std::invalid_argument("mesh: self-transfer is not a "
+                                    "network event");
+
+    trace::MessageRecord rec;
+    rec.src = pkt.src;
+    rec.dst = pkt.dst;
+    rec.bytes = pkt.bytes;
+    rec.kind = pkt.kind;
+    rec.injectTime = sim_->now();
+
+    auto hops = route(pkt.src, pkt.dst);
+    rec.hops = static_cast<std::int32_t>(hops.size());
+    double body =
+        static_cast<double>(flitsOf(pkt.bytes)) * cfg_.flitTime;
+    bool early = cfg_.holding == ChannelHolding::EarlyRelease;
+
+    // The injection port serializes a node's own messages; it is the
+    // first link of the worm.
+    std::vector<desim::Resource *> held;
+    co_await injection_[static_cast<std::size_t>(pkt.src)]->acquire();
+    held.push_back(injection_[static_cast<std::size_t>(pkt.src)].get());
+
+    bool crossedX = false, crossedY = false;
+    for (const Hop &hop : hops) {
+        if (hop.wrap) {
+            // The dateline link itself already travels in the upper
+            // VC class, breaking the ring dependency cycle.
+            (hop.isX ? crossedX : crossedY) = true;
+        }
+        desim::Resource &ch =
+            lane(hop, hop.isX ? crossedX : crossedY);
+        co_await ch.acquire();
+        if (early) {
+            // The head advances off the previous link; its tail
+            // clears that link one body-time later.
+            desim::Resource *prev = held.back();
+            held.pop_back();
+            sim_->schedule([prev] { prev->release(); },
+                           sim_->now() + body);
+        }
+        held.push_back(&ch);
+        co_await sim_->delay(cfg_.routerDelay);
+    }
+
+    // Head is at the destination; stream the body.
+    co_await sim_->delay(body);
+    for (desim::Resource *res : held)
+        res->release();
+
+    rec.deliverTime = sim_->now();
+    rec.contention =
+        rec.latency() - noLoadLatency(rec.hops, pkt.bytes);
+    if (rec.contention < 1e-12)
+        rec.contention = 0.0;
+
+    latency_.record(rec.latency());
+    contention_.record(rec.contention);
+    ++messages_;
+    if (log_)
+        log_->add(rec);
+    rx_[static_cast<std::size_t>(pkt.dst)]->send(std::move(pkt));
+    co_return rec;
+}
+
+void
+MeshNetwork::post(Packet pkt)
+{
+    auto fire = [](MeshNetwork *net, Packet p) -> desim::Task<void> {
+        (void)co_await net->transfer(std::move(p));
+    };
+    sim_->spawn(fire(this, std::move(pkt)), "mesh-post");
+}
+
+double
+MeshNetwork::averageChannelUtilization(SimTime t) const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &vcs : lanes_) {
+        for (const auto &res : vcs) {
+            sum += res->utilization(t);
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+double
+MeshNetwork::maxChannelUtilization(SimTime t) const
+{
+    double best = 0.0;
+    for (const auto &vcs : lanes_) {
+        for (const auto &res : vcs)
+            best = std::max(best, res->utilization(t));
+    }
+    return best;
+}
+
+} // namespace cchar::mesh

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * 2-D mesh / torus wormhole-routed interconnection network simulator.
+ *
+ * This reproduces the paper's common network substrate: both the
+ * dynamic (CC-NUMA / SPASM) and the static (SP2 trace) strategies
+ * inject their communication events into the same 2-D network model
+ * and log every message's source, destination, length, injection
+ * time, latency and contention.
+ *
+ * Model: dimension-ordered (XY) wormhole routing. Each unidirectional
+ * physical channel carries one or more virtual channels (VCs), each a
+ * FIFO facility. A message's head acquires a (channel, VC) lane at
+ * every hop — holding acquired ones (wormhole blocking) — spends
+ * routerDelay per hop, then the body streams for flits * flitTime.
+ * Two channel-holding disciplines are provided:
+ *
+ *  - FullPipeline (default, matches the paper-era CSIM models): every
+ *    lane of the path is held until the tail drains at the
+ *    destination;
+ *  - EarlyRelease (ablation): a lane is released one body-time after
+ *    the head leaves it, approximating flit-level pipelining.
+ *
+ * Topologies:
+ *  - Mesh: XY routing orders lane acquisition (all X hops before Y
+ *    hops, monotone within a dimension), so the wait graph is acyclic
+ *    and the network is deadlock-free with a single VC.
+ *  - Torus: shortest-direction dimension-ordered routing with
+ *    wraparound links. Rings deadlock with one VC, so the torus uses
+ *    the Dally/Seitz dateline scheme: messages travel in the lower VC
+ *    class and switch to the upper class at the wraparound (dateline)
+ *    link of each dimension — requires virtualChannels >= 2.
+ */
+
+#ifndef CCHAR_MESH_MESH_HH
+#define CCHAR_MESH_MESH_HH
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "desim/desim.hh"
+#include "trace/record.hh"
+
+namespace cchar::mesh {
+
+using desim::SimTime;
+
+/** Channel-holding discipline (see file comment). */
+enum class ChannelHolding
+{
+    FullPipeline,
+    EarlyRelease,
+};
+
+/** Network topology. */
+enum class Topology
+{
+    Mesh,
+    Torus,
+};
+
+/** Static configuration of the network. */
+struct MeshConfig
+{
+    int width = 4;
+    int height = 4;
+    /** Flit width in bytes. */
+    int flitBytes = 8;
+    /** Per-hop header routing/switching delay (us). */
+    double routerDelay = 0.04;
+    /** Per-flit serialization time on a channel (us). */
+    double flitTime = 0.01;
+    /** Channel-holding discipline. */
+    ChannelHolding holding = ChannelHolding::FullPipeline;
+    /** Mesh or torus. */
+    Topology topology = Topology::Mesh;
+    /** Virtual channels per physical channel (torus needs >= 2). */
+    int virtualChannels = 1;
+
+    int nodes() const { return width * height; }
+};
+
+/** A message delivered to a node's receive queue. */
+struct Packet
+{
+    std::int32_t src = 0;
+    std::int32_t dst = 0;
+    std::int32_t bytes = 0;
+    trace::MessageKind kind = trace::MessageKind::Data;
+    /** Protocol-defined discriminator (coherence opcode, MPI tag...). */
+    std::uint64_t tag = 0;
+    /** Opaque protocol payload. */
+    std::any payload{};
+};
+
+/** The mesh/torus network simulator. */
+class MeshNetwork
+{
+  public:
+    /**
+     * @param sim  Simulation kernel the network lives on.
+     * @param cfg  Topology and timing parameters.
+     * @param log  Network activity log to append to (optional).
+     */
+    MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
+                trace::TrafficLog *log = nullptr);
+
+    MeshNetwork(const MeshNetwork &) = delete;
+    MeshNetwork &operator=(const MeshNetwork &) = delete;
+
+    const MeshConfig &config() const { return cfg_; }
+    desim::Simulator &sim() { return *sim_; }
+
+    int nodeX(int node) const { return node % cfg_.width; }
+    int nodeY(int node) const { return node / cfg_.width; }
+    int nodeId(int x, int y) const { return y * cfg_.width + x; }
+
+    /** Routed hop count (Manhattan; wrap-aware on the torus). */
+    int hopCount(int src, int dst) const;
+
+    /**
+     * Transmit a packet and block until its tail drains at the
+     * destination. The packet is appended to the destination's
+     * receive queue and the network log.
+     *
+     * @return the log record of this message.
+     */
+    desim::Task<trace::MessageRecord> transfer(Packet pkt);
+
+    /** Fire-and-forget transmission (spawns a transfer process). */
+    void post(Packet pkt);
+
+    /** Receive queue of a node (packets in delivery order). */
+    desim::Mailbox<Packet> &rxQueue(int node) { return *rx_[node]; }
+
+    /** Minimal no-load latency of a bytes-sized message over h hops. */
+    double noLoadLatency(int hops, int bytes) const;
+
+    /** Number of flits (including the header flit) of a message. */
+    int flitsOf(int bytes) const;
+
+    // ---------------- statistics ----------------
+
+    /** End-to-end latency across all completed transfers. */
+    const desim::Tally &latencyStats() const { return latency_; }
+
+    /** Contention (blocking) component across transfers. */
+    const desim::Tally &contentionStats() const { return contention_; }
+
+    /** Completed transfers. */
+    std::uint64_t messageCount() const { return messages_; }
+
+    /** Mean utilization over all lanes at time t. */
+    double averageChannelUtilization(SimTime t) const;
+
+    /** Peak per-lane utilization at time t. */
+    double maxChannelUtilization(SimTime t) const;
+
+  private:
+    /** One hop of a routed path. */
+    struct Hop
+    {
+        int from;
+        int dir;     ///< Direction index (East/West/North/South)
+        bool wrap;   ///< crosses the torus dateline
+        bool isX;    ///< X-dimension hop
+    };
+
+    /** Route from src to dst (dimension ordered, wrap-aware). */
+    std::vector<Hop> route(int src, int dst) const;
+
+    /** Pick a virtual channel lane for a hop. */
+    desim::Resource &lane(const Hop &hop, bool crossed_dateline);
+
+    desim::Simulator *sim_;
+    MeshConfig cfg_;
+    trace::TrafficLog *log_;
+    /** lanes_[node*4 + dir][vc]; empty vector when no such link. */
+    std::vector<std::vector<std::unique_ptr<desim::Resource>>> lanes_;
+    std::vector<std::unique_ptr<desim::Resource>> injection_;
+    std::vector<std::unique_ptr<desim::Mailbox<Packet>>> rx_;
+    desim::Tally latency_;
+    desim::Tally contention_;
+    std::uint64_t messages_ = 0;
+};
+
+} // namespace cchar::mesh
+
+#endif // CCHAR_MESH_MESH_HH

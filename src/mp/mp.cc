@@ -1,0 +1,282 @@
+#include "mp.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cchar::mp {
+
+MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
+    : sim_(&sim), cfg_(cfg), log_(cfg.nranks()), trace_(cfg.nranks())
+{
+    net_ = std::make_unique<mesh::MeshNetwork>(*sim_, cfg_.mesh, &log_);
+    ranks_.resize(static_cast<std::size_t>(cfg_.nranks()));
+    for (int r = 0; r < cfg_.nranks(); ++r)
+        sim_->spawn(dispatcher(r), "mp-dispatcher-" + std::to_string(r));
+}
+
+desim::Task<void>
+MpWorld::dispatcher(int rank)
+{
+    auto &queue = net_->rxQueue(rank);
+    auto &state = ranks_[static_cast<std::size_t>(rank)];
+    for (;;) {
+        mesh::Packet pkt = co_await queue.receive();
+        auto msg = std::any_cast<MpMsg>(pkt.payload);
+        auto key = std::make_pair(static_cast<int>(msg.srcRank),
+                                  static_cast<int>(msg.tag));
+        auto wit = state.waiters.find(key);
+        if (wit != state.waiters.end() && !wit->second.empty()) {
+            RecvWaiter w = wit->second.front();
+            wit->second.pop_front();
+            *w.bytesOut = msg.bytes;
+            w.event->trigger();
+        } else {
+            state.arrived[key].push_back(msg.bytes);
+        }
+    }
+}
+
+void
+MpWorld::spawnRank(int rank, desim::Task<void> body,
+                   const std::string &name)
+{
+    std::string label = name;
+    if (label.empty())
+        label = "rank-" + std::to_string(rank);
+    appProcesses_.push_back(sim_->spawn(std::move(body), label));
+    (void)rank;
+}
+
+void
+MpWorld::run()
+{
+    sim_->run();
+    std::ostringstream stuck;
+    bool any = false;
+    for (const auto &ref : appProcesses_) {
+        if (!ref.done()) {
+            stuck << (any ? ", " : "") << ref.name();
+            any = true;
+        }
+    }
+    if (any) {
+        throw std::runtime_error("mp: application deadlock; stuck ranks: " +
+                                 stuck.str());
+    }
+}
+
+// ---------------------------------------------------------------
+// MpContext
+
+desim::Task<void>
+MpContext::compute(double us)
+{
+    co_await world_->sim().delay(us);
+}
+
+desim::Task<void>
+MpContext::sendInternal(int dst, int bytes, int tag,
+                        trace::MessageKind kind)
+{
+    if (dst == rank_)
+        throw std::invalid_argument("mp: send to self");
+    if (dst < 0 || dst >= size())
+        throw std::invalid_argument("mp: destination out of range");
+
+    auto &state = world_->ranks_[static_cast<std::size_t>(rank_)];
+    double now = world_->sim().now();
+    if (world_->tracing_) {
+        trace::TraceEvent ev;
+        ev.src = rank_;
+        ev.dst = dst;
+        ev.bytes = bytes;
+        ev.kind = kind;
+        ev.sinceLast = now - state.lastActivity;
+        world_->trace_.add(ev);
+    }
+
+    // Sender's share of the SP2 software overhead.
+    const MpConfig &cfg = world_->config();
+    co_await world_->sim().delay(cfg.sendFraction * cfg.overhead(bytes));
+
+    mesh::Packet pkt;
+    pkt.src = rank_;
+    pkt.dst = dst;
+    pkt.bytes = bytes;
+    pkt.kind = kind;
+    pkt.tag = static_cast<std::uint64_t>(tag);
+    pkt.payload = MpWorld::MpMsg{rank_, tag, bytes};
+    world_->network().post(std::move(pkt));
+    state.lastActivity = world_->sim().now();
+}
+
+desim::Task<int>
+MpContext::recvInternal(int src, int tag)
+{
+    if (src == rank_)
+        throw std::invalid_argument("mp: receive from self");
+    if (src < 0 || src >= size())
+        throw std::invalid_argument("mp: source out of range");
+
+    auto &state = world_->ranks_[static_cast<std::size_t>(rank_)];
+    auto key = std::make_pair(src, tag);
+    std::int32_t bytes = 0;
+    auto ait = state.arrived.find(key);
+    if (ait != state.arrived.end() && !ait->second.empty()) {
+        bytes = ait->second.front();
+        ait->second.pop_front();
+    } else {
+        desim::SimEvent ev{world_->sim()};
+        state.waiters[key].push_back(MpWorld::RecvWaiter{&ev, &bytes});
+        co_await ev.wait();
+    }
+    // Receiver's share of the overhead.
+    const MpConfig &cfg = world_->config();
+    co_await world_->sim().delay((1.0 - cfg.sendFraction) *
+                                 cfg.overhead(bytes));
+    state.lastActivity = world_->sim().now();
+    co_return bytes;
+}
+
+desim::Task<void>
+MpContext::send(int dst, int bytes, int tag)
+{
+    co_await sendInternal(dst, bytes, tag, trace::MessageKind::Data);
+}
+
+desim::Task<int>
+MpContext::recv(int src, int tag)
+{
+    int bytes = co_await recvInternal(src, tag);
+    co_return bytes;
+}
+
+desim::Task<void>
+MpContext::sendrecv(int dst, int send_bytes, int src, int tag)
+{
+    co_await sendInternal(dst, send_bytes, tag, trace::MessageKind::Data);
+    (void)co_await recvInternal(src, tag);
+}
+
+desim::Task<void>
+MpContext::barrier()
+{
+    int p = size();
+    for (int dist = 1; dist < p; dist *= 2) {
+        int to = (rank_ + dist) % p;
+        int from = (rank_ - dist % p + p) % p;
+        co_await sendInternal(to, world_->config().controlBytes,
+                              tagBarrier + dist, trace::MessageKind::Sync);
+        (void)co_await recvInternal(from, tagBarrier + dist);
+    }
+}
+
+desim::Task<void>
+MpContext::bcast(int root, int bytes)
+{
+    // Linear broadcast with completion acks (see file comment).
+    int ctl = world_->config().controlBytes;
+    if (rank_ == root) {
+        for (int r = 0; r < size(); ++r) {
+            if (r != root)
+                co_await sendInternal(r, bytes, tagBcast,
+                                      trace::MessageKind::Data);
+        }
+        for (int r = 0; r < size(); ++r) {
+            if (r != root)
+                (void)co_await recvInternal(r, tagBcastAck);
+        }
+    } else {
+        (void)co_await recvInternal(root, tagBcast);
+        co_await sendInternal(root, ctl, tagBcastAck,
+                              trace::MessageKind::Control);
+    }
+}
+
+desim::Task<void>
+MpContext::reduce(int root, int bytes)
+{
+    // Binomial tree rooted at `root` over the rotated rank space.
+    int p = size();
+    int vrank = (rank_ - root + p) % p;
+    int dist = 1;
+    while (dist < p) {
+        if ((vrank & dist) != 0) {
+            int parent = (((vrank & ~dist)) + root) % p;
+            co_await sendInternal(parent, bytes, tagReduce + dist,
+                                  trace::MessageKind::Data);
+            break;
+        }
+        int child = vrank | dist;
+        if (child < p) {
+            (void)co_await recvInternal((child + root) % p,
+                                        tagReduce + dist);
+        }
+        dist *= 2;
+    }
+}
+
+desim::Task<void>
+MpContext::allreduce(int bytes)
+{
+    co_await reduce(0, bytes);
+    co_await bcast(0, bytes);
+}
+
+desim::Task<void>
+MpContext::alltoall(int bytes_per_pair)
+{
+    int p = size();
+    for (int step = 1; step < p; ++step) {
+        int to = (rank_ + step) % p;
+        int from = (rank_ - step + p) % p;
+        co_await sendInternal(to, bytes_per_pair, tagAlltoall + step,
+                              trace::MessageKind::Data);
+        (void)co_await recvInternal(from, tagAlltoall + step);
+    }
+}
+
+desim::Task<void>
+MpContext::gather(int root, int bytes)
+{
+    if (rank_ == root) {
+        for (int r = 0; r < size(); ++r) {
+            if (r != root)
+                (void)co_await recvInternal(r, tagGather);
+        }
+    } else {
+        co_await sendInternal(root, bytes, tagGather,
+                              trace::MessageKind::Data);
+    }
+}
+
+desim::Task<void>
+MpContext::scatter(int root, int bytes)
+{
+    if (rank_ == root) {
+        for (int r = 0; r < size(); ++r) {
+            if (r != root)
+                co_await sendInternal(r, bytes, tagScatter,
+                                      trace::MessageKind::Data);
+        }
+    } else {
+        (void)co_await recvInternal(root, tagScatter);
+    }
+}
+
+desim::Task<void>
+MpContext::allgather(int bytes)
+{
+    // Ring algorithm: each rank forwards the accumulated block to its
+    // successor for P-1 steps.
+    int p = size();
+    int next = (rank_ + 1) % p;
+    int prev = (rank_ - 1 + p) % p;
+    for (int step = 0; step < p - 1; ++step) {
+        co_await sendInternal(next, bytes, tagAllgather + step,
+                              trace::MessageKind::Data);
+        (void)co_await recvInternal(prev, tagAllgather + step);
+    }
+}
+
+} // namespace cchar::mp

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Message-passing runtime (the static-strategy substrate).
+ *
+ * The paper's static strategy runs MPI applications on an IBM SP2 and
+ * traces their communication calls at the application level. This
+ * module provides an MPI-subset runtime executing on the simulation
+ * kernel with the paper's measured SP2 communication-software cost
+ * model ("the software overheads amount to 4.63e-2 x + 73.42
+ * microseconds to transfer x bytes of data"), a point-to-point
+ * matching engine, collectives built from point-to-point messages,
+ * and an application-level trace collector emitting the
+ * (src, dst, length, time-since-last-activity) records the 2-D mesh
+ * simulator consumes.
+ *
+ * Collective implementations (documented for reproducibility):
+ *  - barrier: dissemination algorithm, ceil(log2 P) rounds;
+ *  - bcast: root sends linearly to every rank, each rank returns a
+ *    small completion ack to the root. The acks reproduce the paper's
+ *    observation that the broadcast root p0 becomes every processor's
+ *    "favorite" destination by message count while the byte volume
+ *    stays uniform (Figure 9 discussion);
+ *  - reduce: binomial tree toward the root;
+ *  - allreduce: reduce followed by bcast;
+ *  - alltoall: linear-shift pairwise exchange.
+ */
+
+#ifndef CCHAR_MP_MP_HH
+#define CCHAR_MP_MP_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "desim/desim.hh"
+#include "mesh/mesh.hh"
+#include "trace/record.hh"
+#include "trace/trace.hh"
+
+namespace cchar::mp {
+
+/** Runtime parameters. */
+struct MpConfig
+{
+    mesh::MeshConfig mesh{};
+    /** SP2 software overhead: base + perByte * x microseconds. */
+    double overheadBase = 73.42;
+    double overheadPerByte = 0.0463;
+    /** Fraction of the overhead charged at the sender. */
+    double sendFraction = 0.5;
+    /** Size of a dataless control/ack message. */
+    int controlBytes = 8;
+
+    MpConfig()
+    {
+        mesh.width = 4;
+        mesh.height = 2;
+    }
+
+    int nranks() const { return mesh.nodes(); }
+
+    double
+    overhead(int bytes) const
+    {
+        return overheadBase + overheadPerByte * static_cast<double>(bytes);
+    }
+};
+
+class MpContext;
+
+/** The message-passing world: ranks, network, matching, tracing. */
+class MpWorld
+{
+  public:
+    MpWorld(desim::Simulator &sim, const MpConfig &cfg);
+
+    explicit MpWorld(desim::Simulator &sim) : MpWorld(sim, MpConfig{}) {}
+
+    MpWorld(const MpWorld &) = delete;
+    MpWorld &operator=(const MpWorld &) = delete;
+
+    const MpConfig &config() const { return cfg_; }
+    int size() const { return cfg_.nranks(); }
+    desim::Simulator &sim() { return *sim_; }
+    mesh::MeshNetwork &network() { return *net_; }
+    trace::TrafficLog &log() { return log_; }
+
+    /** Collect an application-level trace of all sends. */
+    void enableTracing() { tracing_ = true; }
+    const trace::Trace &collectedTrace() const { return trace_; }
+
+    /** Register rank `rank`'s program. */
+    void spawnRank(int rank, desim::Task<void> body,
+                   const std::string &name = {});
+
+    /**
+     * Run to completion.
+     * @throws std::runtime_error naming stuck ranks on deadlock.
+     */
+    void run();
+
+  private:
+    friend class MpContext;
+
+    /** Payload of a point-to-point message. */
+    struct MpMsg
+    {
+        std::int32_t srcRank;
+        std::int32_t tag;
+        std::int32_t bytes;
+    };
+
+    struct RecvWaiter
+    {
+        desim::SimEvent *event;
+        std::int32_t *bytesOut;
+    };
+
+    struct RankState
+    {
+        /** End time of the rank's last network activity (tracing). */
+        double lastActivity = 0.0;
+        std::map<std::pair<int, int>, std::deque<std::int32_t>> arrived;
+        std::map<std::pair<int, int>, std::deque<RecvWaiter>> waiters;
+    };
+
+    desim::Task<void> dispatcher(int rank);
+
+    desim::Simulator *sim_;
+    MpConfig cfg_;
+    trace::TrafficLog log_;
+    trace::Trace trace_;
+    bool tracing_ = false;
+    std::unique_ptr<mesh::MeshNetwork> net_;
+    std::vector<RankState> ranks_;
+    std::vector<desim::ProcessRef> appProcesses_;
+};
+
+/** Per-rank communication interface handed to application code. */
+class MpContext
+{
+  public:
+    MpContext(MpWorld &world, int rank) : world_(&world), rank_(rank) {}
+
+    int rank() const { return rank_; }
+    int size() const { return world_->size(); }
+    MpWorld &world() { return *world_; }
+
+    /** Local computation for `us` microseconds. */
+    desim::Task<void> compute(double us);
+
+    /**
+     * Blocking send of `bytes` to `dst`. Charges the sender's share
+     * of the SP2 software overhead, then injects the message.
+     */
+    desim::Task<void> send(int dst, int bytes, int tag = 0);
+
+    /**
+     * Blocking receive matching (src, tag). Charges the receiver's
+     * share of the overhead after the message arrives.
+     * @return the received byte count.
+     */
+    desim::Task<int> recv(int src, int tag = 0);
+
+    /** Combined exchange with one partner. */
+    desim::Task<void> sendrecv(int dst, int send_bytes, int src,
+                               int tag = 0);
+
+    /** Dissemination barrier over all ranks. */
+    desim::Task<void> barrier();
+
+    /** Broadcast `bytes` from `root` (linear + completion acks). */
+    desim::Task<void> bcast(int root, int bytes);
+
+    /** Binomial-tree reduction of `bytes` to `root`. */
+    desim::Task<void> reduce(int root, int bytes);
+
+    /** reduce + bcast. */
+    desim::Task<void> allreduce(int bytes);
+
+    /** Linear-shift all-to-all, `bytes_per_pair` to every other rank. */
+    desim::Task<void> alltoall(int bytes_per_pair);
+
+    /** Every rank sends `bytes` to `root` (linear gather). */
+    desim::Task<void> gather(int root, int bytes);
+
+    /** `root` sends `bytes` to every rank (linear scatter). */
+    desim::Task<void> scatter(int root, int bytes);
+
+    /** Ring allgather: P-1 steps of `bytes` to the next rank. */
+    desim::Task<void> allgather(int bytes);
+
+  private:
+    /** Internal tags reserved for collectives. */
+    static constexpr int tagBarrier = 1 << 20;
+    static constexpr int tagBcast = 1 << 21;
+    static constexpr int tagBcastAck = (1 << 21) + 1;
+    static constexpr int tagReduce = 1 << 22;
+    static constexpr int tagAlltoall = 1 << 23;
+    static constexpr int tagGather = 1 << 24;
+    static constexpr int tagScatter = 1 << 25;
+    static constexpr int tagAllgather = 1 << 26;
+
+    desim::Task<void> sendInternal(int dst, int bytes, int tag,
+                                   trace::MessageKind kind);
+    desim::Task<int> recvInternal(int src, int tag);
+
+    MpWorld *world_;
+    int rank_;
+};
+
+} // namespace cchar::mp
+
+#endif // CCHAR_MP_MP_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Abstract interface for the continuous distributions the paper fits
+ * to message inter-arrival times ("commonly used distributions").
+ *
+ * Every distribution supports: evaluation (pdf/cdf), analytic moments,
+ * deterministic inverse-transform sampling, parameter access for the
+ * non-linear regression driver, and a method-of-moments initializer
+ * used to seed the regression.
+ */
+
+#ifndef CCHAR_STATS_DISTRIBUTION_HH
+#define CCHAR_STATS_DISTRIBUTION_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rng.hh"
+#include "summary.hh"
+
+namespace cchar::stats {
+
+/** Base class for fittable continuous distributions on [0, inf). */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Family name, e.g. "exponential". */
+    virtual std::string name() const = 0;
+
+    /** Number of free parameters seen by the regression. */
+    virtual std::size_t paramCount() const = 0;
+
+    /** Current parameter vector. */
+    virtual std::vector<double> params() const = 0;
+
+    /**
+     * Replace the parameter vector. Implementations clamp to their
+     * feasible region, so the optimizer may propose raw steps.
+     */
+    virtual void setParams(std::span<const double> p) = 0;
+
+    /** Probability density at x. */
+    virtual double pdf(double x) const = 0;
+
+    /** Cumulative distribution at x. */
+    virtual double cdf(double x) const = 0;
+
+    /** Analytic mean. */
+    virtual double mean() const = 0;
+
+    /** Analytic variance. */
+    virtual double variance() const = 0;
+
+    /** Draw one variate. */
+    virtual double sample(Rng &rng) const = 0;
+
+    /**
+     * Seed parameters from sample moments.
+     * @return false if the family cannot represent those moments
+     *         (e.g. hyperexponential with CV <= 1); the fitter then
+     *         skips this candidate.
+     */
+    virtual bool initFromMoments(const SummaryStats &s) = 0;
+
+    virtual std::unique_ptr<Distribution> clone() const = 0;
+
+    /** Human-readable "family(param=value, ...)" string. */
+    virtual std::string describe() const;
+};
+
+} // namespace cchar::stats
+
+#endif // CCHAR_STATS_DISTRIBUTION_HH

@@ -1,0 +1,709 @@
+#include "distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "special.hh"
+
+namespace cchar::stats {
+
+namespace {
+
+constexpr double tinyRate = 1e-9;
+constexpr double tinyProb = 1e-6;
+
+double
+clampPositive(double x, double lo = tinyRate)
+{
+    return x > lo ? x : lo;
+}
+
+} // namespace
+
+std::string
+Distribution::describe() const
+{
+    std::ostringstream os;
+    os << name() << "(";
+    auto ps = params();
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << ps[i];
+    }
+    os << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Exponential
+
+void
+Exponential::setParams(std::span<const double> p)
+{
+    rate_ = clampPositive(p[0]);
+}
+
+double
+Exponential::pdf(double x) const
+{
+    return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double
+Exponential::cdf(double x) const
+{
+    return x < 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * x);
+}
+
+double
+Exponential::sample(Rng &rng) const
+{
+    return rng.exponential(rate_);
+}
+
+bool
+Exponential::initFromMoments(const SummaryStats &s)
+{
+    if (s.mean <= 0.0)
+        return false;
+    rate_ = 1.0 / s.mean;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+Exponential::clone() const
+{
+    return std::make_unique<Exponential>(*this);
+}
+
+// --------------------------------------------------------------------
+// ShiftedExponential
+
+void
+ShiftedExponential::setParams(std::span<const double> p)
+{
+    shift_ = std::max(p[0], 0.0);
+    rate_ = clampPositive(p[1]);
+}
+
+double
+ShiftedExponential::pdf(double x) const
+{
+    return x < shift_ ? 0.0 : rate_ * std::exp(-rate_ * (x - shift_));
+}
+
+double
+ShiftedExponential::cdf(double x) const
+{
+    return x < shift_ ? 0.0 : 1.0 - std::exp(-rate_ * (x - shift_));
+}
+
+double
+ShiftedExponential::sample(Rng &rng) const
+{
+    return shift_ + rng.exponential(rate_);
+}
+
+bool
+ShiftedExponential::initFromMoments(const SummaryStats &s)
+{
+    // Two-moment match: stddev fixes the exponential part, the
+    // remainder of the mean is the displacement. Valid when CV <= 1.
+    if (s.mean <= 0.0 || s.stddev <= 0.0 || s.stddev > s.mean)
+        return false;
+    rate_ = 1.0 / s.stddev;
+    shift_ = s.mean - s.stddev;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+ShiftedExponential::clone() const
+{
+    return std::make_unique<ShiftedExponential>(*this);
+}
+
+// --------------------------------------------------------------------
+// HyperExponential2
+
+void
+HyperExponential2::setParams(std::span<const double> p)
+{
+    p_ = std::clamp(p[0], tinyProb, 1.0 - tinyProb);
+    rate1_ = clampPositive(p[1]);
+    rate2_ = clampPositive(p[2]);
+}
+
+double
+HyperExponential2::pdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    return p_ * rate1_ * std::exp(-rate1_ * x) +
+           (1.0 - p_) * rate2_ * std::exp(-rate2_ * x);
+}
+
+double
+HyperExponential2::cdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    return 1.0 - p_ * std::exp(-rate1_ * x) -
+           (1.0 - p_) * std::exp(-rate2_ * x);
+}
+
+double
+HyperExponential2::mean() const
+{
+    return p_ / rate1_ + (1.0 - p_) / rate2_;
+}
+
+double
+HyperExponential2::variance() const
+{
+    double m = mean();
+    double m2 = 2.0 * (p_ / (rate1_ * rate1_) +
+                       (1.0 - p_) / (rate2_ * rate2_));
+    return m2 - m * m;
+}
+
+double
+HyperExponential2::sample(Rng &rng) const
+{
+    return rng.chance(p_) ? rng.exponential(rate1_)
+                          : rng.exponential(rate2_);
+}
+
+bool
+HyperExponential2::initFromMoments(const SummaryStats &s)
+{
+    // Balanced-means two-moment fit; requires CV > 1.
+    if (s.mean <= 0.0 || s.cv <= 1.0)
+        return false;
+    double cv2 = s.cv * s.cv;
+    double root = std::sqrt((cv2 - 1.0) / (cv2 + 1.0));
+    p_ = 0.5 * (1.0 + root);
+    rate1_ = 2.0 * p_ / s.mean;
+    rate2_ = 2.0 * (1.0 - p_) / s.mean;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+HyperExponential2::clone() const
+{
+    return std::make_unique<HyperExponential2>(*this);
+}
+
+// --------------------------------------------------------------------
+// Erlang
+
+void
+Erlang::setParams(std::span<const double> p)
+{
+    rate_ = clampPositive(p[0]);
+}
+
+double
+Erlang::pdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    double k = static_cast<double>(k_);
+    return std::exp(k * std::log(rate_) + (k - 1.0) * std::log(x) -
+                    rate_ * x - std::lgamma(k));
+}
+
+double
+Erlang::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return regularizedGammaP(static_cast<double>(k_), rate_ * x);
+}
+
+double
+Erlang::sample(Rng &rng) const
+{
+    double sum = 0.0;
+    for (int i = 0; i < k_; ++i)
+        sum += rng.exponential(rate_);
+    return sum;
+}
+
+bool
+Erlang::initFromMoments(const SummaryStats &s)
+{
+    // The stage count is structural: k ~= 1/CV^2; requires CV <= 1.
+    if (s.mean <= 0.0 || s.cv <= 0.0 || s.cv > 1.0)
+        return false;
+    double k = 1.0 / (s.cv * s.cv);
+    k_ = std::clamp(static_cast<int>(std::lround(k)), 1, 50);
+    rate_ = static_cast<double>(k_) / s.mean;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+Erlang::clone() const
+{
+    return std::make_unique<Erlang>(*this);
+}
+
+std::string
+Erlang::describe() const
+{
+    std::ostringstream os;
+    os << "erlang(k=" << k_ << ", rate=" << rate_ << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// GammaDist
+
+void
+GammaDist::setParams(std::span<const double> p)
+{
+    shape_ = clampPositive(p[0], 1e-3);
+    rate_ = clampPositive(p[1]);
+}
+
+double
+GammaDist::pdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return std::exp(shape_ * std::log(rate_) +
+                    (shape_ - 1.0) * std::log(x) - rate_ * x -
+                    std::lgamma(shape_));
+}
+
+double
+GammaDist::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return regularizedGammaP(shape_, rate_ * x);
+}
+
+double
+GammaDist::sample(Rng &rng) const
+{
+    // Marsaglia-Tsang; for shape < 1, boost with U^{1/shape}.
+    double a = shape_;
+    double boost = 1.0;
+    if (a < 1.0) {
+        boost = std::pow(rng.uniform01(), 1.0 / a);
+        a += 1.0;
+    }
+    double d = a - 1.0 / 3.0;
+    double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x, v;
+        do {
+            x = rng.normal01();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        double u = rng.uniform01();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return boost * d * v / rate_;
+        if (u > 0.0 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return boost * d * v / rate_;
+    }
+}
+
+bool
+GammaDist::initFromMoments(const SummaryStats &s)
+{
+    if (s.mean <= 0.0 || s.variance <= 0.0)
+        return false;
+    shape_ = s.mean * s.mean / s.variance;
+    rate_ = s.mean / s.variance;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+GammaDist::clone() const
+{
+    return std::make_unique<GammaDist>(*this);
+}
+
+// --------------------------------------------------------------------
+// Weibull
+
+void
+Weibull::setParams(std::span<const double> p)
+{
+    shape_ = clampPositive(p[0], 1e-3);
+    scale_ = clampPositive(p[1]);
+}
+
+double
+Weibull::pdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    double z = x / scale_;
+    return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+           std::exp(-std::pow(z, shape_));
+}
+
+double
+Weibull::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double
+Weibull::mean() const
+{
+    return scale_ * std::exp(std::lgamma(1.0 + 1.0 / shape_));
+}
+
+double
+Weibull::variance() const
+{
+    double g1 = std::exp(std::lgamma(1.0 + 1.0 / shape_));
+    double g2 = std::exp(std::lgamma(1.0 + 2.0 / shape_));
+    return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double
+Weibull::sample(Rng &rng) const
+{
+    double u = rng.uniform01();
+    if (u >= 1.0)
+        u = 0x1.fffffffffffffp-1;
+    return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
+bool
+Weibull::initFromMoments(const SummaryStats &s)
+{
+    if (s.mean <= 0.0 || s.cv <= 0.0)
+        return false;
+    // Solve CV^2(k) = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1 by bisection;
+    // CV is monotonically decreasing in k.
+    double target = s.cv * s.cv;
+    auto cv2 = [](double k) {
+        double g1 = std::lgamma(1.0 + 1.0 / k);
+        double g2 = std::lgamma(1.0 + 2.0 / k);
+        return std::exp(g2 - 2.0 * g1) - 1.0;
+    };
+    double lo = 0.05, hi = 80.0;
+    if (target >= cv2(lo))
+        shape_ = lo;
+    else if (target <= cv2(hi))
+        shape_ = hi;
+    else {
+        for (int i = 0; i < 200; ++i) {
+            double mid = 0.5 * (lo + hi);
+            if (cv2(mid) > target)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        shape_ = 0.5 * (lo + hi);
+    }
+    scale_ = s.mean / std::exp(std::lgamma(1.0 + 1.0 / shape_));
+    return true;
+}
+
+std::unique_ptr<Distribution>
+Weibull::clone() const
+{
+    return std::make_unique<Weibull>(*this);
+}
+
+// --------------------------------------------------------------------
+// LogNormal
+
+void
+LogNormal::setParams(std::span<const double> p)
+{
+    mu_ = p[0];
+    sigma_ = clampPositive(p[1], 1e-6);
+}
+
+double
+LogNormal::pdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    double z = (std::log(x) - mu_) / sigma_;
+    return std::exp(-0.5 * z * z) /
+           (x * sigma_ * std::sqrt(2.0 * 3.14159265358979323846));
+}
+
+double
+LogNormal::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return normalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double
+LogNormal::mean() const
+{
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double
+LogNormal::variance() const
+{
+    double s2 = sigma_ * sigma_;
+    return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double
+LogNormal::sample(Rng &rng) const
+{
+    return std::exp(rng.normal(mu_, sigma_));
+}
+
+bool
+LogNormal::initFromMoments(const SummaryStats &s)
+{
+    if (s.mean <= 0.0)
+        return false;
+    double cv2 = s.cv * s.cv;
+    double s2 = std::log(1.0 + cv2);
+    sigma_ = std::sqrt(std::max(s2, 1e-12));
+    mu_ = std::log(s.mean) - 0.5 * s2;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+LogNormal::clone() const
+{
+    return std::make_unique<LogNormal>(*this);
+}
+
+// --------------------------------------------------------------------
+// Normal
+
+void
+Normal::setParams(std::span<const double> p)
+{
+    mu_ = p[0];
+    sigma_ = clampPositive(p[1], 1e-9);
+}
+
+double
+Normal::pdf(double x) const
+{
+    double z = (x - mu_) / sigma_;
+    return std::exp(-0.5 * z * z) /
+           (sigma_ * std::sqrt(2.0 * 3.14159265358979323846));
+}
+
+double
+Normal::cdf(double x) const
+{
+    return normalCdf((x - mu_) / sigma_);
+}
+
+double
+Normal::sample(Rng &rng) const
+{
+    return rng.normal(mu_, sigma_);
+}
+
+bool
+Normal::initFromMoments(const SummaryStats &s)
+{
+    if (s.count == 0)
+        return false;
+    mu_ = s.mean;
+    sigma_ = s.stddev > 0.0 ? s.stddev : 1e-6;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+Normal::clone() const
+{
+    return std::make_unique<Normal>(*this);
+}
+
+// --------------------------------------------------------------------
+// UniformDist
+
+void
+UniformDist::setParams(std::span<const double> p)
+{
+    a_ = p[0];
+    b_ = p[1];
+    if (b_ <= a_)
+        b_ = a_ + 1e-9;
+}
+
+double
+UniformDist::pdf(double x) const
+{
+    return (x < a_ || x > b_) ? 0.0 : 1.0 / (b_ - a_);
+}
+
+double
+UniformDist::cdf(double x) const
+{
+    if (x <= a_)
+        return 0.0;
+    if (x >= b_)
+        return 1.0;
+    return (x - a_) / (b_ - a_);
+}
+
+double
+UniformDist::sample(Rng &rng) const
+{
+    return rng.uniform(a_, b_);
+}
+
+bool
+UniformDist::initFromMoments(const SummaryStats &s)
+{
+    if (s.count == 0 || s.stddev <= 0.0)
+        return false;
+    double half = std::sqrt(3.0) * s.stddev;
+    a_ = std::max(s.mean - half, 0.0);
+    b_ = s.mean + half;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+UniformDist::clone() const
+{
+    return std::make_unique<UniformDist>(*this);
+}
+
+// --------------------------------------------------------------------
+// Pareto
+
+void
+Pareto::setParams(std::span<const double> p)
+{
+    shape_ = clampPositive(p[0], 1e-3);
+    scale_ = clampPositive(p[1]);
+}
+
+double
+Pareto::pdf(double x) const
+{
+    if (x < scale_)
+        return 0.0;
+    return shape_ * std::pow(scale_, shape_) /
+           std::pow(x, shape_ + 1.0);
+}
+
+double
+Pareto::cdf(double x) const
+{
+    if (x < scale_)
+        return 0.0;
+    return 1.0 - std::pow(scale_ / x, shape_);
+}
+
+double
+Pareto::mean() const
+{
+    if (shape_ <= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return shape_ * scale_ / (shape_ - 1.0);
+}
+
+double
+Pareto::variance() const
+{
+    if (shape_ <= 2.0)
+        return std::numeric_limits<double>::infinity();
+    double m = shape_ - 1.0;
+    return scale_ * scale_ * shape_ / (m * m * (shape_ - 2.0));
+}
+
+double
+Pareto::sample(Rng &rng) const
+{
+    double u = rng.uniform01();
+    if (u >= 1.0)
+        u = 0x1.fffffffffffffp-1;
+    return scale_ / std::pow(1.0 - u, 1.0 / shape_);
+}
+
+bool
+Pareto::initFromMoments(const SummaryStats &s)
+{
+    // Two-moment inversion: CV^2 = 1 / (alpha (alpha - 2)), hence
+    // alpha = 1 + sqrt(1 + 1/CV^2), then xm from the mean.
+    if (s.mean <= 0.0 || s.cv <= 0.0 || s.min <= 0.0)
+        return false;
+    double inv = 1.0 / (s.cv * s.cv);
+    shape_ = 1.0 + std::sqrt(1.0 + inv);
+    scale_ = s.mean * (shape_ - 1.0) / shape_;
+    return scale_ > 0.0;
+}
+
+std::unique_ptr<Distribution>
+Pareto::clone() const
+{
+    return std::make_unique<Pareto>(*this);
+}
+
+// --------------------------------------------------------------------
+// Deterministic
+
+void
+Deterministic::setParams(std::span<const double> p)
+{
+    c_ = std::max(p[0], 0.0);
+}
+
+double
+Deterministic::pdf(double x) const
+{
+    // Density is a Dirac impulse; report a tall narrow box so plots
+    // and likelihood-free comparisons remain finite.
+    const double eps = 1e-9;
+    return (x >= c_ - eps && x <= c_ + eps) ? 0.5 / eps : 0.0;
+}
+
+bool
+Deterministic::initFromMoments(const SummaryStats &s)
+{
+    if (s.count == 0)
+        return false;
+    c_ = s.mean;
+    return true;
+}
+
+std::unique_ptr<Distribution>
+Deterministic::clone() const
+{
+    return std::make_unique<Deterministic>(*this);
+}
+
+// --------------------------------------------------------------------
+
+std::vector<std::unique_ptr<Distribution>>
+standardCandidates()
+{
+    std::vector<std::unique_ptr<Distribution>> v;
+    v.push_back(std::make_unique<Exponential>());
+    v.push_back(std::make_unique<ShiftedExponential>());
+    v.push_back(std::make_unique<HyperExponential2>());
+    v.push_back(std::make_unique<Erlang>());
+    v.push_back(std::make_unique<GammaDist>());
+    v.push_back(std::make_unique<Weibull>());
+    v.push_back(std::make_unique<LogNormal>());
+    v.push_back(std::make_unique<Normal>());
+    v.push_back(std::make_unique<UniformDist>());
+    v.push_back(std::make_unique<Pareto>());
+    v.push_back(std::make_unique<Deterministic>());
+    return v;
+}
+
+} // namespace cchar::stats

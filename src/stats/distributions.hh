@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Concrete distribution families used for inter-arrival-time fitting.
+ *
+ * The candidate set mirrors the "commonly used distributions" the
+ * paper fits with SAS: exponential, shifted (displaced) exponential,
+ * two-phase hyperexponential (for bursty, CV > 1 traffic), Erlang and
+ * gamma (for regular, CV < 1 traffic), Weibull, lognormal, normal,
+ * uniform, and deterministic.
+ */
+
+#ifndef CCHAR_STATS_DISTRIBUTIONS_HH
+#define CCHAR_STATS_DISTRIBUTIONS_HH
+
+#include <memory>
+
+#include "distribution.hh"
+
+namespace cchar::stats {
+
+/** Exponential(rate). */
+class Exponential : public Distribution
+{
+  public:
+    explicit Exponential(double rate = 1.0) : rate_(rate) {}
+
+    std::string name() const override { return "exponential"; }
+    std::size_t paramCount() const override { return 1; }
+    std::vector<double> params() const override { return {rate_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override { return 1.0 / rate_; }
+    double variance() const override { return 1.0 / (rate_ * rate_); }
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double rate() const { return rate_; }
+
+  private:
+    double rate_;
+};
+
+/** Displaced exponential: shift + Exponential(rate). */
+class ShiftedExponential : public Distribution
+{
+  public:
+    ShiftedExponential(double shift = 0.0, double rate = 1.0)
+        : shift_(shift), rate_(rate)
+    {}
+
+    std::string name() const override { return "shifted-exponential"; }
+    std::size_t paramCount() const override { return 2; }
+    std::vector<double> params() const override { return {shift_, rate_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override { return shift_ + 1.0 / rate_; }
+    double variance() const override { return 1.0 / (rate_ * rate_); }
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double shift() const { return shift_; }
+    double rate() const { return rate_; }
+
+  private:
+    double shift_;
+    double rate_;
+};
+
+/**
+ * Two-phase hyperexponential: with probability p draw Exp(rate1),
+ * otherwise Exp(rate2). Captures bursty traffic with CV > 1.
+ */
+class HyperExponential2 : public Distribution
+{
+  public:
+    HyperExponential2(double p = 0.5, double rate1 = 2.0, double rate2 = 0.5)
+        : p_(p), rate1_(rate1), rate2_(rate2)
+    {}
+
+    std::string name() const override { return "hyperexponential-2"; }
+    std::size_t paramCount() const override { return 3; }
+    std::vector<double>
+    params() const override
+    {
+        return {p_, rate1_, rate2_};
+    }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double mixProbability() const { return p_; }
+    double rate1() const { return rate1_; }
+    double rate2() const { return rate2_; }
+
+  private:
+    double p_;
+    double rate1_;
+    double rate2_;
+};
+
+/** Erlang-k (k fixed from moments, rate free). */
+class Erlang : public Distribution
+{
+  public:
+    explicit Erlang(int k = 2, double rate = 1.0) : k_(k), rate_(rate) {}
+
+    std::string name() const override { return "erlang"; }
+    std::size_t paramCount() const override { return 1; }
+    std::vector<double> params() const override { return {rate_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override { return static_cast<double>(k_) / rate_; }
+    double
+    variance() const override
+    {
+        return static_cast<double>(k_) / (rate_ * rate_);
+    }
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+    std::string describe() const override;
+
+    int stages() const { return k_; }
+    double rate() const { return rate_; }
+
+  private:
+    int k_;
+    double rate_;
+};
+
+/** Gamma(shape, rate). */
+class GammaDist : public Distribution
+{
+  public:
+    GammaDist(double shape = 1.0, double rate = 1.0)
+        : shape_(shape), rate_(rate)
+    {}
+
+    std::string name() const override { return "gamma"; }
+    std::size_t paramCount() const override { return 2; }
+    std::vector<double> params() const override { return {shape_, rate_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override { return shape_ / rate_; }
+    double variance() const override { return shape_ / (rate_ * rate_); }
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double shape() const { return shape_; }
+    double rate() const { return rate_; }
+
+  private:
+    double shape_;
+    double rate_;
+};
+
+/** Weibull(shape, scale). */
+class Weibull : public Distribution
+{
+  public:
+    Weibull(double shape = 1.0, double scale = 1.0)
+        : shape_(shape), scale_(scale)
+    {}
+
+    std::string name() const override { return "weibull"; }
+    std::size_t paramCount() const override { return 2; }
+    std::vector<double> params() const override { return {shape_, scale_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double shape() const { return shape_; }
+    double scale() const { return scale_; }
+
+  private:
+    double shape_;
+    double scale_;
+};
+
+/** Lognormal(mu, sigma) of the underlying normal. */
+class LogNormal : public Distribution
+{
+  public:
+    LogNormal(double mu = 0.0, double sigma = 1.0) : mu_(mu), sigma_(sigma) {}
+
+    std::string name() const override { return "lognormal"; }
+    std::size_t paramCount() const override { return 2; }
+    std::vector<double> params() const override { return {mu_, sigma_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+/** Normal(mu, sigma); used for near-symmetric inter-arrival spreads. */
+class Normal : public Distribution
+{
+  public:
+    Normal(double mu = 0.0, double sigma = 1.0) : mu_(mu), sigma_(sigma) {}
+
+    std::string name() const override { return "normal"; }
+    std::size_t paramCount() const override { return 2; }
+    std::vector<double> params() const override { return {mu_, sigma_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override { return mu_; }
+    double variance() const override { return sigma_ * sigma_; }
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+/** Uniform(a, b). */
+class UniformDist : public Distribution
+{
+  public:
+    UniformDist(double a = 0.0, double b = 1.0) : a_(a), b_(b) {}
+
+    std::string name() const override { return "uniform"; }
+    std::size_t paramCount() const override { return 2; }
+    std::vector<double> params() const override { return {a_, b_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override { return 0.5 * (a_ + b_); }
+    double
+    variance() const override
+    {
+        double w = b_ - a_;
+        return w * w / 12.0;
+    }
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double a_;
+    double b_;
+};
+
+/**
+ * Pareto(shape alpha, scale xm): heavy-tailed inter-arrival model for
+ * very bursty traffic (CV may be undefined for alpha <= 2).
+ */
+class Pareto : public Distribution
+{
+  public:
+    Pareto(double shape = 2.5, double scale = 1.0)
+        : shape_(shape), scale_(scale)
+    {}
+
+    std::string name() const override { return "pareto"; }
+    std::size_t paramCount() const override { return 2; }
+    std::vector<double> params() const override { return {shape_, scale_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+    double sample(Rng &rng) const override;
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double shape() const { return shape_; }
+    double scale() const { return scale_; }
+
+  private:
+    double shape_;
+    double scale_;
+};
+
+/** Point mass at c (deterministic inter-arrival). */
+class Deterministic : public Distribution
+{
+  public:
+    explicit Deterministic(double c = 1.0) : c_(c) {}
+
+    std::string name() const override { return "deterministic"; }
+    std::size_t paramCount() const override { return 1; }
+    std::vector<double> params() const override { return {c_}; }
+    void setParams(std::span<const double> p) override;
+    double pdf(double x) const override;
+    double cdf(double x) const override { return x >= c_ ? 1.0 : 0.0; }
+    double mean() const override { return c_; }
+    double variance() const override { return 0.0; }
+    double sample(Rng &) const override { return c_; }
+    bool initFromMoments(const SummaryStats &s) override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double c_;
+};
+
+/** The default candidate set used by the fitter. */
+std::vector<std::unique_ptr<Distribution>> standardCandidates();
+
+} // namespace cchar::stats
+
+#endif // CCHAR_STATS_DISTRIBUTIONS_HH

@@ -1,0 +1,401 @@
+#include "fit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distributions.hh"
+
+namespace cchar::stats {
+
+namespace {
+
+using Points = std::span<const std::pair<double, double>>;
+
+/** Residual vector r_i = cdf(x_i) - F_i. */
+std::vector<double>
+residuals(const Distribution &dist, Points pts)
+{
+    std::vector<double> r(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        r[i] = dist.cdf(pts[i].first) - pts[i].second;
+    return r;
+}
+
+double
+sumSquares(const std::vector<double> &r)
+{
+    double s = 0.0;
+    for (double v : r)
+        s += v * v;
+    return s;
+}
+
+/** Numeric Jacobian, J[i][j] = d r_i / d p_j, forward differences. */
+std::vector<std::vector<double>>
+numericJacobian(Distribution &dist, Points pts,
+                const std::vector<double> &params,
+                const std::vector<double> &r0)
+{
+    std::size_t m = pts.size(), n = params.size();
+    std::vector<std::vector<double>> jac(m, std::vector<double>(n, 0.0));
+    for (std::size_t j = 0; j < n; ++j) {
+        double h = std::max(std::fabs(params[j]) * 1e-6, 1e-9);
+        std::vector<double> bumped = params;
+        bumped[j] += h;
+        dist.setParams(bumped);
+        // setParams may clamp; use the effective step.
+        double eff = dist.params()[j] - params[j];
+        if (std::fabs(eff) < 1e-15) {
+            bumped[j] = params[j] - h;
+            dist.setParams(bumped);
+            eff = dist.params()[j] - params[j];
+            if (std::fabs(eff) < 1e-15) {
+                dist.setParams(params);
+                continue; // parameter pinned at a bound
+            }
+        }
+        auto r1 = residuals(dist, pts);
+        for (std::size_t i = 0; i < m; ++i)
+            jac[i][j] = (r1[i] - r0[i]) / eff;
+    }
+    dist.setParams(params);
+    return jac;
+}
+
+/** Solve the small symmetric system A x = b by Gaussian elimination. */
+bool
+solveLinear(std::vector<std::vector<double>> a, std::vector<double> b,
+            std::vector<double> &x)
+{
+    std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-300)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            double f = a[row][col] / a[col][col];
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+    x.assign(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            s -= a[i][k] * x[k];
+        x[i] = s / a[i][i];
+    }
+    return true;
+}
+
+/** Compute step from J and r: (J^T J + lambda diag(J^T J)) d = -J^T r. */
+bool
+dampedStep(const std::vector<std::vector<double>> &jac,
+           const std::vector<double> &r, double lambda,
+           std::vector<double> &step)
+{
+    std::size_t m = r.size(), n = jac.empty() ? 0 : jac[0].size();
+    std::vector<std::vector<double>> jtj(n, std::vector<double>(n, 0.0));
+    std::vector<double> jtr(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            jtr[j] += jac[i][j] * r[i];
+            for (std::size_t k = j; k < n; ++k)
+                jtj[j][k] += jac[i][j] * jac[i][k];
+        }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < j; ++k)
+            jtj[j][k] = jtj[k][j];
+        jtj[j][j] *= (1.0 + lambda);
+        if (jtj[j][j] == 0.0)
+            jtj[j][j] = lambda > 0.0 ? lambda : 1e-12;
+    }
+    for (double &v : jtr)
+        v = -v;
+    return solveLinear(std::move(jtj), std::move(jtr), step);
+}
+
+NonlinearLeastSquares::Result
+fitLm(Distribution &dist, Points pts,
+      const NonlinearLeastSquares::Options &opts)
+{
+    NonlinearLeastSquares::Result res;
+    auto params = dist.params();
+    auto r = residuals(dist, pts);
+    double ssr = sumSquares(r);
+    double lambda = 1e-3;
+
+    for (res.iterations = 0; res.iterations < opts.maxIterations;
+         ++res.iterations) {
+        auto jac = numericJacobian(dist, pts, params, r);
+        std::vector<double> step;
+        if (!dampedStep(jac, r, lambda, step))
+            break;
+        std::vector<double> trial(params.size());
+        for (std::size_t j = 0; j < params.size(); ++j)
+            trial[j] = params[j] + step[j];
+        dist.setParams(trial);
+        auto rTrial = residuals(dist, pts);
+        double ssrTrial = sumSquares(rTrial);
+        if (ssrTrial < ssr) {
+            double improvement = (ssr - ssrTrial) / std::max(ssr, 1e-300);
+            params = dist.params();
+            r = std::move(rTrial);
+            ssr = ssrTrial;
+            lambda = std::max(lambda * 0.3, 1e-12);
+            if (improvement < opts.tolerance) {
+                res.converged = true;
+                break;
+            }
+        } else {
+            dist.setParams(params);
+            lambda *= 10.0;
+            if (lambda > 1e12) {
+                res.converged = true; // stuck at a (local) minimum
+                break;
+            }
+        }
+    }
+    dist.setParams(params);
+    res.ssr = ssr;
+    return res;
+}
+
+NonlinearLeastSquares::Result
+fitSecant(Distribution &dist, Points pts,
+          const NonlinearLeastSquares::Options &opts)
+{
+    // Broyden rank-1 updates of the Jacobian between Gauss-Newton
+    // steps; re-linearize (finite differences) whenever a step is
+    // rejected. This is the derivative-free multivariate secant
+    // strategy of SAS NLIN.
+    NonlinearLeastSquares::Result res;
+    auto params = dist.params();
+    auto r = residuals(dist, pts);
+    double ssr = sumSquares(r);
+    auto jac = numericJacobian(dist, pts, params, r);
+    double damping = 1e-6;
+
+    for (res.iterations = 0; res.iterations < opts.maxIterations;
+         ++res.iterations) {
+        std::vector<double> step;
+        if (!dampedStep(jac, r, damping, step))
+            break;
+        std::vector<double> trial(params.size());
+        for (std::size_t j = 0; j < params.size(); ++j)
+            trial[j] = params[j] + step[j];
+        dist.setParams(trial);
+        std::vector<double> effStep(params.size());
+        auto effParams = dist.params();
+        double stepNorm = 0.0;
+        for (std::size_t j = 0; j < params.size(); ++j) {
+            effStep[j] = effParams[j] - params[j];
+            stepNorm += effStep[j] * effStep[j];
+        }
+        auto rTrial = residuals(dist, pts);
+        double ssrTrial = sumSquares(rTrial);
+        if (ssrTrial < ssr && stepNorm > 0.0) {
+            // Broyden update: B += (dr - B s) s^T / (s^T s)
+            for (std::size_t i = 0; i < r.size(); ++i) {
+                double bs = 0.0;
+                for (std::size_t j = 0; j < params.size(); ++j)
+                    bs += jac[i][j] * effStep[j];
+                double coeff = (rTrial[i] - r[i] - bs) / stepNorm;
+                for (std::size_t j = 0; j < params.size(); ++j)
+                    jac[i][j] += coeff * effStep[j];
+            }
+            double improvement = (ssr - ssrTrial) / std::max(ssr, 1e-300);
+            params = effParams;
+            r = std::move(rTrial);
+            ssr = ssrTrial;
+            damping = std::max(damping * 0.5, 1e-9);
+            if (improvement < opts.tolerance) {
+                res.converged = true;
+                break;
+            }
+        } else {
+            dist.setParams(params);
+            damping *= 10.0;
+            if (damping > 1e10) {
+                res.converged = true;
+                break;
+            }
+            jac = numericJacobian(dist, pts, params, r);
+        }
+    }
+    dist.setParams(params);
+    res.ssr = ssr;
+    return res;
+}
+
+} // namespace
+
+NonlinearLeastSquares::Result
+NonlinearLeastSquares::fitCdf(Distribution &dist, Points points,
+                              const Options &opts)
+{
+    if (points.empty() || dist.paramCount() == 0)
+        return {true, 0, 0.0};
+    if (opts.method == FitMethod::Secant)
+        return fitSecant(dist, points, opts);
+    return fitLm(dist, points, opts);
+}
+
+GoodnessOfFit
+DistributionFitter::evaluate(const Distribution &dist,
+                             std::span<const double> data,
+                             std::size_t max_points)
+{
+    GoodnessOfFit gof;
+    if (data.empty())
+        return gof;
+
+    Ecdf ecdf{data};
+
+    // Degenerate sample: every observation identical. The empirical
+    // CDF is a single jump; regression metrics are meaningless, so
+    // score by whether the model concentrates its mass at that point.
+    if (ecdf.sorted().front() == ecdf.sorted().back()) {
+        double x = ecdf.sorted().front();
+        double below = x > 0.0 ? dist.cdf(x * (1.0 - 1e-9) - 1e-12)
+                               : dist.cdf(x - 1e-12);
+        double at = dist.cdf(x);
+        bool pointMass = at > 0.999 && below < 0.001;
+        gof.r2 = pointMass ? 1.0 : 0.0;
+        gof.ks = pointMass ? 0.0 : 1.0;
+        gof.chiSquareDof = 1;
+        return gof;
+    }
+
+    auto pts = ecdf.regressionPoints(max_points);
+
+    // R^2 on the regression point set.
+    double meanF = 0.0;
+    for (auto &[x, f] : pts)
+        meanF += f;
+    meanF /= static_cast<double>(pts.size());
+    double ssr = 0.0, sst = 0.0;
+    for (auto &[x, f] : pts) {
+        double d = dist.cdf(x) - f;
+        ssr += d * d;
+        sst += (f - meanF) * (f - meanF);
+    }
+    gof.r2 = sst > 0.0 ? 1.0 - ssr / sst : (ssr == 0.0 ? 1.0 : 0.0);
+
+    // Kolmogorov-Smirnov over the full sorted sample.
+    const auto &xs = ecdf.sorted();
+    double n = static_cast<double>(xs.size());
+    double dmax = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double f = dist.cdf(xs[i]);
+        double upper = (static_cast<double>(i) + 1.0) / n;
+        double lower = static_cast<double>(i) / n;
+        dmax = std::max({dmax, std::fabs(f - upper), std::fabs(f - lower)});
+    }
+    gof.ks = dmax;
+
+    // Chi-square on a histogram, merging bins to expected count >= 5.
+    std::size_t nbins =
+        std::clamp<std::size_t>(static_cast<std::size_t>(std::sqrt(n)), 5,
+                                40);
+    Histogram hist{data, nbins};
+    double chi = 0.0;
+    int dof = 0;
+    double obsAcc = 0.0, expAcc = 0.0;
+    for (const auto &bin : hist.bins()) {
+        double expected =
+            (dist.cdf(bin.hi) - dist.cdf(bin.lo)) * n;
+        obsAcc += static_cast<double>(bin.count);
+        expAcc += expected;
+        if (expAcc >= 5.0) {
+            double d = obsAcc - expAcc;
+            chi += d * d / expAcc;
+            ++dof;
+            obsAcc = expAcc = 0.0;
+        }
+    }
+    if (expAcc > 0.0) {
+        double d = obsAcc - expAcc;
+        chi += d * d / expAcc;
+        ++dof;
+    }
+    gof.chiSquare = chi;
+    gof.chiSquareDof = std::max(dof - 1 - static_cast<int>(dist.paramCount()),
+                                1);
+    return gof;
+}
+
+FitResult
+DistributionFitter::fitOne(std::span<const double> data,
+                           const Distribution &prototype) const
+{
+    FitResult result;
+    result.dist = prototype.clone();
+    if (data.size() < 2)
+        return result;
+
+    SummaryStats s = SummaryStats::compute(data);
+    if (!result.dist->initFromMoments(s))
+        return result;
+    result.usable = true;
+
+    // A point mass cannot be regressed; accept the moment fit as-is.
+    if (result.dist->name() != "deterministic") {
+        Ecdf ecdf{data};
+        auto pts = ecdf.regressionPoints(opts_.maxRegressionPoints);
+        auto r = NonlinearLeastSquares::fitCdf(*result.dist, pts, opts_.nls);
+        result.converged = r.converged;
+        result.iterations = r.iterations;
+    } else {
+        result.converged = true;
+    }
+    result.gof = evaluate(*result.dist, data, opts_.maxRegressionPoints);
+    return result;
+}
+
+std::vector<FitResult>
+DistributionFitter::fitAll(std::span<const double> data) const
+{
+    std::vector<FitResult> results;
+    SummaryStats s = SummaryStats::compute(data);
+
+    for (const auto &cand : standardCandidates()) {
+        // Near-constant samples: only the deterministic family is
+        // meaningful; regression on a vertical CDF is ill-posed.
+        if (s.cv < opts_.deterministicCvThreshold &&
+            cand->name() != "deterministic") {
+            continue;
+        }
+        results.push_back(fitOne(data, *cand));
+    }
+
+    std::stable_sort(results.begin(), results.end(),
+                     [&](const FitResult &a, const FitResult &b) {
+                         return a.adjustedR2(data.size()) >
+                                b.adjustedR2(data.size());
+                     });
+    return results;
+}
+
+FitResult
+DistributionFitter::bestFit(std::span<const double> data) const
+{
+    auto all = fitAll(data);
+    for (auto &fr : all) {
+        if (fr.usable)
+            return std::move(fr);
+    }
+    FitResult none;
+    none.dist = std::make_unique<Deterministic>(0.0);
+    return none;
+}
+
+} // namespace cchar::stats

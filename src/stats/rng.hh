@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic sampling in the project flows through Rng, and every
+ * sampler is written by inverse transform / Box-Muller on top of a
+ * single uniform source, so results are identical across standard
+ * library implementations.
+ */
+
+#ifndef CCHAR_STATS_RNG_HH
+#define CCHAR_STATS_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <random>
+
+namespace cchar::stats {
+
+/** Deterministic uniform random source (mt19937_64 core). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+    /** Uniform in [0, 1). */
+    double
+    uniform01()
+    {
+        // 53-bit mantissa from the top bits of a 64-bit draw.
+        return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform in [a, b). */
+    double
+    uniform(double a, double b)
+    {
+        return a + (b - a) * uniform01();
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Rejection-free modulo is fine for our n << 2^64 use cases.
+        return n ? engine_() % n : 0;
+    }
+
+    /** Exponential with the given rate (inverse transform). */
+    double
+    exponential(double rate)
+    {
+        double u = uniform01();
+        // Guard log(0).
+        if (u >= 1.0)
+            u = 0x1.fffffffffffffp-1;
+        return -std::log1p(-u) / rate;
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal01()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = uniform01();
+        double u2 = uniform01();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * std::numbers::pi * u2;
+        spare_ = r * std::sin(theta);
+        haveSpare_ = true;
+        return r * std::cos(theta);
+    }
+
+    double normal(double mu, double sigma) { return mu + sigma * normal01(); }
+
+    /** Bernoulli trial. */
+    bool chance(double p) { return uniform01() < p; }
+
+    std::uint64_t raw() { return engine_(); }
+
+  private:
+    std::mt19937_64 engine_;
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace cchar::stats
+
+#endif // CCHAR_STATS_RNG_HH

@@ -1,0 +1,192 @@
+#include "spatial.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cchar::stats {
+
+DiscretePmf::DiscretePmf(std::vector<double> weights) : p_(std::move(weights))
+{
+    double sum = 0.0;
+    for (double w : p_)
+        sum += w;
+    if (sum > 0.0) {
+        for (double &w : p_)
+            w /= sum;
+    }
+}
+
+DiscretePmf
+DiscretePmf::fromCounts(const std::vector<double> &counts)
+{
+    return DiscretePmf{counts};
+}
+
+double
+DiscretePmf::entropy() const
+{
+    double h = 0.0;
+    for (double p : p_) {
+        if (p > 0.0)
+            h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+DiscretePmf::tvd(const DiscretePmf &other) const
+{
+    double d = 0.0;
+    std::size_t n = std::max(p_.size(), other.p_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        double a = i < p_.size() ? p_[i] : 0.0;
+        double b = i < other.p_.size() ? other.p_[i] : 0.0;
+        d += std::fabs(a - b);
+    }
+    return 0.5 * d;
+}
+
+int
+DiscretePmf::argmax() const
+{
+    if (p_.empty())
+        return -1;
+    return static_cast<int>(
+        std::max_element(p_.begin(), p_.end()) - p_.begin());
+}
+
+int
+DiscretePmf::sample(Rng &rng) const
+{
+    double u = rng.uniform01();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        acc += p_[i];
+        if (u < acc)
+            return static_cast<int>(i);
+    }
+    return argmax();
+}
+
+std::string
+toString(SpatialPattern pattern)
+{
+    switch (pattern) {
+      case SpatialPattern::Uniform:
+        return "uniform";
+      case SpatialPattern::BimodalUniform:
+        return "bimodal-uniform";
+      case SpatialPattern::SingleDestination:
+        return "single-destination";
+      case SpatialPattern::General:
+        return "general";
+    }
+    return "?";
+}
+
+std::string
+SpatialClassification::describe() const
+{
+    std::ostringstream os;
+    os << toString(pattern);
+    switch (pattern) {
+      case SpatialPattern::BimodalUniform:
+        os << "(favorite=" << favorite << ", p_fav=" << favoriteProb
+           << ", p_rest=" << restProb << ")";
+        break;
+      case SpatialPattern::SingleDestination:
+        os << "(dest=" << favorite << ", p=" << favoriteProb << ")";
+        break;
+      case SpatialPattern::Uniform:
+        os << "(p=" << restProb << ")";
+        break;
+      case SpatialPattern::General:
+        break;
+    }
+    return os.str();
+}
+
+SpatialClassification
+SpatialClassifier::classify(const DiscretePmf &pmf, int self) const
+{
+    SpatialClassification out;
+    std::size_t n = pmf.size();
+    if (n == 0)
+        return out;
+
+    // Candidate destination set excludes the source itself.
+    std::vector<std::size_t> dests;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (static_cast<int>(i) != self)
+            dests.push_back(i);
+    }
+    if (dests.empty())
+        return out;
+    double uniformShare = 1.0 / static_cast<double>(dests.size());
+
+    // Favorite destination.
+    std::size_t fav = dests[0];
+    for (std::size_t i : dests) {
+        if (pmf[i] > pmf[fav])
+            fav = i;
+    }
+    double pFav = pmf[fav];
+
+    // Model 1: single destination.
+    if (pFav >= opts_.singleThreshold) {
+        std::vector<double> model(n, 0.0);
+        model[fav] = 1.0;
+        out.pattern = SpatialPattern::SingleDestination;
+        out.favorite = static_cast<int>(fav);
+        out.favoriteProb = pFav;
+        out.model = DiscretePmf{std::move(model)};
+        out.modelTvd = pmf.tvd(out.model);
+        return out;
+    }
+
+    // Model 2: uniform over all other processors.
+    std::vector<double> uniformModel(n, 0.0);
+    for (std::size_t i : dests)
+        uniformModel[i] = uniformShare;
+    DiscretePmf uniformPmf{std::move(uniformModel)};
+    double tvdUniform = pmf.tvd(uniformPmf);
+
+    // Model 3: bimodal uniform — favorite keeps its observed mass,
+    // the remainder is spread equally.
+    std::vector<double> bimodalModel(n, 0.0);
+    double rest = dests.size() > 1
+                      ? (1.0 - pFav) / static_cast<double>(dests.size() - 1)
+                      : 0.0;
+    for (std::size_t i : dests)
+        bimodalModel[i] = (i == fav) ? pFav : rest;
+    DiscretePmf bimodalPmf{std::move(bimodalModel)};
+    double tvdBimodal = pmf.tvd(bimodalPmf);
+
+    if (tvdUniform <= opts_.uniformTolerance) {
+        out.pattern = SpatialPattern::Uniform;
+        out.restProb = uniformShare;
+        out.model = std::move(uniformPmf);
+        out.modelTvd = tvdUniform;
+        return out;
+    }
+    if (pFav >= opts_.favoriteFactor * uniformShare &&
+        tvdBimodal <= opts_.bimodalTolerance) {
+        out.pattern = SpatialPattern::BimodalUniform;
+        out.favorite = static_cast<int>(fav);
+        out.favoriteProb = pFav;
+        out.restProb = rest;
+        out.model = std::move(bimodalPmf);
+        out.modelTvd = tvdBimodal;
+        return out;
+    }
+
+    out.pattern = SpatialPattern::General;
+    out.favorite = static_cast<int>(fav);
+    out.favoriteProb = pFav;
+    out.model = pmf;
+    out.modelTvd = std::min(tvdUniform, tvdBimodal);
+    return out;
+}
+
+} // namespace cchar::stats

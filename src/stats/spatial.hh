@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Spatial (destination) distribution analysis.
+ *
+ * The paper expresses the spatial attribute of an application as the
+ * distribution of message destinations per source and classifies it
+ * against simple models: uniform over all other processors, "bimodal
+ * uniform" (one favorite processor receives the maximum share while
+ * the rest receive equal shares — observed for IS and for 3D-FFT's
+ * broadcast root), a single fixed partner, or a general/irregular
+ * pattern reported by its empirical distribution.
+ */
+
+#ifndef CCHAR_STATS_SPATIAL_HH
+#define CCHAR_STATS_SPATIAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rng.hh"
+
+namespace cchar::stats {
+
+/** Discrete probability mass function over n categories. */
+class DiscretePmf
+{
+  public:
+    DiscretePmf() = default;
+
+    explicit DiscretePmf(std::vector<double> weights);
+
+    /** Build from raw counts. */
+    static DiscretePmf fromCounts(const std::vector<double> &counts);
+
+    std::size_t size() const { return p_.size(); }
+    double operator[](std::size_t i) const { return p_[i]; }
+    const std::vector<double> &probabilities() const { return p_; }
+
+    /** Shannon entropy in bits. */
+    double entropy() const;
+
+    /** Total variation distance to another PMF of the same size. */
+    double tvd(const DiscretePmf &other) const;
+
+    /** Index of the most likely category (-1 if empty). */
+    int argmax() const;
+
+    /** Draw a category by inverse transform. */
+    int sample(Rng &rng) const;
+
+  private:
+    std::vector<double> p_;
+};
+
+/** Spatial pattern families. */
+enum class SpatialPattern
+{
+    Uniform,           ///< equal share to every other processor
+    BimodalUniform,    ///< one favorite + equal share to the rest
+    SingleDestination, ///< essentially one partner
+    General,           ///< irregular; reported empirically
+};
+
+/** Name of a SpatialPattern value. */
+std::string toString(SpatialPattern pattern);
+
+/** Result of classifying one source's destination distribution. */
+struct SpatialClassification
+{
+    SpatialPattern pattern = SpatialPattern::General;
+    /** Favorite destination (meaningful for Bimodal/Single). */
+    int favorite = -1;
+    /** Probability mass at the favorite destination. */
+    double favoriteProb = 0.0;
+    /** Per-destination probability of the non-favorite remainder. */
+    double restProb = 0.0;
+    /** Total variation distance between data and the fitted model. */
+    double modelTvd = 1.0;
+    /** The fitted model PMF (same support as the input). */
+    DiscretePmf model;
+
+    std::string describe() const;
+};
+
+/** Classifier for destination PMFs. */
+class SpatialClassifier
+{
+  public:
+    struct Options
+    {
+        /** Max TVD to accept the uniform model. */
+        double uniformTolerance = 0.08;
+        /** Max TVD to accept the bimodal-uniform model. */
+        double bimodalTolerance = 0.08;
+        /** Min favorite mass (relative to uniform share) for bimodal. */
+        double favoriteFactor = 1.5;
+        /** Favorite mass above which the pattern is single-partner. */
+        double singleThreshold = 0.90;
+    };
+
+    SpatialClassifier() : opts_(Options{}) {}
+
+    explicit SpatialClassifier(Options opts) : opts_(opts) {}
+
+    /**
+     * Classify a destination PMF.
+     * @param pmf  Destination probabilities; entry `self` (if >= 0)
+     *             must be ~0 and is excluded from the candidate models.
+     * @param self Index of the source processor, or -1.
+     */
+    SpatialClassification classify(const DiscretePmf &pmf,
+                                   int self = -1) const;
+
+  private:
+    Options opts_;
+};
+
+} // namespace cchar::stats
+
+#endif // CCHAR_STATS_SPATIAL_HH

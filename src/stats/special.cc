@@ -1,0 +1,73 @@
+#include "special.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace cchar::stats {
+
+namespace {
+
+constexpr int maxIterations = 500;
+constexpr double epsilon = 3.0e-12;
+
+double
+gammaPSeries(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < maxIterations; ++i) {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if (std::fabs(del) < std::fabs(sum) * epsilon)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+double
+gammaQContinuedFraction(double a, double x)
+{
+    const double fpmin = std::numeric_limits<double>::min() / epsilon;
+    double b = x + 1.0 - a;
+    double c = 1.0 / fpmin;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= maxIterations; ++i) {
+        double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = b + an / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < epsilon)
+            break;
+    }
+    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+} // namespace
+
+double
+regularizedGammaP(double a, double x)
+{
+    if (x <= 0.0 || a <= 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+} // namespace cchar::stats

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Special functions needed by the distribution library: regularized
+ * incomplete gamma, and the standard normal CDF.
+ */
+
+#ifndef CCHAR_STATS_SPECIAL_HH
+#define CCHAR_STATS_SPECIAL_HH
+
+namespace cchar::stats {
+
+/**
+ * Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a).
+ * Series expansion for x < a + 1, continued fraction otherwise
+ * (Numerical-Recipes-style algorithm).
+ */
+double regularizedGammaP(double a, double x);
+
+/** Standard normal CDF Phi(z). */
+double normalCdf(double z);
+
+} // namespace cchar::stats
+
+#endif // CCHAR_STATS_SPECIAL_HH

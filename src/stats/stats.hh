@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Umbrella header for the statistical analysis library (the SAS
+ * substitute of the reproduction).
+ */
+
+#ifndef CCHAR_STATS_STATS_HH
+#define CCHAR_STATS_STATS_HH
+
+#include "distribution.hh"
+#include "distributions.hh"
+#include "fit.hh"
+#include "rng.hh"
+#include "spatial.hh"
+#include "special.hh"
+#include "summary.hh"
+
+#endif // CCHAR_STATS_STATS_HH

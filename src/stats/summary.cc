@@ -1,0 +1,120 @@
+#include "summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cchar::stats {
+
+namespace {
+
+double
+percentileOfSorted(const std::vector<double> &xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    double pos = q * static_cast<double>(xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace
+
+SummaryStats
+SummaryStats::compute(std::span<const double> sample)
+{
+    SummaryStats s;
+    s.count = sample.size();
+    if (s.count == 0)
+        return s;
+
+    double sum = 0.0;
+    for (double x : sample)
+        sum += x;
+    s.mean = sum / static_cast<double>(s.count);
+
+    double m2 = 0.0, m3 = 0.0;
+    for (double x : sample) {
+        double d = x - s.mean;
+        m2 += d * d;
+        m3 += d * d * d;
+    }
+    m2 /= static_cast<double>(s.count);
+    m3 /= static_cast<double>(s.count);
+    s.variance = m2 > 0.0 ? m2 : 0.0;
+    s.stddev = std::sqrt(s.variance);
+    s.cv = s.mean != 0.0 ? s.stddev / s.mean : 0.0;
+    s.skewness = s.stddev > 0.0 ? m3 / (s.stddev * s.stddev * s.stddev)
+                                : 0.0;
+
+    std::vector<double> xs(sample.begin(), sample.end());
+    std::sort(xs.begin(), xs.end());
+    s.min = xs.front();
+    s.max = xs.back();
+    s.median = percentileOfSorted(xs, 0.50);
+    s.p90 = percentileOfSorted(xs, 0.90);
+    s.p99 = percentileOfSorted(xs, 0.99);
+    return s;
+}
+
+Histogram::Histogram(std::span<const double> xs, std::size_t bins)
+{
+    if (bins == 0)
+        bins = 1;
+    double lo = 0.0, hi = 1.0;
+    if (!xs.empty()) {
+        lo = *std::min_element(xs.begin(), xs.end());
+        hi = *std::max_element(xs.begin(), xs.end());
+    }
+    if (hi <= lo)
+        hi = lo + 1.0;
+    double width = (hi - lo) / static_cast<double>(bins);
+    bins_.reserve(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+        bins_.push_back({lo + width * static_cast<double>(i),
+                         lo + width * static_cast<double>(i + 1), 0});
+    }
+    for (double x : xs) {
+        auto idx = static_cast<std::size_t>((x - lo) / width);
+        if (idx >= bins)
+            idx = bins - 1;
+        ++bins_[idx].count;
+        ++total_;
+    }
+}
+
+Ecdf::Ecdf(std::span<const double> xs) : xs_(xs.begin(), xs.end())
+{
+    std::sort(xs_.begin(), xs_.end());
+}
+
+double
+Ecdf::operator()(double x) const
+{
+    if (xs_.empty())
+        return 0.0;
+    auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    return static_cast<double>(it - xs_.begin()) /
+           static_cast<double>(xs_.size());
+}
+
+std::vector<std::pair<double, double>>
+Ecdf::regressionPoints(std::size_t max_points) const
+{
+    std::vector<std::pair<double, double>> pts;
+    std::size_t n = xs_.size();
+    if (n == 0 || max_points == 0)
+        return pts;
+    std::size_t stride = n > max_points ? n / max_points : 1;
+    pts.reserve(n / stride + 1);
+    for (std::size_t i = stride - 1; i < n; i += stride) {
+        // Midpoint plotting position (Hazen) avoids F == 0 and F == 1
+        // endpoints, which destabilize CDF regression.
+        double f = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+        pts.emplace_back(xs_[i], f);
+    }
+    return pts;
+}
+
+} // namespace cchar::stats

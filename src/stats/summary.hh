@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sample summaries: moments, order statistics, empirical CDF and
+ * histogram construction. These are the raw-material views the SAS
+ * regression step of the paper consumed.
+ */
+
+#ifndef CCHAR_STATS_SUMMARY_HH
+#define CCHAR_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cchar::stats {
+
+/** Moments and order statistics of a sample. */
+struct SummaryStats
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;  ///< population variance
+    double stddev = 0.0;
+    double cv = 0.0;        ///< coefficient of variation
+    double skewness = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    /** Compute all fields from a sample (does not need to be sorted). */
+    static SummaryStats compute(std::span<const double> xs);
+};
+
+/** One bin of a histogram. */
+struct HistogramBin
+{
+    double lo;
+    double hi;
+    std::size_t count;
+
+    double mid() const { return 0.5 * (lo + hi); }
+};
+
+/** Fixed-width histogram over a sample. */
+class Histogram
+{
+  public:
+    /**
+     * Build a histogram with the given number of equal-width bins
+     * spanning [min, max] of the sample.
+     */
+    Histogram(std::span<const double> xs, std::size_t bins);
+
+    const std::vector<HistogramBin> &bins() const { return bins_; }
+    std::size_t total() const { return total_; }
+
+    /** Relative frequency of bin i. */
+    double
+    frequency(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(bins_[i].count) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+  private:
+    std::vector<HistogramBin> bins_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Empirical cumulative distribution function.
+ *
+ * Also provides the decimated (x, F(x)) point set used as the
+ * regression target when fitting candidate CDFs, mirroring the paper's
+ * use of SAS non-linear regression on the observed distribution.
+ */
+class Ecdf
+{
+  public:
+    explicit Ecdf(std::span<const double> xs);
+
+    /** F(x) = fraction of observations <= x. */
+    double operator()(double x) const;
+
+    std::size_t size() const { return xs_.size(); }
+    const std::vector<double> &sorted() const { return xs_; }
+
+    /** Regression point set: at most maxPoints (x, F) pairs. */
+    std::vector<std::pair<double, double>>
+    regressionPoints(std::size_t max_points = 200) const;
+
+  private:
+    std::vector<double> xs_; // sorted
+};
+
+} // namespace cchar::stats
+
+#endif // CCHAR_STATS_SUMMARY_HH

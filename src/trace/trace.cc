@@ -1,0 +1,95 @@
+#include "trace.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cchar::trace {
+
+namespace {
+
+MessageKind
+kindFromString(const std::string &s)
+{
+    if (s == "data")
+        return MessageKind::Data;
+    if (s == "control")
+        return MessageKind::Control;
+    if (s == "sync")
+        return MessageKind::Sync;
+    throw std::runtime_error("trace: unknown message kind '" + s + "'");
+}
+
+} // namespace
+
+std::vector<TraceEvent>
+Trace::eventsOfSource(int src) const
+{
+    std::vector<TraceEvent> out;
+    for (const auto &ev : events_) {
+        if (ev.src == src)
+            out.push_back(ev);
+    }
+    return out;
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "cchar-trace v1 " << nprocs_ << " " << events_.size() << "\n";
+    for (const auto &ev : events_) {
+        os << ev.src << " " << ev.dst << " " << ev.bytes << " "
+           << toString(ev.kind) << " " << ev.sinceLast << "\n";
+    }
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    std::string magic, version;
+    int nprocs = 0;
+    std::size_t count = 0;
+    if (!(is >> magic >> version >> nprocs >> count) ||
+        magic != "cchar-trace" || version != "v1") {
+        throw std::runtime_error("trace: bad header");
+    }
+    if (nprocs <= 0)
+        throw std::runtime_error("trace: invalid processor count");
+
+    Trace t{nprocs};
+    for (std::size_t i = 0; i < count; ++i) {
+        TraceEvent ev;
+        std::string kind;
+        if (!(is >> ev.src >> ev.dst >> ev.bytes >> kind >> ev.sinceLast))
+            throw std::runtime_error("trace: truncated event list");
+        if (ev.src < 0 || ev.src >= nprocs || ev.dst < 0 ||
+            ev.dst >= nprocs) {
+            throw std::runtime_error("trace: node id out of range");
+        }
+        if (ev.bytes < 0 || ev.sinceLast < 0.0)
+            throw std::runtime_error("trace: negative field");
+        ev.kind = kindFromString(kind);
+        t.add(ev);
+    }
+    return t;
+}
+
+void
+Trace::saveFile(const std::string &path) const
+{
+    std::ofstream f{path};
+    if (!f)
+        throw std::runtime_error("trace: cannot open " + path);
+    save(f);
+}
+
+Trace
+Trace::loadFile(const std::string &path)
+{
+    std::ifstream f{path};
+    if (!f)
+        throw std::runtime_error("trace: cannot open " + path);
+    return load(f);
+}
+
+} // namespace cchar::trace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the analytical wormhole mesh model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/fft1d.hh"
+#include "apps/is.hh"
+#include "core/core.hh"
+
+namespace {
+
+using namespace cchar;
+using namespace cchar::core;
+
+ccnuma::MachineConfig
+machine4x4()
+{
+    ccnuma::MachineConfig cfg;
+    cfg.mesh.width = 4;
+    cfg.mesh.height = 4;
+    return cfg;
+}
+
+CharacterizationReport
+fftReport()
+{
+    apps::Fft1D::Params p;
+    p.n = 128;
+    apps::Fft1D app{p};
+    CharacterizationPipeline pipeline;
+    return pipeline.runDynamic(app, machine4x4());
+}
+
+TEST(Analytic, ChannelLoadsConserveRoutedTraffic)
+{
+    auto report = fftReport();
+    auto loads = AnalyticMeshModel::channelLoads(report);
+    // Sum over channels of lambda_ch equals sum over flows of
+    // rate * hops (each hop contributes once).
+    double lhs = 0.0;
+    for (double l : loads)
+        lhs += l;
+    double makespan = report.network.makespan;
+    double rhs = 0.0;
+    for (const auto &sf : report.spatialPerSource) {
+        double rate = report.volume.perSourceCounts[static_cast<
+                          std::size_t>(sf.source)] /
+                      makespan;
+        const auto &pmf = sf.classification.model;
+        for (std::size_t dst = 0; dst < pmf.size(); ++dst) {
+            if (static_cast<int>(dst) == sf.source || pmf[dst] <= 0.0)
+                continue;
+            int sx = sf.source % 4, sy = sf.source / 4;
+            int dx = static_cast<int>(dst) % 4;
+            int dy = static_cast<int>(dst) / 4;
+            int hops = std::abs(sx - dx) + std::abs(sy - dy);
+            rhs += rate * pmf[dst] * hops;
+        }
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, rhs));
+}
+
+TEST(Analytic, LoadFactorScalesChannelLoadsLinearly)
+{
+    auto report = fftReport();
+    auto base = AnalyticMeshModel::channelLoads(report, 1.0);
+    auto doubled = AnalyticMeshModel::channelLoads(report, 2.0);
+    ASSERT_EQ(base.size(), doubled.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_NEAR(doubled[i], 2.0 * base[i], 1e-12);
+}
+
+TEST(Analytic, LatencyMonotoneInLoad)
+{
+    auto report = fftReport();
+    double prev = 0.0;
+    for (double load : {0.5, 1.0, 2.0, 4.0}) {
+        auto pred = AnalyticMeshModel::evaluate(report, load);
+        EXPECT_GE(pred.latencyMean, prev);
+        prev = pred.latencyMean;
+    }
+}
+
+TEST(Analytic, SaturationFlagsInstability)
+{
+    auto report = fftReport();
+    auto ok = AnalyticMeshModel::evaluate(report, 1.0);
+    EXPECT_TRUE(ok.stable);
+    auto saturated = AnalyticMeshModel::evaluate(report, 500.0);
+    EXPECT_FALSE(saturated.stable);
+    EXPECT_GT(saturated.maxChannelUtilization, 1.0);
+}
+
+TEST(Analytic, PredictionWithinFactorOfSimulationAtOperatingPoint)
+{
+    // The model is an approximation; at the fitted operating point it
+    // must land within a factor of ~4 of the simulated latency and
+    // utilization for the regular shared-memory workloads.
+    apps::IntegerSort::Params p;
+    p.n = 512;
+    p.buckets = 16;
+    apps::IntegerSort app{p};
+    CharacterizationPipeline pipeline;
+    auto report = pipeline.runDynamic(app, machine4x4());
+    auto pred = AnalyticMeshModel::evaluate(report);
+    EXPECT_TRUE(pred.stable);
+    EXPECT_GT(pred.latencyMean, 0.0);
+    double ratio = report.network.latencyMean / pred.latencyMean;
+    EXPECT_GT(ratio, 0.25);
+    EXPECT_LT(ratio, 4.0);
+    double utilRatio = report.network.avgChannelUtilization /
+                       std::max(pred.avgChannelUtilization, 1e-9);
+    EXPECT_GT(utilRatio, 0.25);
+    EXPECT_LT(utilRatio, 4.0);
+}
+
+TEST(Analytic, EmptyReportYieldsZeroPrediction)
+{
+    CharacterizationReport report;
+    report.nprocs = 16;
+    auto pred = AnalyticMeshModel::evaluate(report);
+    EXPECT_DOUBLE_EQ(pred.latencyMean, 0.0);
+    EXPECT_TRUE(pred.stable);
+}
+
+} // namespace

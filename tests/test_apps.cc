@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Application tests: every workload must run to completion on the
+ * simulated machine, produce a correct (self-verified) result, and
+ * generate traffic with the phase/pattern structure the paper
+ * describes for it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/cholesky.hh"
+#include "apps/fft1d.hh"
+#include "apps/fft3d.hh"
+#include "apps/fft_util.hh"
+#include "apps/is.hh"
+#include "apps/maxflow.hh"
+#include "apps/mg.hh"
+#include "apps/nbody.hh"
+#include "apps/sor.hh"
+
+namespace {
+
+using namespace cchar;
+using namespace cchar::apps;
+
+ccnuma::MachineConfig
+machine4x4()
+{
+    ccnuma::MachineConfig cfg;
+    cfg.mesh.width = 4;
+    cfg.mesh.height = 4;
+    return cfg;
+}
+
+mp::MpConfig
+world8()
+{
+    mp::MpConfig cfg;
+    cfg.mesh.width = 4;
+    cfg.mesh.height = 2;
+    return cfg;
+}
+
+// --------------------------------------------------------------------
+// FFT utilities
+
+TEST(FftUtil, MatchesNaiveDft)
+{
+    std::vector<Complex> xs;
+    for (int i = 0; i < 16; ++i)
+        xs.push_back(Complex{std::sin(0.3 * i), std::cos(0.7 * i)});
+    auto want = naiveDft(xs);
+    auto got = xs;
+    fftInPlace(got);
+    EXPECT_LT(maxError(got, want), 1e-9);
+}
+
+TEST(FftUtil, RoundTripIdentity)
+{
+    std::vector<Complex> xs;
+    for (int i = 0; i < 64; ++i)
+        xs.push_back(Complex{1.0 * i, -0.5 * i});
+    auto orig = xs;
+    fftInPlace(xs, false);
+    fftInPlace(xs, true);
+    for (auto &v : xs)
+        v /= 64.0;
+    EXPECT_LT(maxError(xs, orig), 1e-9);
+}
+
+TEST(FftUtil, RejectsNonPowerOfTwo)
+{
+    std::vector<Complex> xs(12);
+    EXPECT_THROW(fftInPlace(xs), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------
+// Shared-memory applications
+
+TEST(AppFft1D, RunsAndVerifies)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    Fft1D::Params p;
+    p.n = 128;
+    Fft1D app{p};
+    launch(m, app);
+    m.run();
+    EXPECT_TRUE(app.verify());
+    EXPECT_GT(m.log().size(), 100u);
+}
+
+TEST(AppFft1D, EarlyStagesAreLocal)
+{
+    // The first log2(n/P) stages only touch the processor's own
+    // block: traffic (beyond barriers) concentrates in the later
+    // stages — visible as sync-only messages early on.
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    Fft1D::Params p;
+    p.n = 128; // block = 8, stages 1..3 local
+    Fft1D app{p};
+    launch(m, app);
+    m.run();
+    // Data messages must exist (remote phases) and sync messages too.
+    EXPECT_GT(m.log().filterKind(trace::MessageKind::Data).size(), 0u);
+    EXPECT_GT(m.log().filterKind(trace::MessageKind::Sync).size(), 0u);
+}
+
+TEST(AppIntegerSort, RunsAndVerifies)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    IntegerSort::Params p;
+    p.n = 512;
+    p.buckets = 16;
+    IntegerSort app{p};
+    launch(m, app);
+    m.run();
+    EXPECT_TRUE(app.verify());
+}
+
+TEST(AppIntegerSort, Processor0IsTheFavoriteDestination)
+{
+    // The paper: "one processor gets the maximum number of messages
+    // and the rest of them get equal number of messages."
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    IntegerSort::Params p;
+    p.n = 512;
+    p.buckets = 16;
+    IntegerSort app{p};
+    launch(m, app);
+    m.run();
+    for (int src = 1; src < 16; ++src) {
+        auto counts = m.log().destinationCounts(src);
+        auto maxIt = std::max_element(counts.begin(), counts.end());
+        EXPECT_EQ(static_cast<int>(maxIt - counts.begin()), 0)
+            << "source " << src;
+    }
+}
+
+TEST(AppCholesky, RunsAndVerifies)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    SparseCholesky::Params p;
+    p.n = 24;
+    SparseCholesky app{p};
+    launch(m, app);
+    m.run();
+    EXPECT_TRUE(app.verify());
+    EXPECT_GT(m.log().size(), 100u);
+}
+
+TEST(AppCholesky, DifferentSeedsDifferentTraffic)
+{
+    // Data-dependent pattern: the sparsity structure (seed) must
+    // change the generated traffic.
+    auto countFor = [](std::uint64_t seed) {
+        desim::Simulator sim;
+        ccnuma::Machine m{sim, machine4x4()};
+        SparseCholesky::Params p;
+        p.n = 24;
+        p.seed = seed;
+        SparseCholesky app{p};
+        launch(m, app);
+        m.run();
+        EXPECT_TRUE(app.verify());
+        return m.log().size();
+    };
+    EXPECT_NE(countFor(1), countFor(99));
+}
+
+TEST(AppMaxflow, RunsAndMatchesEdmondsKarp)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    Maxflow::Params p;
+    p.n = 20;
+    Maxflow app{p};
+    launch(m, app);
+    m.run();
+    EXPECT_TRUE(app.verify());
+    EXPECT_GT(app.referenceFlow(), 0.0);
+}
+
+TEST(AppMaxflow, MultipleSeeds)
+{
+    for (std::uint64_t seed : {5ull, 23ull, 77ull}) {
+        desim::Simulator sim;
+        ccnuma::Machine m{sim, machine4x4()};
+        Maxflow::Params p;
+        p.n = 16;
+        p.seed = seed;
+        Maxflow app{p};
+        launch(m, app);
+        m.run();
+        EXPECT_TRUE(app.verify()) << "seed " << seed;
+    }
+}
+
+TEST(AppNbody, MatchesSequentialReferenceExactly)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    Nbody::Params p;
+    p.n = 32;
+    p.steps = 2;
+    Nbody app{p};
+    launch(m, app);
+    m.run();
+    EXPECT_TRUE(app.verify());
+}
+
+TEST(AppNbody, ForcePhaseReadsDominateTraffic)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    Nbody::Params p;
+    p.n = 32;
+    p.steps = 1;
+    Nbody app{p};
+    launch(m, app);
+    m.run();
+    // Reads of other blocks: data messages far outnumber sync.
+    auto data = m.log().filterKind(trace::MessageKind::Data).size();
+    auto sync = m.log().filterKind(trace::MessageKind::Sync).size();
+    EXPECT_GT(data, sync);
+}
+
+// --------------------------------------------------------------------
+// Message-passing applications
+
+TEST(AppFft3D, RunsAndVerifies)
+{
+    desim::Simulator sim;
+    mp::MpWorld world{sim, world8()};
+    Fft3D::Params p;
+    p.nx = p.ny = p.nz = 8;
+    p.iterations = 1;
+    Fft3D app{p};
+    launch(world, app);
+    world.run();
+    EXPECT_TRUE(app.verify());
+    EXPECT_GT(world.log().size(), 50u);
+}
+
+TEST(AppFft3D, BroadcastRootFavoriteButVolumeUniform)
+{
+    // The paper's Figure 9 shape: message count favors p0, byte
+    // volume stays roughly uniform (dominated by the all-to-all).
+    desim::Simulator sim;
+    mp::MpWorld world{sim, world8()};
+    Fft3D::Params p;
+    p.nx = p.ny = p.nz = 8;
+    p.iterations = 3;
+    Fft3D app{p};
+    launch(world, app);
+    world.run();
+    int favoriteHits = 0;
+    for (int src = 1; src < 8; ++src) {
+        auto counts = world.log().destinationCounts(src);
+        auto maxIt = std::max_element(counts.begin(), counts.end());
+        if (maxIt - counts.begin() == 0)
+            ++favoriteHits;
+        // Byte volume: p0's share must not dominate similarly.
+        auto bytes = world.log().destinationBytes(src);
+        double total = 0.0;
+        for (double b : bytes)
+            total += b;
+        EXPECT_LT(bytes[0], 0.4 * total) << "source " << src;
+    }
+    EXPECT_GE(favoriteHits, 5);
+}
+
+TEST(AppMultigrid, ResidualDropsAcrossVCycles)
+{
+    desim::Simulator sim;
+    mp::MpWorld world{sim, world8()};
+    Multigrid::Params p;
+    p.n = 16;
+    p.levels = 3;
+    p.vCycles = 2;
+    Multigrid app{p};
+    launch(world, app);
+    world.run();
+    EXPECT_TRUE(app.verify());
+    const auto &hist = app.residualHistory();
+    ASSERT_EQ(hist.size(), 3u);
+    EXPECT_LT(hist[2], hist[1]);
+    EXPECT_LT(hist[1], hist[0]);
+}
+
+TEST(AppMultigrid, NeighbourTrafficDominatesPt2Pt)
+{
+    // Ghost exchanges between rank-space neighbours: most data
+    // messages travel to rank +-1.
+    desim::Simulator sim;
+    mp::MpWorld world{sim, world8()};
+    Multigrid::Params p;
+    p.n = 16;
+    p.levels = 3;
+    p.vCycles = 1;
+    Multigrid app{p};
+    launch(world, app);
+    world.run();
+    auto data = world.log().filterKind(trace::MessageKind::Data);
+    std::size_t neighbour = 0;
+    for (const auto &r : data.records()) {
+        if (std::abs(r.src - r.dst) == 1)
+            ++neighbour;
+    }
+    EXPECT_GT(neighbour, data.size() / 2);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// SOR (extension workload)
+
+namespace {
+
+TEST(AppSor, MatchesSequentialReferenceExactly)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    RedBlackSor::Params p;
+    p.n = 32;
+    p.iterations = 2;
+    RedBlackSor app{p};
+    launch(m, app);
+    m.run();
+    EXPECT_TRUE(app.verify());
+    EXPECT_GT(m.log().size(), 50u);
+}
+
+TEST(AppSor, TrafficIsNearestNeighbourDominated)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    RedBlackSor::Params p;
+    p.n = 32;
+    p.iterations = 2;
+    RedBlackSor app{p};
+    launch(m, app);
+    m.run();
+    // Row-block partitioning on the 4x4 mesh: block i talks to
+    // blocks i±1, which are (mostly) adjacent nodes. Most data
+    // traffic stays within 1 hop.
+    auto data = m.log().filterKind(trace::MessageKind::Data);
+    std::size_t oneHop = 0;
+    for (const auto &r : data.records()) {
+        int sx = r.src % 4, sy = r.src / 4;
+        int dx = r.dst % 4, dy = r.dst / 4;
+        if (std::abs(sx - dx) + std::abs(sy - dy) == 1)
+            ++oneHop;
+    }
+    EXPECT_GT(oneHop, data.size() / 2);
+}
+
+TEST(AppSor, RejectsBadGeometry)
+{
+    desim::Simulator sim;
+    ccnuma::Machine m{sim, machine4x4()};
+    RedBlackSor::Params p;
+    p.n = 30; // not a multiple of 16
+    RedBlackSor app{p};
+    EXPECT_THROW(app.setup(m), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit tests for the message-passing runtime: point-to-point matching,
+ * the SP2 overhead model, collectives, and trace collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mp/mp.hh"
+
+namespace {
+
+using namespace cchar;
+using namespace cchar::mp;
+using desim::Simulator;
+using desim::Task;
+
+MpConfig
+smallWorld(int width = 4, int height = 2)
+{
+    MpConfig cfg;
+    cfg.mesh.width = width;
+    cfg.mesh.height = height;
+    return cfg;
+}
+
+TEST(MpPt2Pt, SendRecvDeliversBytes)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    int got = 0;
+    world.spawnRank(0, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 0};
+        co_await ctx.send(1, 256);
+    }(world));
+    world.spawnRank(1, [](MpWorld &w, int &out) -> Task<void> {
+        MpContext ctx{w, 1};
+        out = co_await ctx.recv(0);
+    }(world, got));
+    world.run();
+    EXPECT_EQ(got, 256);
+    EXPECT_EQ(world.log().size(), 1u);
+    EXPECT_EQ(world.log().records()[0].bytes, 256);
+}
+
+TEST(MpPt2Pt, Sp2OverheadModelApplied)
+{
+    // End-to-end completion time of one message must include the full
+    // software overhead 73.42 + 0.0463 x plus network time.
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    double done = 0.0;
+    const int bytes = 1000;
+    world.spawnRank(0, [](MpWorld &w, int n) -> Task<void> {
+        MpContext ctx{w, 0};
+        co_await ctx.send(1, n);
+    }(world, bytes));
+    world.spawnRank(1, [](MpWorld &w, double &t) -> Task<void> {
+        MpContext ctx{w, 1};
+        (void)co_await ctx.recv(0);
+        t = w.sim().now();
+    }(world, done));
+    world.run();
+    double overhead = 73.42 + 0.0463 * bytes;
+    EXPECT_GE(done, overhead);
+    // Network adds little on an unloaded mesh: total < overhead + 5us.
+    EXPECT_LT(done, overhead + 5.0);
+}
+
+TEST(MpPt2Pt, TagsMatchIndependently)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    std::vector<int> got;
+    world.spawnRank(0, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 0};
+        co_await ctx.send(1, 100, 7);
+        co_await ctx.send(1, 200, 9);
+    }(world));
+    world.spawnRank(1, [](MpWorld &w, std::vector<int> &out) -> Task<void> {
+        MpContext ctx{w, 1};
+        // Receive in the opposite tag order.
+        out.push_back(co_await ctx.recv(0, 9));
+        out.push_back(co_await ctx.recv(0, 7));
+    }(world, got));
+    world.run();
+    EXPECT_EQ(got, (std::vector<int>{200, 100}));
+}
+
+TEST(MpPt2Pt, SameTagIsFifo)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    std::vector<int> got;
+    world.spawnRank(0, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 0};
+        for (int i = 1; i <= 3; ++i)
+            co_await ctx.send(1, i * 10);
+    }(world));
+    world.spawnRank(1, [](MpWorld &w, std::vector<int> &out) -> Task<void> {
+        MpContext ctx{w, 1};
+        for (int i = 0; i < 3; ++i)
+            out.push_back(co_await ctx.recv(0));
+    }(world, got));
+    world.run();
+    EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(MpPt2Pt, SelfSendRejected)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    world.spawnRank(0, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 0};
+        co_await ctx.send(0, 8);
+    }(world));
+    EXPECT_THROW(world.run(), std::invalid_argument);
+}
+
+TEST(MpPt2Pt, UnmatchedRecvIsDeadlock)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    world.spawnRank(0, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 0};
+        (void)co_await ctx.recv(1);
+    }(world));
+    EXPECT_THROW(world.run(), std::runtime_error);
+}
+
+TEST(MpCollective, BarrierHoldsEveryoneBack)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    std::vector<double> times(8, -1.0);
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank,
+                              std::vector<double> &ts) -> Task<void> {
+            MpContext ctx{w, rank};
+            co_await ctx.compute(100.0 * rank);
+            co_await ctx.barrier();
+            ts[static_cast<std::size_t>(rank)] = w.sim().now();
+        }(world, r, times));
+    }
+    world.run();
+    for (double t : times)
+        EXPECT_GE(t, 700.0);
+}
+
+TEST(MpCollective, BcastRootIsFavoriteByMessageCount)
+{
+    // The paper's Figure-9 phenomenon: with root-0 broadcasts, every
+    // rank's most frequent destination is p0 (completion acks), while
+    // byte volume to p0 stays small.
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank) -> Task<void> {
+            MpContext ctx{w, rank};
+            for (int round = 0; round < 10; ++round)
+                co_await ctx.bcast(0, 4096);
+        }(world, r));
+    }
+    world.run();
+    for (int r = 1; r < 8; ++r) {
+        auto counts = world.log().destinationCounts(r);
+        auto maxIt = std::max_element(counts.begin(), counts.end());
+        EXPECT_EQ(maxIt - counts.begin(), 0) << "rank " << r;
+    }
+    // Root's own sends spread uniformly over the other ranks.
+    auto rootCounts = world.log().destinationCounts(0);
+    for (int r = 2; r < 8; ++r)
+        EXPECT_DOUBLE_EQ(rootCounts[static_cast<std::size_t>(r)],
+                         rootCounts[1]);
+}
+
+TEST(MpCollective, ReduceConvergesToRoot)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank) -> Task<void> {
+            MpContext ctx{w, rank};
+            co_await ctx.reduce(2, 512);
+        }(world, r));
+    }
+    world.run();
+    // Binomial tree on 8 ranks: 7 messages total.
+    EXPECT_EQ(world.log().size(), 7u);
+    // The root receives from its direct children only.
+    auto toRoot = 0.0;
+    for (const auto &rec : world.log().records()) {
+        EXPECT_EQ(rec.bytes, 512);
+        if (rec.dst == 2)
+            toRoot += 1.0;
+    }
+    EXPECT_DOUBLE_EQ(toRoot, 3.0); // log2(8) children
+}
+
+TEST(MpCollective, AlltoallIsFullExchange)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank) -> Task<void> {
+            MpContext ctx{w, rank};
+            co_await ctx.alltoall(128);
+        }(world, r));
+    }
+    world.run();
+    EXPECT_EQ(world.log().size(), 56u); // 8 * 7
+    for (int src = 0; src < 8; ++src) {
+        auto counts = world.log().destinationCounts(src);
+        for (int dst = 0; dst < 8; ++dst) {
+            EXPECT_DOUBLE_EQ(counts[static_cast<std::size_t>(dst)],
+                             dst == src ? 0.0 : 1.0);
+        }
+    }
+}
+
+TEST(MpCollective, AllreduceReachesEveryone)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    int done = 0;
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank, int &d) -> Task<void> {
+            MpContext ctx{w, rank};
+            co_await ctx.allreduce(64);
+            ++d;
+        }(world, r, done));
+    }
+    world.run();
+    EXPECT_EQ(done, 8);
+}
+
+TEST(MpTrace, CollectsSinceLastDeltas)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    world.enableTracing();
+    world.spawnRank(0, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 0};
+        co_await ctx.compute(50.0);
+        co_await ctx.send(1, 100);
+        co_await ctx.compute(25.0);
+        co_await ctx.send(2, 200);
+    }(world));
+    world.spawnRank(1, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 1};
+        (void)co_await ctx.recv(0);
+    }(world));
+    world.spawnRank(2, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 2};
+        (void)co_await ctx.recv(0);
+    }(world));
+    world.run();
+    const auto &tr = world.collectedTrace();
+    ASSERT_EQ(tr.size(), 2u);
+    EXPECT_EQ(tr.events()[0].src, 0);
+    EXPECT_EQ(tr.events()[0].dst, 1);
+    EXPECT_EQ(tr.events()[0].bytes, 100);
+    EXPECT_DOUBLE_EQ(tr.events()[0].sinceLast, 50.0);
+    EXPECT_EQ(tr.events()[1].dst, 2);
+    EXPECT_DOUBLE_EQ(tr.events()[1].sinceLast, 25.0);
+}
+
+TEST(MpTrace, DisabledByDefault)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    world.spawnRank(0, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 0};
+        co_await ctx.send(1, 8);
+    }(world));
+    world.spawnRank(1, [](MpWorld &w) -> Task<void> {
+        MpContext ctx{w, 1};
+        (void)co_await ctx.recv(0);
+    }(world));
+    world.run();
+    EXPECT_EQ(world.collectedTrace().size(), 0u);
+}
+
+TEST(MpProperty, DeterministicAcrossRuns)
+{
+    auto runOnce = [] {
+        Simulator sim;
+        MpWorld world{sim, smallWorld()};
+        for (int r = 0; r < 8; ++r) {
+            world.spawnRank(r, [](MpWorld &w, int rank) -> Task<void> {
+                MpContext ctx{w, rank};
+                for (int i = 0; i < 5; ++i) {
+                    co_await ctx.alltoall(64 + 8 * rank);
+                    co_await ctx.barrier();
+                }
+            }(world, r));
+        }
+        world.run();
+        std::vector<double> sig;
+        for (const auto &rec : world.log().records()) {
+            sig.push_back(rec.injectTime);
+            sig.push_back(rec.src * 10.0 + rec.dst);
+        }
+        return sig;
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// gather / scatter / allgather (extension tests)
+
+namespace {
+
+TEST(MpCollective, GatherConvergesLinearly)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank) -> Task<void> {
+            MpContext ctx{w, rank};
+            co_await ctx.gather(3, 256);
+        }(world, r));
+    }
+    world.run();
+    EXPECT_EQ(world.log().size(), 7u);
+    for (const auto &rec : world.log().records())
+        EXPECT_EQ(rec.dst, 3);
+}
+
+TEST(MpCollective, ScatterFansOut)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank) -> Task<void> {
+            MpContext ctx{w, rank};
+            co_await ctx.scatter(2, 128);
+        }(world, r));
+    }
+    world.run();
+    EXPECT_EQ(world.log().size(), 7u);
+    for (const auto &rec : world.log().records())
+        EXPECT_EQ(rec.src, 2);
+}
+
+TEST(MpCollective, AllgatherRingCompletes)
+{
+    Simulator sim;
+    MpWorld world{sim, smallWorld()};
+    int done = 0;
+    for (int r = 0; r < 8; ++r) {
+        world.spawnRank(r, [](MpWorld &w, int rank, int &d) -> Task<void> {
+            MpContext ctx{w, rank};
+            co_await ctx.allgather(64);
+            ++d;
+        }(world, r, done));
+    }
+    world.run();
+    EXPECT_EQ(done, 8);
+    // Ring: P * (P-1) messages, all to rank+1.
+    EXPECT_EQ(world.log().size(), 56u);
+    for (const auto &rec : world.log().records())
+        EXPECT_EQ(rec.dst, (rec.src + 1) % 8);
+}
+
+} // namespace

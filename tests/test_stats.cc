@@ -1,0 +1,636 @@
+/**
+ * @file
+ * Unit and property tests for the statistical analysis library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace {
+
+using namespace cchar::stats;
+
+std::vector<double>
+sampleFrom(const Distribution &d, std::size_t n, std::uint64_t seed)
+{
+    Rng rng{seed};
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = d.sample(rng);
+    return xs;
+}
+
+// --------------------------------------------------------------------
+// Special functions
+
+TEST(Special, RegularizedGammaKnownValues)
+{
+    // P(1, x) = 1 - e^-x
+    for (double x : {0.1, 0.5, 1.0, 3.0, 10.0})
+        EXPECT_NEAR(regularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+    // P(a, 0) = 0; P(a, inf) -> 1
+    EXPECT_DOUBLE_EQ(regularizedGammaP(2.5, 0.0), 0.0);
+    EXPECT_NEAR(regularizedGammaP(2.5, 200.0), 1.0, 1e-12);
+    // P(2, x) = 1 - e^-x (1 + x)
+    EXPECT_NEAR(regularizedGammaP(2.0, 1.5),
+                1.0 - std::exp(-1.5) * 2.5, 1e-10);
+}
+
+TEST(Special, NormalCdfSymmetry)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0) + normalCdf(-1.0), 1.0, 1e-12);
+    EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-6);
+}
+
+// --------------------------------------------------------------------
+// Summary
+
+TEST(Summary, MomentsOfKnownSample)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto s = SummaryStats::compute(xs);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.5);
+    EXPECT_NEAR(s.variance, 8.25, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.5);
+    EXPECT_NEAR(s.skewness, 0.0, 1e-12);
+}
+
+TEST(Summary, EmptySampleIsZeroed)
+{
+    auto s = SummaryStats::compute(std::vector<double>{});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Histogram, CountsPartitionTheSample)
+{
+    std::vector<double> xs;
+    Rng rng{11};
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(rng.uniform(0.0, 10.0));
+    Histogram h{xs, 20};
+    std::size_t sum = 0;
+    for (const auto &b : h.bins())
+        sum += b.count;
+    EXPECT_EQ(sum, xs.size());
+    EXPECT_EQ(h.bins().size(), 20u);
+}
+
+TEST(Ecdf, MonotoneAndBounded)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0, 3.0, 2.0};
+    Ecdf e{xs};
+    EXPECT_DOUBLE_EQ(e(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(e(1.0), 0.2);
+    EXPECT_DOUBLE_EQ(e(3.0), 0.8);
+    EXPECT_DOUBLE_EQ(e(100.0), 1.0);
+    auto pts = e.regressionPoints(100);
+    ASSERT_FALSE(pts.empty());
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_LE(pts[i - 1].first, pts[i].first);
+        EXPECT_LT(pts[i - 1].second, pts[i].second);
+    }
+    EXPECT_GT(pts.front().second, 0.0);
+    EXPECT_LT(pts.back().second, 1.0);
+}
+
+// --------------------------------------------------------------------
+// Distribution properties (parameterized)
+
+class DistributionProperty
+    : public ::testing::TestWithParam<std::shared_ptr<Distribution>>
+{};
+
+TEST_P(DistributionProperty, CdfIsMonotoneWithinBounds)
+{
+    const auto &d = *GetParam();
+    double prev = -1.0;
+    for (double x = 0.0; x <= 50.0; x += 0.25) {
+        double f = d.cdf(x);
+        EXPECT_GE(f, prev - 1e-12) << d.describe() << " at x=" << x;
+        EXPECT_GE(f, -1e-12);
+        EXPECT_LE(f, 1.0 + 1e-12);
+        prev = f;
+    }
+}
+
+TEST_P(DistributionProperty, SampleMeanMatchesAnalyticMean)
+{
+    const auto &d = *GetParam();
+    auto xs = sampleFrom(d, 40000, 42);
+    auto s = SummaryStats::compute(xs);
+    double tol = 0.05 * std::max(std::sqrt(d.variance()), 0.02) + 0.02;
+    EXPECT_NEAR(s.mean, d.mean(), 4.0 * tol) << d.describe();
+}
+
+TEST_P(DistributionProperty, SampleCdfAgreesWithAnalyticCdf)
+{
+    const auto &d = *GetParam();
+    if (d.name() == "deterministic")
+        GTEST_SKIP() << "step CDF has no interior quantiles";
+    auto xs = sampleFrom(d, 20000, 7);
+    Ecdf e{xs};
+    for (double q : {0.25, 0.5, 0.75, 0.9}) {
+        // Find approximate quantile from the sample, compare CDFs.
+        double x = e.sorted()[static_cast<std::size_t>(
+            q * static_cast<double>(xs.size() - 1))];
+        EXPECT_NEAR(d.cdf(x), q, 0.02) << d.describe();
+    }
+}
+
+TEST_P(DistributionProperty, CloneRoundTripsParams)
+{
+    const auto &d = *GetParam();
+    auto c = d.clone();
+    EXPECT_EQ(c->name(), d.name());
+    EXPECT_EQ(c->params(), d.params());
+}
+
+TEST_P(DistributionProperty, PdfIntegratesToCdf)
+{
+    const auto &d = *GetParam();
+    if (d.name() == "deterministic")
+        GTEST_SKIP() << "point mass has no proper density";
+    // Trapezoidal integration of the pdf should track the cdf.
+    double integral = 0.0;
+    double dx = 1e-3;
+    double prevPdf = d.pdf(0.0);
+    for (double x = dx; x <= 20.0; x += dx) {
+        double p = d.pdf(x);
+        integral += 0.5 * (prevPdf + p) * dx;
+        prevPdf = p;
+    }
+    EXPECT_NEAR(integral, d.cdf(20.0) - d.cdf(0.0), 5e-3) << d.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DistributionProperty,
+    ::testing::Values(
+        std::make_shared<Exponential>(0.7),
+        std::make_shared<ShiftedExponential>(1.5, 0.8),
+        std::make_shared<HyperExponential2>(0.3, 2.0, 0.2),
+        std::make_shared<Erlang>(3, 1.2),
+        std::make_shared<GammaDist>(2.5, 0.9),
+        std::make_shared<GammaDist>(0.7, 0.5),
+        std::make_shared<Weibull>(1.7, 2.0),
+        std::make_shared<Weibull>(0.8, 3.0),
+        std::make_shared<LogNormal>(0.5, 0.6),
+        std::make_shared<Normal>(8.0, 1.5),
+        std::make_shared<UniformDist>(2.0, 6.0),
+        std::make_shared<Pareto>(3.0, 1.5),
+        std::make_shared<Deterministic>(3.0)),
+    [](const auto &info) {
+        std::string n = info.param->name();
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n + "_" + std::to_string(info.index);
+    });
+
+// --------------------------------------------------------------------
+// Moment seeding
+
+TEST(Moments, HyperExponentialRejectsLowCv)
+{
+    HyperExponential2 h;
+    SummaryStats s;
+    s.count = 100;
+    s.mean = 1.0;
+    s.stddev = 0.5;
+    s.cv = 0.5;
+    s.variance = 0.25;
+    EXPECT_FALSE(h.initFromMoments(s));
+}
+
+TEST(Moments, ErlangRejectsHighCv)
+{
+    Erlang e;
+    SummaryStats s;
+    s.count = 100;
+    s.mean = 1.0;
+    s.stddev = 2.0;
+    s.cv = 2.0;
+    s.variance = 4.0;
+    EXPECT_FALSE(e.initFromMoments(s));
+}
+
+TEST(Moments, WeibullShapeSolverRecoversCv)
+{
+    // Start from a known Weibull, compute its analytic moments, and
+    // check the shape solver lands near the original shape.
+    for (double shape : {0.7, 1.0, 1.8, 3.5}) {
+        Weibull truth{shape, 2.0};
+        SummaryStats s;
+        s.count = 1000;
+        s.mean = truth.mean();
+        s.variance = truth.variance();
+        s.stddev = std::sqrt(s.variance);
+        s.cv = s.stddev / s.mean;
+        Weibull fitted;
+        ASSERT_TRUE(fitted.initFromMoments(s));
+        EXPECT_NEAR(fitted.shape(), shape, 0.05 * shape + 0.01);
+        EXPECT_NEAR(fitted.mean(), truth.mean(), 1e-6);
+    }
+}
+
+// --------------------------------------------------------------------
+// Regression fitting: parameter recovery
+
+TEST(Fit, RecoversExponentialRate)
+{
+    Exponential truth{0.42};
+    auto xs = sampleFrom(truth, 20000, 3);
+    DistributionFitter fitter;
+    auto res = fitter.fitOne(xs, Exponential{});
+    ASSERT_TRUE(res.usable);
+    auto *e = dynamic_cast<Exponential *>(res.dist.get());
+    ASSERT_NE(e, nullptr);
+    EXPECT_NEAR(e->rate(), 0.42, 0.02);
+    EXPECT_GT(res.gof.r2, 0.999);
+    EXPECT_LT(res.gof.ks, 0.02);
+}
+
+TEST(Fit, RecoversHyperExponentialMix)
+{
+    HyperExponential2 truth{0.25, 5.0, 0.4};
+    auto xs = sampleFrom(truth, 30000, 9);
+    DistributionFitter fitter;
+    auto res = fitter.fitOne(xs, HyperExponential2{});
+    ASSERT_TRUE(res.usable);
+    EXPECT_GT(res.gof.r2, 0.999);
+    EXPECT_LT(res.gof.ks, 0.02);
+    EXPECT_NEAR(res.dist->mean(), truth.mean(), 0.1 * truth.mean());
+}
+
+TEST(Fit, RecoversWeibullParameters)
+{
+    Weibull truth{1.6, 3.0};
+    auto xs = sampleFrom(truth, 20000, 17);
+    DistributionFitter fitter;
+    auto res = fitter.fitOne(xs, Weibull{});
+    ASSERT_TRUE(res.usable);
+    auto *w = dynamic_cast<Weibull *>(res.dist.get());
+    ASSERT_NE(w, nullptr);
+    EXPECT_NEAR(w->shape(), 1.6, 0.1);
+    EXPECT_NEAR(w->scale(), 3.0, 0.15);
+}
+
+TEST(Fit, RecoversParetoParameters)
+{
+    Pareto truth{3.2, 2.0};
+    auto xs = sampleFrom(truth, 25000, 61);
+    DistributionFitter fitter;
+    auto res = fitter.fitOne(xs, Pareto{});
+    ASSERT_TRUE(res.usable);
+    auto *p = dynamic_cast<Pareto *>(res.dist.get());
+    ASSERT_NE(p, nullptr);
+    EXPECT_NEAR(p->shape(), 3.2, 0.3);
+    EXPECT_NEAR(p->scale(), 2.0, 0.1);
+    EXPECT_GT(res.gof.r2, 0.995);
+}
+
+TEST(Fit, BestFitSelectsGeneratingFamilyExponential)
+{
+    Exponential truth{1.3};
+    auto xs = sampleFrom(truth, 25000, 5);
+    DistributionFitter fitter;
+    auto best = fitter.bestFit(xs);
+    ASSERT_TRUE(best.usable);
+    // Exponential data: the winner must be exponential or an
+    // exponential-equivalent parameterization of a superfamily.
+    EXPECT_GT(best.gof.r2, 0.999);
+    if (best.dist->name() == "gamma") {
+        auto *g = dynamic_cast<GammaDist *>(best.dist.get());
+        EXPECT_NEAR(g->shape(), 1.0, 0.1);
+    } else if (best.dist->name() == "weibull") {
+        auto *w = dynamic_cast<Weibull *>(best.dist.get());
+        EXPECT_NEAR(w->shape(), 1.0, 0.1);
+    } else if (best.dist->name() == "hyperexponential-2") {
+        SUCCEED(); // degenerate hyperexponential is exponential-capable
+    } else if (best.dist->name() == "shifted-exponential") {
+        auto ps = best.dist->params();
+        EXPECT_LT(ps[0], 0.1); // shift ~ 0
+    } else {
+        EXPECT_EQ(best.dist->name(), "exponential");
+    }
+}
+
+TEST(Fit, BestFitDetectsDeterministicSample)
+{
+    std::vector<double> xs(500, 7.25);
+    DistributionFitter fitter;
+    auto best = fitter.bestFit(xs);
+    ASSERT_TRUE(best.usable);
+    EXPECT_EQ(best.dist->name(), "deterministic");
+    EXPECT_NEAR(best.dist->mean(), 7.25, 1e-9);
+}
+
+TEST(Fit, BestFitPrefersHyperExponentialForBurstyData)
+{
+    HyperExponential2 truth{0.15, 10.0, 0.2}; // CV >> 1
+    auto xs = sampleFrom(truth, 30000, 21);
+    DistributionFitter fitter;
+    auto best = fitter.bestFit(xs);
+    ASSERT_TRUE(best.usable);
+    // Must be a heavy-tailed capable family with excellent fit.
+    EXPECT_GT(best.gof.r2, 0.998);
+    EXPECT_TRUE(best.dist->name() == "hyperexponential-2" ||
+                best.dist->name() == "lognormal" ||
+                best.dist->name() == "weibull" ||
+                best.dist->name() == "gamma")
+        << best.dist->describe();
+}
+
+TEST(Fit, SecantMethodMatchesLm)
+{
+    Weibull truth{1.4, 2.5};
+    auto xs = sampleFrom(truth, 15000, 33);
+    Ecdf e{xs};
+    auto pts = e.regressionPoints(150);
+
+    Weibull lmFit, secFit;
+    auto s = SummaryStats::compute(xs);
+    ASSERT_TRUE(lmFit.initFromMoments(s));
+    ASSERT_TRUE(secFit.initFromMoments(s));
+
+    NonlinearLeastSquares::Options lmOpts;
+    lmOpts.method = FitMethod::LevenbergMarquardt;
+    NonlinearLeastSquares::Options secOpts;
+    secOpts.method = FitMethod::Secant;
+
+    auto lmRes = NonlinearLeastSquares::fitCdf(lmFit, pts, lmOpts);
+    auto secRes = NonlinearLeastSquares::fitCdf(secFit, pts, secOpts);
+    EXPECT_NEAR(lmFit.shape(), secFit.shape(), 0.05);
+    EXPECT_NEAR(lmFit.scale(), secFit.scale(), 0.05);
+    EXPECT_NEAR(lmRes.ssr, secRes.ssr, 1e-3);
+}
+
+TEST(Fit, EmptyAndTinySamplesAreRejectedGracefully)
+{
+    DistributionFitter fitter;
+    auto none = fitter.fitOne(std::vector<double>{}, Exponential{});
+    EXPECT_FALSE(none.usable);
+    auto one = fitter.fitOne(std::vector<double>{1.0}, Exponential{});
+    EXPECT_FALSE(one.usable);
+}
+
+TEST(Fit, FitAllIsSortedBestFirst)
+{
+    Exponential truth{2.0};
+    auto xs = sampleFrom(truth, 5000, 55);
+    DistributionFitter fitter;
+    auto all = fitter.fitAll(xs);
+    ASSERT_GE(all.size(), 5u);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        EXPECT_GE(all[i - 1].adjustedR2(xs.size()),
+                  all[i].adjustedR2(xs.size()));
+    }
+}
+
+// --------------------------------------------------------------------
+// Spatial classification
+
+TEST(Spatial, PmfNormalizes)
+{
+    DiscretePmf pmf{{2.0, 2.0, 4.0}};
+    EXPECT_NEAR(pmf[0], 0.25, 1e-12);
+    EXPECT_NEAR(pmf[2], 0.5, 1e-12);
+    EXPECT_EQ(pmf.argmax(), 2);
+}
+
+TEST(Spatial, EntropyOfUniformIsLogN)
+{
+    DiscretePmf pmf{{1.0, 1.0, 1.0, 1.0}};
+    EXPECT_NEAR(pmf.entropy(), 2.0, 1e-12);
+}
+
+TEST(Spatial, TvdBounds)
+{
+    DiscretePmf a{{1.0, 0.0}};
+    DiscretePmf b{{0.0, 1.0}};
+    EXPECT_NEAR(a.tvd(b), 1.0, 1e-12);
+    EXPECT_NEAR(a.tvd(a), 0.0, 1e-12);
+}
+
+TEST(Spatial, ClassifiesUniform)
+{
+    // 8 processors, source 0 sends equally to 1..7.
+    std::vector<double> counts(8, 100.0);
+    counts[0] = 0.0;
+    auto cls = SpatialClassifier{}.classify(
+        DiscretePmf::fromCounts(counts), 0);
+    EXPECT_EQ(cls.pattern, SpatialPattern::Uniform);
+    EXPECT_NEAR(cls.restProb, 1.0 / 7.0, 1e-9);
+    EXPECT_LT(cls.modelTvd, 1e-9);
+}
+
+TEST(Spatial, ClassifiesBimodalUniformFavoriteProcessor)
+{
+    // The paper's IS / 3D-FFT pattern: p0 gets the maximum share,
+    // everyone else an equal share.
+    std::vector<double> counts(8, 50.0);
+    counts[2] = 0.0;   // source
+    counts[0] = 400.0; // favorite
+    auto cls = SpatialClassifier{}.classify(
+        DiscretePmf::fromCounts(counts), 2);
+    EXPECT_EQ(cls.pattern, SpatialPattern::BimodalUniform);
+    EXPECT_EQ(cls.favorite, 0);
+    EXPECT_GT(cls.favoriteProb, 0.5);
+    EXPECT_LT(cls.modelTvd, 1e-9);
+}
+
+TEST(Spatial, ClassifiesSingleDestination)
+{
+    std::vector<double> counts(8, 0.0);
+    counts[5] = 990.0;
+    counts[1] = 10.0;
+    auto cls = SpatialClassifier{}.classify(
+        DiscretePmf::fromCounts(counts), 0);
+    EXPECT_EQ(cls.pattern, SpatialPattern::SingleDestination);
+    EXPECT_EQ(cls.favorite, 5);
+}
+
+TEST(Spatial, ClassifiesIrregularAsGeneral)
+{
+    std::vector<double> counts{0.0, 500.0, 300.0, 5.0, 150.0, 40.0, 3.0,
+                               2.0};
+    auto cls = SpatialClassifier{}.classify(
+        DiscretePmf::fromCounts(counts), 0);
+    EXPECT_EQ(cls.pattern, SpatialPattern::General);
+}
+
+TEST(Spatial, NoisyUniformStillUniform)
+{
+    Rng rng{77};
+    std::vector<double> counts(16, 0.0);
+    for (int i = 0; i < 20000; ++i) {
+        std::size_t d = 1 + rng.below(15);
+        counts[d] += 1.0;
+    }
+    auto cls = SpatialClassifier{}.classify(
+        DiscretePmf::fromCounts(counts), 0);
+    EXPECT_EQ(cls.pattern, SpatialPattern::Uniform);
+}
+
+// --------------------------------------------------------------------
+// Rng determinism
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a{123}, b{123};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, Uniform01StaysInRange)
+{
+    Rng rng{1};
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Edge cases and goodness-of-fit details (extension tests)
+
+namespace {
+
+TEST(FitEdge, ChiSquareSmallForCorrectModel)
+{
+    Exponential truth{1.0};
+    auto xs = sampleFrom(truth, 20000, 71);
+    auto gof = DistributionFitter::evaluate(truth, xs);
+    // Chi-square per dof should be O(1) for the generating model.
+    EXPECT_GT(gof.chiSquareDof, 1);
+    EXPECT_LT(gof.chiSquare / gof.chiSquareDof, 5.0);
+}
+
+TEST(FitEdge, ChiSquareLargeForWrongModel)
+{
+    Exponential truth{1.0};
+    auto xs = sampleFrom(truth, 20000, 71);
+    UniformDist wrong{0.0, 2.0};
+    auto gof = DistributionFitter::evaluate(wrong, xs);
+    EXPECT_GT(gof.chiSquare / std::max(gof.chiSquareDof, 1), 50.0);
+    EXPECT_GT(gof.ks, 0.1);
+}
+
+TEST(FitEdge, RegressionPointsDecimateLargeSamples)
+{
+    std::vector<double> xs(100000);
+    Rng rng{2};
+    for (auto &x : xs)
+        x = rng.uniform01();
+    Ecdf e{xs};
+    auto pts = e.regressionPoints(200);
+    EXPECT_LE(pts.size(), 201u);
+    EXPECT_GE(pts.size(), 150u);
+}
+
+TEST(FitEdge, IdenticalValuesFitDeterministic)
+{
+    std::vector<double> xs(100, 3.0);
+    DistributionFitter fitter;
+    auto best = fitter.bestFit(xs);
+    EXPECT_EQ(best.dist->name(), "deterministic");
+    EXPECT_DOUBLE_EQ(best.dist->mean(), 3.0);
+    // KS against an atom is ill-defined (the lower-staircase term of
+    // the continuous formula hits the jump); R^2 is the meaningful
+    // quality measure here.
+    EXPECT_DOUBLE_EQ(best.gof.r2, 1.0);
+}
+
+TEST(FitEdge, SetParamsClampsIntoFeasibleRegion)
+{
+    Exponential e{1.0};
+    std::vector<double> bad{-5.0};
+    e.setParams(bad);
+    EXPECT_GT(e.rate(), 0.0);
+
+    HyperExponential2 h;
+    std::vector<double> badH{1.5, -1.0, 0.0};
+    h.setParams(badH);
+    EXPECT_LT(h.mixProbability(), 1.0);
+    EXPECT_GT(h.mixProbability(), 0.0);
+    EXPECT_GT(h.rate1(), 0.0);
+    EXPECT_GT(h.rate2(), 0.0);
+
+    UniformDist u;
+    std::vector<double> badU{5.0, 1.0};
+    u.setParams(badU);
+    EXPECT_GT(u.cdf(1e9), 0.99); // b forced above a
+}
+
+TEST(FitEdge, HistogramSingleValueSample)
+{
+    std::vector<double> xs(50, 7.0);
+    Histogram h{xs, 10};
+    std::size_t total = 0;
+    for (const auto &b : h.bins())
+        total += b.count;
+    EXPECT_EQ(total, 50u);
+}
+
+TEST(SpatialEdge, TwoProcessorSystem)
+{
+    // Only one possible destination: must classify single-destination.
+    std::vector<double> counts{0.0, 42.0};
+    auto cls = SpatialClassifier{}.classify(
+        DiscretePmf::fromCounts(counts), 0);
+    EXPECT_EQ(cls.pattern, SpatialPattern::SingleDestination);
+    EXPECT_EQ(cls.favorite, 1);
+}
+
+TEST(SpatialEdge, EmptyPmfIsGeneral)
+{
+    auto cls = SpatialClassifier{}.classify(DiscretePmf{}, 0);
+    EXPECT_EQ(cls.pattern, SpatialPattern::General);
+}
+
+TEST(SpatialEdge, SampleRespectsDistribution)
+{
+    DiscretePmf pmf{{0.0, 0.7, 0.3}};
+    Rng rng{5};
+    int ones = 0, twos = 0;
+    for (int i = 0; i < 20000; ++i) {
+        int s = pmf.sample(rng);
+        if (s == 1)
+            ++ones;
+        else if (s == 2)
+            ++twos;
+        else
+            FAIL() << "sampled zero-probability category";
+    }
+    EXPECT_NEAR(ones / 20000.0, 0.7, 0.02);
+    EXPECT_NEAR(twos / 20000.0, 0.3, 0.02);
+}
+
+TEST(FitEdge, SecantHandlesSingleParameterFamily)
+{
+    Exponential truth{2.5};
+    auto xs = sampleFrom(truth, 10000, 13);
+    Ecdf e{xs};
+    auto pts = e.regressionPoints(100);
+    Exponential fit;
+    auto s = SummaryStats::compute(xs);
+    ASSERT_TRUE(fit.initFromMoments(s));
+    NonlinearLeastSquares::Options opts;
+    opts.method = FitMethod::Secant;
+    auto res = NonlinearLeastSquares::fitCdf(fit, pts, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(fit.rate(), 2.5, 0.1);
+}
+
+} // namespace

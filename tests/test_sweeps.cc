@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Parameterized property sweeps: network invariants across every
+ * topology/VC/holding combination, and application correctness across
+ * problem sizes and machine shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/fft1d.hh"
+#include "apps/is.hh"
+#include "core/core.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace cchar;
+
+// --------------------------------------------------------------------
+// Network sweep: random traffic must drain with sane records on every
+// configuration.
+
+struct NetCase
+{
+    int width;
+    int height;
+    mesh::Topology topology;
+    int vcs;
+    mesh::ChannelHolding holding;
+};
+
+std::string
+netCaseName(const ::testing::TestParamInfo<NetCase> &info)
+{
+    const auto &c = info.param;
+    std::ostringstream os;
+    os << (c.topology == mesh::Topology::Torus ? "torus" : "mesh") << c.width
+       << "x" << c.height << "_vc" << c.vcs << "_"
+       << (c.holding == mesh::ChannelHolding::FullPipeline ? "full"
+                                                           : "early");
+    return os.str();
+}
+
+class NetworkSweep : public ::testing::TestWithParam<NetCase>
+{};
+
+TEST_P(NetworkSweep, RandomTrafficDrainsWithSaneRecords)
+{
+    const NetCase &c = GetParam();
+    desim::Simulator sim;
+    mesh::MeshConfig cfg;
+    cfg.width = c.width;
+    cfg.height = c.height;
+    cfg.topology = c.topology;
+    cfg.virtualChannels = c.vcs;
+    cfg.holding = c.holding;
+    trace::TrafficLog log;
+    mesh::MeshNetwork net{sim, cfg, &log};
+
+    stats::Rng rng{1234};
+    int n = cfg.nodes();
+    int expected = 0;
+    auto sender = [](mesh::MeshNetwork &nw, desim::Simulator &s, int src,
+                     int dst, int bytes,
+                     double start) -> desim::Task<void> {
+        co_await s.delay(start);
+        mesh::Packet pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.bytes = bytes;
+        (void)co_await nw.transfer(std::move(pkt));
+    };
+    for (int i = 0; i < 600; ++i) {
+        int src = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(n)));
+        int dst = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(n)));
+        if (src == dst)
+            continue;
+        int bytes = 8 << rng.below(5);
+        sim.spawn(sender(net, sim, src, dst, bytes,
+                         rng.uniform(0.0, 20.0)));
+        ++expected;
+    }
+    sim.run();
+    EXPECT_TRUE(sim.allProcessesDone());
+    EXPECT_EQ(log.size(), static_cast<std::size_t>(expected));
+    for (const auto &rec : log.records()) {
+        EXPECT_GE(rec.contention, 0.0);
+        EXPECT_EQ(rec.hops, net.hopCount(rec.src, rec.dst));
+        EXPECT_GE(rec.latency(),
+                  net.noLoadLatency(rec.hops, rec.bytes) - 1e-9);
+    }
+    EXPECT_LE(net.maxChannelUtilization(sim.now()), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, NetworkSweep,
+    ::testing::Values(
+        NetCase{4, 4, mesh::Topology::Mesh, 1,
+                mesh::ChannelHolding::FullPipeline},
+        NetCase{4, 4, mesh::Topology::Mesh, 1,
+                mesh::ChannelHolding::EarlyRelease},
+        NetCase{4, 4, mesh::Topology::Mesh, 4,
+                mesh::ChannelHolding::FullPipeline},
+        NetCase{4, 4, mesh::Topology::Torus, 2,
+                mesh::ChannelHolding::FullPipeline},
+        NetCase{4, 4, mesh::Topology::Torus, 2,
+                mesh::ChannelHolding::EarlyRelease},
+        NetCase{4, 4, mesh::Topology::Torus, 4,
+                mesh::ChannelHolding::FullPipeline},
+        NetCase{8, 2, mesh::Topology::Mesh, 1,
+                mesh::ChannelHolding::FullPipeline},
+        NetCase{8, 2, mesh::Topology::Torus, 2,
+                mesh::ChannelHolding::FullPipeline},
+        NetCase{1, 8, mesh::Topology::Mesh, 1,
+                mesh::ChannelHolding::FullPipeline},
+        NetCase{16, 1, mesh::Topology::Torus, 2,
+                mesh::ChannelHolding::FullPipeline}),
+    netCaseName);
+
+// --------------------------------------------------------------------
+// Application sweep: FFT verifies across sizes and machine shapes.
+
+struct FftCase
+{
+    std::size_t n;
+    int width;
+    int height;
+};
+
+class FftSweep : public ::testing::TestWithParam<FftCase>
+{};
+
+TEST_P(FftSweep, VerifiesAndFitsWell)
+{
+    const FftCase &c = GetParam();
+    apps::Fft1D::Params p;
+    p.n = c.n;
+    apps::Fft1D app{p};
+    ccnuma::MachineConfig cfg;
+    cfg.mesh.width = c.width;
+    cfg.mesh.height = c.height;
+    core::CharacterizationPipeline pipeline;
+    auto report = pipeline.runDynamic(app, cfg);
+    EXPECT_TRUE(report.verified);
+    ASSERT_TRUE(report.temporalAggregate.fit.dist);
+    EXPECT_GT(report.temporalAggregate.fit.gof.r2, 0.8);
+    EXPECT_GT(report.volume.messageCount, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FftSweep,
+    ::testing::Values(FftCase{64, 2, 2}, FftCase{128, 2, 2},
+                      FftCase{128, 4, 2}, FftCase{256, 4, 2},
+                      FftCase{256, 4, 4}, FftCase{512, 4, 4}),
+    [](const ::testing::TestParamInfo<FftCase> &info) {
+        std::ostringstream os;
+        os << "n" << info.param.n << "_p"
+           << info.param.width * info.param.height;
+        return os.str();
+    });
+
+// --------------------------------------------------------------------
+// IS sweep: the favorite-processor pattern is size invariant.
+
+class IsSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(IsSweep, BimodalPatternAcrossSizes)
+{
+    apps::IntegerSort::Params p;
+    p.n = GetParam();
+    p.buckets = 16;
+    apps::IntegerSort app{p};
+    ccnuma::MachineConfig cfg;
+    cfg.mesh.width = 4;
+    cfg.mesh.height = 4;
+    core::CharacterizationPipeline pipeline;
+    auto report = pipeline.runDynamic(app, cfg);
+    EXPECT_TRUE(report.verified);
+    EXPECT_EQ(report.spatialAggregate.pattern,
+              stats::SpatialPattern::BimodalUniform);
+    EXPECT_EQ(report.spatialAggregate.favorite, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IsSweep,
+                         ::testing::Values(std::size_t{256},
+                                           std::size_t{512},
+                                           std::size_t{1024}),
+                         [](const auto &info) {
+                             return "n" + std::to_string(info.param);
+                         });
+
+} // namespace

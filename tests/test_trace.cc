@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for traffic logs and application traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/record.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace cchar::trace;
+
+MessageRecord
+rec(int src, int dst, int bytes, double inject, double deliver,
+    MessageKind kind = MessageKind::Data)
+{
+    MessageRecord r;
+    r.src = src;
+    r.dst = dst;
+    r.bytes = bytes;
+    r.injectTime = inject;
+    r.deliverTime = deliver;
+    r.kind = kind;
+    return r;
+}
+
+TEST(TrafficLog, InterArrivalAggregate)
+{
+    TrafficLog log{4};
+    log.add(rec(0, 1, 8, 10.0, 11.0));
+    log.add(rec(1, 2, 8, 14.0, 15.0));
+    log.add(rec(0, 3, 8, 20.0, 21.0));
+    auto gaps = log.interArrivalTimes();
+    ASSERT_EQ(gaps.size(), 2u);
+    EXPECT_DOUBLE_EQ(gaps[0], 4.0);
+    EXPECT_DOUBLE_EQ(gaps[1], 6.0);
+}
+
+TEST(TrafficLog, InterArrivalPerSource)
+{
+    TrafficLog log{4};
+    log.add(rec(0, 1, 8, 10.0, 11.0));
+    log.add(rec(1, 2, 8, 14.0, 15.0));
+    log.add(rec(0, 3, 8, 25.0, 26.0));
+    auto gaps = log.interArrivalTimes(0);
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_DOUBLE_EQ(gaps[0], 15.0);
+    EXPECT_TRUE(log.interArrivalTimes(1).empty());
+    EXPECT_TRUE(log.interArrivalTimes(3).empty());
+}
+
+TEST(TrafficLog, InterArrivalHandlesUnsortedInsertions)
+{
+    TrafficLog log{2};
+    log.add(rec(0, 1, 8, 30.0, 31.0));
+    log.add(rec(0, 1, 8, 10.0, 11.0));
+    auto gaps = log.interArrivalTimes();
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_DOUBLE_EQ(gaps[0], 20.0);
+}
+
+TEST(TrafficLog, DestinationCountsAndBytes)
+{
+    TrafficLog log{3};
+    log.add(rec(0, 1, 8, 0.0, 1.0));
+    log.add(rec(0, 1, 16, 1.0, 2.0));
+    log.add(rec(0, 2, 40, 2.0, 3.0));
+    log.add(rec(1, 0, 8, 3.0, 4.0));
+    auto counts = log.destinationCounts(0);
+    EXPECT_EQ(counts, (std::vector<double>{0.0, 2.0, 1.0}));
+    auto bytes = log.destinationBytes(0);
+    EXPECT_EQ(bytes, (std::vector<double>{0.0, 24.0, 40.0}));
+    auto srcs = log.sourceCounts();
+    EXPECT_EQ(srcs, (std::vector<double>{3.0, 1.0, 0.0}));
+}
+
+TEST(TrafficLog, FilterKindSelectsSubset)
+{
+    TrafficLog log{2};
+    log.add(rec(0, 1, 8, 0.0, 1.0, MessageKind::Control));
+    log.add(rec(0, 1, 40, 1.0, 2.0, MessageKind::Data));
+    log.add(rec(1, 0, 8, 2.0, 3.0, MessageKind::Sync));
+    auto ctl = log.filterKind(MessageKind::Control);
+    EXPECT_EQ(ctl.size(), 1u);
+    EXPECT_EQ(ctl.records()[0].bytes, 8);
+    EXPECT_EQ(log.filterKind(MessageKind::Data).size(), 1u);
+}
+
+TEST(TrafficLog, LatencyAndMakespan)
+{
+    TrafficLog log{2};
+    log.add(rec(0, 1, 8, 1.0, 3.5));
+    log.add(rec(1, 0, 8, 2.0, 7.0));
+    auto ls = log.latencies();
+    EXPECT_DOUBLE_EQ(ls[0], 2.5);
+    EXPECT_DOUBLE_EQ(ls[1], 5.0);
+    EXPECT_DOUBLE_EQ(log.lastDeliverTime(), 7.0);
+}
+
+// --------------------------------------------------------------------
+// Trace serialization
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace t{8};
+    t.add({0, 1, 128, MessageKind::Data, 12.5});
+    t.add({1, 0, 8, MessageKind::Control, 0.0});
+    t.add({2, 7, 4096, MessageKind::Data, 99.25});
+    std::stringstream ss;
+    t.save(ss);
+    Trace u = Trace::load(ss);
+    ASSERT_EQ(u.size(), 3u);
+    EXPECT_EQ(u.nprocs(), 8);
+    EXPECT_EQ(u.events()[0].dst, 1);
+    EXPECT_EQ(u.events()[1].kind, MessageKind::Control);
+    EXPECT_DOUBLE_EQ(u.events()[2].sinceLast, 99.25);
+    EXPECT_EQ(u.events()[2].bytes, 4096);
+}
+
+TEST(Trace, EventsOfSourcePreservesOrder)
+{
+    Trace t{4};
+    t.add({0, 1, 8, MessageKind::Data, 1.0});
+    t.add({1, 2, 8, MessageKind::Data, 2.0});
+    t.add({0, 3, 8, MessageKind::Data, 3.0});
+    auto evs = t.eventsOfSource(0);
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].dst, 1);
+    EXPECT_EQ(evs[1].dst, 3);
+}
+
+TEST(Trace, LoadRejectsBadHeader)
+{
+    std::stringstream ss{"bogus v1 4 0\n"};
+    EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsTruncatedBody)
+{
+    std::stringstream ss{"cchar-trace v1 4 2\n0 1 8 data 1.0\n"};
+    EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsOutOfRangeNode)
+{
+    std::stringstream ss{"cchar-trace v1 4 1\n0 9 8 data 1.0\n"};
+    EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsUnknownKind)
+{
+    std::stringstream ss{"cchar-trace v1 4 1\n0 1 8 warp 1.0\n"};
+    EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsNegativeFields)
+{
+    std::stringstream ss{"cchar-trace v1 4 1\n0 1 -8 data 1.0\n"};
+    EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+} // namespace

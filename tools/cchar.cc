@@ -1,0 +1,326 @@
+/**
+ * @file
+ * cchar — command-line driver for the characterization tool chain.
+ *
+ * Subcommands:
+ *   list                             show available applications
+ *   characterize <app> [options]     run + print the full report
+ *   trace <mp-app> --out FILE        collect an SP2-style trace
+ *   replay <FILE> [options]          replay a trace into a mesh
+ *
+ * Common options:
+ *   --width W --height H             network dimensions
+ *   --torus                          torus topology (2 VCs)
+ *   --vcs N                          virtual channels
+ *   --windows N                      print a windowed phase profile
+ *   --synthetic                      also run the fitted synthetic
+ *                                    model and report validation
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/cholesky.hh"
+#include "apps/fft1d.hh"
+#include "apps/fft3d.hh"
+#include "apps/is.hh"
+#include "apps/maxflow.hh"
+#include "apps/mg.hh"
+#include "apps/nbody.hh"
+#include "apps/sor.hh"
+#include "core/core.hh"
+
+namespace {
+
+using namespace cchar;
+
+struct Options
+{
+    int width = 4;
+    int height = 4;
+    bool torus = false;
+    int vcs = 1;
+    int windows = 0;
+    bool synthetic = false;
+    bool json = false;
+    std::string out;
+};
+
+const std::vector<std::string> sharedMemoryApps{
+    "1d-fft", "is", "cholesky", "maxflow", "nbody", "sor"};
+const std::vector<std::string> messagePassingApps{"3d-fft", "mg"};
+
+std::unique_ptr<apps::SharedMemoryApp>
+makeSharedMemoryApp(const std::string &name)
+{
+    if (name == "1d-fft")
+        return std::make_unique<apps::Fft1D>();
+    if (name == "is")
+        return std::make_unique<apps::IntegerSort>();
+    if (name == "cholesky")
+        return std::make_unique<apps::SparseCholesky>();
+    if (name == "maxflow")
+        return std::make_unique<apps::Maxflow>();
+    if (name == "nbody")
+        return std::make_unique<apps::Nbody>();
+    if (name == "sor")
+        return std::make_unique<apps::RedBlackSor>();
+    return nullptr;
+}
+
+std::unique_ptr<apps::MessagePassingApp>
+makeMessagePassingApp(const std::string &name)
+{
+    if (name == "3d-fft")
+        return std::make_unique<apps::Fft3D>();
+    if (name == "mg")
+        return std::make_unique<apps::Multigrid>();
+    return nullptr;
+}
+
+mesh::MeshConfig
+meshOf(const Options &opts)
+{
+    mesh::MeshConfig cfg;
+    cfg.width = opts.width;
+    cfg.height = opts.height;
+    if (opts.torus) {
+        cfg.topology = mesh::Topology::Torus;
+        cfg.virtualChannels = std::max(opts.vcs, 2);
+    } else {
+        cfg.virtualChannels = opts.vcs;
+    }
+    return cfg;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  cchar list\n"
+           "  cchar characterize <app> [--width W] [--height H]\n"
+           "                     [--torus] [--vcs N] [--windows N]\n"
+           "                     [--synthetic] [--json]\n"
+           "  cchar trace <mp-app> --out FILE [--width W] [--height H]\n"
+           "  cchar replay <FILE> [--width W] [--height H] [--torus]\n";
+    return 2;
+}
+
+bool
+parseOptions(int argc, char **argv, int first, Options &opts)
+{
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](int &slot) {
+            if (i + 1 >= argc)
+                return false;
+            slot = std::atoi(argv[++i]);
+            return true;
+        };
+        if (arg == "--width") {
+            if (!next(opts.width))
+                return false;
+        } else if (arg == "--height") {
+            if (!next(opts.height))
+                return false;
+        } else if (arg == "--vcs") {
+            if (!next(opts.vcs))
+                return false;
+        } else if (arg == "--windows") {
+            if (!next(opts.windows))
+                return false;
+        } else if (arg == "--torus") {
+            opts.torus = true;
+        } else if (arg == "--synthetic") {
+            opts.synthetic = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--out") {
+            if (i + 1 >= argc)
+                return false;
+            opts.out = argv[++i];
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+printWindows(const trace::TrafficLog &log, int windows)
+{
+    core::TemporalAnalyzer analyzer;
+    auto fits = analyzer.analyzeWindows(log, windows);
+    auto bw = core::BandwidthAnalyzer::profile(log, windows);
+    std::cout << "\n-- Phase profile (" << windows << " windows) --\n";
+    std::cout << "  win   rate(/us)      CV   bytes/us  family\n";
+    for (std::size_t w = 0; w < fits.size(); ++w) {
+        double rate = fits[w].stats.mean > 0.0
+                          ? 1.0 / fits[w].stats.mean
+                          : 0.0;
+        std::cout << "  " << w << "    " << rate << "  "
+                  << fits[w].stats.cv << "  "
+                  << (w < bw.size() ? bw[w] : 0.0) << "  "
+                  << (fits[w].fit.dist ? fits[w].fit.dist->name()
+                                       : std::string{"(sparse)"})
+                  << "\n";
+    }
+}
+
+int
+cmdCharacterize(const std::string &name, const Options &opts)
+{
+    core::CharacterizationPipeline pipeline;
+    core::CharacterizationReport report;
+    trace::TrafficLog logCopy;
+
+    if (auto app = makeSharedMemoryApp(name)) {
+        ccnuma::MachineConfig cfg;
+        cfg.mesh = meshOf(opts);
+        // Re-run manually to keep the raw log for --windows.
+        desim::Simulator sim;
+        ccnuma::Machine machine{sim, cfg};
+        apps::launch(machine, *app);
+        machine.run();
+        core::NetworkSummary net;
+        net.latencyMean = machine.network().latencyStats().mean();
+        net.latencyMax = machine.network().latencyStats().max();
+        net.contentionMean =
+            machine.network().contentionStats().mean();
+        net.makespan = machine.log().lastDeliverTime();
+        net.avgChannelUtilization =
+            machine.network().averageChannelUtilization(sim.now());
+        net.maxChannelUtilization =
+            machine.network().maxChannelUtilization(sim.now());
+        report = pipeline.analyze(machine.log(), cfg.mesh, name,
+                                  core::Strategy::Dynamic, net);
+        report.verified = app->verify();
+        logCopy = machine.log();
+    } else if (auto mpApp = makeMessagePassingApp(name)) {
+        mp::MpConfig cfg;
+        cfg.mesh = meshOf(opts);
+        trace::Trace collected;
+        report = pipeline.runStatic(*mpApp, cfg, &collected);
+        auto replayed = core::TraceReplayer::replay(collected, cfg.mesh);
+        logCopy = replayed.log;
+    } else {
+        std::cerr << "unknown application: " << name << "\n";
+        return usage();
+    }
+
+    if (opts.json)
+        report.writeJson(std::cout);
+    else
+        report.print(std::cout);
+    if (!report.verified) {
+        std::cerr << "WARNING: application verification FAILED\n";
+        return 1;
+    }
+    if (opts.windows > 0)
+        printWindows(logCopy, opts.windows);
+    if (opts.synthetic) {
+        auto v = core::validateModel(report);
+        std::cout << "\n-- Synthetic model validation --\n"
+                  << "  latency original " << v.originalLatencyMean
+                  << "us, synthetic " << v.syntheticLatencyMean
+                  << "us (" << v.latencyError() * 100.0 << "%)\n";
+    }
+    return 0;
+}
+
+int
+cmdTrace(const std::string &name, const Options &opts)
+{
+    auto app = makeMessagePassingApp(name);
+    if (!app) {
+        std::cerr << "unknown message-passing application: " << name
+                  << "\n";
+        return usage();
+    }
+    if (opts.out.empty()) {
+        std::cerr << "trace requires --out FILE\n";
+        return usage();
+    }
+    desim::Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh = meshOf(opts);
+    mp::MpWorld world{sim, cfg};
+    world.enableTracing();
+    apps::launch(world, *app);
+    world.run();
+    world.collectedTrace().saveFile(opts.out);
+    std::cout << "wrote " << world.collectedTrace().size()
+              << " events to " << opts.out
+              << " (verified: " << (app->verify() ? "yes" : "NO")
+              << ")\n";
+    return app->verify() ? 0 : 1;
+}
+
+int
+cmdReplay(const std::string &path, const Options &opts)
+{
+    trace::Trace t = trace::Trace::loadFile(path);
+    auto result = core::TraceReplayer::replay(t, meshOf(opts));
+    std::cout << "replayed " << result.log.size() << " messages: "
+              << "latency mean " << result.latencyMean
+              << "us, contention mean " << result.contentionMean
+              << "us, makespan " << result.makespan << "us\n";
+    core::CharacterizationPipeline pipeline;
+    core::NetworkSummary net;
+    net.latencyMean = result.latencyMean;
+    net.latencyMax = result.latencyMax;
+    net.contentionMean = result.contentionMean;
+    net.makespan = result.makespan;
+    net.avgChannelUtilization = result.avgChannelUtilization;
+    net.maxChannelUtilization = result.maxChannelUtilization;
+    auto report = pipeline.analyze(result.log, meshOf(opts), path,
+                                   core::Strategy::Static, net);
+    report.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "list") {
+        std::cout << "shared-memory (dynamic strategy):\n";
+        for (const auto &name : sharedMemoryApps)
+            std::cout << "  " << name << "\n";
+        std::cout << "message-passing (static strategy):\n";
+        for (const auto &name : messagePassingApps)
+            std::cout << "  " << name << "\n";
+        return 0;
+    }
+
+    if (argc < 3)
+        return usage();
+    std::string target = argv[2];
+    Options opts;
+    if (!parseOptions(argc, argv, 3, opts))
+        return usage();
+
+    try {
+        if (cmd == "characterize")
+            return cmdCharacterize(target, opts);
+        if (cmd == "trace")
+            return cmdTrace(target, opts);
+        if (cmd == "replay")
+            return cmdReplay(target, opts);
+    } catch (const std::exception &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
