@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fitter"
+  "../bench/bench_ablation_fitter.pdb"
+  "CMakeFiles/bench_ablation_fitter.dir/bench_ablation_fitter.cc.o"
+  "CMakeFiles/bench_ablation_fitter.dir/bench_ablation_fitter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

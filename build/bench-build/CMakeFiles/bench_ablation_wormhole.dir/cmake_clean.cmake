@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wormhole"
+  "../bench/bench_ablation_wormhole.pdb"
+  "CMakeFiles/bench_ablation_wormhole.dir/bench_ablation_wormhole.cc.o"
+  "CMakeFiles/bench_ablation_wormhole.dir/bench_ablation_wormhole.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

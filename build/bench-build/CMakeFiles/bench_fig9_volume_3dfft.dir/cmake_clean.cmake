@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_volume_3dfft"
+  "../bench/bench_fig9_volume_3dfft.pdb"
+  "CMakeFiles/bench_fig9_volume_3dfft.dir/bench_fig9_volume_3dfft.cc.o"
+  "CMakeFiles/bench_fig9_volume_3dfft.dir/bench_fig9_volume_3dfft.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_volume_3dfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

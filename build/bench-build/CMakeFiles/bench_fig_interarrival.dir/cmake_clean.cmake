@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_interarrival"
+  "../bench/bench_fig_interarrival.pdb"
+  "CMakeFiles/bench_fig_interarrival.dir/bench_fig_interarrival.cc.o"
+  "CMakeFiles/bench_fig_interarrival.dir/bench_fig_interarrival.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_loadsweep"
+  "../bench/bench_fig_loadsweep.pdb"
+  "CMakeFiles/bench_fig_loadsweep.dir/bench_fig_loadsweep.cc.o"
+  "CMakeFiles/bench_fig_loadsweep.dir/bench_fig_loadsweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_loadsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_phases"
+  "../bench/bench_fig_phases.pdb"
+  "CMakeFiles/bench_fig_phases.dir/bench_fig_phases.cc.o"
+  "CMakeFiles/bench_fig_phases.dir/bench_fig_phases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

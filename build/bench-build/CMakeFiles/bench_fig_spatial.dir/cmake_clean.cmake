@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_spatial"
+  "../bench/bench_fig_spatial.pdb"
+  "CMakeFiles/bench_fig_spatial.dir/bench_fig_spatial.cc.o"
+  "CMakeFiles/bench_fig_spatial.dir/bench_fig_spatial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

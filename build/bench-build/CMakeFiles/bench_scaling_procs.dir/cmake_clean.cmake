@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling_procs"
+  "../bench/bench_scaling_procs.pdb"
+  "CMakeFiles/bench_scaling_procs.dir/bench_scaling_procs.cc.o"
+  "CMakeFiles/bench_scaling_procs.dir/bench_scaling_procs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_suite"
+  "../bench/bench_table1_suite.pdb"
+  "CMakeFiles/bench_table1_suite.dir/bench_table1_suite.cc.o"
+  "CMakeFiles/bench_table1_suite.dir/bench_table1_suite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_temporal_sm"
+  "../bench/bench_table2_temporal_sm.pdb"
+  "CMakeFiles/bench_table2_temporal_sm.dir/bench_table2_temporal_sm.cc.o"
+  "CMakeFiles/bench_table2_temporal_sm.dir/bench_table2_temporal_sm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_temporal_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

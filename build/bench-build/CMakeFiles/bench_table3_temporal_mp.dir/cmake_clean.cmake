@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_temporal_mp"
+  "../bench/bench_table3_temporal_mp.pdb"
+  "CMakeFiles/bench_table3_temporal_mp.dir/bench_table3_temporal_mp.cc.o"
+  "CMakeFiles/bench_table3_temporal_mp.dir/bench_table3_temporal_mp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_temporal_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

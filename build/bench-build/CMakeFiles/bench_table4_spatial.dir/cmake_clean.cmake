@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_spatial"
+  "../bench/bench_table4_spatial.pdb"
+  "CMakeFiles/bench_table4_spatial.dir/bench_table4_spatial.cc.o"
+  "CMakeFiles/bench_table4_spatial.dir/bench_table4_spatial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

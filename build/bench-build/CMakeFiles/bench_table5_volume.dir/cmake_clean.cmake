@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_volume"
+  "../bench/bench_table5_volume.pdb"
+  "CMakeFiles/bench_table5_volume.dir/bench_table5_volume.cc.o"
+  "CMakeFiles/bench_table5_volume.dir/bench_table5_volume.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_validation.cc" "bench-build/CMakeFiles/bench_validation.dir/bench_validation.cc.o" "gcc" "bench-build/CMakeFiles/bench_validation.dir/bench_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnuma/CMakeFiles/ccnuma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/desim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

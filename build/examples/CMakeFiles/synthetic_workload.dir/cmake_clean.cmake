@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_workload.dir/synthetic_workload.cpp.o"
+  "CMakeFiles/synthetic_workload.dir/synthetic_workload.cpp.o.d"
+  "synthetic_workload"
+  "synthetic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/cholesky.cc" "src/apps/CMakeFiles/apps.dir/cholesky.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/cholesky.cc.o.d"
+  "/root/repo/src/apps/fft1d.cc" "src/apps/CMakeFiles/apps.dir/fft1d.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/fft1d.cc.o.d"
+  "/root/repo/src/apps/fft3d.cc" "src/apps/CMakeFiles/apps.dir/fft3d.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/fft3d.cc.o.d"
+  "/root/repo/src/apps/fft_util.cc" "src/apps/CMakeFiles/apps.dir/fft_util.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/fft_util.cc.o.d"
+  "/root/repo/src/apps/is.cc" "src/apps/CMakeFiles/apps.dir/is.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/is.cc.o.d"
+  "/root/repo/src/apps/maxflow.cc" "src/apps/CMakeFiles/apps.dir/maxflow.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/maxflow.cc.o.d"
+  "/root/repo/src/apps/mg.cc" "src/apps/CMakeFiles/apps.dir/mg.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/mg.cc.o.d"
+  "/root/repo/src/apps/nbody.cc" "src/apps/CMakeFiles/apps.dir/nbody.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/nbody.cc.o.d"
+  "/root/repo/src/apps/sor.cc" "src/apps/CMakeFiles/apps.dir/sor.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/sor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccnuma/CMakeFiles/ccnuma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

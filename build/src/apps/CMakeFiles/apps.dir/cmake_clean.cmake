@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/app.cc.o"
+  "CMakeFiles/apps.dir/app.cc.o.d"
+  "CMakeFiles/apps.dir/cholesky.cc.o"
+  "CMakeFiles/apps.dir/cholesky.cc.o.d"
+  "CMakeFiles/apps.dir/fft1d.cc.o"
+  "CMakeFiles/apps.dir/fft1d.cc.o.d"
+  "CMakeFiles/apps.dir/fft3d.cc.o"
+  "CMakeFiles/apps.dir/fft3d.cc.o.d"
+  "CMakeFiles/apps.dir/fft_util.cc.o"
+  "CMakeFiles/apps.dir/fft_util.cc.o.d"
+  "CMakeFiles/apps.dir/is.cc.o"
+  "CMakeFiles/apps.dir/is.cc.o.d"
+  "CMakeFiles/apps.dir/maxflow.cc.o"
+  "CMakeFiles/apps.dir/maxflow.cc.o.d"
+  "CMakeFiles/apps.dir/mg.cc.o"
+  "CMakeFiles/apps.dir/mg.cc.o.d"
+  "CMakeFiles/apps.dir/nbody.cc.o"
+  "CMakeFiles/apps.dir/nbody.cc.o.d"
+  "CMakeFiles/apps.dir/sor.cc.o"
+  "CMakeFiles/apps.dir/sor.cc.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccnuma/cache.cc" "src/ccnuma/CMakeFiles/ccnuma.dir/cache.cc.o" "gcc" "src/ccnuma/CMakeFiles/ccnuma.dir/cache.cc.o.d"
+  "/root/repo/src/ccnuma/machine.cc" "src/ccnuma/CMakeFiles/ccnuma.dir/machine.cc.o" "gcc" "src/ccnuma/CMakeFiles/ccnuma.dir/machine.cc.o.d"
+  "/root/repo/src/ccnuma/node.cc" "src/ccnuma/CMakeFiles/ccnuma.dir/node.cc.o" "gcc" "src/ccnuma/CMakeFiles/ccnuma.dir/node.cc.o.d"
+  "/root/repo/src/ccnuma/protocol.cc" "src/ccnuma/CMakeFiles/ccnuma.dir/protocol.cc.o" "gcc" "src/ccnuma/CMakeFiles/ccnuma.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/desim/CMakeFiles/desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

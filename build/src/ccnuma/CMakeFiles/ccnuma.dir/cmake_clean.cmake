@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma.dir/cache.cc.o"
+  "CMakeFiles/ccnuma.dir/cache.cc.o.d"
+  "CMakeFiles/ccnuma.dir/machine.cc.o"
+  "CMakeFiles/ccnuma.dir/machine.cc.o.d"
+  "CMakeFiles/ccnuma.dir/node.cc.o"
+  "CMakeFiles/ccnuma.dir/node.cc.o.d"
+  "CMakeFiles/ccnuma.dir/protocol.cc.o"
+  "CMakeFiles/ccnuma.dir/protocol.cc.o.d"
+  "libccnuma.a"
+  "libccnuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cc" "src/core/CMakeFiles/core.dir/analytic.cc.o" "gcc" "src/core/CMakeFiles/core.dir/analytic.cc.o.d"
+  "/root/repo/src/core/analyzers.cc" "src/core/CMakeFiles/core.dir/analyzers.cc.o" "gcc" "src/core/CMakeFiles/core.dir/analyzers.cc.o.d"
+  "/root/repo/src/core/patterns.cc" "src/core/CMakeFiles/core.dir/patterns.cc.o" "gcc" "src/core/CMakeFiles/core.dir/patterns.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/core/CMakeFiles/core.dir/replay.cc.o" "gcc" "src/core/CMakeFiles/core.dir/replay.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/core.dir/report.cc.o.d"
+  "/root/repo/src/core/synthetic.cc" "src/core/CMakeFiles/core.dir/synthetic.cc.o" "gcc" "src/core/CMakeFiles/core.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnuma/CMakeFiles/ccnuma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/desim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/analytic.cc.o"
+  "CMakeFiles/core.dir/analytic.cc.o.d"
+  "CMakeFiles/core.dir/analyzers.cc.o"
+  "CMakeFiles/core.dir/analyzers.cc.o.d"
+  "CMakeFiles/core.dir/patterns.cc.o"
+  "CMakeFiles/core.dir/patterns.cc.o.d"
+  "CMakeFiles/core.dir/pipeline.cc.o"
+  "CMakeFiles/core.dir/pipeline.cc.o.d"
+  "CMakeFiles/core.dir/replay.cc.o"
+  "CMakeFiles/core.dir/replay.cc.o.d"
+  "CMakeFiles/core.dir/report.cc.o"
+  "CMakeFiles/core.dir/report.cc.o.d"
+  "CMakeFiles/core.dir/synthetic.cc.o"
+  "CMakeFiles/core.dir/synthetic.cc.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desim.dir/simulator.cc.o"
+  "CMakeFiles/desim.dir/simulator.cc.o.d"
+  "libdesim.a"
+  "libdesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh.dir/mesh.cc.o"
+  "CMakeFiles/mesh.dir/mesh.cc.o.d"
+  "libmesh.a"
+  "libmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp.dir/mp.cc.o"
+  "CMakeFiles/mp.dir/mp.cc.o.d"
+  "libmp.a"
+  "libmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats.dir/distributions.cc.o"
+  "CMakeFiles/stats.dir/distributions.cc.o.d"
+  "CMakeFiles/stats.dir/fit.cc.o"
+  "CMakeFiles/stats.dir/fit.cc.o.d"
+  "CMakeFiles/stats.dir/spatial.cc.o"
+  "CMakeFiles/stats.dir/spatial.cc.o.d"
+  "CMakeFiles/stats.dir/special.cc.o"
+  "CMakeFiles/stats.dir/special.cc.o.d"
+  "CMakeFiles/stats.dir/summary.cc.o"
+  "CMakeFiles/stats.dir/summary.cc.o.d"
+  "libstats.a"
+  "libstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace.dir/record.cc.o"
+  "CMakeFiles/trace.dir/record.cc.o.d"
+  "CMakeFiles/trace.dir/trace.cc.o"
+  "CMakeFiles/trace.dir/trace.cc.o.d"
+  "libtrace.a"
+  "libtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccnuma.dir/test_ccnuma.cc.o"
+  "CMakeFiles/test_ccnuma.dir/test_ccnuma.cc.o.d"
+  "test_ccnuma"
+  "test_ccnuma.pdb"
+  "test_ccnuma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccnuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cchar.dir/cchar.cc.o"
+  "CMakeFiles/cchar.dir/cchar.cc.o.d"
+  "cchar"
+  "cchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
