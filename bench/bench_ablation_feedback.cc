@@ -60,6 +60,7 @@ logToTrace(const trace::TrafficLog &log)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"ablation_feedback"};
     using namespace cchar::bench;
 
     std::cout << "A3: execution-driven feedback vs trace replay of "

@@ -13,9 +13,12 @@
 
 #include "stats/stats.hh"
 
+#include "self_report.hh"
+
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"ablation_fitter"};
     using namespace cchar::stats;
 
     std::cout << "A2: CDF regression — Levenberg-Marquardt vs "

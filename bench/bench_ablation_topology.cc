@@ -35,6 +35,7 @@ makeApp(const std::string &name)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"ablation_topology"};
     std::cout << "A4: topology ablation — 4x4 mesh vs 4x4 torus "
                  "(2 VCs, dateline)\n\n";
     std::cout << std::left << std::setw(10) << "app" << std::setw(8)

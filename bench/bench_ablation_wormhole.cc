@@ -72,6 +72,7 @@ runLoad(mesh::ChannelHolding holding, double rate_per_node)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"ablation_wormhole"};
     std::cout << "A1: wormhole channel holding — full-pipeline vs "
                  "early release (uniform random traffic, 32B)\n\n";
     std::cout << std::right << std::setw(12) << "rate(msg/us)"

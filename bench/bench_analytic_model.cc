@@ -18,6 +18,7 @@
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"analytic_model"};
     using namespace cchar;
     using namespace cchar::bench;
 

@@ -19,6 +19,7 @@
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"fig9_volume_3dfft"};
     using namespace cchar;
     using namespace cchar::bench;
 

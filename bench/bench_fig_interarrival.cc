@@ -43,6 +43,7 @@ printSeries(const cchar::core::CharacterizationReport &report)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"fig_interarrival"};
     using namespace cchar;
     using namespace cchar::bench;
 

@@ -22,6 +22,7 @@
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"fig_loadsweep"};
     using namespace cchar;
     using namespace cchar::bench;
 

@@ -19,6 +19,7 @@
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"fig_phases"};
     using namespace cchar;
     using namespace cchar::bench;
 

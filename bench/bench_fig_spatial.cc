@@ -40,6 +40,7 @@ printSource(const cchar::core::CharacterizationReport &report, int src)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"fig_spatial"};
     using namespace cchar::bench;
 
     std::cout << "F-SP: spatial distribution — fraction of messages "

@@ -12,6 +12,8 @@
 #include "mesh/mesh.hh"
 #include "stats/stats.hh"
 
+#include "self_report.hh"
+
 namespace {
 
 using namespace cchar;
@@ -87,4 +89,15 @@ BENCHMARK(BM_FitterBestFit)->Arg(1000)->Arg(10000);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the SelfReport registry wraps the runs.
+int
+main(int argc, char **argv)
+{
+    cchar::bench::SelfReport selfReport{"perf_micro"};
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -34,6 +34,7 @@ makeApp(const std::string &name)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"scaling_procs"};
     std::cout << "S1: characterization vs system size (same problem "
                  "size per app)\n\n";
     std::cout << std::left << std::setw(10) << "app" << std::right

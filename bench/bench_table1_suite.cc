@@ -16,6 +16,7 @@
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"table1_suite"};
     using namespace cchar;
     using namespace cchar::bench;
 

@@ -40,6 +40,7 @@ printFit(const std::string &app, const cchar::core::TemporalFit &fit)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"table2_temporal_sm"};
     using namespace cchar;
     using namespace cchar::bench;
 

@@ -34,6 +34,7 @@ printFit(const std::string &app, const cchar::core::TemporalFit &fit)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"table3_temporal_mp"};
     using namespace cchar;
     using namespace cchar::bench;
 

@@ -47,6 +47,7 @@ printRow(const cchar::core::CharacterizationReport &report)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"table4_spatial"};
     using namespace cchar::bench;
 
     std::cout << "T4: spatial pattern classification "

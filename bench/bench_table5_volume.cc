@@ -45,6 +45,7 @@ printRow(const cchar::core::CharacterizationReport &report)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"table5_volume"};
     using namespace cchar::bench;
 
     std::cout << "T5: volume attribute — message count and length "

@@ -47,6 +47,7 @@ oneMessageTime(int bytes)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"table6_sp2_overhead"};
     std::cout << "T6: SP2 communication software overhead "
                  "(paper model: 73.42 + 0.0463 x us)\n\n";
     std::cout << std::right << std::setw(9) << "bytes" << std::setw(14)

@@ -40,6 +40,7 @@ validateRow(const cchar::core::CharacterizationReport &report)
 int
 main()
 {
+    cchar::bench::SelfReport selfReport{"validation"};
     using namespace cchar::bench;
 
     std::cout << "V1: synthetic-model validation — original vs "

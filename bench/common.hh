@@ -24,6 +24,7 @@
 #include "apps/mg.hh"
 #include "apps/nbody.hh"
 #include "core/core.hh"
+#include "self_report.hh"
 
 namespace cchar::bench {
 

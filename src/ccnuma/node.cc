@@ -19,6 +19,15 @@ bit(int node)
 NodeController::NodeController(Machine &machine, int id)
     : machine_(&machine), id_(id), cache_(machine.config().cache)
 {
+    // All nodes intern the same names, so the per-class counters are
+    // machine-wide totals (the protocol message mix).
+    if (obs::MetricsRegistry *reg = obs::metrics()) {
+        msgReqCtr_ = reg->counter("ccnuma.msg.request");
+        msgInvCtr_ = reg->counter("ccnuma.msg.invalidation");
+        msgAckCtr_ = reg->counter("ccnuma.msg.ack");
+        msgDataCtr_ = reg->counter("ccnuma.msg.data");
+        msgSyncCtr_ = reg->counter("ccnuma.msg.sync");
+    }
 }
 
 void
@@ -47,6 +56,36 @@ NodeController::bytesOf(CoherenceOp op) const
 void
 NodeController::postMsg(int dst, const CoherenceMsg &msg)
 {
+    switch (msg.op) {
+      case CoherenceOp::GetS:
+      case CoherenceOp::GetX:
+      case CoherenceOp::Upgrade:
+        msgReqCtr_.add(1);
+        break;
+      case CoherenceOp::Inv:
+      case CoherenceOp::Fetch:
+      case CoherenceOp::FetchInv:
+        msgInvCtr_.add(1);
+        break;
+      case CoherenceOp::Ack:
+      case CoherenceOp::InvAck:
+      case CoherenceOp::WbAck:
+        msgAckCtr_.add(1);
+        break;
+      case CoherenceOp::Data:
+      case CoherenceOp::WbData:
+      case CoherenceOp::WriteBack:
+        msgDataCtr_.add(1);
+        break;
+      case CoherenceOp::LockReq:
+      case CoherenceOp::LockGrant:
+      case CoherenceOp::Unlock:
+      case CoherenceOp::BarrierArrive:
+      case CoherenceOp::BarrierRelease:
+        msgSyncCtr_.add(1);
+        break;
+    }
+
     mesh::Packet pkt;
     pkt.src = id_;
     pkt.dst = dst;

@@ -183,6 +183,14 @@ class NodeController
     std::uint64_t stores_ = 0;
     std::uint64_t remoteTx_ = 0;
 
+    // Coherence message-class counters (shared slots across nodes;
+    // detached when no metrics sink is installed).
+    obs::Counter msgReqCtr_;
+    obs::Counter msgInvCtr_;
+    obs::Counter msgAckCtr_;
+    obs::Counter msgDataCtr_;
+    obs::Counter msgSyncCtr_;
+
     ReqSlot slot_;
     std::unordered_map<Addr, std::uint64_t> wbPending_;
 

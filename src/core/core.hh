@@ -13,5 +13,6 @@
 #include "replay.hh"
 #include "report.hh"
 #include "synthetic.hh"
+#include "telemetry.hh"
 
 #endif // CCHAR_CORE_CORE_HH

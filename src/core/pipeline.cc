@@ -1,5 +1,7 @@
 #include "pipeline.hh"
 
+#include "telemetry.hh"
+
 namespace cchar::core {
 
 namespace {
@@ -69,6 +71,10 @@ CharacterizationPipeline::runDynamic(apps::SharedMemoryApp &app,
 {
     desim::Simulator sim;
     ccnuma::Machine machine{sim, cfg};
+    if (opts_.sampler && opts_.samplePeriodUs > 0.0) {
+        attachNetworkTelemetry(sim, machine.network(), *opts_.sampler,
+                               opts_.samplePeriodUs);
+    }
     apps::launch(machine, app);
     machine.run();
 
@@ -106,7 +112,8 @@ CharacterizationPipeline::runStatic(apps::MessagePassingApp &app,
         *trace_out = trace;
 
     // Phase 2: intelligent replay into the 2-D mesh simulator.
-    DriveResult replayed = TraceReplayer::replay(trace, cfg.mesh);
+    DriveResult replayed = TraceReplayer::replay(
+        trace, cfg.mesh, true, opts_.sampler, opts_.samplePeriodUs);
 
     NetworkSummary net;
     net.latencyMean = replayed.latencyMean;

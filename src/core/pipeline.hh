@@ -31,6 +31,14 @@ struct PipelineOptions
     std::size_t minSamplesPerSource = 8;
     /** Produce per-source fits (aggregate only if false). */
     bool perSource = true;
+    /**
+     * Optional windowed telemetry sink. When set, the standard
+     * network series (see attachNetworkTelemetry) are captured every
+     * samplePeriodUs of simulated time during the run — for the
+     * static strategy, during the replay phase. Must outlive the run.
+     */
+    obs::WindowedSampler *sampler = nullptr;
+    double samplePeriodUs = 50.0;
 };
 
 /** Runs applications and produces characterization reports. */

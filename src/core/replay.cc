@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "desim/desim.hh"
+#include "telemetry.hh"
 
 namespace cchar::core {
 
@@ -10,10 +11,17 @@ namespace {
 
 desim::Task<void>
 sourceProcess(mesh::MeshNetwork *net, std::vector<trace::TraceEvent> evs,
-              bool blocking)
+              bool blocking, obs::Counter msgCtr, obs::Histogram lagHist)
 {
+    // The pure trace clock: where this source would be if only its
+    // recorded compute gaps were charged. The replay clock trails it
+    // by the cumulative network drain time — the "replay lag".
+    double traceClock = 0.0;
     for (const auto &ev : evs) {
         co_await net->sim().delay(ev.sinceLast);
+        traceClock += ev.sinceLast;
+        msgCtr.add(1);
+        lagHist.record(net->sim().now() - traceClock);
         mesh::Packet pkt;
         pkt.src = ev.src;
         pkt.dst = ev.dst;
@@ -38,20 +46,31 @@ sinkProcess(mesh::MeshNetwork *net, int node)
 
 DriveResult
 TraceReplayer::replay(const trace::Trace &trace,
-                      const mesh::MeshConfig &mesh, bool blocking)
+                      const mesh::MeshConfig &mesh, bool blocking,
+                      obs::WindowedSampler *sampler, double samplePeriodUs)
 {
     if (trace.nprocs() > mesh.width * mesh.height)
         throw std::invalid_argument("replay: trace does not fit on "
                                     "the mesh");
+    obs::Counter msgCtr;
+    obs::Histogram lagHist;
+    if (obs::MetricsRegistry *reg = obs::metrics()) {
+        msgCtr = reg->counter("replay.messages");
+        lagHist = reg->histogram("replay.lag_us");
+    }
+
     DriveResult result;
     desim::Simulator sim;
     mesh::MeshNetwork net{sim, mesh, &result.log};
+    if (sampler && samplePeriodUs > 0.0)
+        attachNetworkTelemetry(sim, net, *sampler, samplePeriodUs);
     for (int node = 0; node < mesh.width * mesh.height; ++node)
         sim.spawn(sinkProcess(&net, node), "sink");
     for (int src = 0; src < trace.nprocs(); ++src) {
         auto evs = trace.eventsOfSource(src);
         if (!evs.empty()) {
-            sim.spawn(sourceProcess(&net, std::move(evs), blocking),
+            sim.spawn(sourceProcess(&net, std::move(evs), blocking,
+                                    msgCtr, lagHist),
                       "replay-src-" + std::to_string(src));
         }
     }

@@ -18,6 +18,7 @@
 #define CCHAR_CORE_REPLAY_HH
 
 #include "mesh/mesh.hh"
+#include "obs/obs.hh"
 #include "trace/record.hh"
 #include "trace/trace.hh"
 
@@ -42,14 +43,24 @@ class TraceReplayer
     /**
      * Replay a trace on a fresh mesh of the given configuration.
      *
+     * When a metrics sink is installed (obs::setMetrics), the replay
+     * records its lag behind the pure trace clock — the cumulative
+     * network-drain time separating the replayed injection times from
+     * the recorded compute gaps — in the "replay.lag_us" histogram.
+     *
      * @param blocking If true (default), a source waits for each of
      *        its messages to drain before its next compute gap —
      *        preserving per-source dependences. If false, messages
      *        are injected open-loop (the ablation mode).
+     * @param sampler Optional windowed telemetry sampler; when given,
+     *        the standard network series are registered on it and it
+     *        is driven every samplePeriodUs of simulated time.
      */
     static DriveResult replay(const trace::Trace &trace,
                               const mesh::MeshConfig &mesh,
-                              bool blocking = true);
+                              bool blocking = true,
+                              obs::WindowedSampler *sampler = nullptr,
+                              double samplePeriodUs = 0.0);
 };
 
 } // namespace cchar::core

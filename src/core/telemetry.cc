@@ -1,0 +1,75 @@
+#include "telemetry.hh"
+
+#include <ostream>
+
+namespace cchar::core {
+
+void
+attachNetworkTelemetry(desim::Simulator &sim, mesh::MeshNetwork &net,
+                       obs::WindowedSampler &sampler, double periodUs)
+{
+    // Windowed probes carry their own previous-sample state; the
+    // sampler only sees the finished per-window value.
+    sampler.addSeries(
+        "injection_rate_per_us",
+        [&net, &sim, last = std::uint64_t{0},
+         lastT = 0.0]() mutable -> double {
+            std::uint64_t msgs = net.messageCount();
+            double t = sim.now();
+            double dt = t - lastT;
+            double rate =
+                dt > 0.0
+                    ? static_cast<double>(msgs - last) / dt
+                    : 0.0;
+            last = msgs;
+            lastT = t;
+            return rate;
+        });
+    sampler.addSeries(
+        "avg_channel_utilization",
+        [&net, &sim, lastBusy = 0.0, lastT = 0.0]() mutable -> double {
+            // utilization(t) is cumulative from 0; differentiate the
+            // busy-time integral to get the in-window average.
+            double t = sim.now();
+            double busy = net.averageChannelUtilization(t) * t;
+            double dt = t - lastT;
+            double u = dt > 0.0 ? (busy - lastBusy) / dt : 0.0;
+            lastBusy = busy;
+            lastT = t;
+            return u;
+        });
+    sampler.addSeries("busy_lanes", [&net]() -> double {
+        return static_cast<double>(net.busyLanes());
+    });
+    sampler.addSeries("queued_worms", [&net]() -> double {
+        return static_cast<double>(net.queuedAcquires());
+    });
+    sampler.addSeries("calendar_depth", [&sim]() -> double {
+        return static_cast<double>(sim.calendarSize());
+    });
+    sampler.addSeries("events_dispatched", [&sim]() -> double {
+        return static_cast<double>(sim.processedEvents());
+    });
+
+    sim.attachPeriodic(
+        [&sampler](desim::SimTime t) { sampler.sample(t); }, periodUs);
+}
+
+void
+writeMetricsJson(std::ostream &os, const obs::MetricsRegistry *registry,
+                 const obs::WindowedSampler *sampler)
+{
+    os << "{\"metrics\":";
+    if (registry)
+        registry->writeJson(os);
+    else
+        os << "null";
+    os << ",\"telemetry\":";
+    if (sampler)
+        sampler->writeJson(os);
+    else
+        os << "null";
+    os << "}\n";
+}
+
+} // namespace cchar::core

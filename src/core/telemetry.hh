@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Wiring between the observability layer and a running simulation:
+ * the standard windowed network telemetry series, and the combined
+ * metrics document the `cchar --metrics-out` flag emits.
+ */
+
+#ifndef CCHAR_CORE_TELEMETRY_HH
+#define CCHAR_CORE_TELEMETRY_HH
+
+#include <iosfwd>
+
+#include "desim/desim.hh"
+#include "mesh/mesh.hh"
+#include "obs/obs.hh"
+
+namespace cchar::core {
+
+/**
+ * Register the standard network time series on `sampler` and drive it
+ * from the simulator clock every `periodUs`:
+ *
+ *  - injection_rate_per_us: messages injected per microsecond in the
+ *    elapsed window;
+ *  - avg_channel_utilization: mean lane utilization over the window;
+ *  - busy_lanes: lanes held by a worm at the sample instant (VC
+ *    occupancy);
+ *  - queued_worms: worms blocked on a lane or injection port;
+ *  - calendar_depth: pending events in the simulator calendar.
+ *
+ * Must be called before sim.run() and before the sampler's first
+ * sample. The sampler must outlive the run.
+ */
+void attachNetworkTelemetry(desim::Simulator &sim,
+                            mesh::MeshNetwork &net,
+                            obs::WindowedSampler &sampler,
+                            double periodUs);
+
+/**
+ * Combined observability document:
+ * {"metrics":{...registry...},"telemetry":{...sampler...}} — either
+ * part may be null when the corresponding sink was absent.
+ */
+void writeMetricsJson(std::ostream &os,
+                      const obs::MetricsRegistry *registry,
+                      const obs::WindowedSampler *sampler);
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_TELEMETRY_HH

@@ -1,5 +1,6 @@
 #include "simulator.hh"
 
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +11,19 @@ Delay::await_suspend(std::coroutine_handle<> h)
 {
     SimTime dt = dt_ < 0.0 ? 0.0 : dt_;
     sim_->scheduleResume(h, sim_->now() + dt);
+}
+
+Simulator::Simulator()
+{
+    // Resolve observability handles once; the dispatch loop never does
+    // a name lookup. With no sinks installed these stay detached and
+    // every use is a null check.
+    if (obs::MetricsRegistry *reg = obs::metrics()) {
+        eventsCtr_ = reg->counter("desim.events");
+        calendarPeakGauge_ = reg->gauge("desim.calendar_peak");
+        eventsPerSecGauge_ = reg->gauge("desim.events_per_sec");
+    }
+    tracer_ = obs::tracer();
 }
 
 Simulator::~Simulator()
@@ -29,6 +43,11 @@ Simulator::processRunner(Task<void> body,
         state->error = std::current_exception();
     }
     state->done = true;
+    if (sim->tracer_) {
+        obs::Tracer *tr = sim->tracer_;
+        tr->span(tr->lane("proc:" + state->name), tr->name("process"),
+                 state->spawnTime, sim->now_ - state->spawnTime);
+    }
     for (auto h : state->joiners)
         sim->scheduleResume(h, sim->now());
     state->joiners.clear();
@@ -44,6 +63,7 @@ Simulator::spawn(Task<void> body, std::string name)
         name = os.str();
     }
     state->name = std::move(name);
+    state->spawnTime = now_;
 
     Task<void> runner = processRunner(std::move(body), state, this);
     // Schedule the runner's first resumption at the current time; the
@@ -51,7 +71,7 @@ Simulator::spawn(Task<void> body, std::string name)
     // deterministic even if the process never completes.
     calendar_.push(Event{now_, seq_++, runner.rawHandle(), {}});
     processes_.push_back(RootProcess{std::move(runner), state});
-    return ProcessRef{std::move(state), this};
+    return ProcessRef{std::move(state)};
 }
 
 void
@@ -71,19 +91,60 @@ Simulator::schedule(std::function<void()> fn, SimTime at)
 }
 
 void
+Simulator::attachPeriodic(std::function<void(SimTime)> fn, SimTime period)
+{
+    if (period <= 0.0)
+        throw std::invalid_argument("desim: periodic period must be > 0");
+    if (!fn)
+        throw std::invalid_argument("desim: null periodic callback");
+    schedulePeriodicTick(
+        std::make_shared<std::function<void(SimTime)>>(std::move(fn)),
+        period);
+}
+
+void
+Simulator::schedulePeriodicTick(
+    std::shared_ptr<std::function<void(SimTime)>> fn, SimTime period)
+{
+    ++periodicPending_;
+    schedule(
+        [this, fn, period] {
+            --periodicPending_;
+            (*fn)(now_);
+            // Re-arm only while non-periodic work remains; otherwise
+            // periodic chains would keep each other (and run())
+            // alive forever.
+            if (calendar_.size() > periodicPending_)
+                schedulePeriodicTick(fn, period);
+        },
+        now_ + period);
+}
+
+void
 Simulator::dispatch(Event &ev)
 {
     now_ = ev.time;
     ++processed_;
+    eventsCtr_.add(1);
     if (ev.handle)
         ev.handle.resume();
     else if (ev.fn)
         ev.fn();
+    if (calendar_.size() > calendarPeak_)
+        calendarPeak_ = calendar_.size();
+}
+
+void
+Simulator::publishRunStats()
+{
+    calendarPeakGauge_.high(static_cast<double>(calendarPeak_));
+    eventsPerSecGauge_.set(wallEventsPerSec());
 }
 
 void
 Simulator::run()
 {
+    auto wallStart = std::chrono::steady_clock::now();
     while (!calendar_.empty()) {
         if (processed_ >= maxEvents_)
             throw std::runtime_error(
@@ -92,12 +153,18 @@ Simulator::run()
         calendar_.pop();
         dispatch(ev);
     }
+    wallSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+    publishRunStats();
     rethrowProcessErrors();
 }
 
 void
 Simulator::runUntil(SimTime t)
 {
+    auto wallStart = std::chrono::steady_clock::now();
     while (!calendar_.empty() && calendar_.top().time <= t) {
         if (processed_ >= maxEvents_)
             throw std::runtime_error(
@@ -108,6 +175,11 @@ Simulator::runUntil(SimTime t)
     }
     if (now_ < t)
         now_ = t;
+    wallSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+    publishRunStats();
     rethrowProcessErrors();
 }
 

@@ -14,6 +14,13 @@
  *
  * Blocking primitives (Delay, Resource, Mailbox, SimEvent) live in their
  * own headers and interoperate with any coroutine driven by this kernel.
+ *
+ * Observability: the kernel self-instruments against the process-wide
+ * obs hooks (see obs/obs.hh) — events dispatched, peak calendar depth,
+ * and wall-clock events/sec land in the installed MetricsRegistry, and
+ * every completed process emits a lifetime span to the installed
+ * Tracer. With no sinks installed the handles are detached and the
+ * per-event cost is a null check.
  */
 
 #ifndef CCHAR_DESIM_SIMULATOR_HH
@@ -27,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "task.hh"
 
 namespace cchar::desim {
@@ -40,6 +48,8 @@ class Simulator;
 struct ProcessState
 {
     std::string name;
+    /** Time the process was spawned (lifetime span start). */
+    SimTime spawnTime = 0.0;
     bool done = false;
     std::exception_ptr error{};
     std::vector<std::coroutine_handle<>> joiners;
@@ -57,13 +67,16 @@ class ProcessRef
   public:
     ProcessRef() = default;
 
-    ProcessRef(std::shared_ptr<ProcessState> state, Simulator *sim)
-        : state_(std::move(state)), sim_(sim)
+    explicit ProcessRef(std::shared_ptr<ProcessState> state)
+        : state_(std::move(state))
     {}
 
     bool valid() const { return static_cast<bool>(state_); }
     bool done() const { return state_ && state_->done; }
     const std::string &name() const { return state_->name; }
+
+    /** Time the process was spawned. */
+    SimTime spawnTime() const { return state_->spawnTime; }
 
     struct Awaiter
     {
@@ -84,14 +97,24 @@ class ProcessRef
 
   private:
     std::shared_ptr<ProcessState> state_{};
-    Simulator *sim_ = nullptr;
 };
 
-/** Awaitable that suspends the current process for a fixed duration. */
+/**
+ * Awaitable that suspends the current process for a fixed duration.
+ *
+ * Single-shot: each Delay schedules exactly one resumption, so it is
+ * move-only — a copy could be awaited a second time and resume a
+ * coroutine handle that no longer exists.
+ */
 class Delay
 {
   public:
     Delay(Simulator *sim, SimTime dt) : sim_(sim), dt_(dt) {}
+
+    Delay(const Delay &) = delete;
+    Delay &operator=(const Delay &) = delete;
+    Delay(Delay &&) = default;
+    Delay &operator=(Delay &&) = default;
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h);
@@ -108,7 +131,7 @@ class Delay
 class Simulator
 {
   public:
-    Simulator() = default;
+    Simulator();
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
     ~Simulator();
@@ -141,6 +164,15 @@ class Simulator
     void schedule(std::function<void()> fn, SimTime at);
 
     /**
+     * Run `fn(now)` every `period` time units, starting one period from
+     * now, for as long as the calendar holds any other work. Periodic
+     * ticks do not keep the simulation alive: once only periodic ticks
+     * remain, the chain stops and run() drains. Telemetry samplers and
+     * progress reporting hang off this.
+     */
+    void attachPeriodic(std::function<void(SimTime)> fn, SimTime period);
+
+    /**
      * Run until the event calendar drains.
      *
      * @throws std::runtime_error if any process terminated with an
@@ -157,6 +189,24 @@ class Simulator
     /** Number of calendar events executed so far. */
     std::uint64_t processedEvents() const { return processed_; }
 
+    /** Pending events in the calendar. */
+    std::size_t calendarSize() const { return calendar_.size(); }
+
+    /** Largest calendar depth observed so far. */
+    std::size_t calendarPeak() const { return calendarPeak_; }
+
+    /** Wall-clock seconds spent inside run()/runUntil() so far. */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Self-profiled dispatch throughput (events / wall second). */
+    double
+    wallEventsPerSec() const
+    {
+        return wallSeconds_ > 0.0
+                   ? static_cast<double>(processed_) / wallSeconds_
+                   : 0.0;
+    }
+
     /** Safety valve: maximum events before run() aborts. */
     void setMaxEvents(std::uint64_t n) { maxEvents_ = n; }
 
@@ -169,6 +219,9 @@ class Simulator
 
     /** True if all spawned processes have completed. */
     bool allProcessesDone() const { return unfinishedProcesses().empty(); }
+
+    /** Trace sink this kernel resolved at construction (may be null). */
+    obs::Tracer *tracer() const { return tracer_; }
 
   private:
     struct Event
@@ -202,13 +255,26 @@ class Simulator
 
     void dispatch(Event &ev);
     void rethrowProcessErrors() const;
+    void schedulePeriodicTick(
+        std::shared_ptr<std::function<void(SimTime)>> fn, SimTime period);
+    void publishRunStats();
 
     SimTime now_ = 0.0;
     std::uint64_t seq_ = 0;
     std::uint64_t processed_ = 0;
     std::uint64_t maxEvents_ = 2'000'000'000;
+    std::size_t calendarPeak_ = 0;
+    /** Periodic ticks currently sitting in the calendar. */
+    std::size_t periodicPending_ = 0;
+    double wallSeconds_ = 0.0;
     std::priority_queue<Event, std::vector<Event>, EventOrder> calendar_;
     std::vector<RootProcess> processes_;
+
+    // Observability handles, resolved once at construction.
+    obs::Tracer *tracer_ = nullptr;
+    obs::Counter eventsCtr_;
+    obs::Gauge calendarPeakGauge_;
+    obs::Gauge eventsPerSecGauge_;
 };
 
 } // namespace cchar::desim

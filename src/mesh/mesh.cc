@@ -73,6 +73,27 @@ MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
             *sim_, 1, "inj-" + std::to_string(node)));
         rx_.push_back(std::make_unique<desim::Mailbox<Packet>>(*sim_));
     }
+
+    // Observability: resolve handles once; transfer() never looks a
+    // metric up by name.
+    if (obs::MetricsRegistry *reg = obs::metrics()) {
+        msgCtr_ = reg->counter("mesh.messages");
+        flitCtr_ = reg->counter("mesh.flits");
+        stallCtr_ = reg->counter("mesh.stalls");
+        latencyHist_ = reg->histogram("mesh.latency_us");
+        contentionHist_ = reg->histogram("mesh.contention_us");
+        hopHist_ = reg->histogram("mesh.hop_latency_us");
+    }
+    tracer_ = obs::tracer();
+    if (tracer_) {
+        routerLane_.reserve(static_cast<std::size_t>(n));
+        for (int node = 0; node < n; ++node)
+            routerLane_.push_back(
+                tracer_->lane("router:" + std::to_string(node)));
+        msgName_ = tracer_->name("msg");
+        holdName_ = tracer_->name("hold");
+        stallName_ = tracer_->name("stall");
+    }
 }
 
 int
@@ -204,9 +225,17 @@ MeshNetwork::transfer(Packet pkt)
 
     // The injection port serializes a node's own messages; it is the
     // first link of the worm.
-    std::vector<desim::Resource *> held;
+    struct HeldLane
+    {
+        desim::Resource *res;
+        int node;     ///< router whose outgoing lane this is
+        SimTime since; ///< acquisition time (channel-hold span start)
+    };
+    std::vector<HeldLane> held;
     co_await injection_[static_cast<std::size_t>(pkt.src)]->acquire();
-    held.push_back(injection_[static_cast<std::size_t>(pkt.src)].get());
+    held.push_back(
+        HeldLane{injection_[static_cast<std::size_t>(pkt.src)].get(),
+                 pkt.src, sim_->now()});
 
     bool crossedX = false, crossedY = false;
     for (const Hop &hop : hops) {
@@ -217,23 +246,42 @@ MeshNetwork::transfer(Packet pkt)
         }
         desim::Resource &ch =
             lane(hop, hop.isX ? crossedX : crossedY);
+        SimTime hopStart = sim_->now();
         co_await ch.acquire();
+        SimTime waited = sim_->now() - hopStart;
+        if (waited > 0.0) {
+            stallCtr_.add(1);
+            if (tracer_)
+                tracer_->instant(
+                    routerLane_[static_cast<std::size_t>(hop.from)],
+                    stallName_, hopStart);
+        }
         if (early) {
             // The head advances off the previous link; its tail
             // clears that link one body-time later.
-            desim::Resource *prev = held.back();
+            HeldLane prev = held.back();
             held.pop_back();
-            sim_->schedule([prev] { prev->release(); },
-                           sim_->now() + body);
+            SimTime freeAt = sim_->now() + body;
+            if (tracer_)
+                tracer_->span(
+                    routerLane_[static_cast<std::size_t>(prev.node)],
+                    holdName_, prev.since, freeAt - prev.since);
+            sim_->schedule([res = prev.res] { res->release(); }, freeAt);
         }
-        held.push_back(&ch);
+        held.push_back(HeldLane{&ch, hop.from, sim_->now()});
         co_await sim_->delay(cfg_.routerDelay);
+        hopHist_.record(waited + cfg_.routerDelay);
     }
 
     // Head is at the destination; stream the body.
     co_await sim_->delay(body);
-    for (desim::Resource *res : held)
-        res->release();
+    for (const HeldLane &hl : held) {
+        if (tracer_)
+            tracer_->span(
+                routerLane_[static_cast<std::size_t>(hl.node)],
+                holdName_, hl.since, sim_->now() - hl.since);
+        hl.res->release();
+    }
 
     rec.deliverTime = sim_->now();
     rec.contention =
@@ -244,6 +292,16 @@ MeshNetwork::transfer(Packet pkt)
     latency_.record(rec.latency());
     contention_.record(rec.contention);
     ++messages_;
+    msgCtr_.add(1);
+    flitCtr_.add(static_cast<std::uint64_t>(flitsOf(pkt.bytes)));
+    latencyHist_.record(rec.latency());
+    contentionHist_.record(rec.contention);
+    if (tracer_) {
+        // Injection-to-delivery flight span on the source router lane.
+        tracer_->span(routerLane_[static_cast<std::size_t>(pkt.src)],
+                      msgName_, rec.injectTime, rec.latency(), pkt.dst,
+                      pkt.bytes);
+    }
     if (log_)
         log_->add(rec);
     rx_[static_cast<std::size_t>(pkt.dst)]->send(std::move(pkt));
@@ -282,6 +340,30 @@ MeshNetwork::maxChannelUtilization(SimTime t) const
             best = std::max(best, res->utilization(t));
     }
     return best;
+}
+
+int
+MeshNetwork::busyLanes() const
+{
+    int n = 0;
+    for (const auto &vcs : lanes_) {
+        for (const auto &res : vcs)
+            n += res->inUse() > 0 ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+MeshNetwork::queuedAcquires() const
+{
+    std::size_t n = 0;
+    for (const auto &vcs : lanes_) {
+        for (const auto &res : vcs)
+            n += res->queueLength();
+    }
+    for (const auto &inj : injection_)
+        n += inj->queueLength();
+    return n;
 }
 
 } // namespace cchar::mesh

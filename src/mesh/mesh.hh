@@ -159,6 +159,12 @@ class MeshNetwork
     /** Peak per-lane utilization at time t. */
     double maxChannelUtilization(SimTime t) const;
 
+    /** Lanes (virtual channels) held by a worm right now. */
+    int busyLanes() const;
+
+    /** Worms currently queued on some lane or injection port. */
+    std::size_t queuedAcquires() const;
+
   private:
     /** One hop of a routed path. */
     struct Hop
@@ -185,6 +191,20 @@ class MeshNetwork
     desim::Tally latency_;
     desim::Tally contention_;
     std::uint64_t messages_ = 0;
+
+    // Observability handles (detached when no sinks are installed).
+    obs::Counter msgCtr_;
+    obs::Counter flitCtr_;
+    obs::Counter stallCtr_;
+    obs::Histogram latencyHist_;
+    obs::Histogram contentionHist_;
+    obs::Histogram hopHist_;
+    obs::Tracer *tracer_ = nullptr;
+    /** Tracer lane of each router (tracer_ != nullptr only). */
+    std::vector<int> routerLane_;
+    int msgName_ = 0;
+    int holdName_ = 0;
+    int stallName_ = 0;
 };
 
 } // namespace cchar::mesh

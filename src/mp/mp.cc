@@ -10,6 +10,11 @@ MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
 {
     net_ = std::make_unique<mesh::MeshNetwork>(*sim_, cfg_.mesh, &log_);
     ranks_.resize(static_cast<std::size_t>(cfg_.nranks()));
+    if (obs::MetricsRegistry *reg = obs::metrics()) {
+        sendCtr_ = reg->counter("mp.sends");
+        recvCtr_ = reg->counter("mp.recvs");
+        bytesSentCtr_ = reg->counter("mp.bytes_sent");
+    }
     for (int r = 0; r < cfg_.nranks(); ++r)
         sim_->spawn(dispatcher(r), "mp-dispatcher-" + std::to_string(r));
 }
@@ -107,6 +112,8 @@ MpContext::sendInternal(int dst, int bytes, int tag,
     pkt.tag = static_cast<std::uint64_t>(tag);
     pkt.payload = MpWorld::MpMsg{rank_, tag, bytes};
     world_->network().post(std::move(pkt));
+    world_->sendCtr_.add(1);
+    world_->bytesSentCtr_.add(static_cast<std::uint64_t>(bytes));
     state.lastActivity = world_->sim().now();
 }
 
@@ -134,6 +141,7 @@ MpContext::recvInternal(int src, int tag)
     const MpConfig &cfg = world_->config();
     co_await world_->sim().delay((1.0 - cfg.sendFraction) *
                                  cfg.overhead(bytes));
+    world_->recvCtr_.add(1);
     state.lastActivity = world_->sim().now();
     co_return bytes;
 }

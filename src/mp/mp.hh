@@ -137,6 +137,11 @@ class MpWorld
     std::unique_ptr<mesh::MeshNetwork> net_;
     std::vector<RankState> ranks_;
     std::vector<desim::ProcessRef> appProcesses_;
+
+    // Observability handles (detached when no sinks are installed).
+    obs::Counter sendCtr_;
+    obs::Counter recvCtr_;
+    obs::Counter bytesSentCtr_;
 };
 
 /** Per-rank communication interface handed to application code. */

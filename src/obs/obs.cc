@@ -1,0 +1,44 @@
+#include "obs.hh"
+
+namespace cchar::obs {
+
+namespace {
+
+MetricsRegistry *g_metrics = nullptr;
+Tracer *g_tracer = nullptr;
+
+} // namespace
+
+MetricsRegistry *
+metrics()
+{
+#ifndef CCHAR_OBS_DISABLED
+    return g_metrics;
+#else
+    return nullptr;
+#endif
+}
+
+Tracer *
+tracer()
+{
+#ifndef CCHAR_OBS_DISABLED
+    return g_tracer;
+#else
+    return nullptr;
+#endif
+}
+
+void
+setMetrics(MetricsRegistry *registry)
+{
+    g_metrics = registry;
+}
+
+void
+setTracer(Tracer *trace)
+{
+    g_tracer = trace;
+}
+
+} // namespace cchar::obs

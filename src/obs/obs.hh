@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Umbrella header and process-wide hooks of the observability layer.
+ *
+ * The simulation layers (desim, mesh, ccnuma, mp, core) are
+ * instrumented against two optional sinks:
+ *
+ *  - a MetricsRegistry (counters / gauges / histograms), and
+ *  - a Tracer (sim-time spans and instants).
+ *
+ * Both default to "absent": metrics() and tracer() return nullptr, an
+ * instrumented component resolves detached handles, and the only
+ * residual cost on a hot path is a null-check. A driver (the cchar
+ * CLI, a bench binary, a test) that wants visibility installs its own
+ * sinks with setMetrics()/setTracer() *before* constructing the
+ * simulator, runs, and exports.
+ *
+ * The hooks are deliberately process-wide rather than threaded through
+ * every constructor: simulations are single-threaded and short-lived,
+ * every layer already owns a Simulator reference, and a global install
+ * point means instrumenting a new subsystem never changes an API.
+ * Components must read the hooks at construction time (cache handles),
+ * never per event.
+ *
+ * Compile with -DCCHAR_OBS_DISABLED to compile out every handle
+ * operation; metrics()/tracer() then always return nullptr.
+ */
+
+#ifndef CCHAR_OBS_OBS_HH
+#define CCHAR_OBS_OBS_HH
+
+#include "registry.hh"
+#include "sampler.hh"
+#include "tracer.hh"
+
+namespace cchar::obs {
+
+/** Currently installed metrics sink, or nullptr (disabled). */
+MetricsRegistry *metrics();
+
+/** Currently installed trace sink, or nullptr (disabled). */
+Tracer *tracer();
+
+/** Install (or with nullptr, remove) the process-wide metrics sink. */
+void setMetrics(MetricsRegistry *registry);
+
+/** Install (or with nullptr, remove) the process-wide trace sink. */
+void setTracer(Tracer *tracer);
+
+/**
+ * RAII installer: sets the sinks for a scope, restores the previous
+ * ones on exit. Keeps tests and benches exception-safe.
+ */
+class ScopedObservability
+{
+  public:
+    explicit ScopedObservability(MetricsRegistry *registry,
+                                 Tracer *trace = nullptr)
+        : prevMetrics_(metrics()), prevTracer_(tracer())
+    {
+        setMetrics(registry);
+        setTracer(trace);
+    }
+
+    ScopedObservability(const ScopedObservability &) = delete;
+    ScopedObservability &operator=(const ScopedObservability &) = delete;
+
+    ~ScopedObservability()
+    {
+        setMetrics(prevMetrics_);
+        setTracer(prevTracer_);
+    }
+
+  private:
+    MetricsRegistry *prevMetrics_;
+    Tracer *prevTracer_;
+};
+
+} // namespace cchar::obs
+
+#endif // CCHAR_OBS_OBS_HH

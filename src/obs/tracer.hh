@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Sim-time event tracer with Chrome trace-event JSON export.
+ *
+ * Records spans (an activity with a duration: a process lifetime, a
+ * message's injection-to-delivery flight, a router channel hold) and
+ * instants (a point event: a flit stall) into a bounded ring buffer.
+ * When the buffer fills, the oldest records are overwritten and
+ * counted as dropped — tracing never grows without bound and never
+ * aborts a run.
+ *
+ * Timestamps are simulated time in microseconds, which is exactly the
+ * unit the Chrome trace-event format uses for "ts"/"dur", so exported
+ * traces load directly into Perfetto / chrome://tracing with the
+ * simulation clock on the time axis. Each lane (router, process)
+ * becomes one named thread track.
+ *
+ * Record order is the order instrumentation observed events, which in
+ * a deterministic simulation is itself deterministic: two identical
+ * seeded runs export byte-identical JSON.
+ */
+
+#ifndef CCHAR_OBS_TRACER_HH
+#define CCHAR_OBS_TRACER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cchar::obs {
+
+/** Bounded-memory span/instant recorder. */
+class Tracer
+{
+  public:
+    /** @param capacity Ring size in records (~32 B each). */
+    explicit Tracer(std::size_t capacity = 1u << 18);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Intern a lane (one horizontal track in the viewer, e.g.
+     * "router:3" or "proc:rank-0") and return its id.
+     */
+    int lane(const std::string &name);
+
+    /** Intern an event name ("msg", "hold", "stall", ...). */
+    int name(const std::string &eventName);
+
+    /** Record an activity of known duration ending now or later. */
+    void span(int laneId, int nameId, double ts, double dur);
+
+    /** Span with two numeric details (rendered as args d0/d1). */
+    void span(int laneId, int nameId, double ts, double dur,
+              std::int32_t d0, std::int32_t d1);
+
+    /** Record a point event. */
+    void instant(int laneId, int nameId, double ts);
+
+    /** Records currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Records overwritten after the ring filled. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Count of retained records on a given lane. */
+    std::size_t laneRecordCount(int laneId) const;
+
+    /** Forget all records (lane/name interning is kept). */
+    void clear();
+
+    /**
+     * Emit the retained records as a Chrome trace-event JSON document
+     * ({"traceEvents":[...]}), oldest first, with one thread_name
+     * metadata record per lane.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    struct Record
+    {
+        double ts;
+        double dur; ///< < 0 marks an instant
+        std::int32_t lane;
+        std::int32_t name;
+        std::int32_t d0;
+        std::int32_t d1;
+        bool hasArgs;
+    };
+
+    void push(const Record &rec);
+
+    /** Visit retained records oldest-first. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const;
+
+    std::vector<Record> ring_;
+    std::size_t next_ = 0;
+    bool wrapped_ = false;
+    std::uint64_t dropped_ = 0;
+
+    std::vector<std::string> laneNames_;
+    std::map<std::string, int> laneIds_;
+    std::vector<std::string> eventNames_;
+    std::map<std::string, int> eventIds_;
+};
+
+} // namespace cchar::obs
+
+#endif // CCHAR_OBS_TRACER_HH

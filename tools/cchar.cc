@@ -15,14 +15,26 @@
  *   --windows N                      print a windowed phase profile
  *   --synthetic                      also run the fitted synthetic
  *                                    model and report validation
+ *
+ * Observability options:
+ *   --trace-out FILE                 write a Chrome trace-event JSON
+ *                                    (load in Perfetto / about:tracing)
+ *   --metrics-out FILE               write the metrics registry and
+ *                                    windowed telemetry as JSON
+ *   --sample-period US               telemetry sampling period in
+ *                                    simulated microseconds (default 50)
+ *   --progress                       periodic progress line on stderr
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/obs.hh"
 
 #include "apps/cholesky.hh"
 #include "apps/fft1d.hh"
@@ -48,6 +60,10 @@ struct Options
     bool synthetic = false;
     bool json = false;
     std::string out;
+    std::string traceOut;
+    std::string metricsOut;
+    double samplePeriodUs = 50.0;
+    bool progress = false;
 };
 
 const std::vector<std::string> sharedMemoryApps{
@@ -97,6 +113,81 @@ meshOf(const Options &opts)
     return cfg;
 }
 
+/**
+ * Observability sinks for one tool invocation. Installs the process-
+ * wide metrics registry / tracer before any simulator is built (so
+ * components resolve their handles) and writes the requested output
+ * files on finish().
+ */
+class ObsSession
+{
+  public:
+    explicit ObsSession(const Options &opts)
+        : opts_(opts),
+          scope_(opts.metricsOut.empty() && opts.traceOut.empty()
+                     ? nullptr
+                     : &registry_,
+                 opts.traceOut.empty() ? nullptr : &tracer_)
+    {}
+
+    /** The sampler to hand to the run, or nullptr when unwanted. */
+    obs::WindowedSampler *sampler()
+    {
+        return opts_.metricsOut.empty() ? nullptr : &sampler_;
+    }
+
+    double samplePeriodUs() const { return opts_.samplePeriodUs; }
+
+    /** Write --trace-out / --metrics-out files. False on I/O error. */
+    bool finish()
+    {
+        if (!opts_.traceOut.empty()) {
+            std::ofstream f{opts_.traceOut};
+            tracer_.writeChromeJson(f);
+            if (!f) {
+                std::cerr << "error: cannot write " << opts_.traceOut
+                          << "\n";
+                return false;
+            }
+            std::cerr << "wrote trace (" << tracer_.size()
+                      << " records, " << tracer_.dropped()
+                      << " dropped) to " << opts_.traceOut << "\n";
+        }
+        if (!opts_.metricsOut.empty()) {
+            std::ofstream f{opts_.metricsOut};
+            core::writeMetricsJson(f, &registry_, &sampler_);
+            if (!f) {
+                std::cerr << "error: cannot write " << opts_.metricsOut
+                          << "\n";
+                return false;
+            }
+            std::cerr << "wrote metrics to " << opts_.metricsOut
+                      << "\n";
+        }
+        return true;
+    }
+
+  private:
+    const Options &opts_;
+    obs::MetricsRegistry registry_;
+    obs::Tracer tracer_;
+    obs::WindowedSampler sampler_;
+    obs::ScopedObservability scope_;
+};
+
+/** Periodic progress line on stderr, driven by the simulator clock. */
+void
+attachProgress(desim::Simulator &sim, double periodUs)
+{
+    sim.attachPeriodic(
+        [&sim](desim::SimTime t) {
+            std::cerr << "[cchar] t=" << t << "us  events="
+                      << sim.processedEvents() << "  calendar="
+                      << sim.calendarSize() << "\n";
+        },
+        periodUs);
+}
+
 int
 usage()
 {
@@ -106,8 +197,11 @@ usage()
            "  cchar characterize <app> [--width W] [--height H]\n"
            "                     [--torus] [--vcs N] [--windows N]\n"
            "                     [--synthetic] [--json]\n"
+           "                     [--trace-out FILE] [--metrics-out FILE]\n"
+           "                     [--sample-period US] [--progress]\n"
            "  cchar trace <mp-app> --out FILE [--width W] [--height H]\n"
-           "  cchar replay <FILE> [--width W] [--height H] [--torus]\n";
+           "  cchar replay <FILE> [--width W] [--height H] [--torus]\n"
+           "                      [--trace-out FILE] [--metrics-out FILE]\n";
     return 2;
 }
 
@@ -144,6 +238,22 @@ parseOptions(int argc, char **argv, int first, Options &opts)
             if (i + 1 >= argc)
                 return false;
             opts.out = argv[++i];
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc)
+                return false;
+            opts.traceOut = argv[++i];
+        } else if (arg == "--metrics-out") {
+            if (i + 1 >= argc)
+                return false;
+            opts.metricsOut = argv[++i];
+        } else if (arg == "--sample-period") {
+            if (i + 1 >= argc)
+                return false;
+            opts.samplePeriodUs = std::atof(argv[++i]);
+            if (opts.samplePeriodUs <= 0.0)
+                return false;
+        } else if (arg == "--progress") {
+            opts.progress = true;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return false;
@@ -176,6 +286,7 @@ printWindows(const trace::TrafficLog &log, int windows)
 int
 cmdCharacterize(const std::string &name, const Options &opts)
 {
+    ObsSession obsSession{opts};
     core::CharacterizationPipeline pipeline;
     core::CharacterizationReport report;
     trace::TrafficLog logCopy;
@@ -186,6 +297,13 @@ cmdCharacterize(const std::string &name, const Options &opts)
         // Re-run manually to keep the raw log for --windows.
         desim::Simulator sim;
         ccnuma::Machine machine{sim, cfg};
+        if (auto *sampler = obsSession.sampler()) {
+            core::attachNetworkTelemetry(sim, machine.network(),
+                                         *sampler,
+                                         obsSession.samplePeriodUs());
+        }
+        if (opts.progress)
+            attachProgress(sim, opts.samplePeriodUs * 10.0);
         apps::launch(machine, *app);
         machine.run();
         core::NetworkSummary net;
@@ -203,16 +321,41 @@ cmdCharacterize(const std::string &name, const Options &opts)
         report.verified = app->verify();
         logCopy = machine.log();
     } else if (auto mpApp = makeMessagePassingApp(name)) {
+        // Run the two static-strategy phases in the open so the replay
+        // log is kept for --windows without replaying twice.
         mp::MpConfig cfg;
         cfg.mesh = meshOf(opts);
-        trace::Trace collected;
-        report = pipeline.runStatic(*mpApp, cfg, &collected);
-        auto replayed = core::TraceReplayer::replay(collected, cfg.mesh);
+        desim::Simulator sim;
+        mp::MpWorld world{sim, cfg};
+        world.enableTracing();
+        if (opts.progress)
+            attachProgress(sim, opts.samplePeriodUs * 10.0);
+        apps::launch(world, *mpApp);
+        world.run();
+        bool verified = mpApp->verify();
+        trace::Trace collected = world.collectedTrace();
+
+        auto replayed = core::TraceReplayer::replay(
+            collected, cfg.mesh, true, obsSession.sampler(),
+            obsSession.samplePeriodUs());
+        core::NetworkSummary net;
+        net.latencyMean = replayed.latencyMean;
+        net.latencyMax = replayed.latencyMax;
+        net.contentionMean = replayed.contentionMean;
+        net.makespan = replayed.makespan;
+        net.avgChannelUtilization = replayed.avgChannelUtilization;
+        net.maxChannelUtilization = replayed.maxChannelUtilization;
+        report = pipeline.analyze(replayed.log, cfg.mesh, name,
+                                  core::Strategy::Static, net);
+        report.verified = verified;
         logCopy = replayed.log;
     } else {
         std::cerr << "unknown application: " << name << "\n";
         return usage();
     }
+
+    if (!obsSession.finish())
+        return 1;
 
     if (opts.json)
         report.writeJson(std::cout);
@@ -266,7 +409,10 @@ int
 cmdReplay(const std::string &path, const Options &opts)
 {
     trace::Trace t = trace::Trace::loadFile(path);
-    auto result = core::TraceReplayer::replay(t, meshOf(opts));
+    ObsSession obsSession{opts};
+    auto result = core::TraceReplayer::replay(
+        t, meshOf(opts), true, obsSession.sampler(),
+        obsSession.samplePeriodUs());
     std::cout << "replayed " << result.log.size() << " messages: "
               << "latency mean " << result.latencyMean
               << "us, contention mean " << result.contentionMean
@@ -282,7 +428,7 @@ cmdReplay(const std::string &path, const Options &opts)
     auto report = pipeline.analyze(result.log, meshOf(opts), path,
                                    core::Strategy::Static, net);
     report.print(std::cout);
-    return 0;
+    return obsSession.finish() ? 0 : 1;
 }
 
 } // namespace
