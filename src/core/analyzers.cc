@@ -86,6 +86,135 @@ TemporalAnalyzer::analyzeWindows(const trace::TrafficLog &log,
 }
 
 // ---------------------------------------------------------------
+// PhaseAnalyzer
+
+int
+PhaseAnalyzer::windowsFor(const trace::TrafficLog &log) const
+{
+    if (cfg_.windows > 0)
+        return cfg_.windows;
+    // Auto: aim for ~32 messages per window so the rate signal's
+    // sampling noise stays well below a phase-level change, but keep
+    // enough windows (> warmup + confirm) for detection to engage.
+    auto n = static_cast<int>(log.size() / 32);
+    return std::clamp(n, 16, 96);
+}
+
+std::vector<obs::Phase>
+PhaseAnalyzer::detect(const trace::TrafficLog &log) const
+{
+    std::vector<obs::Phase> phases;
+    if (log.empty())
+        return phases;
+    double end = log.lastDeliverTime();
+    if (end <= 0.0)
+        return phases;
+    int windows = windowsFor(log);
+    double width = end / static_cast<double>(windows);
+
+    // Per-window signal accumulators.
+    struct Window
+    {
+        double count = 0.0;
+        double bytes = 0.0;
+        std::map<int, double> dsts;
+    };
+    std::vector<Window> wins(static_cast<std::size_t>(windows));
+    for (const auto &rec : log.records()) {
+        auto w = static_cast<std::size_t>(rec.injectTime / width);
+        if (w >= wins.size())
+            w = wins.size() - 1;
+        wins[w].count += 1.0;
+        wins[w].bytes += rec.bytes;
+        wins[w].dsts[rec.dst] += 1.0;
+    }
+
+    double hMax =
+        log.nprocs() > 1 ? std::log2(static_cast<double>(log.nprocs()))
+                         : 1.0;
+    obs::PhaseDetector detector(3, cfg_.detector);
+    for (int w = 0; w < windows; ++w) {
+        const Window &win = wins[static_cast<std::size_t>(w)];
+        double rate = win.count / width;
+        double meanBytes =
+            win.count > 0.0 ? win.bytes / win.count : 0.0;
+        double entropy = 0.0;
+        if (!win.dsts.empty()) {
+            std::vector<double> counts;
+            counts.reserve(win.dsts.size());
+            for (const auto &[dst, c] : win.dsts)
+                counts.push_back(c);
+            entropy =
+                stats::DiscretePmf::fromCounts(counts).entropy() / hMax;
+        }
+        detector.observe(width * w, width * (w + 1),
+                         {rate, meanBytes, entropy});
+    }
+    return detector.finish();
+}
+
+std::vector<PhaseCharacterization>
+PhaseAnalyzer::analyze(const trace::TrafficLog &log) const
+{
+    std::vector<PhaseCharacterization> out;
+    auto phases = detect(log);
+    if (phases.empty())
+        return out;
+
+    SpatialAnalyzer spatial{classifier_};
+    double hMax =
+        log.nprocs() > 1 ? std::log2(static_cast<double>(log.nprocs()))
+                         : 1.0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const obs::Phase &ph = phases[i];
+        // Sub-log of messages injected inside the phase span. The last
+        // phase takes a closed upper bound so the final record is not
+        // orphaned by floating-point division.
+        trace::TrafficLog sub(log.nprocs());
+        bool last = i + 1 == phases.size();
+        for (const auto &rec : log.records()) {
+            if (rec.injectTime >= ph.tBegin &&
+                (rec.injectTime < ph.tEnd ||
+                 (last && rec.injectTime <= ph.tEnd))) {
+                sub.add(rec);
+            }
+        }
+
+        PhaseCharacterization pc;
+        pc.index = static_cast<int>(i);
+        pc.tBegin = ph.tBegin;
+        pc.tEnd = ph.tEnd;
+        pc.messageCount = sub.size();
+        double span = ph.tEnd - ph.tBegin;
+        for (const auto &rec : sub.records())
+            pc.totalBytes += rec.bytes;
+        pc.injectionRate =
+            span > 0.0 ? static_cast<double>(sub.size()) / span : 0.0;
+        pc.meanBytes = sub.empty() ? 0.0
+                                   : pc.totalBytes /
+                                         static_cast<double>(sub.size());
+        if (!sub.empty()) {
+            std::map<int, double> dsts;
+            for (const auto &rec : sub.records())
+                dsts[rec.dst] += 1.0;
+            std::vector<double> counts;
+            for (const auto &[dst, c] : dsts)
+                counts.push_back(c);
+            pc.dstEntropy =
+                stats::DiscretePmf::fromCounts(counts).entropy() / hMax;
+            pc.temporal.source = -1;
+            auto gaps = sub.interArrivalTimes(-1);
+            pc.temporal.stats = stats::SummaryStats::compute(gaps);
+            if (gaps.size() >= cfg_.minSamples)
+                pc.temporal.fit = fitter_.bestFit(gaps);
+            pc.spatial = spatial.analyzeAggregate(sub);
+        }
+        out.push_back(std::move(pc));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------
 // SpatialAnalyzer
 
 SpatialFit

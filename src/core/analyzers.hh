@@ -12,6 +12,7 @@
 #ifndef CCHAR_CORE_ANALYZERS_HH
 #define CCHAR_CORE_ANALYZERS_HH
 
+#include "obs/phases.hh"
 #include "report.hh"
 
 namespace cchar::core {
@@ -82,6 +83,56 @@ class SpatialAnalyzer
                        const mesh::MeshConfig &mesh);
 
   private:
+    stats::SpatialClassifier classifier_;
+};
+
+/** Phase-detection parameters of the PhaseAnalyzer. */
+struct PhaseAnalysisConfig
+{
+    /**
+     * Number of detector windows over the run; 0 picks one from the
+     * log size (enough samples per window for stable signals, enough
+     * windows for the detector's warmup).
+     */
+    int windows = 0;
+    /** Change-point sensitivity. */
+    obs::PhaseDetectorConfig detector{};
+    /** Minimum messages in a phase for a temporal fit. */
+    std::size_t minSamples = 8;
+};
+
+/**
+ * Segments a run into execution phases and characterizes each.
+ *
+ * Feeds three per-window signals — injection rate, mean message
+ * length, normalized destination entropy — to the streaming
+ * obs::PhaseDetector, then re-runs the temporal and spatial
+ * characterization on each detected segment of the log.
+ */
+class PhaseAnalyzer
+{
+  public:
+    explicit PhaseAnalyzer(PhaseAnalysisConfig cfg = {},
+                           stats::DistributionFitter fitter =
+                               stats::DistributionFitter{},
+                           stats::SpatialClassifier classifier =
+                               stats::SpatialClassifier{})
+        : cfg_(cfg), fitter_(std::move(fitter)), classifier_(classifier)
+    {}
+
+    /** Effective window count for a log (resolves windows == 0). */
+    int windowsFor(const trace::TrafficLog &log) const;
+
+    /** Raw segmentation: phase boundaries in time. */
+    std::vector<obs::Phase> detect(const trace::TrafficLog &log) const;
+
+    /** Segmentation plus per-phase characterization. */
+    std::vector<PhaseCharacterization>
+    analyze(const trace::TrafficLog &log) const;
+
+  private:
+    PhaseAnalysisConfig cfg_;
+    stats::DistributionFitter fitter_;
     stats::SpatialClassifier classifier_;
 };
 

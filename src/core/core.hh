@@ -12,6 +12,7 @@
 #include "pipeline.hh"
 #include "replay.hh"
 #include "report.hh"
+#include "report_html.hh"
 #include "synthetic.hh"
 #include "telemetry.hh"
 

@@ -62,6 +62,12 @@ CharacterizationPipeline::analyze(const trace::TrafficLog &log,
         report.perKind.push_back(std::move(kb));
     }
     report.structured = StructuredPatternDetector{}.analyze(log);
+
+    if (opts_.detectPhases) {
+        PhaseAnalyzer phaser{opts_.phase, opts_.fitter,
+                             opts_.classifier};
+        report.phases = phaser.analyze(log);
+    }
     return report;
 }
 

@@ -39,6 +39,14 @@ struct PipelineOptions
      */
     obs::WindowedSampler *sampler = nullptr;
     double samplePeriodUs = 50.0;
+    /**
+     * Run the phase detector and characterize each detected phase
+     * (report.phases). Off by default: reports analyzed without it
+     * render byte-identically to earlier versions.
+     */
+    bool detectPhases = false;
+    /** Phase-detection parameters (used when detectPhases is set). */
+    PhaseAnalysisConfig phase{};
 };
 
 /** Runs applications and produces characterization reports. */

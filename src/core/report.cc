@@ -84,6 +84,25 @@ CharacterizationReport::print(std::ostream &os) const
         os << "\n";
     }
 
+    if (!phases.empty()) {
+        os << "-- Execution phases (change-point segmentation) --\n";
+        for (const auto &ph : phases) {
+            os << "  phase " << ph.index << ": ["
+               << std::setprecision(6) << ph.tBegin << "us, "
+               << ph.tEnd << "us) msgs=" << ph.messageCount
+               << " rate=" << std::setprecision(4) << ph.injectionRate
+               << "/us meanLength=" << ph.meanBytes
+               << "B dstEntropy=" << std::setprecision(3)
+               << ph.dstEntropy << "\n";
+            os << "    IAT mean=" << std::setprecision(4)
+               << ph.temporal.stats.mean << "us cv="
+               << ph.temporal.stats.cv;
+            if (ph.temporal.fit.dist)
+                os << " fit=" << ph.temporal.fit.dist->name();
+            os << "  spatial=" << ph.spatial.describe() << "\n";
+        }
+    }
+
     os << "-- Network behaviour --\n";
     os << "  latency mean=" << std::setprecision(4)
        << network.latencyMean << "us max=" << network.latencyMax
@@ -188,6 +207,30 @@ CharacterizationReport::writeJson(std::ostream &os) const
            << ",\"p\":" << volume.lengthPmf[i].second << "}";
     }
     os << "]}";
+
+    // Emitted only when phase detection ran: a run analyzed without
+    // it renders byte-identically to earlier versions.
+    if (!phases.empty()) {
+        os << ",\"phases\":[";
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const auto &ph = phases[i];
+            if (i)
+                os << ",";
+            os << "{\"index\":" << ph.index
+               << ",\"tBegin\":" << ph.tBegin << ",\"tEnd\":"
+               << ph.tEnd << ",\"messages\":" << ph.messageCount
+               << ",\"totalBytes\":" << ph.totalBytes
+               << ",\"injectionRate\":" << ph.injectionRate
+               << ",\"meanBytes\":" << ph.meanBytes
+               << ",\"dstEntropy\":" << ph.dstEntropy
+               << ",\"temporal\":";
+            jsonTemporal(os, ph.temporal);
+            os << ",\"spatialPattern\":";
+            jsonString(os, stats::toString(ph.spatial.pattern));
+            os << "}";
+        }
+        os << "]";
+    }
 
     os << ",\"network\":{\"latencyMean\":" << network.latencyMean
        << ",\"latencyMax\":" << network.latencyMax

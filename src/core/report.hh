@@ -50,6 +50,34 @@ struct VolumeCharacterization
     std::vector<double> perSourceCounts;
 };
 
+/**
+ * Characterization of one automatically detected execution phase.
+ *
+ * The paper observes that parallel applications alternate between
+ * distinct communication regimes (local compute vs transpose in the
+ * FFTs, red/black sweeps in SOR). The phase analyzer segments the run
+ * with a change-point detector over windowed signals and re-runs the
+ * temporal/spatial/volume characterization inside each segment.
+ */
+struct PhaseCharacterization
+{
+    int index = 0;
+    /** Phase time span (us). */
+    double tBegin = 0.0;
+    double tEnd = 0.0;
+    std::size_t messageCount = 0;
+    double totalBytes = 0.0;
+    /** Messages injected per microsecond inside the phase. */
+    double injectionRate = 0.0;
+    double meanBytes = 0.0;
+    /** Normalized destination entropy (1 = uniform spread). */
+    double dstEntropy = 0.0;
+    /** Aggregate arrival-process fit inside the phase. */
+    TemporalFit temporal;
+    /** Source-averaged destination classification inside the phase. */
+    stats::SpatialClassification spatial;
+};
+
 /** Observed network behaviour of the run. */
 struct NetworkSummary
 {
@@ -100,6 +128,8 @@ struct CharacterizationReport
     std::vector<double> hopDistancePmf;
     VolumeCharacterization volume;
     NetworkSummary network;
+    /** Detected execution phases (empty if detection was disabled). */
+    std::vector<PhaseCharacterization> phases;
 
     /** Paper-style multi-section text rendering. */
     void print(std::ostream &os) const;

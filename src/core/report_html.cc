@@ -1,0 +1,635 @@
+#include "report_html.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cchar::core {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Formatting helpers (all deterministic: no locale, no time).
+
+std::string
+fmt(double v, int prec = 4)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    std::ostringstream os;
+    os << std::setprecision(prec) << v;
+    return os.str();
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          case '"':
+            out += "&quot;";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Linear sRGB mix of two #rrggbb anchors. */
+std::string
+mixColor(const char *a, const char *b, double t)
+{
+    auto hex = [](const char *s, int i) {
+        auto nib = [](char c) {
+            return c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10;
+        };
+        return nib(s[1 + 2 * i]) * 16 + nib(s[2 + 2 * i]);
+    };
+    t = std::clamp(t, 0.0, 1.0);
+    std::ostringstream os;
+    os << '#' << std::hex << std::setfill('0');
+    for (int i = 0; i < 3; ++i) {
+        int v = static_cast<int>(std::lround(
+            hex(a, i) + (hex(b, i) - hex(a, i)) * t));
+        os << std::setw(2) << v;
+    }
+    return os.str();
+}
+
+/**
+ * Drop one "name":value member from a JSON object body. Used to strip
+ * the kernel's wall-clock throughput gauge (desim.events_per_sec) —
+ * the single non-simulation-derived value in a registry snapshot —
+ * so the report stays byte-deterministic across identical runs.
+ */
+std::string
+stripJsonMember(std::string json, const std::string &name)
+{
+    std::string key = '"' + name + "\":";
+    auto pos = json.find(key);
+    if (pos == std::string::npos)
+        return json;
+    auto end = json.find_first_of(",}", pos + key.size());
+    if (end == std::string::npos)
+        return json;
+    if (json[end] == ',')
+        ++end;
+    else if (pos > 0 && json[pos - 1] == ',')
+        --pos;
+    json.erase(pos, end - pos);
+    return json;
+}
+
+std::string
+registryJson(const obs::MetricsRegistry &reg)
+{
+    std::ostringstream os;
+    reg.writeJson(os);
+    std::string s = os.str();
+    while (!s.empty() && s.back() == '\n')
+        s.pop_back();
+    return stripJsonMember(std::move(s), "desim.events_per_sec");
+}
+
+/** Number of sequential-ramp steps exposed as CSS custom properties. */
+constexpr int kSeqSteps = 7;
+
+/** Quantize t in [0,1] to a sequential ramp step index. */
+int
+seqStep(double t)
+{
+    int i = static_cast<int>(t * kSeqSteps);
+    return std::clamp(i, 0, kSeqSteps - 1);
+}
+
+void
+writeCss(std::ostream &os)
+{
+    os << "<style>\n"
+          ":root{--surface:#fcfcfb;--ink:#0b0b0b;--muted:#898781;"
+          "--grid:#e1e0d9;--card:#f4f3ef;"
+          "--cat-1:#2a78d6;--cat-2:#eb6834;--cat-3:#1baf7a;";
+    for (int i = 0; i < kSeqSteps; ++i) {
+        os << "--seq-" << i << ':'
+           << mixColor("#cde2fb", "#0d366b",
+                       static_cast<double>(i) / (kSeqSteps - 1))
+           << ';';
+    }
+    os << "}\n"
+          "@media (prefers-color-scheme:dark){:root{--surface:#1a1a19;"
+          "--ink:#ffffff;--muted:#898781;--grid:#2c2c2a;--card:#232322;"
+          "--cat-1:#3987e5;--cat-2:#d95926;--cat-3:#199e70;";
+    for (int i = 0; i < kSeqSteps; ++i) {
+        os << "--seq-" << i << ':'
+           << mixColor("#16293f", "#9cc5f6",
+                       static_cast<double>(i) / (kSeqSteps - 1))
+           << ';';
+    }
+    os << "}}\n"
+          "body{background:var(--surface);color:var(--ink);"
+          "font:14px/1.5 system-ui,sans-serif;margin:0 auto;"
+          "max-width:820px;padding:24px}\n"
+          "h1{font-size:22px;margin:0 0 4px}\n"
+          "h2{font-size:16px;margin:28px 0 8px}\n"
+          ".muted{color:var(--muted)}\n"
+          ".tiles{display:flex;flex-wrap:wrap;gap:8px;margin:16px 0}\n"
+          ".tile{background:var(--card);border-radius:6px;"
+          "padding:10px 14px;min-width:110px}\n"
+          ".tile b{display:block;font-size:18px}\n"
+          ".tile span{color:var(--muted);font-size:12px}\n"
+          ".legend{display:flex;gap:16px;font-size:12px;"
+          "color:var(--muted);margin:4px 0}\n"
+          ".legend i{display:inline-block;width:10px;height:10px;"
+          "border-radius:3px;margin-right:5px}\n"
+          "svg{display:block;max-width:100%}\n"
+          "svg text{fill:var(--ink);font:11px system-ui,sans-serif}\n"
+          "svg text.muted{fill:var(--muted)}\n"
+          "table{border-collapse:collapse;font-size:12px}\n"
+          "td,th{border:1px solid var(--grid);padding:3px 8px;"
+          "text-align:right}\n"
+          "th{text-align:left}\n"
+          "details{margin:8px 0}\n"
+          "summary{cursor:pointer;color:var(--muted);font-size:12px}\n"
+          "pre{background:var(--card);border-radius:6px;padding:10px;"
+          "overflow-x:auto;font-size:11px}\n"
+          "</style>\n";
+}
+
+// ---------------------------------------------------------------
+// Sections
+
+void
+writeSummary(std::ostream &os, const CharacterizationReport &r)
+{
+    os << "<div class=\"tiles\">\n";
+    auto tile = [&os](const std::string &value, const char *label) {
+        os << "<div class=\"tile\"><b>" << value << "</b><span>"
+           << label << "</span></div>\n";
+    };
+    tile(std::to_string(r.volume.messageCount), "messages");
+    tile(fmt(r.volume.totalBytes / 1024.0, 4) + " KiB", "traffic");
+    tile(fmt(r.volume.lengthStats.mean, 4) + " B", "mean length");
+    tile(fmt(r.temporalAggregate.stats.mean, 4) + " us", "mean IAT");
+    tile(fmt(r.network.latencyMean, 4) + " us", "mean latency");
+    tile(fmt(r.network.makespan, 5) + " us", "makespan");
+    tile(htmlEscape(stats::toString(r.spatialAggregate.pattern)),
+         "spatial pattern");
+    os << "</div>\n";
+}
+
+void
+writePhaseTimeline(std::ostream &os, const CharacterizationReport &r)
+{
+    os << "<h2>Execution phases</h2>\n";
+    if (r.phases.empty()) {
+        os << "<p class=\"muted\">Phase detection did not run "
+              "(or the run produced no windows).</p>\n";
+        return;
+    }
+    double tMax = r.phases.back().tEnd;
+    double rateMax = 0.0;
+    for (const auto &ph : r.phases)
+        rateMax = std::max(rateMax, ph.injectionRate);
+    const double w = 720.0, h = 46.0, barY = 16.0, barH = 22.0;
+    os << "<svg viewBox=\"0 0 " << w << ' ' << h
+       << "\" role=\"img\" aria-label=\"phase timeline\">\n";
+    for (const auto &ph : r.phases) {
+        double x0 = tMax > 0.0 ? ph.tBegin / tMax * w : 0.0;
+        double x1 = tMax > 0.0 ? ph.tEnd / tMax * w : 0.0;
+        // 2px surface gap between adjacent segments.
+        double bw = std::max(x1 - x0 - 2.0, 1.0);
+        int step =
+            seqStep(rateMax > 0.0 ? ph.injectionRate / rateMax : 0.0);
+        os << "<rect x=\"" << fmt(x0, 6) << "\" y=\"" << barY
+           << "\" width=\"" << fmt(bw, 6) << "\" height=\"" << barH
+           << "\" rx=\"4\" fill=\"var(--seq-" << step << ")\"><title>"
+           << "phase " << ph.index << ": " << fmt(ph.tBegin, 6)
+           << "-" << fmt(ph.tEnd, 6) << " us, " << ph.messageCount
+           << " msgs, " << fmt(ph.injectionRate, 4) << " msg/us, "
+           << "mean " << fmt(ph.meanBytes, 4) << " B"
+           << "</title></rect>\n";
+        if (bw > 24.0) {
+            os << "<text x=\"" << fmt(x0 + 4.0, 6)
+               << "\" y=\"12\" class=\"muted\">p" << ph.index
+               << "</text>\n";
+        }
+    }
+    os << "<text x=\"0\" y=\"" << h
+       << "\" class=\"muted\">0</text>\n"
+       << "<text x=\"" << w << "\" y=\"" << h
+       << "\" text-anchor=\"end\" class=\"muted\">" << fmt(tMax, 6)
+       << " us</text>\n</svg>\n"
+       << "<p class=\"legend\">shade encodes the phase injection rate "
+          "(darker = faster)</p>\n";
+
+    os << "<details><summary>phase table</summary><table>\n"
+          "<tr><th>phase</th><td>t begin (us)</td><td>t end (us)</td>"
+          "<td>msgs</td><td>rate (/us)</td><td>mean B</td>"
+          "<td>dst entropy</td><td>IAT mean (us)</td>"
+          "<td>IAT cv</td><th>spatial</th></tr>\n";
+    for (const auto &ph : r.phases) {
+        os << "<tr><th>" << ph.index << "</th><td>"
+           << fmt(ph.tBegin, 6) << "</td><td>" << fmt(ph.tEnd, 6)
+           << "</td><td>" << ph.messageCount << "</td><td>"
+           << fmt(ph.injectionRate, 4) << "</td><td>"
+           << fmt(ph.meanBytes, 4) << "</td><td>"
+           << fmt(ph.dstEntropy, 3) << "</td><td>"
+           << fmt(ph.temporal.stats.mean, 4) << "</td><td>"
+           << fmt(ph.temporal.stats.cv, 3) << "</td><th>"
+           << htmlEscape(stats::toString(ph.spatial.pattern))
+           << "</th></tr>\n";
+    }
+    os << "</table></details>\n";
+}
+
+void
+writeLatencyBreakdown(std::ostream &os, const obs::MetricsRegistry *reg)
+{
+    os << "<h2>Latency decomposition</h2>\n";
+    struct Part
+    {
+        const char *metric;
+        const char *label;
+        int slot;
+        const obs::HistogramData *data;
+    };
+    Part parts[] = {
+        {"mesh.queue_us", "queueing (injection port)", 1, nullptr},
+        {"mesh.stall_us", "stall (wormhole blocking)", 2, nullptr},
+        {"mesh.transit_us", "transit (routing + body)", 3, nullptr},
+    };
+    std::uint64_t total = 0;
+    if (reg) {
+        for (auto &p : parts) {
+            p.data = reg->histogramData(p.metric);
+            if (p.data)
+                total += p.data->count;
+        }
+    }
+    if (total == 0) {
+        os << "<p class=\"muted\">No latency-decomposition histograms "
+              "captured (run with --metrics-out).</p>\n";
+        return;
+    }
+
+    // Shared log2 bucket range and count scale across the parts.
+    int lo = obs::HistogramData::kBuckets, hi = -1;
+    std::uint64_t yMax = 1;
+    for (const auto &p : parts) {
+        if (!p.data)
+            continue;
+        for (int b = 0; b < obs::HistogramData::kBuckets; ++b) {
+            std::uint64_t c = p.data->buckets[static_cast<std::size_t>(b)];
+            if (c == 0)
+                continue;
+            lo = std::min(lo, b);
+            hi = std::max(hi, b);
+            yMax = std::max(yMax, c);
+        }
+    }
+    if (hi < lo) {
+        os << "<p class=\"muted\">All decomposition histograms are "
+              "empty.</p>\n";
+        return;
+    }
+
+    os << "<p class=\"legend\">";
+    for (const auto &p : parts) {
+        os << "<span><i style=\"background:var(--cat-" << p.slot
+           << ")\"></i>" << p.label << " &middot; "
+           << (p.data ? p.data->count : 0) << " msgs, mean "
+           << fmt(p.data ? p.data->mean() : 0.0, 4) << " us</span> ";
+    }
+    os << "</p>\n";
+
+    const double w = 720.0, chartH = 72.0, gap = 10.0, axisH = 16.0;
+    int nb = hi - lo + 1;
+    double bw = w / nb;
+    double totalH = 3 * (chartH + gap) + axisH;
+    os << "<svg viewBox=\"0 0 " << w << ' ' << totalH
+       << "\" role=\"img\" aria-label=\"latency decomposition "
+          "histograms\">\n";
+    for (int row = 0; row < 3; ++row) {
+        const Part &p = parts[row];
+        double y0 = row * (chartH + gap);
+        os << "<line x1=\"0\" y1=\"" << fmt(y0 + chartH, 6)
+           << "\" x2=\"" << w << "\" y2=\"" << fmt(y0 + chartH, 6)
+           << "\" stroke=\"var(--grid)\"/>\n";
+        if (!p.data)
+            continue;
+        for (int b = lo; b <= hi; ++b) {
+            std::uint64_t c =
+                p.data->buckets[static_cast<std::size_t>(b)];
+            if (c == 0)
+                continue;
+            // sqrt scale keeps rare-but-long tails visible.
+            double frac = std::sqrt(static_cast<double>(c) /
+                                    static_cast<double>(yMax));
+            double bh = std::max(frac * (chartH - 14.0), 2.0);
+            os << "<rect x=\"" << fmt((b - lo) * bw + 1.0, 6)
+               << "\" y=\"" << fmt(y0 + chartH - bh, 6)
+               << "\" width=\"" << fmt(bw - 2.0, 6) << "\" height=\""
+               << fmt(bh, 6) << "\" rx=\"2\" fill=\"var(--cat-"
+               << p.slot << ")\"><title>" << p.label << " &lt; "
+               << fmt(obs::HistogramData::upperBound(b), 4)
+               << " us: " << c << " msgs</title></rect>\n";
+        }
+    }
+    // Shared x axis: a few bucket upper bounds.
+    for (int b = lo; b <= hi; b += std::max(1, nb / 6)) {
+        os << "<text x=\"" << fmt((b - lo + 1) * bw, 6) << "\" y=\""
+           << fmt(totalH - 3.0, 6)
+           << "\" text-anchor=\"end\" class=\"muted\">"
+           << fmt(obs::HistogramData::upperBound(b), 3) << "</text>\n";
+    }
+    os << "</svg>\n";
+
+    os << "<details><summary>bucket table</summary><table>\n"
+          "<tr><th>bucket &lt; (us)</th><td>queue</td><td>stall</td>"
+          "<td>transit</td></tr>\n";
+    for (int b = lo; b <= hi; ++b) {
+        os << "<tr><th>" << fmt(obs::HistogramData::upperBound(b), 4)
+           << "</th>";
+        for (const auto &p : parts) {
+            os << "<td>"
+               << (p.data
+                       ? p.data->buckets[static_cast<std::size_t>(b)]
+                       : 0)
+               << "</td>";
+        }
+        os << "</tr>\n";
+    }
+    os << "</table></details>\n";
+}
+
+void
+writeHeatmap(std::ostream &os, const CharacterizationReport &r)
+{
+    os << "<h2>Spatial traffic (messages from src to dst)</h2>\n";
+    int n = r.nprocs;
+    if (n <= 0 || r.spatialPerSource.empty()) {
+        os << "<p class=\"muted\">No per-source spatial data.</p>\n";
+        return;
+    }
+    // Reconstruct the count matrix from the per-source PMFs and the
+    // per-source message counts (kept exact by the analyzers).
+    std::vector<std::vector<double>> m(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    double cellMax = 0.0;
+    for (const auto &sf : r.spatialPerSource) {
+        if (sf.source < 0 || sf.source >= n)
+            continue;
+        double count =
+            sf.source <
+                    static_cast<int>(r.volume.perSourceCounts.size())
+                ? r.volume.perSourceCounts[static_cast<std::size_t>(
+                      sf.source)]
+                : 0.0;
+        for (std::size_t d = 0;
+             d < sf.observed.size() && d < static_cast<std::size_t>(n);
+             ++d) {
+            double v = sf.observed[d] * count;
+            m[static_cast<std::size_t>(sf.source)][d] = v;
+            cellMax = std::max(cellMax, v);
+        }
+    }
+
+    const double cell = n <= 16 ? 20.0 : 10.0, pitch = cell + 2.0;
+    const double ox = 30.0, oy = 16.0;
+    double w = ox + n * pitch, h = oy + n * pitch + 4.0;
+    int labelEvery = n <= 20 ? 1 : 4;
+    os << "<svg viewBox=\"0 0 " << fmt(w, 6) << ' ' << fmt(h, 6)
+       << "\" role=\"img\" aria-label=\"source-destination traffic "
+          "heatmap\" style=\"max-width:"
+       << fmt(w, 6) << "px\">\n";
+    for (int s = 0; s < n; ++s) {
+        if (s % labelEvery == 0) {
+            os << "<text x=\"" << fmt(ox - 4.0, 6) << "\" y=\""
+               << fmt(oy + s * pitch + cell - 4.0, 6)
+               << "\" text-anchor=\"end\" class=\"muted\">" << s
+               << "</text>\n";
+        }
+        for (int d = 0; d < n; ++d) {
+            if (s == 0 && d % labelEvery == 0) {
+                os << "<text x=\"" << fmt(ox + d * pitch, 6)
+                   << "\" y=\"" << fmt(oy - 4.0, 6)
+                   << "\" class=\"muted\">" << d << "</text>\n";
+            }
+            double v = m[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(d)];
+            std::string fill =
+                v > 0.0 && cellMax > 0.0
+                    ? "var(--seq-" +
+                          std::to_string(seqStep(v / cellMax)) + ")"
+                    : "var(--card)";
+            os << "<rect x=\"" << fmt(ox + d * pitch, 6) << "\" y=\""
+               << fmt(oy + s * pitch, 6) << "\" width=\"" << cell
+               << "\" height=\"" << cell << "\" rx=\"2\" fill=\""
+               << fill << "\"><title>" << s << " &rarr; " << d << ": "
+               << fmt(v, 6) << " msgs</title></rect>\n";
+        }
+    }
+    os << "</svg>\n"
+       << "<p class=\"legend\">row = source, column = destination; "
+          "darker = more messages (max " << fmt(cellMax, 6)
+       << ")</p>\n";
+
+    os << "<details><summary>matrix table</summary><table>\n<tr><th>"
+          "src\\dst</th>";
+    for (int d = 0; d < n; ++d)
+        os << "<td>" << d << "</td>";
+    os << "</tr>\n";
+    for (int s = 0; s < n; ++s) {
+        os << "<tr><th>" << s << "</th>";
+        for (int d = 0; d < n; ++d) {
+            os << "<td>"
+               << fmt(m[static_cast<std::size_t>(s)]
+                       [static_cast<std::size_t>(d)], 6)
+               << "</td>";
+        }
+        os << "</tr>\n";
+    }
+    os << "</table></details>\n";
+}
+
+void
+writeTelemetry(std::ostream &os, const CharacterizationReport &r,
+               const obs::WindowedSampler *sampler)
+{
+    if (!sampler || sampler->sampleCount() < 2)
+        return;
+    // Find the injection-rate series.
+    const std::vector<double> *values = nullptr;
+    for (std::size_t i = 0; i < sampler->seriesCount(); ++i) {
+        if (sampler->seriesName(i) == "injection_rate_per_us") {
+            values = &sampler->seriesValues(i);
+            break;
+        }
+    }
+    if (!values)
+        return;
+    const auto &times = sampler->times();
+    double tMax = times.back();
+    double vMax = 0.0;
+    for (double v : *values)
+        vMax = std::max(vMax, v);
+    if (tMax <= 0.0 || vMax <= 0.0)
+        return;
+
+    os << "<h2>Injection rate over time</h2>\n";
+    const double w = 720.0, h = 120.0, plotH = 100.0;
+    os << "<svg viewBox=\"0 0 " << w << ' ' << h
+       << "\" role=\"img\" aria-label=\"windowed injection rate\">\n";
+    for (int g = 0; g <= 4; ++g) {
+        double y = plotH - g * plotH / 4.0;
+        os << "<line x1=\"0\" y1=\"" << fmt(y, 6) << "\" x2=\"" << w
+           << "\" y2=\"" << fmt(y, 6)
+           << "\" stroke=\"var(--grid)\"/>\n";
+    }
+    // Phase boundaries as dashed verticals behind the line.
+    for (std::size_t i = 1; i < r.phases.size(); ++i) {
+        double x = r.phases[i].tBegin / tMax * w;
+        os << "<line x1=\"" << fmt(x, 6) << "\" y1=\"0\" x2=\""
+           << fmt(x, 6) << "\" y2=\"" << plotH
+           << "\" stroke=\"var(--muted)\" stroke-dasharray=\"3 4\"/>"
+              "\n";
+    }
+    os << "<polyline fill=\"none\" stroke=\"var(--cat-1)\" "
+          "stroke-width=\"2\" points=\"";
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        double x = times[i] / tMax * w;
+        double y = plotH - (*values)[i] / vMax * (plotH - 6.0);
+        os << fmt(x, 6) << ',' << fmt(y, 6) << ' ';
+    }
+    os << "\"/>\n<text x=\"0\" y=\"10\" class=\"muted\">"
+       << fmt(vMax, 4) << " msg/us</text>\n"
+       << "<text x=\"" << w << "\" y=\"" << fmt(h - 4.0, 6)
+       << "\" text-anchor=\"end\" class=\"muted\">" << fmt(tMax, 6)
+       << " us</text>\n</svg>\n";
+    if (r.phases.size() > 1) {
+        os << "<p class=\"legend\">dashed verticals mark detected "
+              "phase boundaries</p>\n";
+    }
+}
+
+void
+writeFlowStats(std::ostream &os, const obs::FlowTracker *flows)
+{
+    if (!flows || flows->opened() == 0)
+        return;
+    os << "<h2>Message lifecycles</h2>\n";
+    const auto &recs = flows->records();
+    double sw = 0.0, q = 0.0, st = 0.0, tr = 0.0;
+    std::size_t done = 0;
+    for (const auto &rec : recs) {
+        if (rec.tDeliver < rec.tInject)
+            continue;
+        ++done;
+        sw += rec.softwareTime();
+        q += rec.queueWait;
+        st += rec.stallWait;
+        tr += rec.transitTime();
+    }
+    os << "<p>" << flows->opened() << " flows opened, "
+       << flows->completed() << " completed, " << recs.size()
+       << " lifecycle records kept (stride " << flows->stride()
+       << ", " << flows->droppedRecords() << " dropped).</p>\n";
+    if (done > 0) {
+        double dn = static_cast<double>(done);
+        os << "<p class=\"muted\">sampled means: software "
+           << fmt(sw / dn, 4) << " us, queue " << fmt(q / dn, 4)
+           << " us, stall " << fmt(st / dn, 4) << " us, transit "
+           << fmt(tr / dn, 4) << " us</p>\n";
+    }
+}
+
+} // namespace
+
+void
+writeHtmlReport(std::ostream &os, const HtmlReportInputs &inputs)
+{
+    if (!inputs.report)
+        throw std::invalid_argument("report_html: report is required");
+    const CharacterizationReport &r = *inputs.report;
+
+    os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+          "<meta charset=\"utf-8\">\n"
+          "<meta name=\"viewport\" content=\"width=device-width,"
+          "initial-scale=1\">\n"
+          "<title>cchar report &mdash; "
+       << htmlEscape(r.application) << "</title>\n";
+    writeCss(os);
+    os << "</head>\n<body>\n<h1>" << htmlEscape(r.application)
+       << "</h1>\n<p class=\"muted\">" << toString(r.strategy)
+       << " strategy &middot; " << r.nprocs << " processors &middot; "
+       << r.mesh.width << "&times;" << r.mesh.height
+       << (r.mesh.topology == mesh::Topology::Torus ? " torus"
+                                                    : " mesh")
+       << " &middot; "
+       << (r.verified ? "verified" : "NOT verified") << "</p>\n";
+
+    writeSummary(os, r);
+    writePhaseTimeline(os, r);
+    writeLatencyBreakdown(os, inputs.registry);
+    writeHeatmap(os, r);
+    writeTelemetry(os, r, inputs.sampler);
+    writeFlowStats(os, inputs.flows);
+
+    if (inputs.registry) {
+        os << "<h2>Metrics snapshot</h2>\n"
+              "<details><summary>registry JSON</summary><pre>"
+           << htmlEscape(registryJson(*inputs.registry))
+           << "</pre></details>\n";
+    }
+
+    // Machine-readable archive of everything rendered above.
+    os << "<script type=\"application/json\" "
+          "id=\"cchar-report-data\">\n{\"report\":";
+    {
+        std::ostringstream json;
+        r.writeJson(json);
+        std::string s = json.str();
+        while (!s.empty() && s.back() == '\n')
+            s.pop_back();
+        os << s;
+    }
+    auto part = [&os](const char *key, auto *obj) {
+        os << ",\"" << key << "\":";
+        if (obj) {
+            std::ostringstream json;
+            obj->writeJson(json);
+            std::string s = json.str();
+            while (!s.empty() && s.back() == '\n')
+                s.pop_back();
+            os << s;
+        } else {
+            os << "null";
+        }
+    };
+    os << ",\"metrics\":"
+       << (inputs.registry ? registryJson(*inputs.registry)
+                           : std::string{"null"});
+    part("telemetry", inputs.sampler);
+    part("flows", inputs.flows);
+    os << "}\n</script>\n</body>\n</html>\n";
+}
+
+} // namespace cchar::core

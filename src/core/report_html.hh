@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Self-contained HTML run report.
+ *
+ * Renders one characterization run — metrics snapshot, detected phase
+ * timeline, end-to-end latency decomposition, spatial traffic heatmap
+ * and windowed telemetry — into a single HTML document with inline
+ * SVG and CSS only: no external assets, no scripts beyond one
+ * embedded machine-readable JSON block, and byte-deterministic output
+ * (two identical runs produce identical files).
+ *
+ * The raw data backing every figure is embedded verbatim in
+ * <script type="application/json" id="cchar-report-data">, so the
+ * file doubles as an archive of the run.
+ */
+
+#ifndef CCHAR_CORE_REPORT_HTML_HH
+#define CCHAR_CORE_REPORT_HTML_HH
+
+#include <iosfwd>
+
+#include "obs/obs.hh"
+#include "report.hh"
+
+namespace cchar::core {
+
+/** Everything the HTML report can render; only `report` is required. */
+struct HtmlReportInputs
+{
+    const CharacterizationReport *report = nullptr;
+    /** Metrics snapshot + latency-decomposition histograms. */
+    const obs::MetricsRegistry *registry = nullptr;
+    /** Windowed telemetry (injection-rate timeline). */
+    const obs::WindowedSampler *sampler = nullptr;
+    /** Message-lifecycle records. */
+    const obs::FlowTracker *flows = nullptr;
+};
+
+/**
+ * Write the report document.
+ * @throws std::invalid_argument when inputs.report is null.
+ */
+void writeHtmlReport(std::ostream &os, const HtmlReportInputs &inputs);
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_REPORT_HTML_HH

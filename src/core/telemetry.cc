@@ -38,6 +38,21 @@ attachNetworkTelemetry(desim::Simulator &sim, mesh::MeshNetwork &net,
             lastT = t;
             return u;
         });
+    sampler.addSeries(
+        "mean_msg_bytes",
+        [&net, lastMsgs = std::uint64_t{0},
+         lastBytes = std::uint64_t{0}]() mutable -> double {
+            std::uint64_t msgs = net.messageCount();
+            std::uint64_t bytes = net.payloadBytes();
+            double mean =
+                msgs > lastMsgs
+                    ? static_cast<double>(bytes - lastBytes) /
+                          static_cast<double>(msgs - lastMsgs)
+                    : 0.0;
+            lastMsgs = msgs;
+            lastBytes = bytes;
+            return mean;
+        });
     sampler.addSeries("busy_lanes", [&net]() -> double {
         return static_cast<double>(net.busyLanes());
     });
@@ -57,7 +72,8 @@ attachNetworkTelemetry(desim::Simulator &sim, mesh::MeshNetwork &net,
 
 void
 writeMetricsJson(std::ostream &os, const obs::MetricsRegistry *registry,
-                 const obs::WindowedSampler *sampler)
+                 const obs::WindowedSampler *sampler,
+                 const obs::FlowTracker *flows)
 {
     os << "{\"metrics\":";
     if (registry)
@@ -67,6 +83,11 @@ writeMetricsJson(std::ostream &os, const obs::MetricsRegistry *registry,
     os << ",\"telemetry\":";
     if (sampler)
         sampler->writeJson(os);
+    else
+        os << "null";
+    os << ",\"flows\":";
+    if (flows)
+        flows->writeJson(os);
     else
         os << "null";
     os << "}\n";

@@ -23,6 +23,7 @@ namespace cchar::core {
  *  - injection_rate_per_us: messages injected per microsecond in the
  *    elapsed window;
  *  - avg_channel_utilization: mean lane utilization over the window;
+ *  - mean_msg_bytes: mean payload length of the window's messages;
  *  - busy_lanes: lanes held by a worm at the sample instant (VC
  *    occupancy);
  *  - queued_worms: worms blocked on a lane or injection port;
@@ -38,12 +39,13 @@ void attachNetworkTelemetry(desim::Simulator &sim,
 
 /**
  * Combined observability document:
- * {"metrics":{...registry...},"telemetry":{...sampler...}} — either
- * part may be null when the corresponding sink was absent.
+ * {"metrics":{...},"telemetry":{...},"flows":{...}} — any part may be
+ * null when the corresponding sink was absent.
  */
 void writeMetricsJson(std::ostream &os,
                       const obs::MetricsRegistry *registry,
-                      const obs::WindowedSampler *sampler);
+                      const obs::WindowedSampler *sampler,
+                      const obs::FlowTracker *flows = nullptr);
 
 } // namespace cchar::core
 

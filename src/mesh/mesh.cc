@@ -83,8 +83,12 @@ MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
         latencyHist_ = reg->histogram("mesh.latency_us");
         contentionHist_ = reg->histogram("mesh.contention_us");
         hopHist_ = reg->histogram("mesh.hop_latency_us");
+        queueHist_ = reg->histogram("mesh.queue_us");
+        stallTimeHist_ = reg->histogram("mesh.stall_us");
+        transitHist_ = reg->histogram("mesh.transit_us");
     }
     tracer_ = obs::tracer();
+    flows_ = obs::flows();
     if (tracer_) {
         routerLane_.reserve(static_cast<std::size_t>(n));
         for (int node = 0; node < n; ++node)
@@ -93,6 +97,7 @@ MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
         msgName_ = tracer_->name("msg");
         holdName_ = tracer_->name("hold");
         stallName_ = tracer_->name("stall");
+        drainName_ = tracer_->name("drain");
     }
 }
 
@@ -217,6 +222,15 @@ MeshNetwork::transfer(Packet pkt)
     rec.kind = pkt.kind;
     rec.injectTime = sim_->now();
 
+    // A producer that knows the generation time opens the flow itself;
+    // anything else (raw post()/transfer() callers) is generated here.
+    if (flows_ && pkt.flow == 0) {
+        pkt.flow = flows_->open(static_cast<int>(pkt.kind), pkt.src,
+                                pkt.dst, pkt.bytes, rec.injectTime);
+    }
+    bool flowTraced =
+        tracer_ && flows_ && pkt.flow != 0 && flows_->sampled(pkt.flow);
+
     auto hops = route(pkt.src, pkt.dst);
     rec.hops = static_cast<std::int32_t>(hops.size());
     double body =
@@ -233,9 +247,17 @@ MeshNetwork::transfer(Packet pkt)
     };
     std::vector<HeldLane> held;
     co_await injection_[static_cast<std::size_t>(pkt.src)]->acquire();
+    // Queueing delay: time spent waiting behind the node's own earlier
+    // messages for the injection port.
+    double queueWait = sim_->now() - rec.injectTime;
+    double stallSum = 0.0;
     held.push_back(
         HeldLane{injection_[static_cast<std::size_t>(pkt.src)].get(),
                  pkt.src, sim_->now()});
+    if (flowTraced) {
+        tracer_->flowStart(routerLane_[static_cast<std::size_t>(pkt.src)],
+                           msgName_, rec.injectTime, pkt.flow);
+    }
 
     bool crossedX = false, crossedY = false;
     for (const Hop &hop : hops) {
@@ -251,10 +273,16 @@ MeshNetwork::transfer(Packet pkt)
         SimTime waited = sim_->now() - hopStart;
         if (waited > 0.0) {
             stallCtr_.add(1);
+            stallSum += waited;
             if (tracer_)
                 tracer_->instant(
                     routerLane_[static_cast<std::size_t>(hop.from)],
                     stallName_, hopStart);
+        }
+        if (flowTraced) {
+            tracer_->flowStep(
+                routerLane_[static_cast<std::size_t>(hop.from)],
+                holdName_, sim_->now(), pkt.flow);
         }
         if (early) {
             // The head advances off the previous link; its tail
@@ -274,7 +302,20 @@ MeshNetwork::transfer(Packet pkt)
     }
 
     // Head is at the destination; stream the body.
+    SimTime headArrive = sim_->now();
     co_await sim_->delay(body);
+    if (tracer_) {
+        // Body-drain span on the destination router: the slice a flow
+        // arrow terminates in (Perfetto binds flow ends to an
+        // enclosing slice on the same track).
+        tracer_->span(routerLane_[static_cast<std::size_t>(pkt.dst)],
+                      drainName_, headArrive, sim_->now() - headArrive,
+                      pkt.src, pkt.bytes);
+        if (flowTraced)
+            tracer_->flowEnd(
+                routerLane_[static_cast<std::size_t>(pkt.dst)],
+                drainName_, headArrive, pkt.flow);
+    }
     for (const HeldLane &hl : held) {
         if (tracer_)
             tracer_->span(
@@ -292,10 +333,23 @@ MeshNetwork::transfer(Packet pkt)
     latency_.record(rec.latency());
     contention_.record(rec.contention);
     ++messages_;
+    payloadBytes_ += static_cast<std::uint64_t>(pkt.bytes);
     msgCtr_.add(1);
     flitCtr_.add(static_cast<std::uint64_t>(flitsOf(pkt.bytes)));
     latencyHist_.record(rec.latency());
     contentionHist_.record(rec.contention);
+    // End-to-end decomposition: latency = queue + stall + transit.
+    double transit = rec.latency() - queueWait - stallSum;
+    if (transit < 0.0)
+        transit = 0.0;
+    queueHist_.record(queueWait);
+    stallTimeHist_.record(stallSum);
+    transitHist_.record(transit);
+    if (flows_ && pkt.flow != 0) {
+        flows_->onInject(pkt.flow, rec.injectTime);
+        flows_->onDeliver(pkt.flow, rec.deliverTime, rec.hops, queueWait,
+                          stallSum);
+    }
     if (tracer_) {
         // Injection-to-delivery flight span on the source router lane.
         tracer_->span(routerLane_[static_cast<std::size_t>(pkt.src)],

@@ -92,6 +92,12 @@ struct Packet
     trace::MessageKind kind = trace::MessageKind::Data;
     /** Protocol-defined discriminator (coherence opcode, MPI tag...). */
     std::uint64_t tag = 0;
+    /**
+     * Observability flow id (0 = none). Assigned by the producer at
+     * generation time when a FlowTracker is installed; carried through
+     * the network untouched. Never influences simulation behaviour.
+     */
+    std::uint64_t flow = 0;
     /** Opaque protocol payload. */
     std::any payload{};
 };
@@ -153,6 +159,9 @@ class MeshNetwork
     /** Completed transfers. */
     std::uint64_t messageCount() const { return messages_; }
 
+    /** Payload bytes across all completed transfers. */
+    std::uint64_t payloadBytes() const { return payloadBytes_; }
+
     /** Mean utilization over all lanes at time t. */
     double averageChannelUtilization(SimTime t) const;
 
@@ -191,6 +200,7 @@ class MeshNetwork
     desim::Tally latency_;
     desim::Tally contention_;
     std::uint64_t messages_ = 0;
+    std::uint64_t payloadBytes_ = 0;
 
     // Observability handles (detached when no sinks are installed).
     obs::Counter msgCtr_;
@@ -199,12 +209,18 @@ class MeshNetwork
     obs::Histogram latencyHist_;
     obs::Histogram contentionHist_;
     obs::Histogram hopHist_;
+    /** End-to-end latency decomposition (see DESIGN.md §6). */
+    obs::Histogram queueHist_;
+    obs::Histogram stallTimeHist_;
+    obs::Histogram transitHist_;
     obs::Tracer *tracer_ = nullptr;
+    obs::FlowTracker *flows_ = nullptr;
     /** Tracer lane of each router (tracer_ != nullptr only). */
     std::vector<int> routerLane_;
     int msgName_ = 0;
     int holdName_ = 0;
     int stallName_ = 0;
+    int drainName_ = 0;
 };
 
 } // namespace cchar::mesh

@@ -15,6 +15,7 @@ MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
         recvCtr_ = reg->counter("mp.recvs");
         bytesSentCtr_ = reg->counter("mp.bytes_sent");
     }
+    flows_ = obs::flows();
     for (int r = 0; r < cfg_.nranks(); ++r)
         sim_->spawn(dispatcher(r), "mp-dispatcher-" + std::to_string(r));
 }
@@ -100,6 +101,14 @@ MpContext::sendInternal(int dst, int bytes, int tag,
         world_->trace_.add(ev);
     }
 
+    // Open the flow at the application-level send, so the record's
+    // generate->inject gap captures the sender-side software overhead.
+    std::uint64_t flowId = 0;
+    if (world_->flows_) {
+        flowId = world_->flows_->open(static_cast<int>(kind), rank_, dst,
+                                      bytes, now);
+    }
+
     // Sender's share of the SP2 software overhead.
     const MpConfig &cfg = world_->config();
     co_await world_->sim().delay(cfg.sendFraction * cfg.overhead(bytes));
@@ -110,6 +119,7 @@ MpContext::sendInternal(int dst, int bytes, int tag,
     pkt.bytes = bytes;
     pkt.kind = kind;
     pkt.tag = static_cast<std::uint64_t>(tag);
+    pkt.flow = flowId;
     pkt.payload = MpWorld::MpMsg{rank_, tag, bytes};
     world_->network().post(std::move(pkt));
     world_->sendCtr_.add(1);

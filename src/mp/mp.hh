@@ -142,6 +142,7 @@ class MpWorld
     obs::Counter sendCtr_;
     obs::Counter recvCtr_;
     obs::Counter bytesSentCtr_;
+    obs::FlowTracker *flows_ = nullptr;
 };
 
 /** Per-rank communication interface handed to application code. */

@@ -1,0 +1,85 @@
+#include "flow.hh"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace cchar::obs {
+
+FlowTracker::FlowTracker(std::size_t capacity, std::uint64_t stride)
+    : stride_(stride), capacity_(capacity)
+{
+    if (capacity_ == 0)
+        throw std::invalid_argument("obs: flow capacity must be > 0");
+    if (stride_ == 0)
+        throw std::invalid_argument("obs: flow stride must be > 0");
+    records_.reserve(capacity_);
+}
+
+std::uint64_t
+FlowTracker::open(int kind, std::int32_t src, std::int32_t dst,
+                  std::int32_t bytes, double t)
+{
+    std::uint64_t id = nextId_++;
+    FlowRecord rec;
+    rec.id = id;
+    rec.kind = kind;
+    rec.src = src;
+    rec.dst = dst;
+    rec.bytes = bytes;
+    rec.tGenerate = t;
+    rec.tInject = t;
+    open_.emplace(id, rec);
+    return id;
+}
+
+void
+FlowTracker::onInject(std::uint64_t id, double t)
+{
+    auto it = open_.find(id);
+    if (it != open_.end())
+        it->second.tInject = t;
+}
+
+void
+FlowTracker::onDeliver(std::uint64_t id, double t, std::int32_t hops,
+                       double queue_wait, double stall_wait)
+{
+    auto it = open_.find(id);
+    if (it == open_.end())
+        return;
+    FlowRecord rec = it->second;
+    open_.erase(it);
+    rec.tDeliver = t;
+    rec.hops = hops;
+    rec.queueWait = queue_wait;
+    rec.stallWait = stall_wait;
+    ++completed_;
+    if (records_.size() < capacity_)
+        records_.push_back(rec);
+    else
+        ++droppedRecords_;
+}
+
+void
+FlowTracker::writeJson(std::ostream &os) const
+{
+    os << "{\"opened\":" << opened() << ",\"completed\":" << completed_
+       << ",\"dropped\":" << droppedRecords_ << ",\"stride\":" << stride_
+       << ",\"records\":[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const FlowRecord &r = records_[i];
+        if (i)
+            os << ",";
+        os << "{\"id\":" << r.id << ",\"kind\":" << r.kind
+           << ",\"src\":" << r.src << ",\"dst\":" << r.dst
+           << ",\"bytes\":" << r.bytes << ",\"hops\":" << r.hops
+           << ",\"tGenerate\":" << r.tGenerate
+           << ",\"tInject\":" << r.tInject
+           << ",\"tDeliver\":" << r.tDeliver
+           << ",\"queueWait\":" << r.queueWait
+           << ",\"stallWait\":" << r.stallWait << "}";
+    }
+    os << "]}";
+}
+
+} // namespace cchar::obs

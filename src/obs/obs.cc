@@ -6,6 +6,7 @@ namespace {
 
 MetricsRegistry *g_metrics = nullptr;
 Tracer *g_tracer = nullptr;
+FlowTracker *g_flows = nullptr;
 
 } // namespace
 
@@ -39,6 +40,42 @@ void
 setTracer(Tracer *trace)
 {
     g_tracer = trace;
+}
+
+FlowTracker *
+flows()
+{
+#ifndef CCHAR_OBS_DISABLED
+    return g_flows;
+#else
+    return nullptr;
+#endif
+}
+
+void
+setFlows(FlowTracker *tracker)
+{
+    g_flows = tracker;
+}
+
+void
+publishSinkStats(MetricsRegistry &registry, const Tracer *tracer,
+                 const FlowTracker *flows)
+{
+    if (tracer) {
+        registry.gauge("obs.tracer.records")
+            .set(static_cast<double>(tracer->size()));
+        registry.gauge("obs.tracer.dropped")
+            .set(static_cast<double>(tracer->dropped()));
+    }
+    if (flows) {
+        registry.gauge("obs.flows.opened")
+            .set(static_cast<double>(flows->opened()));
+        registry.gauge("obs.flows.completed")
+            .set(static_cast<double>(flows->completed()));
+        registry.gauge("obs.flows.dropped")
+            .set(static_cast<double>(flows->droppedRecords()));
+    }
 }
 
 } // namespace cchar::obs

@@ -29,6 +29,8 @@
 #ifndef CCHAR_OBS_OBS_HH
 #define CCHAR_OBS_OBS_HH
 
+#include "flow.hh"
+#include "phases.hh"
 #include "registry.hh"
 #include "sampler.hh"
 #include "tracer.hh"
@@ -41,11 +43,27 @@ MetricsRegistry *metrics();
 /** Currently installed trace sink, or nullptr (disabled). */
 Tracer *tracer();
 
+/** Currently installed flow-tracking sink, or nullptr (disabled). */
+FlowTracker *flows();
+
 /** Install (or with nullptr, remove) the process-wide metrics sink. */
 void setMetrics(MetricsRegistry *registry);
 
 /** Install (or with nullptr, remove) the process-wide trace sink. */
 void setTracer(Tracer *tracer);
+
+/** Install (or with nullptr, remove) the process-wide flow sink. */
+void setFlows(FlowTracker *tracker);
+
+/**
+ * Publish the side sinks' own health into a registry snapshot:
+ * obs.tracer.records / obs.tracer.dropped (ring overwrites — nonzero
+ * means the exported trace is truncated) and obs.flows.opened /
+ * completed / dropped. Call once, just before exporting the registry;
+ * absent sinks contribute nothing.
+ */
+void publishSinkStats(MetricsRegistry &registry, const Tracer *tracer,
+                      const FlowTracker *flows);
 
 /**
  * RAII installer: sets the sinks for a scope, restores the previous
@@ -55,11 +73,14 @@ class ScopedObservability
 {
   public:
     explicit ScopedObservability(MetricsRegistry *registry,
-                                 Tracer *trace = nullptr)
-        : prevMetrics_(metrics()), prevTracer_(tracer())
+                                 Tracer *trace = nullptr,
+                                 FlowTracker *flow = nullptr)
+        : prevMetrics_(metrics()), prevTracer_(tracer()),
+          prevFlows_(flows())
     {
         setMetrics(registry);
         setTracer(trace);
+        setFlows(flow);
     }
 
     ScopedObservability(const ScopedObservability &) = delete;
@@ -69,11 +90,13 @@ class ScopedObservability
     {
         setMetrics(prevMetrics_);
         setTracer(prevTracer_);
+        setFlows(prevFlows_);
     }
 
   private:
     MetricsRegistry *prevMetrics_;
     Tracer *prevTracer_;
+    FlowTracker *prevFlows_;
 };
 
 } // namespace cchar::obs

@@ -1,0 +1,141 @@
+#include "phases.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cchar::obs {
+
+namespace {
+
+/** Scale floor distinguishing "zero" from a real signal level. */
+constexpr double kEps = 1e-12;
+
+} // namespace
+
+PhaseDetector::PhaseDetector(std::size_t signals,
+                             PhaseDetectorConfig cfg)
+    : signals_(signals), cfg_(cfg)
+{
+    if (signals_ == 0)
+        throw std::invalid_argument("obs: detector needs >= 1 signal");
+    if (cfg_.confirm < 1 || cfg_.warmup < 1)
+        throw std::invalid_argument("obs: confirm/warmup must be >= 1");
+}
+
+void
+PhaseDetector::Running::add(double v)
+{
+    // Welford's online mean/variance.
+    ++n;
+    double delta = v - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (v - mean);
+}
+
+double
+PhaseDetector::Running::sigma() const
+{
+    return n > 0 ? std::sqrt(m2 / static_cast<double>(n)) : 0.0;
+}
+
+bool
+PhaseDetector::isOutlier(const std::vector<double> &values) const
+{
+    for (std::size_t i = 0; i < signals_; ++i) {
+        const Running &r = stats_[i];
+        double dev = std::abs(values[i] - r.mean);
+        double scale = std::abs(r.mean);
+        // The z-gate adapts to the phase's own noise; the floor keeps
+        // a near-constant signal from declaring everything an outlier.
+        double sigma = std::max(r.sigma(), cfg_.sigmaFloor * scale);
+        sigma = std::max(sigma, kEps);
+        if (dev > cfg_.threshold * sigma &&
+            dev > cfg_.relChange * std::max(scale, kEps))
+            return true;
+    }
+    return false;
+}
+
+void
+PhaseDetector::startPhase(std::size_t sample, double t_begin)
+{
+    stats_.assign(signals_, Running{});
+    curBeginSample_ = sample;
+    curBeginT_ = t_begin;
+    open_ = true;
+}
+
+void
+PhaseDetector::absorb(const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < signals_; ++i)
+        stats_[i].add(values[i]);
+}
+
+void
+PhaseDetector::observe(double t_begin, double t_end,
+                       const std::vector<double> &values)
+{
+    if (finished_)
+        throw std::logic_error("obs: observe() after finish()");
+    if (values.size() != signals_)
+        throw std::invalid_argument("obs: signal count mismatch");
+
+    std::size_t sample = samplesSeen_++;
+    lastEndT_ = t_end;
+
+    if (!open_) {
+        startPhase(sample, t_begin);
+        absorb(values);
+        return;
+    }
+
+    bool warm = stats_[0].n >= static_cast<std::size_t>(cfg_.warmup);
+    if (warm && isOutlier(values)) {
+        if (pending_.empty()) {
+            pendingFirstSample_ = sample;
+            pendingFirstT_ = t_begin;
+        }
+        pending_.push_back(values);
+        if (pending_.size() >= static_cast<std::size_t>(cfg_.confirm)) {
+            // Confirmed change point at the first outlier sample.
+            Phase done;
+            done.beginSample = curBeginSample_;
+            done.endSample = pendingFirstSample_;
+            done.tBegin = curBeginT_;
+            done.tEnd = pendingFirstT_;
+            phases_.push_back(done);
+            startPhase(pendingFirstSample_, pendingFirstT_);
+            for (const auto &v : pending_)
+                absorb(v);
+            pending_.clear();
+        }
+        return;
+    }
+
+    // Not an outlier (or still warming up): any pending outliers were
+    // a transient, not a phase change — fold them in.
+    for (const auto &v : pending_)
+        absorb(v);
+    pending_.clear();
+    absorb(values);
+}
+
+std::vector<Phase>
+PhaseDetector::finish()
+{
+    if (finished_)
+        throw std::logic_error("obs: finish() called twice");
+    finished_ = true;
+    if (open_) {
+        Phase last;
+        last.beginSample = curBeginSample_;
+        last.endSample = samplesSeen_;
+        last.tBegin = curBeginT_;
+        last.tEnd = lastEndT_;
+        phases_.push_back(last);
+    }
+    return phases_;
+}
+
+} // namespace cchar::obs

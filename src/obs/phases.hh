@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Online phase detection: a streaming change-point detector over
+ * windowed telemetry signals.
+ *
+ * The paper stresses that applications alternate between distinct
+ * compute and communicate *phases*; a fixed `--windows N` slicing can
+ * only show them if the analyst guesses N. The PhaseDetector instead
+ * segments the run automatically: it consumes one multi-signal sample
+ * per telemetry window (injection rate, spatial entropy, mean message
+ * length, ...) and maintains running statistics of the current phase.
+ * A sample deviating from the phase by both a z-score gate AND a
+ * relative-change gate is an outlier candidate; `confirm` consecutive
+ * outliers establish a change point at the first of them, and a new
+ * phase begins with exactly those samples.
+ *
+ * The double gate is what keeps a stationary load in one phase: the
+ * z-score adapts to the phase's own sampling noise (a Poisson-ish
+ * arrival count fluctuates by sqrt(n) per window and inflates sigma
+ * accordingly), while the relative gate suppresses cuts on signals
+ * whose variance collapsed to ~0 (an all-zero compute phase).
+ *
+ * Everything is deterministic: no clocks, no randomness, one pass.
+ */
+
+#ifndef CCHAR_OBS_PHASES_HH
+#define CCHAR_OBS_PHASES_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cchar::obs {
+
+/** Sensitivity knobs of the change-point detector. */
+struct PhaseDetectorConfig
+{
+    /** Samples a phase must absorb before cuts are considered. */
+    int warmup = 4;
+    /** Z-score a sample must exceed on some signal to be an outlier. */
+    double threshold = 4.0;
+    /** ... AND the minimum relative change vs the phase mean. */
+    double relChange = 0.35;
+    /** Consecutive outliers confirming a change point. */
+    int confirm = 2;
+    /**
+     * Floor on the deviation scale as a fraction of the phase mean —
+     * guards against sigma underestimation in short quiet phases.
+     */
+    double sigmaFloor = 0.10;
+};
+
+/** One detected phase: a half-open sample range with its time span. */
+struct Phase
+{
+    std::size_t beginSample = 0; ///< first sample index of the phase
+    std::size_t endSample = 0;   ///< one past the last sample index
+    double tBegin = 0.0;         ///< window-start time of beginSample
+    double tEnd = 0.0;           ///< window-end time of the last sample
+};
+
+/** Streaming multi-signal change-point detector. */
+class PhaseDetector
+{
+  public:
+    /**
+     * @param signals Number of signals per sample (fixed).
+     * @param cfg     Sensitivity configuration.
+     */
+    explicit PhaseDetector(std::size_t signals,
+                           PhaseDetectorConfig cfg = {});
+
+    /**
+     * Feed the sample of one telemetry window.
+     *
+     * @param t_begin Start time of the window.
+     * @param t_end   End time of the window.
+     * @param values  One value per signal (size must match).
+     */
+    void observe(double t_begin, double t_end,
+                 const std::vector<double> &values);
+
+    /** Samples consumed so far. */
+    std::size_t sampleCount() const { return samplesSeen_; }
+
+    /**
+     * Close the current phase and return the full segmentation.
+     * A run with no samples yields no phases. May be called once;
+     * observe() must not be called afterwards.
+     */
+    std::vector<Phase> finish();
+
+  private:
+    struct Running
+    {
+        std::size_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+
+        void add(double v);
+        double sigma() const;
+    };
+
+    bool isOutlier(const std::vector<double> &values) const;
+    void startPhase(std::size_t sample, double t_begin);
+    void absorb(const std::vector<double> &values);
+
+    std::size_t signals_;
+    PhaseDetectorConfig cfg_;
+    std::vector<Running> stats_;
+    std::vector<Phase> phases_;
+    /** Pending outlier samples (values + window bounds). */
+    std::vector<std::vector<double>> pending_;
+    std::size_t pendingFirstSample_ = 0;
+    double pendingFirstT_ = 0.0;
+    std::size_t samplesSeen_ = 0;
+    double curBeginT_ = 0.0;
+    std::size_t curBeginSample_ = 0;
+    double lastEndT_ = 0.0;
+    bool open_ = false;
+    bool finished_ = false;
+};
+
+} // namespace cchar::obs
+
+#endif // CCHAR_OBS_PHASES_HH

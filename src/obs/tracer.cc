@@ -51,20 +51,48 @@ Tracer::push(const Record &rec)
 void
 Tracer::span(int laneId, int nameId, double ts, double dur)
 {
-    push(Record{ts, dur < 0.0 ? 0.0 : dur, laneId, nameId, 0, 0, false});
+    push(Record{ts, dur < 0.0 ? 0.0 : dur, 0, laneId, nameId, 0, 0,
+                RecordKind::Span, false});
 }
 
 void
 Tracer::span(int laneId, int nameId, double ts, double dur,
              std::int32_t d0, std::int32_t d1)
 {
-    push(Record{ts, dur < 0.0 ? 0.0 : dur, laneId, nameId, d0, d1, true});
+    push(Record{ts, dur < 0.0 ? 0.0 : dur, 0, laneId, nameId, d0, d1,
+                RecordKind::Span, true});
 }
 
 void
 Tracer::instant(int laneId, int nameId, double ts)
 {
-    push(Record{ts, -1.0, laneId, nameId, 0, 0, false});
+    push(Record{ts, 0.0, 0, laneId, nameId, 0, 0, RecordKind::Instant,
+                false});
+}
+
+void
+Tracer::pushFlow(RecordKind kind, int laneId, int nameId, double ts,
+                 std::uint64_t flowId)
+{
+    push(Record{ts, 0.0, flowId, laneId, nameId, 0, 0, kind, false});
+}
+
+void
+Tracer::flowStart(int laneId, int nameId, double ts, std::uint64_t flowId)
+{
+    pushFlow(RecordKind::FlowStart, laneId, nameId, ts, flowId);
+}
+
+void
+Tracer::flowStep(int laneId, int nameId, double ts, std::uint64_t flowId)
+{
+    pushFlow(RecordKind::FlowStep, laneId, nameId, ts, flowId);
+}
+
+void
+Tracer::flowEnd(int laneId, int nameId, double ts, std::uint64_t flowId)
+{
+    pushFlow(RecordKind::FlowEnd, laneId, nameId, ts, flowId);
 }
 
 std::size_t
@@ -152,11 +180,24 @@ Tracer::writeChromeJson(std::ostream &os) const
         first = false;
         os << "{\"name\":";
         jsonString(os, eventNames_[static_cast<std::size_t>(rec.name)]);
-        if (rec.dur < 0.0) {
+        switch (rec.kind) {
+          case RecordKind::Instant:
             os << ",\"ph\":\"i\",\"s\":\"t\"";
-        } else {
+            break;
+          case RecordKind::FlowStart:
+            os << ",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" << rec.flow;
+            break;
+          case RecordKind::FlowStep:
+            os << ",\"cat\":\"flow\",\"ph\":\"t\",\"id\":" << rec.flow;
+            break;
+          case RecordKind::FlowEnd:
+            os << ",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
+               << rec.flow;
+            break;
+          case RecordKind::Span:
             os << ",\"ph\":\"X\",\"dur\":";
             jsonTime(os, rec.dur);
+            break;
         }
         os << ",\"ts\":";
         jsonTime(os, rec.ts);

@@ -18,6 +18,13 @@
  * Record order is the order instrumentation observed events, which in
  * a deterministic simulation is itself deterministic: two identical
  * seeded runs export byte-identical JSON.
+ *
+ * Besides spans and instants the tracer records Perfetto *flow events*
+ * (ph "s"/"t"/"f" in the Chrome format): points on a lane that the
+ * viewer joins by id into an arrow chain across tracks. The mesh emits
+ * one chain per sampled message — injection, each hop's channel hold,
+ * delivery — so a loaded trace shows the message's journey across
+ * router lanes (see obs/flow.hh).
  */
 
 #ifndef CCHAR_OBS_TRACER_HH
@@ -35,7 +42,7 @@ namespace cchar::obs {
 class Tracer
 {
   public:
-    /** @param capacity Ring size in records (~32 B each). */
+    /** @param capacity Ring size in records (~48 B each). */
     explicit Tracer(std::size_t capacity = 1u << 18);
 
     Tracer(const Tracer &) = delete;
@@ -60,6 +67,18 @@ class Tracer
     /** Record a point event. */
     void instant(int laneId, int nameId, double ts);
 
+    /**
+     * Flow-event chain (Perfetto arrows). Events with the same flowId
+     * are joined start -> steps -> end; each point binds to the slice
+     * enclosing `ts` on its lane.
+     */
+    void flowStart(int laneId, int nameId, double ts,
+                   std::uint64_t flowId);
+    void flowStep(int laneId, int nameId, double ts,
+                  std::uint64_t flowId);
+    void flowEnd(int laneId, int nameId, double ts,
+                 std::uint64_t flowId);
+
     /** Records currently held (<= capacity). */
     std::size_t size() const;
 
@@ -82,16 +101,30 @@ class Tracer
     void writeChromeJson(std::ostream &os) const;
 
   private:
+    enum class RecordKind : std::uint8_t
+    {
+        Span,
+        Instant,
+        FlowStart,
+        FlowStep,
+        FlowEnd,
+    };
+
     struct Record
     {
         double ts;
-        double dur; ///< < 0 marks an instant
+        double dur;
+        std::uint64_t flow; ///< flow id (flow records only)
         std::int32_t lane;
         std::int32_t name;
         std::int32_t d0;
         std::int32_t d1;
+        RecordKind kind;
         bool hasArgs;
     };
+
+    void pushFlow(RecordKind kind, int laneId, int nameId, double ts,
+                  std::uint64_t flowId);
 
     void push(const Record &rec);
 

@@ -646,7 +646,7 @@ TEST(SystemObs, StaticStrategySamplerAndReplayLag)
     EXPECT_EQ(lag->count, report.volume.messageCount);
 
     ASSERT_GT(sampler.sampleCount(), 0u);
-    EXPECT_EQ(sampler.seriesCount(), 6u);
+    EXPECT_EQ(sampler.seriesCount(), 7u);
     std::ostringstream os;
     core::writeMetricsJson(os, &reg, &sampler);
     EXPECT_TRUE(wellFormedJson(os.str()));
@@ -656,8 +656,390 @@ TEST(SystemObs, WriteMetricsJsonHandlesAbsentParts)
 {
     std::ostringstream os;
     core::writeMetricsJson(os, nullptr, nullptr);
-    EXPECT_EQ(os.str(), "{\"metrics\":null,\"telemetry\":null}\n");
-    EXPECT_TRUE(wellFormedJson("{\"metrics\":null,\"telemetry\":null}"));
+    EXPECT_EQ(os.str(),
+              "{\"metrics\":null,\"telemetry\":null,\"flows\":null}\n");
+    EXPECT_TRUE(wellFormedJson(
+        "{\"metrics\":null,\"telemetry\":null,\"flows\":null}"));
+}
+
+// --------------------------------------------------------------------
+// Flow tracker: id assignment, lifecycle accounting, sampling stride,
+// bounded reservoir, JSON export.
+
+TEST(Flow, TrackerLifecycleAndReservoir)
+{
+    obs::FlowTracker flows{2, 3};
+    EXPECT_EQ(flows.stride(), 3u);
+    for (int i = 0; i < 5; ++i) {
+        auto id = flows.open(0, i, i + 1, 64, 10.0 * i);
+        EXPECT_EQ(id, static_cast<std::uint64_t>(i + 1));
+    }
+    EXPECT_EQ(flows.opened(), 5u);
+    // Stride 3 samples ids 1 and 4; 0 is the "no flow" sentinel.
+    EXPECT_FALSE(flows.sampled(0));
+    EXPECT_TRUE(flows.sampled(1));
+    EXPECT_FALSE(flows.sampled(2));
+    EXPECT_FALSE(flows.sampled(3));
+    EXPECT_TRUE(flows.sampled(4));
+
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+        flows.onInject(id, 10.0 * (id - 1) + 2.0);
+        flows.onDeliver(id, 10.0 * (id - 1) + 9.0, 3, 1.5, 0.5);
+    }
+    EXPECT_EQ(flows.completed(), 5u);
+    EXPECT_EQ(flows.droppedRecords(), 3u);
+    ASSERT_EQ(flows.records().size(), 2u);
+
+    const obs::FlowRecord &rec = flows.records().front();
+    EXPECT_EQ(rec.id, 1u);
+    EXPECT_EQ(rec.src, 0);
+    EXPECT_EQ(rec.dst, 1);
+    EXPECT_EQ(rec.bytes, 64);
+    EXPECT_EQ(rec.hops, 3);
+    EXPECT_DOUBLE_EQ(rec.softwareTime(), 2.0);
+    EXPECT_DOUBLE_EQ(rec.networkLatency(), 7.0);
+    EXPECT_DOUBLE_EQ(rec.queueWait, 1.5);
+    EXPECT_DOUBLE_EQ(rec.stallWait, 0.5);
+    EXPECT_DOUBLE_EQ(rec.transitTime(), 5.0);
+
+    std::ostringstream os;
+    flows.writeJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(wellFormedJson(json)) << json;
+    EXPECT_NE(json.find("\"opened\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"completed\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"stride\":3"), std::string::npos);
+}
+
+TEST(Flow, MeshOpensFlowsAndHistogramsDecomposeLatency)
+{
+    if (!obsEnabled())
+        GTEST_SKIP() << "compiled with CCHAR_OBS_DISABLED";
+    obs::MetricsRegistry reg;
+    obs::FlowTracker flows;
+    obs::ScopedObservability scoped{&reg, nullptr, &flows};
+    apps::Fft1D app;
+    core::CharacterizationPipeline pipeline;
+    auto report = pipeline.runDynamic(app, machine4x4());
+
+    // Every network message opened exactly one flow and completed it.
+    EXPECT_EQ(flows.opened(), report.volume.messageCount);
+    EXPECT_EQ(flows.completed(), flows.opened());
+
+    // Latency decomposition histograms observed every message, and
+    // each component is bounded by the total latency.
+    const obs::HistogramData *lat = reg.histogramData("mesh.latency_us");
+    const obs::HistogramData *queue = reg.histogramData("mesh.queue_us");
+    const obs::HistogramData *stall = reg.histogramData("mesh.stall_us");
+    const obs::HistogramData *transit =
+        reg.histogramData("mesh.transit_us");
+    ASSERT_NE(lat, nullptr);
+    ASSERT_NE(queue, nullptr);
+    ASSERT_NE(stall, nullptr);
+    ASSERT_NE(transit, nullptr);
+    EXPECT_EQ(queue->count, lat->count);
+    EXPECT_EQ(stall->count, lat->count);
+    EXPECT_EQ(transit->count, lat->count);
+    EXPECT_NEAR(queue->sum + stall->sum + transit->sum, lat->sum,
+                1e-6 * std::max(1.0, lat->sum));
+
+    // The per-record lifecycle agrees with its own decomposition.
+    for (const obs::FlowRecord &rec : flows.records()) {
+        EXPECT_GE(rec.tInject, rec.tGenerate);
+        EXPECT_GT(rec.tDeliver, rec.tInject);
+        EXPECT_GE(rec.transitTime(), 0.0);
+    }
+}
+
+TEST(Flow, TracerEmitsChromeFlowEvents)
+{
+    if (!obsEnabled())
+        GTEST_SKIP() << "compiled with CCHAR_OBS_DISABLED";
+    obs::Tracer tr;
+    int lane = tr.lane("router:0");
+    int name = tr.name("msg");
+    tr.span(lane, name, 1.0, 4.0, 0, 64);
+    tr.flowStart(lane, name, 1.0, 7);
+    tr.flowStep(lane, name, 2.0, 7);
+    tr.flowEnd(lane, name, 4.5, 7);
+
+    std::ostringstream os;
+    tr.writeChromeJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(wellFormedJson(json)) << json;
+    EXPECT_EQ(countOccurrences(json, "\"cat\":\"flow\""), 3u);
+    EXPECT_NE(json.find("\"ph\":\"s\",\"id\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\",\"id\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":7"),
+              std::string::npos);
+}
+
+TEST(Flow, SinkStatsSurfaceRingOverwritesAndFlowCounts)
+{
+    if (!obsEnabled())
+        GTEST_SKIP() << "compiled with CCHAR_OBS_DISABLED";
+    obs::MetricsRegistry reg;
+    obs::Tracer tr{4};
+    int lane = tr.lane("l");
+    int name = tr.name("n");
+    for (int i = 0; i < 10; ++i)
+        tr.instant(lane, name, 1.0 * i);
+
+    obs::FlowTracker flows;
+    flows.open(0, 0, 1, 8, 0.0);
+
+    obs::publishSinkStats(reg, &tr, &flows);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("obs.tracer.records"), 4.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("obs.tracer.dropped"), 6.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("obs.flows.opened"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("obs.flows.completed"), 0.0);
+}
+
+// --------------------------------------------------------------------
+// Phase detection: the change-point detector and the PhaseAnalyzer.
+
+TEST(Phases, StationarySignalStaysOnePhase)
+{
+    obs::PhaseDetector det{3};
+    // 48 windows of steady load with small deterministic jitter — the
+    // kind of fluctuation a Poisson arrival process shows per window.
+    for (int i = 0; i < 48; ++i) {
+        double jitter = 0.03 * static_cast<double>(i % 5 - 2);
+        det.observe(i * 10.0, (i + 1) * 10.0,
+                    {1.0 + jitter, 64.0, 0.9 + jitter / 10.0});
+    }
+    auto phases = det.finish();
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].beginSample, 0u);
+    EXPECT_EQ(phases[0].endSample, 48u);
+    EXPECT_DOUBLE_EQ(phases[0].tBegin, 0.0);
+    EXPECT_DOUBLE_EQ(phases[0].tEnd, 480.0);
+}
+
+TEST(Phases, StepChangeCutsAtTheStep)
+{
+    obs::PhaseDetector det{1};
+    for (int i = 0; i < 40; ++i) {
+        double v = i < 20 ? 1.0 : 4.0;
+        det.observe(i * 10.0, (i + 1) * 10.0, {v});
+    }
+    auto phases = det.finish();
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].beginSample, 0u);
+    EXPECT_EQ(phases[0].endSample, 20u);
+    EXPECT_EQ(phases[1].beginSample, 20u);
+    EXPECT_EQ(phases[1].endSample, 40u);
+    EXPECT_DOUBLE_EQ(phases[1].tBegin, 200.0);
+}
+
+TEST(Phases, AnalyzerFindsOnePhaseOnStationaryUniformLoad)
+{
+    // Synthetic stationary load: fixed inter-arrival time, fixed
+    // length, destinations cycling uniformly over all nodes.
+    trace::TrafficLog log{16};
+    for (int i = 0; i < 2048; ++i) {
+        trace::MessageRecord rec;
+        rec.src = i % 16;
+        rec.dst = (i * 7 + 3) % 16;
+        rec.bytes = 64;
+        rec.injectTime = 0.5 * i;
+        rec.deliverTime = rec.injectTime + 2.0;
+        rec.hops = 2;
+        log.add(rec);
+    }
+    core::PhaseAnalyzer analyzer;
+    auto phases = analyzer.detect(log);
+    ASSERT_EQ(phases.size(), 1u);
+
+    auto chars = analyzer.analyze(log);
+    ASSERT_EQ(chars.size(), 1u);
+    EXPECT_EQ(chars[0].messageCount, log.size());
+    EXPECT_DOUBLE_EQ(chars[0].meanBytes, 64.0);
+    EXPECT_GT(chars[0].dstEntropy, 0.9); // near-uniform destinations
+}
+
+TEST(Phases, AnalyzerSplitsTwoRegimeLoad)
+{
+    // Phase A: sparse large messages to one hot node. Phase B: dense
+    // small messages spread over the mesh. Every signal shifts.
+    trace::TrafficLog log{16};
+    double t = 0.0;
+    for (int i = 0; i < 512; ++i) {
+        trace::MessageRecord rec;
+        rec.src = i % 16;
+        rec.dst = 5;
+        rec.bytes = 1024;
+        rec.injectTime = t;
+        rec.deliverTime = t + 4.0;
+        t += 4.0;
+        log.add(rec);
+    }
+    for (int i = 0; i < 2048; ++i) {
+        trace::MessageRecord rec;
+        rec.src = i % 16;
+        rec.dst = (i * 5 + 1) % 16;
+        rec.bytes = 32;
+        rec.injectTime = t;
+        rec.deliverTime = t + 1.0;
+        t += 0.25;
+        log.add(rec);
+    }
+    core::PhaseAnalyzer analyzer;
+    auto chars = analyzer.analyze(log);
+    ASSERT_GE(chars.size(), 2u);
+    // Ordered, non-overlapping, covering all messages.
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < chars.size(); ++p) {
+        total += chars[p].messageCount;
+        if (p > 0)
+            EXPECT_GE(chars[p].tBegin, chars[p - 1].tEnd - 1e-9);
+    }
+    EXPECT_EQ(total, log.size());
+    EXPECT_GT(chars.back().injectionRate, chars.front().injectionRate);
+    EXPECT_LT(chars.back().meanBytes, chars.front().meanBytes);
+}
+
+TEST(Phases, SystemRunDetectsPhasedApplication)
+{
+    if (!obsEnabled())
+        GTEST_SKIP() << "compiled with CCHAR_OBS_DISABLED";
+    core::PipelineOptions opts;
+    opts.detectPhases = true;
+    core::CharacterizationPipeline pipeline{opts};
+    apps::Fft3D app;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 4;
+    cfg.mesh.height = 4;
+    auto report = pipeline.runStatic(app, cfg);
+    EXPECT_GE(report.phases.size(), 2u)
+        << "3-D FFT alternates transpose and exchange phases";
+    std::size_t total = 0;
+    for (const auto &ph : report.phases)
+        total += ph.messageCount;
+    EXPECT_EQ(total, report.volume.messageCount);
+}
+
+// --------------------------------------------------------------------
+// Windowed profiles agree with whole-run statistics.
+
+TEST(Windows, BandwidthProfileConservesBytes)
+{
+    trace::TrafficLog log{4};
+    double totalBytes = 0.0;
+    for (int i = 0; i < 300; ++i) {
+        trace::MessageRecord rec;
+        rec.src = i % 4;
+        rec.dst = (i + 1) % 4;
+        rec.bytes = 16 + (i % 7) * 32;
+        rec.injectTime = 0.7 * i;
+        rec.deliverTime = rec.injectTime + 1.0;
+        log.add(rec);
+        totalBytes += rec.bytes;
+    }
+    for (int windows : {1, 8, 32}) {
+        auto prof = core::BandwidthAnalyzer::profile(log, windows);
+        ASSERT_EQ(prof.size(), static_cast<std::size_t>(windows));
+        double width = log.lastDeliverTime() / windows;
+        double sum = 0.0;
+        for (double v : prof)
+            sum += v * width;
+        EXPECT_NEAR(sum, totalBytes, 1e-6 * totalBytes)
+            << windows << " windows";
+    }
+}
+
+TEST(Windows, WindowFitsPartitionTheGaps)
+{
+    trace::TrafficLog log{2};
+    for (int i = 0; i < 256; ++i) {
+        trace::MessageRecord rec;
+        rec.src = 0;
+        rec.dst = 1;
+        rec.bytes = 64;
+        rec.injectTime = 1.0 * i;
+        rec.deliverTime = rec.injectTime + 0.5;
+        log.add(rec);
+    }
+    core::TemporalAnalyzer analyzer;
+    auto whole = analyzer.analyzeAggregate(log);
+    auto fits = analyzer.analyzeWindows(log, 8);
+    ASSERT_EQ(fits.size(), 8u);
+    // Windowed gap counts sum to (at most) the whole-run gap count;
+    // boundary-straddling gaps are the only losses.
+    std::size_t windowed = 0;
+    for (const auto &fit : fits)
+        windowed += fit.stats.count;
+    EXPECT_LE(windowed, whole.stats.count);
+    EXPECT_GE(windowed + 8, whole.stats.count);
+    // A constant-rate log fits the same mean in every window.
+    for (const auto &fit : fits)
+        EXPECT_NEAR(fit.stats.mean, whole.stats.mean, 1e-9);
+}
+
+// --------------------------------------------------------------------
+// HTML run report: structure, embedded JSON, byte determinism.
+
+TEST(HtmlReport, EmbedsWellFormedJsonAndIsDeterministic)
+{
+    if (!obsEnabled())
+        GTEST_SKIP() << "compiled with CCHAR_OBS_DISABLED";
+    auto render = [] {
+        obs::MetricsRegistry reg;
+        obs::FlowTracker flows;
+        obs::ScopedObservability scoped{&reg, nullptr, &flows};
+        obs::WindowedSampler sampler;
+        core::PipelineOptions opts;
+        opts.detectPhases = true;
+        opts.sampler = &sampler;
+        opts.samplePeriodUs = 25.0;
+        core::CharacterizationPipeline pipeline{opts};
+        apps::Fft1D app;
+        auto report = pipeline.runDynamic(app, machine4x4());
+        obs::publishSinkStats(reg, nullptr, &flows);
+        std::ostringstream os;
+        core::writeHtmlReport(
+            os, {&report, &reg, &sampler, &flows});
+        return os.str();
+    };
+
+    std::string html = render();
+    EXPECT_EQ(html, render()) << "HTML report must be byte-deterministic";
+
+    // Self-contained: no external fetches of any kind.
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("<link"), std::string::npos);
+
+    // The wall-clock throughput gauge must not leak into the report.
+    EXPECT_EQ(html.find("events_per_sec"), std::string::npos);
+
+    // Extract and validate the embedded machine-readable payload.
+    const std::string open =
+        "<script type=\"application/json\" id=\"cchar-report-data\">";
+    auto begin = html.find(open);
+    ASSERT_NE(begin, std::string::npos);
+    begin += open.size();
+    auto end = html.find("</script>", begin);
+    ASSERT_NE(end, std::string::npos);
+    std::string payload = html.substr(begin, end - begin);
+    EXPECT_TRUE(wellFormedJson(payload)) << payload.substr(0, 200);
+    EXPECT_NE(payload.find("\"report\":"), std::string::npos);
+    EXPECT_NE(payload.find("\"metrics\":"), std::string::npos);
+    EXPECT_NE(payload.find("\"telemetry\":"), std::string::npos);
+    EXPECT_NE(payload.find("\"flows\":"), std::string::npos);
+}
+
+TEST(HtmlReport, RendersWithReportAloneAndRejectsNull)
+{
+    core::CharacterizationReport report;
+    report.application = "unit";
+    std::ostringstream os;
+    core::writeHtmlReport(os, {&report, nullptr, nullptr, nullptr});
+    EXPECT_NE(os.str().find("</html>"), std::string::npos);
+
+    std::ostringstream os2;
+    EXPECT_THROW(core::writeHtmlReport(os2, {}), std::invalid_argument);
 }
 
 } // namespace

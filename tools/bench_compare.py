@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare bench self-reports (BENCH_*.json) against committed baselines.
+
+Every bench binary drops a BENCH_<name>.json record in the working
+directory (see bench/self_report.hh). This tool diffs those records
+against the blessed copies in bench/baselines/ and exits non-zero when
+a bench regressed:
+
+ - `events` and `messages` are simulation-derived and deterministic:
+   any difference means the simulated behaviour changed, which is a
+   hard failure regardless of tolerance.
+ - `events_per_sec` and `messages_per_sec` are wall-clock throughput:
+   a drop of more than --tolerance (relative, default 25%) below the
+   baseline is a performance regression. Improvements never fail.
+
+Baselines are machine-dependent for the throughput fields; refresh
+them with --bless after intentional changes (and expect CI to run this
+step as advisory/soft-fail unless its runners are stable).
+
+Usage:
+  tools/bench_compare.py [options] [BENCH_*.json ...]
+
+With no files, all BENCH_*.json in the current directory are compared.
+
+Options:
+  --baselines DIR   baseline directory (default: bench/baselines next
+                    to this script's repository root)
+  --tolerance F     relative throughput tolerance (default: 0.25)
+  --bless           copy the current reports over the baselines
+                    instead of comparing
+"""
+
+import glob
+import json
+import os
+import shutil
+import sys
+
+EXACT_FIELDS = ("events", "messages")
+RATE_FIELDS = ("events_per_sec", "messages_per_sec")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def parse_args(argv):
+    opts = {
+        "baselines": os.path.join(repo_root(), "bench", "baselines"),
+        "tolerance": 0.25,
+        "bless": False,
+        "files": [],
+    }
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--baselines":
+            i += 1
+            opts["baselines"] = argv[i]
+        elif arg == "--tolerance":
+            i += 1
+            opts["tolerance"] = float(argv[i])
+        elif arg == "--bless":
+            opts["bless"] = True
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            sys.exit(0)
+        elif arg.startswith("-"):
+            sys.exit(f"bench_compare: unknown option: {arg}")
+        else:
+            opts["files"].append(arg)
+        i += 1
+    if not opts["files"]:
+        opts["files"] = sorted(glob.glob("BENCH_*.json"))
+    return opts
+
+
+def compare_one(current_path, baseline_path, tolerance):
+    """Return a list of failure strings (empty = pass)."""
+    with open(current_path) as f:
+        cur = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+    failures = []
+    for field in EXACT_FIELDS:
+        if cur.get(field) != base.get(field):
+            failures.append(
+                f"{field}: {base.get(field)} -> {cur.get(field)} "
+                "(deterministic field changed)"
+            )
+    for field in RATE_FIELDS:
+        b, c = base.get(field, 0.0), cur.get(field, 0.0)
+        if b > 0.0 and c < b * (1.0 - tolerance):
+            failures.append(
+                f"{field}: {c:.3g}/s is {100 * (1 - c / b):.1f}% below "
+                f"baseline {b:.3g}/s (tolerance {100 * tolerance:.0f}%)"
+            )
+    return failures
+
+
+def main(argv):
+    opts = parse_args(argv)
+    if not opts["files"]:
+        sys.exit("bench_compare: no BENCH_*.json reports found")
+
+    if opts["bless"]:
+        os.makedirs(opts["baselines"], exist_ok=True)
+        for path in opts["files"]:
+            dest = os.path.join(opts["baselines"], os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"blessed {dest}")
+        return 0
+
+    regressed = 0
+    missing = 0
+    for path in opts["files"]:
+        name = os.path.basename(path)
+        baseline = os.path.join(opts["baselines"], name)
+        if not os.path.exists(baseline):
+            print(f"NEW   {name}: no baseline (run with --bless to add)")
+            missing += 1
+            continue
+        failures = compare_one(path, baseline, opts["tolerance"])
+        if failures:
+            regressed += 1
+            print(f"FAIL  {name}")
+            for failure in failures:
+                print(f"      {failure}")
+        else:
+            print(f"OK    {name}")
+
+    total = len(opts["files"])
+    print(
+        f"bench_compare: {total - regressed - missing}/{total} ok, "
+        f"{regressed} regressed, {missing} without baseline"
+    )
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

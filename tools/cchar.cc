@@ -5,6 +5,8 @@
  * Subcommands:
  *   list                             show available applications
  *   characterize <app> [options]     run + print the full report
+ *   report <app> [options]           run + write the HTML run report
+ *                                    to --out FILE (default stdout)
  *   trace <mp-app> --out FILE        collect an SP2-style trace
  *   replay <FILE> [options]          replay a trace into a mesh
  *
@@ -13,14 +15,20 @@
  *   --torus                          torus topology (2 VCs)
  *   --vcs N                          virtual channels
  *   --windows N                      print a windowed phase profile
+ *   --phases                         detect execution phases and
+ *                                    characterize each one
  *   --synthetic                      also run the fitted synthetic
  *                                    model and report validation
  *
  * Observability options:
  *   --trace-out FILE                 write a Chrome trace-event JSON
- *                                    (load in Perfetto / about:tracing)
- *   --metrics-out FILE               write the metrics registry and
- *                                    windowed telemetry as JSON
+ *                                    with message flow arrows (load
+ *                                    in Perfetto / about:tracing)
+ *   --metrics-out FILE               write the metrics registry,
+ *                                    windowed telemetry and message
+ *                                    lifecycle records as JSON
+ *   --report-out FILE                write the self-contained HTML
+ *                                    run report (implies --phases)
  *   --sample-period US               telemetry sampling period in
  *                                    simulated microseconds (default 50)
  *   --progress                       periodic progress line on stderr
@@ -57,13 +65,25 @@ struct Options
     bool torus = false;
     int vcs = 1;
     int windows = 0;
+    bool phases = false;
     bool synthetic = false;
     bool json = false;
     std::string out;
     std::string traceOut;
     std::string metricsOut;
+    std::string reportOut;
     double samplePeriodUs = 50.0;
     bool progress = false;
+    /** `cchar report` invocation: render HTML instead of text/JSON. */
+    bool reportMode = false;
+
+    /** Any observability output requested at all. */
+    bool
+    wantsObs() const
+    {
+        return !traceOut.empty() || !metricsOut.empty() ||
+               !reportOut.empty() || reportMode;
+    }
 };
 
 const std::vector<std::string> sharedMemoryApps{
@@ -124,23 +144,40 @@ class ObsSession
   public:
     explicit ObsSession(const Options &opts)
         : opts_(opts),
-          scope_(opts.metricsOut.empty() && opts.traceOut.empty()
-                     ? nullptr
-                     : &registry_,
-                 opts.traceOut.empty() ? nullptr : &tracer_)
+          scope_(opts.wantsObs() ? &registry_ : nullptr,
+                 opts.traceOut.empty() ? nullptr : &tracer_,
+                 opts.wantsObs() ? &flows_ : nullptr)
     {}
 
     /** The sampler to hand to the run, or nullptr when unwanted. */
     obs::WindowedSampler *sampler()
     {
-        return opts_.metricsOut.empty() ? nullptr : &sampler_;
+        return !opts_.metricsOut.empty() || !opts_.reportOut.empty() ||
+                       opts_.reportMode
+                   ? &sampler_
+                   : nullptr;
     }
 
     double samplePeriodUs() const { return opts_.samplePeriodUs; }
 
+    /** Installed sinks, for report rendering (null when inactive). */
+    const obs::MetricsRegistry *registry() const
+    {
+        return opts_.wantsObs() ? &registry_ : nullptr;
+    }
+    const obs::FlowTracker *flows() const
+    {
+        return opts_.wantsObs() ? &flows_ : nullptr;
+    }
+
     /** Write --trace-out / --metrics-out files. False on I/O error. */
     bool finish()
     {
+        if (opts_.wantsObs()) {
+            obs::publishSinkStats(
+                registry_,
+                opts_.traceOut.empty() ? nullptr : &tracer_, &flows_);
+        }
         if (!opts_.traceOut.empty()) {
             std::ofstream f{opts_.traceOut};
             tracer_.writeChromeJson(f);
@@ -152,10 +189,16 @@ class ObsSession
             std::cerr << "wrote trace (" << tracer_.size()
                       << " records, " << tracer_.dropped()
                       << " dropped) to " << opts_.traceOut << "\n";
+            if (tracer_.dropped() > 0) {
+                std::cerr << "warning: trace ring buffer overwrote "
+                          << tracer_.dropped()
+                          << " records; the exported trace is "
+                             "truncated at the front\n";
+            }
         }
         if (!opts_.metricsOut.empty()) {
             std::ofstream f{opts_.metricsOut};
-            core::writeMetricsJson(f, &registry_, &sampler_);
+            core::writeMetricsJson(f, &registry_, &sampler_, &flows_);
             if (!f) {
                 std::cerr << "error: cannot write " << opts_.metricsOut
                           << "\n";
@@ -172,6 +215,7 @@ class ObsSession
     obs::MetricsRegistry registry_;
     obs::Tracer tracer_;
     obs::WindowedSampler sampler_;
+    obs::FlowTracker flows_;
     obs::ScopedObservability scope_;
 };
 
@@ -196,9 +240,11 @@ usage()
            "  cchar list\n"
            "  cchar characterize <app> [--width W] [--height H]\n"
            "                     [--torus] [--vcs N] [--windows N]\n"
-           "                     [--synthetic] [--json]\n"
+           "                     [--phases] [--synthetic] [--json]\n"
            "                     [--trace-out FILE] [--metrics-out FILE]\n"
+           "                     [--report-out FILE]\n"
            "                     [--sample-period US] [--progress]\n"
+           "  cchar report <app> [--out FILE] [characterize options]\n"
            "  cchar trace <mp-app> --out FILE [--width W] [--height H]\n"
            "  cchar replay <FILE> [--width W] [--height H] [--torus]\n"
            "                      [--trace-out FILE] [--metrics-out FILE]\n";
@@ -230,6 +276,8 @@ parseOptions(int argc, char **argv, int first, Options &opts)
                 return false;
         } else if (arg == "--torus") {
             opts.torus = true;
+        } else if (arg == "--phases") {
+            opts.phases = true;
         } else if (arg == "--synthetic") {
             opts.synthetic = true;
         } else if (arg == "--json") {
@@ -246,6 +294,10 @@ parseOptions(int argc, char **argv, int first, Options &opts)
             if (i + 1 >= argc)
                 return false;
             opts.metricsOut = argv[++i];
+        } else if (arg == "--report-out") {
+            if (i + 1 >= argc)
+                return false;
+            opts.reportOut = argv[++i];
         } else if (arg == "--sample-period") {
             if (i + 1 >= argc)
                 return false;
@@ -283,11 +335,15 @@ printWindows(const trace::TrafficLog &log, int windows)
     }
 }
 
+/** Shared run-and-analyze step of `characterize` and `report`. */
 int
 cmdCharacterize(const std::string &name, const Options &opts)
 {
     ObsSession obsSession{opts};
-    core::CharacterizationPipeline pipeline;
+    core::PipelineOptions popts;
+    popts.detectPhases =
+        opts.phases || opts.reportMode || !opts.reportOut.empty();
+    core::CharacterizationPipeline pipeline{popts};
     core::CharacterizationReport report;
     trace::TrafficLog logCopy;
 
@@ -357,6 +413,41 @@ cmdCharacterize(const std::string &name, const Options &opts)
     if (!obsSession.finish())
         return 1;
 
+    core::HtmlReportInputs html;
+    html.report = &report;
+    html.registry = obsSession.registry();
+    html.sampler = obsSession.sampler();
+    html.flows = obsSession.flows();
+    if (!opts.reportOut.empty()) {
+        std::ofstream f{opts.reportOut};
+        core::writeHtmlReport(f, html);
+        if (!f) {
+            std::cerr << "error: cannot write " << opts.reportOut
+                      << "\n";
+            return 1;
+        }
+        std::cerr << "wrote HTML report to " << opts.reportOut << "\n";
+    }
+
+    if (opts.reportMode) {
+        if (opts.reportOut.empty()) {
+            if (!opts.out.empty()) {
+                std::ofstream f{opts.out};
+                core::writeHtmlReport(f, html);
+                if (!f) {
+                    std::cerr << "error: cannot write " << opts.out
+                              << "\n";
+                    return 1;
+                }
+                std::cerr << "wrote HTML report to " << opts.out
+                          << "\n";
+            } else {
+                core::writeHtmlReport(std::cout, html);
+            }
+        }
+        return report.verified ? 0 : 1;
+    }
+
     if (opts.json)
         report.writeJson(std::cout);
     else
@@ -365,7 +456,10 @@ cmdCharacterize(const std::string &name, const Options &opts)
         std::cerr << "WARNING: application verification FAILED\n";
         return 1;
     }
-    if (opts.windows > 0)
+    // The text phase profile would trail the JSON document and break
+    // `cchar ... --json | python3 -m json.tool` style consumers, so it
+    // is text-mode only.
+    if (opts.windows > 0 && !opts.json)
         printWindows(logCopy, opts.windows);
     if (opts.synthetic) {
         auto v = core::validateModel(report);
@@ -460,6 +554,10 @@ main(int argc, char **argv)
     try {
         if (cmd == "characterize")
             return cmdCharacterize(target, opts);
+        if (cmd == "report") {
+            opts.reportMode = true;
+            return cmdCharacterize(target, opts);
+        }
         if (cmd == "trace")
             return cmdTrace(target, opts);
         if (cmd == "replay")
