@@ -1,7 +1,10 @@
 #include "machine.hh"
 
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/status.hh"
 
 namespace cchar::ccnuma {
 
@@ -105,9 +108,15 @@ Machine::run()
         }
     }
     if (any) {
-        throw std::runtime_error(
-            "ccnuma: application deadlock; stuck processes: " +
-            stuck.str());
+        std::ostringstream os;
+        os << "ccnuma: application deadlock; stuck processes: "
+           << stuck.str() << "\n  at t=" << std::fixed
+           << std::setprecision(2) << sim_->now()
+           << " us; network: " << net_->busyLanes() << " lanes busy, "
+           << net_->queuedAcquires() << " queued acquires; "
+           << log_.size() << " messages delivered";
+        core::reportDiagnostic(core::DiagSeverity::Error, os.str());
+        throw core::CCharError(core::StatusCode::SimError, os.str());
     }
 }
 

@@ -13,6 +13,7 @@
 #include "replay.hh"
 #include "report.hh"
 #include "report_html.hh"
+#include "status.hh"
 #include "synthetic.hh"
 #include "telemetry.hh"
 

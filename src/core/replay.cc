@@ -1,7 +1,9 @@
 #include "replay.hh"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "core/status.hh"
 #include "desim/desim.hh"
 #include "telemetry.hh"
 
@@ -9,9 +11,17 @@ namespace cchar::core {
 
 namespace {
 
+/** Source-side retry tallies shared by all replay processes. */
+struct ReplayResilience
+{
+    std::uint64_t retransmits = 0;
+    std::uint64_t deliveryFailures = 0;
+};
+
 desim::Task<void>
 sourceProcess(mesh::MeshNetwork *net, std::vector<trace::TraceEvent> evs,
-              bool blocking, obs::Counter msgCtr, obs::Histogram lagHist)
+              bool blocking, obs::Counter msgCtr, obs::Histogram lagHist,
+              const fault::RetryConfig *retry, ReplayResilience *res)
 {
     // The pure trace clock: where this source would be if only its
     // recorded compute gaps were charged. The replay clock trails it
@@ -27,10 +37,34 @@ sourceProcess(mesh::MeshNetwork *net, std::vector<trace::TraceEvent> evs,
         pkt.dst = ev.dst;
         pkt.bytes = ev.bytes;
         pkt.kind = ev.kind;
-        if (blocking)
-            (void)co_await net->transfer(std::move(pkt));
-        else
+        if (!blocking) {
             net->post(std::move(pkt));
+            continue;
+        }
+        if (!retry) {
+            (void)co_await net->transfer(std::move(pkt));
+            continue;
+        }
+        // Source-driven reliability: a blocking transfer reports its
+        // own outcome, so a transport-level nack suffices — no acks.
+        double backoff = retry->ackTimeoutUs;
+        for (int attempt = 1;; ++attempt) {
+            trace::MessageRecord rec = co_await net->transfer(pkt);
+            if (rec.delivered && !rec.corrupted)
+                break;
+            if (!retry->unbounded() && attempt >= retry->maxAttempts) {
+                ++res->deliveryFailures;
+                std::ostringstream os;
+                os << "replay: delivery failure " << ev.src << "->"
+                   << ev.dst << " bytes=" << ev.bytes << " after "
+                   << attempt << " attempts";
+                reportDiagnostic(DiagSeverity::Error, os.str());
+                break;
+            }
+            ++res->retransmits;
+            co_await net->sim().delay(backoff);
+            backoff *= retry->backoffFactor;
+        }
     }
 }
 
@@ -46,8 +80,8 @@ sinkProcess(mesh::MeshNetwork *net, int node)
 
 DriveResult
 TraceReplayer::replay(const trace::Trace &trace,
-                      const mesh::MeshConfig &mesh, bool blocking,
-                      obs::WindowedSampler *sampler, double samplePeriodUs)
+                      const mesh::MeshConfig &mesh,
+                      const ReplayOptions &opts)
 {
     if (trace.nprocs() > mesh.width * mesh.height)
         throw std::invalid_argument("replay: trace does not fit on "
@@ -59,18 +93,36 @@ TraceReplayer::replay(const trace::Trace &trace,
         lagHist = reg->histogram("replay.lag_us");
     }
 
+    mesh::MeshConfig meshCfg = mesh;
+    if (opts.faults)
+        meshCfg.faults = opts.faults;
+    const fault::RetryConfig *retry = nullptr;
+    if (opts.faults && opts.blocking)
+        retry = &opts.faults->plan().retry();
+
     DriveResult result;
+    ReplayResilience resilience;
     desim::Simulator sim;
-    mesh::MeshNetwork net{sim, mesh, &result.log};
-    if (sampler && samplePeriodUs > 0.0)
-        attachNetworkTelemetry(sim, net, *sampler, samplePeriodUs);
+    mesh::MeshNetwork net{sim, meshCfg, &result.log};
+    desim::Watchdog watchdog{sim, opts.watchdog};
+    if (opts.enableWatchdog) {
+        // Progress = delivered messages: retries that never complete a
+        // delivery (a permanently down link under an unbounded retry
+        // budget) are livelock and must trip the watchdog.
+        watchdog.setProgressProbe(
+            [&net] { return net.messageCount(); });
+        watchdog.arm();
+    }
+    if (opts.sampler && opts.samplePeriodUs > 0.0)
+        attachNetworkTelemetry(sim, net, *opts.sampler,
+                               opts.samplePeriodUs);
     for (int node = 0; node < mesh.width * mesh.height; ++node)
         sim.spawn(sinkProcess(&net, node), "sink");
     for (int src = 0; src < trace.nprocs(); ++src) {
         auto evs = trace.eventsOfSource(src);
         if (!evs.empty()) {
-            sim.spawn(sourceProcess(&net, std::move(evs), blocking,
-                                    msgCtr, lagHist),
+            sim.spawn(sourceProcess(&net, std::move(evs), opts.blocking,
+                                    msgCtr, lagHist, retry, &resilience),
                       "replay-src-" + std::to_string(src));
         }
     }
@@ -83,7 +135,26 @@ TraceReplayer::replay(const trace::Trace &trace,
     result.avgChannelUtilization =
         net.averageChannelUtilization(sim.now());
     result.maxChannelUtilization = net.maxChannelUtilization(sim.now());
+    result.retransmits = resilience.retransmits;
+    result.deliveryFailures = resilience.deliveryFailures;
+    if (opts.faults) {
+        result.droppedPackets = opts.faults->drops();
+        result.corruptedPackets = opts.faults->corrupts();
+        result.linkDrops = opts.faults->linkDrops();
+    }
     return result;
+}
+
+DriveResult
+TraceReplayer::replay(const trace::Trace &trace,
+                      const mesh::MeshConfig &mesh, bool blocking,
+                      obs::WindowedSampler *sampler, double samplePeriodUs)
+{
+    ReplayOptions opts;
+    opts.blocking = blocking;
+    opts.sampler = sampler;
+    opts.samplePeriodUs = samplePeriodUs;
+    return replay(trace, mesh, opts);
 }
 
 } // namespace cchar::core

@@ -17,6 +17,8 @@
 #ifndef CCHAR_CORE_REPLAY_HH
 #define CCHAR_CORE_REPLAY_HH
 
+#include "desim/desim.hh"
+#include "fault/injector.hh"
 #include "mesh/mesh.hh"
 #include "obs/obs.hh"
 #include "trace/record.hh"
@@ -34,6 +36,47 @@ struct DriveResult
     double contentionMean = 0.0;
     double avgChannelUtilization = 0.0;
     double maxChannelUtilization = 0.0;
+
+    // Resilience accounting (all zero in fault-free runs).
+    /** Source-level retries after a drop or corruption. */
+    std::uint64_t retransmits = 0;
+    /** Replayed messages abandoned after the retry budget. */
+    std::uint64_t deliveryFailures = 0;
+    /** Packets lost to a Bernoulli drop clause. */
+    std::uint64_t droppedPackets = 0;
+    /** Packets delivered corrupted (then discarded and retried). */
+    std::uint64_t corruptedPackets = 0;
+    /** Packets tail-dropped on a down link. */
+    std::uint64_t linkDrops = 0;
+};
+
+/** Knobs of TraceReplayer::replay. */
+struct ReplayOptions
+{
+    /**
+     * If true (default), a source waits for each of its messages to
+     * drain before its next compute gap — preserving per-source
+     * dependences. If false, messages are injected open-loop (the
+     * ablation mode; faulted outcomes cannot be retried open-loop).
+     */
+    bool blocking = true;
+    /** Optional windowed telemetry sampler (see replay()). */
+    obs::WindowedSampler *sampler = nullptr;
+    double samplePeriodUs = 0.0;
+    /**
+     * Fault oracle wired into the replay mesh (non-owning; may be
+     * null). When set and blocking, a source retries a message whose
+     * transfer reports a drop or corruption, with the plan's retry
+     * backoff, until delivered intact or the attempt budget is spent.
+     */
+    fault::FaultInjector *faults = nullptr;
+    /**
+     * Arm a no-progress watchdog on the replay simulation (probe:
+     * delivered-message count). WatchdogError propagates out of
+     * replay(). Pair with an unbounded retry budget.
+     */
+    bool enableWatchdog = false;
+    desim::WatchdogConfig watchdog{};
 };
 
 /** Replays application traces into a mesh network. */
@@ -47,15 +90,12 @@ class TraceReplayer
      * records its lag behind the pure trace clock — the cumulative
      * network-drain time separating the replayed injection times from
      * the recorded compute gaps — in the "replay.lag_us" histogram.
-     *
-     * @param blocking If true (default), a source waits for each of
-     *        its messages to drain before its next compute gap —
-     *        preserving per-source dependences. If false, messages
-     *        are injected open-loop (the ablation mode).
-     * @param sampler Optional windowed telemetry sampler; when given,
-     *        the standard network series are registered on it and it
-     *        is driven every samplePeriodUs of simulated time.
      */
+    static DriveResult replay(const trace::Trace &trace,
+                              const mesh::MeshConfig &mesh,
+                              const ReplayOptions &opts);
+
+    /** Back-compat wrapper over the ReplayOptions overload. */
     static DriveResult replay(const trace::Trace &trace,
                               const mesh::MeshConfig &mesh,
                               bool blocking = true,

@@ -111,6 +111,22 @@ CharacterizationReport::print(std::ostream &os) const
     os << "  makespan=" << network.makespan
        << "us channel-util avg=" << network.avgChannelUtilization
        << " max=" << network.maxChannelUtilization << "\n";
+
+    if (resilience.enabled) {
+        os << "-- Resilience (fault injection) --\n";
+        os << "  plan: " << resilience.planDescription << "\n";
+        os << "  lost: linkDrops=" << resilience.linkDrops
+           << " drops=" << resilience.droppedPackets
+           << " corrupted=" << resilience.corruptedPackets
+           << " routerStalls=" << resilience.routerStalls << "\n";
+        os << "  recovery: retransmits=" << resilience.retransmits
+           << " deliveryFailures=" << resilience.deliveryFailures
+           << " traceRecordsSkipped="
+           << resilience.traceRecordsSkipped << "\n";
+        os << "  planned link downtime="
+           << std::setprecision(6) << resilience.plannedLinkDowntimeUs
+           << "us\n";
+    }
 }
 
 namespace {
@@ -239,6 +255,24 @@ CharacterizationReport::writeJson(std::ostream &os) const
        << ",\"avgChannelUtilization\":"
        << network.avgChannelUtilization << ",\"avgHops\":"
        << network.avgHops << "}";
+
+    // Emitted only for faulted runs: a fault-free report renders
+    // byte-identically to earlier versions.
+    if (resilience.enabled) {
+        os << ",\"resilience\":{\"plan\":";
+        jsonString(os, resilience.planDescription);
+        os << ",\"faultsPlanned\":" << resilience.faultsPlanned
+           << ",\"linkDrops\":" << resilience.linkDrops
+           << ",\"droppedPackets\":" << resilience.droppedPackets
+           << ",\"corruptedPackets\":" << resilience.corruptedPackets
+           << ",\"routerStalls\":" << resilience.routerStalls
+           << ",\"retransmits\":" << resilience.retransmits
+           << ",\"deliveryFailures\":" << resilience.deliveryFailures
+           << ",\"traceRecordsSkipped\":"
+           << resilience.traceRecordsSkipped
+           << ",\"plannedLinkDowntimeUs\":"
+           << resilience.plannedLinkDowntimeUs << "}";
+    }
     os << "}\n";
 }
 

@@ -90,6 +90,30 @@ struct NetworkSummary
     double avgHops = 0.0;
 };
 
+/**
+ * Fault-injection and recovery accounting of one run. Only rendered
+ * (text, JSON, HTML) when enabled — fault-free reports are unchanged.
+ */
+struct ResilienceSummary
+{
+    /** True when the run executed under a fault plan. */
+    bool enabled = false;
+    /** Human-readable plan summary (FaultPlan::describe()). */
+    std::string planDescription;
+    /** Clauses in the plan. */
+    std::size_t faultsPlanned = 0;
+    std::uint64_t droppedPackets = 0;
+    std::uint64_t corruptedPackets = 0;
+    std::uint64_t linkDrops = 0;
+    std::uint64_t routerStalls = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t deliveryFailures = 0;
+    /** Malformed trace records skipped by a lenient ingest. */
+    std::uint64_t traceRecordsSkipped = 0;
+    /** Sum of bounded link-down windows in the plan (us). */
+    double plannedLinkDowntimeUs = 0.0;
+};
+
 /** Acquisition strategy used for the run. */
 enum class Strategy
 {
@@ -130,6 +154,8 @@ struct CharacterizationReport
     NetworkSummary network;
     /** Detected execution phases (empty if detection was disabled). */
     std::vector<PhaseCharacterization> phases;
+    /** Fault activity and recovery (rendered only when enabled). */
+    ResilienceSummary resilience;
 
     /** Paper-style multi-section text rendering. */
     void print(std::ostream &os) const;

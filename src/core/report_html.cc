@@ -561,6 +561,31 @@ writeFlowStats(std::ostream &os, const obs::FlowTracker *flows)
     }
 }
 
+void
+writeResilience(std::ostream &os, const CharacterizationReport &r)
+{
+    const ResilienceSummary &rs = r.resilience;
+    if (!rs.enabled)
+        return;
+    os << "<h2>Resilience</h2>\n";
+    os << "<p class=\"muted\">fault plan: "
+       << htmlEscape(rs.planDescription) << "</p>\n";
+    os << "<table>\n"
+          "<tr><th>link drops</th><th>drops</th><th>corrupted</th>"
+          "<th>router stalls</th><th>retransmits</th>"
+          "<th>delivery failures</th><th>trace records skipped</th>"
+          "</tr>\n<tr><td>"
+       << rs.linkDrops << "</td><td>" << rs.droppedPackets
+       << "</td><td>" << rs.corruptedPackets << "</td><td>"
+       << rs.routerStalls << "</td><td>" << rs.retransmits
+       << "</td><td>" << rs.deliveryFailures << "</td><td>"
+       << rs.traceRecordsSkipped << "</td></tr>\n</table>\n";
+    if (rs.plannedLinkDowntimeUs > 0.0) {
+        os << "<p class=\"muted\">planned link downtime: "
+           << fmt(rs.plannedLinkDowntimeUs, 6) << " us</p>\n";
+    }
+}
+
 } // namespace
 
 void
@@ -592,6 +617,7 @@ writeHtmlReport(std::ostream &os, const HtmlReportInputs &inputs)
     writeHeatmap(os, r);
     writeTelemetry(os, r, inputs.sampler);
     writeFlowStats(os, inputs.flows);
+    writeResilience(os, r);
 
     if (inputs.registry) {
         os << "<h2>Metrics snapshot</h2>\n"

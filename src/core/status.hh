@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Structured error model and bounded diagnostic sink.
+ *
+ * Replaces raw throw-to-death error handling in trace ingestion,
+ * replay and the runtimes: every failure is classified with a
+ * StatusCode (which maps 1:1 onto the cchar CLI's documented exit
+ * codes), carried by a CCharError exception, and — for recoverable
+ * problems in lenient mode — reported to a DiagnosticSink instead of
+ * aborting the run.
+ *
+ * The sink is bounded: it keeps the first `maxEntries` diagnostics
+ * verbatim and only counts the rest, so a trace with a million
+ * malformed records cannot blow up memory or drown the report.
+ *
+ * This header is deliberately header-only so that the lower layers
+ * (trace, mp, ccnuma) can use the classification without a link-time
+ * dependency on the core library.
+ */
+
+#ifndef CCHAR_CORE_STATUS_HH
+#define CCHAR_CORE_STATUS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cchar::core {
+
+/** Failure classification; maps onto the cchar CLI exit codes. */
+enum class StatusCode
+{
+    Ok = 0,
+    /** Bad command line / API usage (cchar exit 2). */
+    UsageError,
+    /** Malformed input: trace file, fault plan... (cchar exit 3). */
+    ParseError,
+    /** Missing or unwritable file (cchar exit 3). */
+    IoError,
+    /** The simulation failed: deadlock, event cap... (cchar exit 4). */
+    SimError,
+    /** The no-progress watchdog tripped (cchar exit 5). */
+    WatchdogTrip,
+};
+
+/** Documented process exit code of a status class. */
+constexpr int
+exitCodeOf(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return 0;
+    case StatusCode::UsageError:
+        return 2;
+    case StatusCode::ParseError:
+    case StatusCode::IoError:
+        return 3;
+    case StatusCode::SimError:
+        return 4;
+    case StatusCode::WatchdogTrip:
+        return 5;
+    }
+    return 4;
+}
+
+/** Short lowercase tag of a status class ("parse-error"...). */
+inline const char *
+toString(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return "ok";
+    case StatusCode::UsageError:
+        return "usage-error";
+    case StatusCode::ParseError:
+        return "parse-error";
+    case StatusCode::IoError:
+        return "io-error";
+    case StatusCode::SimError:
+        return "sim-error";
+    case StatusCode::WatchdogTrip:
+        return "watchdog-trip";
+    }
+    return "sim-error";
+}
+
+/** A classified success/failure value. */
+class Status
+{
+  public:
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    static Status ok() { return Status{}; }
+
+    static Status
+    parseError(std::string message)
+    {
+        return Status{StatusCode::ParseError, std::move(message)};
+    }
+
+    static Status
+    ioError(std::string message)
+    {
+        return Status{StatusCode::IoError, std::move(message)};
+    }
+
+    static Status
+    simError(std::string message)
+    {
+        return Status{StatusCode::SimError, std::move(message)};
+    }
+
+    static Status
+    usageError(std::string message)
+    {
+        return Status{StatusCode::UsageError, std::move(message)};
+    }
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_{};
+};
+
+/**
+ * Exception carrying a Status. Derives std::runtime_error so existing
+ * catch sites (and tests) keep working; new code can catch CCharError
+ * and map status().code() onto an exit code.
+ */
+class CCharError : public std::runtime_error
+{
+  public:
+    explicit CCharError(Status status)
+        : std::runtime_error(status.message()), status_(std::move(status))
+    {}
+
+    CCharError(StatusCode code, const std::string &message)
+        : CCharError(Status{code, message})
+    {}
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+/** Severity of a recoverable diagnostic. */
+enum class DiagSeverity
+{
+    Info,
+    Warning,
+    Error,
+};
+
+inline const char *
+toString(DiagSeverity severity)
+{
+    switch (severity) {
+    case DiagSeverity::Info:
+        return "info";
+    case DiagSeverity::Warning:
+        return "warning";
+    case DiagSeverity::Error:
+        return "error";
+    }
+    return "info";
+}
+
+/** One recoverable diagnostic. */
+struct Diagnostic
+{
+    DiagSeverity severity = DiagSeverity::Warning;
+    std::string message;
+};
+
+/**
+ * Bounded collector of recoverable diagnostics. Keeps the first
+ * `maxEntries` messages verbatim; everything past the cap is only
+ * counted (total() keeps growing, suppressed() says how many messages
+ * were dropped).
+ */
+class DiagnosticSink
+{
+  public:
+    explicit DiagnosticSink(std::size_t maxEntries = 64)
+        : maxEntries_(maxEntries)
+    {}
+
+    void
+    report(DiagSeverity severity, std::string message)
+    {
+        ++total_;
+        switch (severity) {
+        case DiagSeverity::Info:
+            ++infos_;
+            break;
+        case DiagSeverity::Warning:
+            ++warnings_;
+            break;
+        case DiagSeverity::Error:
+            ++errors_;
+            break;
+        }
+        if (entries_.size() < maxEntries_)
+            entries_.push_back({severity, std::move(message)});
+        else
+            ++suppressed_;
+    }
+
+    const std::vector<Diagnostic> &entries() const { return entries_; }
+    std::uint64_t total() const { return total_; }
+    std::uint64_t suppressed() const { return suppressed_; }
+    std::uint64_t infos() const { return infos_; }
+    std::uint64_t warnings() const { return warnings_; }
+    std::uint64_t errors() const { return errors_; }
+    bool empty() const { return total_ == 0; }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        total_ = suppressed_ = infos_ = warnings_ = errors_ = 0;
+    }
+
+    /** Human-readable dump ("warning: ..." per line + suppression note). */
+    void
+    writeText(std::ostream &os) const
+    {
+        for (const auto &d : entries_)
+            os << toString(d.severity) << ": " << d.message << "\n";
+        if (suppressed_ > 0) {
+            os << "(" << suppressed_
+               << " further diagnostics suppressed)\n";
+        }
+    }
+
+  private:
+    std::size_t maxEntries_;
+    std::vector<Diagnostic> entries_;
+    std::uint64_t total_ = 0;
+    std::uint64_t suppressed_ = 0;
+    std::uint64_t infos_ = 0;
+    std::uint64_t warnings_ = 0;
+    std::uint64_t errors_ = 0;
+};
+
+namespace detail {
+
+inline DiagnosticSink *&
+diagnosticsSlot()
+{
+    static DiagnosticSink *slot = nullptr;
+    return slot;
+}
+
+} // namespace detail
+
+/** Currently installed process-wide diagnostic sink, or nullptr. */
+inline DiagnosticSink *
+diagnostics()
+{
+    return detail::diagnosticsSlot();
+}
+
+/** Install (or with nullptr, remove) the process-wide sink. */
+inline void
+setDiagnostics(DiagnosticSink *sink)
+{
+    detail::diagnosticsSlot() = sink;
+}
+
+/** Report to the process-wide sink if one is installed (else no-op). */
+inline void
+reportDiagnostic(DiagSeverity severity, std::string message)
+{
+    if (DiagnosticSink *sink = diagnostics())
+        sink->report(severity, std::move(message));
+}
+
+/** RAII installer for the process-wide sink (tests, CLI). */
+class ScopedDiagnostics
+{
+  public:
+    explicit ScopedDiagnostics(DiagnosticSink *sink) : prev_(diagnostics())
+    {
+        setDiagnostics(sink);
+    }
+
+    ScopedDiagnostics(const ScopedDiagnostics &) = delete;
+    ScopedDiagnostics &operator=(const ScopedDiagnostics &) = delete;
+
+    ~ScopedDiagnostics() { setDiagnostics(prev_); }
+
+  private:
+    DiagnosticSink *prev_;
+};
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_STATUS_HH

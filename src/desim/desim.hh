@@ -12,5 +12,6 @@
 #include "simulator.hh"
 #include "statistics.hh"
 #include "task.hh"
+#include "watchdog.hh"
 
 #endif // CCHAR_DESIM_DESIM_HH

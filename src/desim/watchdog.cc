@@ -1,0 +1,88 @@
+#include "watchdog.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cchar::desim {
+
+Watchdog::Watchdog(Simulator &sim, WatchdogConfig cfg)
+    : sim_(&sim), cfg_(cfg)
+{
+    if (cfg_.checkPeriodUs <= 0.0)
+        throw std::invalid_argument(
+            "watchdog: check period must be positive");
+    if (cfg_.stallChecks < 1)
+        throw std::invalid_argument(
+            "watchdog: need at least one stall check");
+}
+
+void
+Watchdog::setProgressProbe(std::function<std::uint64_t()> probe)
+{
+    probe_ = std::move(probe);
+}
+
+void
+Watchdog::arm()
+{
+    if (armed_)
+        throw std::logic_error("watchdog: already armed");
+    armed_ = true;
+    if (!probe_) {
+        // Default probe: the shrinking unfinished-process count. The
+        // watchdog only cares about *change*, so a decreasing signal
+        // works as well as an increasing one.
+        Simulator *sim = sim_;
+        probe_ = [sim] {
+            return static_cast<std::uint64_t>(
+                sim->unfinishedProcesses().size());
+        };
+    }
+    lastProbe_ = probe_();
+    sim_->attachPeriodic(
+        [this](SimTime now) {
+            ++checks_;
+            if (cfg_.maxSimTimeUs > 0.0 && now >= cfg_.maxSimTimeUs) {
+                std::ostringstream os;
+                os << "sim-time horizon exceeded (t=" << now
+                   << "us >= " << cfg_.maxSimTimeUs << "us)";
+                trip(os.str());
+            }
+            std::uint64_t value = probe_();
+            if (value != lastProbe_) {
+                lastProbe_ = value;
+                stalled_ = 0;
+                return;
+            }
+            if (++stalled_ >= cfg_.stallChecks) {
+                std::ostringstream os;
+                os << "no progress for " << stalled_ << " checks ("
+                   << cfg_.checkPeriodUs * stalled_
+                   << "us of sim time)";
+                trip(os.str());
+            }
+        },
+        cfg_.checkPeriodUs);
+}
+
+void
+Watchdog::trip(const std::string &reason)
+{
+    tripped_ = true;
+    std::ostringstream os;
+    os << "desim: watchdog tripped: " << reason << "\n"
+       << "  sim time: " << sim_->now() << "us\n"
+       << "  events committed: " << sim_->processedEvents() << "\n"
+       << "  calendar depth: " << sim_->calendarSize() << "\n";
+    auto unfinished = sim_->unfinishedProcesses();
+    os << "  unfinished processes (" << unfinished.size() << "):";
+    constexpr std::size_t kMaxListed = 16;
+    for (std::size_t i = 0; i < unfinished.size() && i < kMaxListed;
+         ++i)
+        os << (i == 0 ? " " : ", ") << unfinished[i];
+    if (unfinished.size() > kMaxListed)
+        os << ", ... (" << unfinished.size() - kMaxListed << " more)";
+    throw WatchdogError(os.str());
+}
+
+} // namespace cchar::desim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * No-progress watchdog for the simulation kernel.
+ *
+ * A discrete-event simulation cannot "hang" in the OS sense, but it
+ * can livelock: events keep committing (retransmission loops, polling
+ * protocols) while no useful work completes, so run() never drains.
+ * The Watchdog rides the kernel's periodic-tick mechanism and checks
+ * a progress probe every checkPeriodUs of sim time; after
+ * `stallChecks` consecutive checks with no probe advance — or when
+ * the sim clock passes `maxSimTimeUs` — it trips, assembles a
+ * per-process diagnostic (sim time, events committed, calendar depth,
+ * every unfinished process with its spawn time), and throws
+ * WatchdogError out of run() instead of letting the simulation spin
+ * forever.
+ *
+ * The default probe counts completed root processes; drivers that
+ * know better (e.g. the mesh's delivered-message count) install their
+ * own with setProgressProbe(). Because watchdog ticks use
+ * attachPeriodic, the watchdog never keeps an otherwise-drained
+ * simulation alive.
+ */
+
+#ifndef CCHAR_DESIM_WATCHDOG_HH
+#define CCHAR_DESIM_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "simulator.hh"
+
+namespace cchar::desim {
+
+/** Watchdog parameters (times in sim microseconds). */
+struct WatchdogConfig
+{
+    /** Probe period. */
+    double checkPeriodUs = 5000.0;
+    /** Consecutive no-progress checks before the watchdog trips. */
+    int stallChecks = 8;
+    /** Absolute sim-time horizon; 0 disables the horizon. */
+    double maxSimTimeUs = 0.0;
+};
+
+/** Thrown out of Simulator::run() when the watchdog trips. */
+class WatchdogError : public std::runtime_error
+{
+  public:
+    explicit WatchdogError(const std::string &diagnostic)
+        : std::runtime_error(diagnostic)
+    {}
+};
+
+/** Livelock / no-progress detector; arm() before Simulator::run(). */
+class Watchdog
+{
+  public:
+    explicit Watchdog(Simulator &sim, WatchdogConfig cfg = {});
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Install a custom progress probe. The watchdog only requires
+     * that the value advances while useful work happens; delivered
+     * messages, completed transactions and finished processes all
+     * qualify.
+     */
+    void setProgressProbe(std::function<std::uint64_t()> probe);
+
+    /** Attach the periodic check. Call once, before run(). */
+    void arm();
+
+    bool tripped() const { return tripped_; }
+
+    /** Checks performed so far (testing / introspection). */
+    std::uint64_t checks() const { return checks_; }
+
+  private:
+    [[noreturn]] void trip(const std::string &reason);
+
+    Simulator *sim_;
+    WatchdogConfig cfg_;
+    std::function<std::uint64_t()> probe_;
+    bool armed_ = false;
+    bool tripped_ = false;
+    std::uint64_t checks_ = 0;
+    std::uint64_t lastProbe_ = 0;
+    int stalled_ = 0;
+};
+
+} // namespace cchar::desim
+
+#endif // CCHAR_DESIM_WATCHDOG_HH

@@ -1,0 +1,107 @@
+#include "injector.hh"
+
+namespace cchar::fault {
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed())
+{
+    for (const auto &spec : plan_.faults()) {
+        if (spec.kind == FaultKind::Drop && spec.probability > 0.0)
+            dropConfigured_ = true;
+        if (spec.kind == FaultKind::Corrupt && spec.probability > 0.0)
+            corruptConfigured_ = true;
+    }
+    if (obs::MetricsRegistry *reg = obs::metrics()) {
+        linkDropCtr_ = reg->counter("fault.link_drops");
+        dropCtr_ = reg->counter("fault.drops");
+        corruptCtr_ = reg->counter("fault.corrupts");
+        routerStallCtr_ = reg->counter("fault.router_stalls");
+        stallHist_ = reg->histogram("fault.router_stall_us");
+        plannedDowntimeGauge_ = reg->gauge("fault.planned_downtime_us");
+        plannedDowntimeGauge_.set(plan_.plannedLinkDowntimeUs());
+    }
+}
+
+bool
+FaultInjector::linkDown(int from, int to, double now) const
+{
+    for (const auto &spec : plan_.faults()) {
+        if (spec.kind == FaultKind::LinkDown && spec.node == from &&
+            spec.peer == to && spec.window.contains(now))
+            return true;
+    }
+    return false;
+}
+
+double
+FaultInjector::routerStallUs(int node, double now) const
+{
+    double stall = 0.0;
+    for (const auto &spec : plan_.faults()) {
+        if (spec.kind == FaultKind::RouterStall && spec.node == node &&
+            spec.window.contains(now))
+            stall += spec.stallUs;
+    }
+    return stall;
+}
+
+bool
+FaultInjector::drawDrop(double now)
+{
+    bool dropped = false;
+    for (const auto &spec : plan_.faults()) {
+        if (spec.kind != FaultKind::Drop || spec.probability <= 0.0 ||
+            !spec.window.contains(now))
+            continue;
+        // Always consume exactly one draw per active clause so the
+        // stream position stays a pure function of the event sequence.
+        if (rng_.chance(spec.probability))
+            dropped = true;
+    }
+    return dropped;
+}
+
+bool
+FaultInjector::drawCorrupt(double now)
+{
+    bool corrupted = false;
+    for (const auto &spec : plan_.faults()) {
+        if (spec.kind != FaultKind::Corrupt ||
+            spec.probability <= 0.0 || !spec.window.contains(now))
+            continue;
+        if (rng_.chance(spec.probability))
+            corrupted = true;
+    }
+    return corrupted;
+}
+
+void
+FaultInjector::noteLinkDrop()
+{
+    ++linkDrops_;
+    linkDropCtr_.add(1);
+}
+
+void
+FaultInjector::noteDrop()
+{
+    ++drops_;
+    dropCtr_.add(1);
+}
+
+void
+FaultInjector::noteCorrupt()
+{
+    ++corrupts_;
+    corruptCtr_.add(1);
+}
+
+void
+FaultInjector::noteRouterStall(double stallUs)
+{
+    ++routerStalls_;
+    routerStallCtr_.add(1);
+    stallHist_.record(stallUs);
+}
+
+} // namespace cchar::fault

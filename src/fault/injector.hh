@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault-injection runtime.
+ *
+ * A FaultInjector turns a FaultPlan into the per-packet / per-hop
+ * decisions the mesh simulator consults while a worm advances:
+ *
+ *  - linkDown(from, to, now): is the directed link down right now?
+ *    A worm about to traverse a down link is tail-dropped at that
+ *    router (and the loss is accounted here);
+ *  - routerStallUs(node, now): extra head delay through a router;
+ *  - drawDrop(now) / drawCorrupt(now): Bernoulli decisions against
+ *    the plan's probabilities, drawn from one seeded RNG stream.
+ *
+ * Determinism: the simulation itself is deterministic, so the
+ * sequence of draw calls — and therefore every fault decision — is a
+ * pure function of (plan, seed). Two runs with the same seed and the
+ * same plan produce byte-identical traffic, metrics and reports.
+ *
+ * Accounting: the injector keeps its own exact counters (always) and
+ * mirrors them into the installed obs registry (when present) under
+ * fault.* so fault activity lands in --metrics-out and the reports'
+ * Resilience section.
+ */
+
+#ifndef CCHAR_FAULT_INJECTOR_HH
+#define CCHAR_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.hh"
+#include "plan.hh"
+#include "stats/rng.hh"
+
+namespace cchar::fault {
+
+/** Runtime oracle for fault decisions; owned by the driver. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** True if the directed link from->to is down at time `now`. */
+    bool linkDown(int from, int to, double now) const;
+
+    /** Extra head delay through `node` at time `now` (us). */
+    double routerStallUs(int node, double now) const;
+
+    /** Any Bernoulli drop clause active (avoids dead RNG draws)? */
+    bool dropsConfigured() const { return dropConfigured_; }
+    bool corruptsConfigured() const { return corruptConfigured_; }
+
+    /** Draw the drop decision for a packet injected at `now`. */
+    bool drawDrop(double now);
+
+    /** Draw the corruption decision for a packet injected at `now`. */
+    bool drawCorrupt(double now);
+
+    // ------------- accounting (called by the mesh) -------------
+
+    void noteLinkDrop();
+    void noteDrop();
+    void noteCorrupt();
+    void noteRouterStall(double stallUs);
+
+    /** Packets dropped on a down link. */
+    std::uint64_t linkDrops() const { return linkDrops_; }
+    /** Packets dropped by a Bernoulli drop clause. */
+    std::uint64_t drops() const { return drops_; }
+    /** Packets delivered corrupted. */
+    std::uint64_t corrupts() const { return corrupts_; }
+    /** Head traversals delayed by a router-stall clause. */
+    std::uint64_t routerStalls() const { return routerStalls_; }
+    /** All packets lost in the network (link drops + drops). */
+    std::uint64_t lostPackets() const { return linkDrops_ + drops_; }
+
+  private:
+    FaultPlan plan_;
+    stats::Rng rng_;
+    bool dropConfigured_ = false;
+    bool corruptConfigured_ = false;
+
+    std::uint64_t linkDrops_ = 0;
+    std::uint64_t drops_ = 0;
+    std::uint64_t corrupts_ = 0;
+    std::uint64_t routerStalls_ = 0;
+
+    // Mirrors into the installed obs registry (detached when absent).
+    obs::Counter linkDropCtr_;
+    obs::Counter dropCtr_;
+    obs::Counter corruptCtr_;
+    obs::Counter routerStallCtr_;
+    obs::Histogram stallHist_;
+    obs::Gauge plannedDowntimeGauge_;
+};
+
+} // namespace cchar::fault
+
+#endif // CCHAR_FAULT_INJECTOR_HH

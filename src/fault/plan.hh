@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Declarative fault plans: what goes wrong, where, and when.
+ *
+ * A FaultPlan is a deterministic, seed-driven description of the
+ * faults to inject into a run. It is parsed from a compact spec
+ * grammar (CLI friendly) or from a small JSON document, and consumed
+ * by the FaultInjector the mesh consults in sim time.
+ *
+ * Spec grammar — one fault per clause, clauses separated by ';' or
+ * newlines, '#' starts a comment:
+ *
+ *   link:A->B:down[@[T1,T2]]      take the directed link A->B down
+ *                                 during [T1,T2) (whole run if no
+ *                                 window); worms routed over a down
+ *                                 link are dropped at that router
+ *   drop:p=P[@[T1,T2]]            drop each packet with probability P
+ *                                 (tail drop at the destination)
+ *   corrupt:p=P[@[T1,T2]]         deliver each packet corrupted with
+ *                                 probability P (receivers discard)
+ *   router:N:stall=D[@[T1,T2]]    add D of extra pipeline delay to
+ *                                 every head traversal of router N
+ *   seed=S                        seed of the fault RNG stream
+ *   retry:timeout=T,max=M,backoff=F
+ *                                 retransmission protocol parameters
+ *                                 (max=0 retries forever — pair it
+ *                                 with a watchdog)
+ *
+ * Times accept us/ms/s suffixes ("10ms", "5us", "0.5s"); a bare
+ * number is microseconds (the project-wide convention).
+ *
+ * JSON form (restricted schema, no external parser dependency):
+ *
+ *   {"seed": 42,
+ *    "retry": {"timeout_us": 500, "max_attempts": 5, "backoff": 2},
+ *    "faults": ["link:0->1:down@[0,1ms]", "drop:p=0.001"]}
+ */
+
+#ifndef CCHAR_FAULT_PLAN_HH
+#define CCHAR_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cchar::fault {
+
+/** What kind of fault a clause describes. */
+enum class FaultKind
+{
+    LinkDown,    ///< directed link outage window
+    Drop,        ///< Bernoulli packet loss
+    Corrupt,     ///< Bernoulli payload corruption
+    RouterStall, ///< extra per-traversal router delay
+};
+
+/** Name of a FaultKind value. */
+std::string toString(FaultKind kind);
+
+/** Half-open activity window [begin, end) in sim microseconds. */
+struct TimeWindow
+{
+    double begin = 0.0;
+    double end = std::numeric_limits<double>::infinity();
+
+    bool contains(double t) const { return t >= begin && t < end; }
+    bool bounded() const { return end < std::numeric_limits<double>::infinity(); }
+    double span() const { return bounded() ? end - begin : end; }
+};
+
+/** One parsed fault clause. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::Drop;
+    /** LinkDown: source router. RouterStall: the stalled router. */
+    int node = -1;
+    /** LinkDown: destination router of the directed link. */
+    int peer = -1;
+    /** Drop / Corrupt: per-packet probability. */
+    double probability = 0.0;
+    /** RouterStall: extra delay per head traversal (us). */
+    double stallUs = 0.0;
+    TimeWindow window{};
+
+    /** Round-trippable rendering in the spec grammar. */
+    std::string describe() const;
+};
+
+/** Retransmission protocol parameters. */
+struct RetryConfig
+{
+    /** Ack timeout of the first attempt (us). */
+    double ackTimeoutUs = 500.0;
+    /** Timeout multiplier per retry (exponential backoff). */
+    double backoffFactor = 2.0;
+    /**
+     * Total send attempts before a delivery is declared failed.
+     * 0 = retry forever (pair with a watchdog).
+     */
+    int maxAttempts = 5;
+
+    bool unbounded() const { return maxAttempts <= 0; }
+};
+
+/** A complete, parseable fault plan. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse a plan from the spec grammar or the JSON form (detected
+     * by a leading '{').
+     * @throws core::CCharError with StatusCode::ParseError.
+     */
+    static FaultPlan parse(const std::string &text);
+
+    /** Parse one spec clause into an existing plan. */
+    void addSpec(const std::string &clause);
+
+    void add(const FaultSpec &spec) { faults_.push_back(spec); }
+
+    const std::vector<FaultSpec> &faults() const { return faults_; }
+    bool empty() const { return faults_.empty(); }
+
+    std::uint64_t seed() const { return seed_; }
+    void setSeed(std::uint64_t seed) { seed_ = seed; }
+
+    const RetryConfig &retry() const { return retry_; }
+    void setRetry(const RetryConfig &retry) { retry_ = retry; }
+
+    /** Planned downtime summed over all bounded link-down windows. */
+    double plannedLinkDowntimeUs() const;
+
+    /** One-line plan summary for reports ("2 faults, seed 42: ..."). */
+    std::string describe() const;
+
+  private:
+    std::vector<FaultSpec> faults_;
+    RetryConfig retry_{};
+    std::uint64_t seed_ = 0x5eed5eedULL;
+};
+
+} // namespace cchar::fault
+
+#endif // CCHAR_FAULT_PLAN_HH

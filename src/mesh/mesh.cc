@@ -31,7 +31,7 @@ torusDelta(int from, int to, int extent)
 
 MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
                          trace::TrafficLog *log)
-    : sim_(&sim), cfg_(cfg), log_(log)
+    : sim_(&sim), cfg_(cfg), log_(log), faults_(cfg.faults)
 {
     if (cfg_.width < 1 || cfg_.height < 1)
         throw std::invalid_argument("mesh: degenerate dimensions");
@@ -157,6 +157,27 @@ MeshNetwork::route(int src, int dst) const
     return hops;
 }
 
+int
+MeshNetwork::neighborOf(const Hop &hop) const
+{
+    int x = nodeX(hop.from), y = nodeY(hop.from);
+    switch (hop.dir) {
+    case East:
+        x = (x + 1) % cfg_.width;
+        break;
+    case West:
+        x = (x - 1 + cfg_.width) % cfg_.width;
+        break;
+    case North:
+        y = (y + 1) % cfg_.height;
+        break;
+    default: // South
+        y = (y - 1 + cfg_.height) % cfg_.height;
+        break;
+    }
+    return nodeId(x, y);
+}
+
 desim::Resource &
 MeshNetwork::lane(const Hop &hop, bool crossed_dateline)
 {
@@ -222,6 +243,17 @@ MeshNetwork::transfer(Packet pkt)
     rec.kind = pkt.kind;
     rec.injectTime = sim_->now();
 
+    // Fault decisions are drawn at injection so the RNG stream position
+    // stays a pure function of the (deterministic) injection sequence,
+    // independent of in-network interleaving.
+    bool faultDrop = false;
+    if (faults_ && faults_->dropsConfigured())
+        faultDrop = faults_->drawDrop(rec.injectTime);
+    if (faults_ && faults_->corruptsConfigured() &&
+        faults_->drawCorrupt(rec.injectTime)) {
+        pkt.corrupted = true;
+    }
+
     // A producer that knows the generation time opens the flow itself;
     // anything else (raw post()/transfer() callers) is generated here.
     if (flows_ && pkt.flow == 0) {
@@ -266,6 +298,23 @@ MeshNetwork::transfer(Packet pkt)
             // VC class, breaking the ring dependency cycle.
             (hop.isX ? crossedX : crossedY) = true;
         }
+        if (faults_ &&
+            faults_->linkDown(hop.from, neighborOf(hop), sim_->now())) {
+            // Down link: the worm is tail-dropped at this router. Free
+            // everything it holds so the network keeps flowing; the
+            // message is neither delivered nor logged.
+            for (const HeldLane &hl : held) {
+                if (tracer_)
+                    tracer_->span(
+                        routerLane_[static_cast<std::size_t>(hl.node)],
+                        holdName_, hl.since, sim_->now() - hl.since);
+                hl.res->release();
+            }
+            faults_->noteLinkDrop();
+            rec.delivered = false;
+            rec.deliverTime = sim_->now();
+            co_return rec;
+        }
         desim::Resource &ch =
             lane(hop, hop.isX ? crossedX : crossedY);
         SimTime hopStart = sim_->now();
@@ -297,8 +346,16 @@ MeshNetwork::transfer(Packet pkt)
             sim_->schedule([res = prev.res] { res->release(); }, freeAt);
         }
         held.push_back(HeldLane{&ch, hop.from, sim_->now()});
-        co_await sim_->delay(cfg_.routerDelay);
-        hopHist_.record(waited + cfg_.routerDelay);
+        double headDelay = cfg_.routerDelay;
+        if (faults_) {
+            double stall = faults_->routerStallUs(hop.from, sim_->now());
+            if (stall > 0.0) {
+                faults_->noteRouterStall(stall);
+                headDelay += stall;
+            }
+        }
+        co_await sim_->delay(headDelay);
+        hopHist_.record(waited + headDelay);
     }
 
     // Head is at the destination; stream the body.
@@ -325,6 +382,21 @@ MeshNetwork::transfer(Packet pkt)
     }
 
     rec.deliverTime = sim_->now();
+
+    if (faultDrop) {
+        // Loss clause: the worm consumed network resources all the way
+        // to the destination, then vanished — it never reaches the
+        // receive queue, the log, or the characterization statistics.
+        faults_->noteDrop();
+        rec.delivered = false;
+        co_return rec;
+    }
+    if (pkt.corrupted) {
+        if (faults_)
+            faults_->noteCorrupt();
+        rec.corrupted = true;
+    }
+
     rec.contention =
         rec.latency() - noLoadLatency(rec.hops, pkt.bytes);
     if (rec.contention < 1e-12)

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "desim/desim.hh"
+#include "fault/injector.hh"
 #include "trace/record.hh"
 
 namespace cchar::mesh {
@@ -79,6 +80,13 @@ struct MeshConfig
     Topology topology = Topology::Mesh;
     /** Virtual channels per physical channel (torus needs >= 2). */
     int virtualChannels = 1;
+    /**
+     * Fault-injection oracle consulted per packet and per hop
+     * (non-owning; must outlive the network). nullptr — the default —
+     * means a healthy network with bit-identical behaviour to a build
+     * without the fault layer.
+     */
+    fault::FaultInjector *faults = nullptr;
 
     int nodes() const { return width * height; }
 };
@@ -98,6 +106,8 @@ struct Packet
      * the network untouched. Never influences simulation behaviour.
      */
     std::uint64_t flow = 0;
+    /** Set in transit by fault injection; receivers should discard. */
+    bool corrupted = false;
     /** Opaque protocol payload. */
     std::any payload{};
 };
@@ -131,6 +141,11 @@ class MeshNetwork
      * Transmit a packet and block until its tail drains at the
      * destination. The packet is appended to the destination's
      * receive queue and the network log.
+     *
+     * Under fault injection the message may instead be dropped on a
+     * down link or by a loss clause (record.delivered == false; the
+     * message is neither delivered nor logged) or delivered corrupted
+     * (record.corrupted == true; delivered and logged).
      *
      * @return the log record of this message.
      */
@@ -187,12 +202,16 @@ class MeshNetwork
     /** Route from src to dst (dimension ordered, wrap-aware). */
     std::vector<Hop> route(int src, int dst) const;
 
+    /** Node a hop lands on (wrap-aware). */
+    int neighborOf(const Hop &hop) const;
+
     /** Pick a virtual channel lane for a hop. */
     desim::Resource &lane(const Hop &hop, bool crossed_dateline);
 
     desim::Simulator *sim_;
     MeshConfig cfg_;
     trace::TrafficLog *log_;
+    fault::FaultInjector *faults_ = nullptr;
     /** lanes_[node*4 + dir][vc]; empty vector when no such link. */
     std::vector<std::vector<std::unique_ptr<desim::Resource>>> lanes_;
     std::vector<std::unique_ptr<desim::Resource>> injection_;

@@ -1,12 +1,16 @@
 #include "mp.hh"
 
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/status.hh"
 
 namespace cchar::mp {
 
 MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
-    : sim_(&sim), cfg_(cfg), log_(cfg.nranks()), trace_(cfg.nranks())
+    : sim_(&sim), cfg_(cfg), log_(cfg.nranks()), trace_(cfg.nranks()),
+      faultMode_(cfg.mesh.faults != nullptr)
 {
     net_ = std::make_unique<mesh::MeshNetwork>(*sim_, cfg_.mesh, &log_);
     ranks_.resize(static_cast<std::size_t>(cfg_.nranks()));
@@ -14,6 +18,15 @@ MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
         sendCtr_ = reg->counter("mp.sends");
         recvCtr_ = reg->counter("mp.recvs");
         bytesSentCtr_ = reg->counter("mp.bytes_sent");
+        if (faultMode_) {
+            // Registered only in fault mode so a fault-free run's
+            // metrics dump stays byte-identical.
+            retransmitCtr_ = reg->counter("mp.retransmits");
+            deliveryFailCtr_ = reg->counter("mp.delivery_failures");
+            corruptDiscardCtr_ = reg->counter("mp.corrupt_discards");
+            ackCtr_ = reg->counter("mp.acks");
+            backoffHist_ = reg->histogram("mp.backoff_us");
+        }
     }
     flows_ = obs::flows();
     for (int r = 0; r < cfg_.nranks(); ++r)
@@ -28,6 +41,31 @@ MpWorld::dispatcher(int rank)
     for (;;) {
         mesh::Packet pkt = co_await queue.receive();
         auto msg = std::any_cast<MpMsg>(pkt.payload);
+        if (faultMode_) {
+            if (pkt.corrupted) {
+                // Corrupted packets (data or ack) are discarded
+                // unacknowledged; the sender's timeout recovers.
+                ++corruptDiscards_;
+                corruptDiscardCtr_.add(1);
+                continue;
+            }
+            if (msg.isAck) {
+                ++acksReceived_;
+                ackCtr_.add(1);
+                auto it = pendingAcks_.find(msg.seq);
+                if (it != pendingAcks_.end()) {
+                    it->second->acked = true;
+                    it->second->ev.trigger();
+                    pendingAcks_.erase(it);
+                }
+                continue;
+            }
+            // Ack every intact data packet — a duplicate means the
+            // earlier ack was lost, so it must be acked again.
+            sendAck(rank, msg);
+            if (!state.receivedSeqs.insert(msg.seq).second)
+                continue; // retransmitted duplicate, already delivered
+        }
         auto key = std::make_pair(static_cast<int>(msg.srcRank),
                                   static_cast<int>(msg.tag));
         auto wit = state.waiters.find(key);
@@ -43,6 +81,74 @@ MpWorld::dispatcher(int rank)
 }
 
 void
+MpWorld::sendAck(int rank, const MpMsg &msg)
+{
+    mesh::Packet ack;
+    ack.src = rank;
+    ack.dst = msg.srcRank;
+    ack.bytes = cfg_.controlBytes;
+    ack.kind = trace::MessageKind::Control;
+    ack.tag = static_cast<std::uint64_t>(msg.tag);
+    ack.payload = MpMsg{static_cast<std::int32_t>(rank), msg.tag, 0,
+                        msg.seq, true};
+    net_->post(std::move(ack));
+}
+
+desim::Task<void>
+MpWorld::transmitReliable(int src, int dst, int bytes, int tag,
+                          trace::MessageKind kind, std::uint64_t flowId)
+{
+    const fault::RetryConfig &rc = cfg_.mesh.faults->plan().retry();
+    std::uint64_t seq = nextSeq_++;
+    double timeout = rc.ackTimeoutUs;
+    for (int attempt = 1;; ++attempt) {
+        mesh::Packet pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.bytes = bytes;
+        pkt.kind = kind;
+        pkt.tag = static_cast<std::uint64_t>(tag);
+        // Each retransmission is its own network flow; pass the
+        // app-level flow only on the first wire attempt.
+        pkt.flow = attempt == 1 ? flowId : 0;
+        pkt.payload = MpMsg{static_cast<std::int32_t>(src), tag, bytes,
+                            seq, false};
+        net_->post(std::move(pkt));
+
+        // The timeout callback may outlive this coroutine frame (the
+        // ack can land first), so the wait state is heap-shared.
+        auto wait = std::make_shared<AckWait>(*sim_);
+        pendingAcks_[seq] = wait;
+        sim_->schedule(
+            [wait] {
+                if (!wait->acked)
+                    wait->ev.trigger();
+            },
+            sim_->now() + timeout);
+        co_await wait->ev.wait();
+        if (wait->acked)
+            co_return;
+
+        pendingAcks_.erase(seq);
+        if (!rc.unbounded() && attempt >= rc.maxAttempts) {
+            ++deliveryFailures_;
+            deliveryFailCtr_.add(1);
+            std::ostringstream os;
+            os << "mp: delivery failure " << src << "->" << dst
+               << " tag=" << tag << " bytes=" << bytes << " seq=" << seq
+               << " after " << attempt << " attempts at t=" << std::fixed
+               << std::setprecision(2) << sim_->now() << " us";
+            core::reportDiagnostic(core::DiagSeverity::Error, os.str());
+            co_return;
+        }
+        ++retransmits_;
+        retransmitCtr_.add(1);
+        backoffHist_.record(timeout);
+        timeout *= rc.backoffFactor;
+    }
+}
+
+void
 MpWorld::spawnRank(int rank, desim::Task<void> body,
                    const std::string &name)
 {
@@ -50,7 +156,7 @@ MpWorld::spawnRank(int rank, desim::Task<void> body,
     if (label.empty())
         label = "rank-" + std::to_string(rank);
     appProcesses_.push_back(sim_->spawn(std::move(body), label));
-    (void)rank;
+    appRanks_.push_back(rank);
 }
 
 void
@@ -58,16 +164,52 @@ MpWorld::run()
 {
     sim_->run();
     std::ostringstream stuck;
+    std::ostringstream detail;
     bool any = false;
-    for (const auto &ref : appProcesses_) {
-        if (!ref.done()) {
-            stuck << (any ? ", " : "") << ref.name();
-            any = true;
+    for (std::size_t i = 0; i < appProcesses_.size(); ++i) {
+        const auto &ref = appProcesses_[i];
+        if (ref.done())
+            continue;
+        stuck << (any ? ", " : "") << ref.name();
+        any = true;
+
+        // Wait-state snapshot of the stuck rank: what it is blocked
+        // on and what arrived that nobody consumed.
+        int rank = appRanks_[i];
+        const auto &state = ranks_[static_cast<std::size_t>(rank)];
+        detail << "  " << ref.name() << ": last network activity at t="
+               << std::fixed << std::setprecision(2)
+               << state.lastActivity << " us";
+        bool first = true;
+        for (const auto &[key, waiters] : state.waiters) {
+            if (waiters.empty())
+                continue;
+            detail << (first ? "; waiting on recv " : ", ") << "(src="
+                   << key.first << ", tag=" << key.second << ")";
+            first = false;
         }
+        std::size_t unconsumed = 0;
+        for (const auto &[key, queue] : state.arrived)
+            unconsumed += queue.size();
+        if (unconsumed > 0)
+            detail << "; " << unconsumed << " unconsumed arrival"
+                   << (unconsumed == 1 ? "" : "s");
+        detail << "\n";
     }
     if (any) {
-        throw std::runtime_error("mp: application deadlock; stuck ranks: " +
-                                 stuck.str());
+        std::ostringstream os;
+        os << "mp: application deadlock; stuck ranks: " << stuck.str()
+           << "\n  at t=" << std::fixed << std::setprecision(2)
+           << sim_->now() << " us; network: " << net_->busyLanes()
+           << " lanes busy, " << net_->queuedAcquires()
+           << " queued acquires";
+        if (faultMode_) {
+            os << "; " << deliveryFailures_ << " delivery failures, "
+               << retransmits_ << " retransmits";
+        }
+        os << "\n" << detail.str();
+        core::reportDiagnostic(core::DiagSeverity::Error, os.str());
+        throw core::CCharError(core::StatusCode::SimError, os.str());
     }
 }
 
@@ -113,15 +255,23 @@ MpContext::sendInternal(int dst, int bytes, int tag,
     const MpConfig &cfg = world_->config();
     co_await world_->sim().delay(cfg.sendFraction * cfg.overhead(bytes));
 
-    mesh::Packet pkt;
-    pkt.src = rank_;
-    pkt.dst = dst;
-    pkt.bytes = bytes;
-    pkt.kind = kind;
-    pkt.tag = static_cast<std::uint64_t>(tag);
-    pkt.flow = flowId;
-    pkt.payload = MpWorld::MpMsg{rank_, tag, bytes};
-    world_->network().post(std::move(pkt));
+    if (world_->faultMode_) {
+        // Reliable delivery: blocks until acked or the retry budget
+        // is spent, so a lossy link slows the sender rather than
+        // silently losing application messages.
+        co_await world_->transmitReliable(rank_, dst, bytes, tag, kind,
+                                          flowId);
+    } else {
+        mesh::Packet pkt;
+        pkt.src = rank_;
+        pkt.dst = dst;
+        pkt.bytes = bytes;
+        pkt.kind = kind;
+        pkt.tag = static_cast<std::uint64_t>(tag);
+        pkt.flow = flowId;
+        pkt.payload = MpWorld::MpMsg{rank_, tag, bytes};
+        world_->network().post(std::move(pkt));
+    }
     world_->sendCtr_.add(1);
     world_->bytesSentCtr_.add(static_cast<std::uint64_t>(bytes));
     state.lastActivity = world_->sim().now();

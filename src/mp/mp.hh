@@ -33,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "desim/desim.hh"
@@ -98,9 +99,21 @@ class MpWorld
 
     /**
      * Run to completion.
-     * @throws std::runtime_error naming stuck ranks on deadlock.
+     * @throws core::CCharError (SimError; derives std::runtime_error)
+     *         with per-rank wait-state diagnostics on deadlock.
      */
     void run();
+
+    // -------- resilience accounting (fault-injection runs) --------
+
+    /** Data packets re-sent after an ack timeout. */
+    std::uint64_t retransmits() const { return retransmits_; }
+    /** Sends abandoned after exhausting the retry budget. */
+    std::uint64_t deliveryFailures() const { return deliveryFailures_; }
+    /** Corrupted packets discarded at the receiver. */
+    std::uint64_t corruptDiscards() const { return corruptDiscards_; }
+    /** Acks received by senders. */
+    std::uint64_t acksReceived() const { return acksReceived_; }
 
   private:
     friend class MpContext;
@@ -111,6 +124,10 @@ class MpWorld
         std::int32_t srcRank;
         std::int32_t tag;
         std::int32_t bytes;
+        /** Fault-mode delivery id (unique per logical send; 0 = none). */
+        std::uint64_t seq = 0;
+        /** Fault-mode delivery acknowledgement (control packet). */
+        bool isAck = false;
     };
 
     struct RecvWaiter
@@ -125,9 +142,34 @@ class MpWorld
         double lastActivity = 0.0;
         std::map<std::pair<int, int>, std::deque<std::int32_t>> arrived;
         std::map<std::pair<int, int>, std::deque<RecvWaiter>> waiters;
+        /** Fault-mode: seqs already delivered up (retransmit dedup). */
+        std::unordered_set<std::uint64_t> receivedSeqs;
+    };
+
+    /** Sender-side wait for one delivery attempt's ack. Heap-shared
+     *  between the sending coroutine and the scheduled timeout
+     *  callback, which may fire after the coroutine frame is gone. */
+    struct AckWait
+    {
+        explicit AckWait(desim::Simulator &sim) : ev(sim) {}
+        desim::SimEvent ev;
+        bool acked = false;
     };
 
     desim::Task<void> dispatcher(int rank);
+
+    /**
+     * Fault-mode reliable transmit: post the packet, wait for the
+     * receiver's ack, retransmit with exponential backoff on timeout.
+     * Gives up (and counts a delivery failure) after the plan's
+     * maxAttempts; retries forever when the budget is unbounded.
+     */
+    desim::Task<void> transmitReliable(int src, int dst, int bytes,
+                                       int tag, trace::MessageKind kind,
+                                       std::uint64_t flowId);
+
+    /** Post an ack control packet for a delivered data packet. */
+    void sendAck(int rank, const MpMsg &msg);
 
     desim::Simulator *sim_;
     MpConfig cfg_;
@@ -137,11 +179,26 @@ class MpWorld
     std::unique_ptr<mesh::MeshNetwork> net_;
     std::vector<RankState> ranks_;
     std::vector<desim::ProcessRef> appProcesses_;
+    std::vector<int> appRanks_;
+
+    /** Retransmission protocol active (cfg.mesh.faults != nullptr). */
+    bool faultMode_ = false;
+    std::uint64_t nextSeq_ = 1;
+    std::map<std::uint64_t, std::shared_ptr<AckWait>> pendingAcks_;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t deliveryFailures_ = 0;
+    std::uint64_t corruptDiscards_ = 0;
+    std::uint64_t acksReceived_ = 0;
 
     // Observability handles (detached when no sinks are installed).
     obs::Counter sendCtr_;
     obs::Counter recvCtr_;
     obs::Counter bytesSentCtr_;
+    obs::Counter retransmitCtr_;
+    obs::Counter deliveryFailCtr_;
+    obs::Counter corruptDiscardCtr_;
+    obs::Counter ackCtr_;
+    obs::Histogram backoffHist_;
     obs::FlowTracker *flows_ = nullptr;
 };
 

@@ -41,6 +41,14 @@ struct MessageRecord
     std::int32_t hops = 0;
     /** Queueing/blocking component of the latency (us). */
     double contention = 0.0;
+    /**
+     * False when fault injection dropped the message in-network
+     * (always true in fault-free runs). Dropped messages are not
+     * appended to the TrafficLog.
+     */
+    bool delivered = true;
+    /** True when fault injection corrupted the delivered payload. */
+    bool corrupted = false;
 
     double latency() const { return deliverTime - injectTime; }
 };

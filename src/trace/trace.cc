@@ -4,20 +4,57 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/status.hh"
+
 namespace cchar::trace {
 
 namespace {
 
-MessageKind
-kindFromString(const std::string &s)
+bool
+kindFromString(const std::string &s, MessageKind &out)
 {
     if (s == "data")
-        return MessageKind::Data;
-    if (s == "control")
-        return MessageKind::Control;
-    if (s == "sync")
-        return MessageKind::Sync;
-    throw std::runtime_error("trace: unknown message kind '" + s + "'");
+        out = MessageKind::Data;
+    else if (s == "control")
+        out = MessageKind::Control;
+    else if (s == "sync")
+        out = MessageKind::Sync;
+    else
+        return false;
+    return true;
+}
+
+bool
+isBlank(const std::string &line)
+{
+    for (char c : line) {
+        if (c != ' ' && c != '\t' && c != '\r')
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Parse one event line. Returns an empty string on success, else the
+ * reason the record is malformed.
+ */
+std::string
+parseEventLine(const std::string &line, int nprocs, TraceEvent &ev)
+{
+    std::istringstream fields{line};
+    std::string kind;
+    if (!(fields >> ev.src >> ev.dst >> ev.bytes >> kind >> ev.sinceLast))
+        return "malformed record";
+    std::string extra;
+    if (fields >> extra)
+        return "trailing fields";
+    if (ev.src < 0 || ev.src >= nprocs || ev.dst < 0 || ev.dst >= nprocs)
+        return "node id out of range";
+    if (ev.bytes < 0 || ev.sinceLast < 0.0)
+        return "negative field";
+    if (!kindFromString(kind, ev.kind))
+        return "unknown message kind '" + kind + "'";
+    return {};
 }
 
 } // namespace
@@ -46,30 +83,71 @@ Trace::save(std::ostream &os) const
 Trace
 Trace::load(std::istream &is)
 {
+    return load(is, TraceLoadOptions{});
+}
+
+Trace
+Trace::load(std::istream &is, const TraceLoadOptions &opts)
+{
+    bool lenient = opts.errors == ErrorMode::Lenient;
+
+    // Header: first non-blank line. A broken header is never
+    // recoverable — without nprocs no record can be validated.
+    std::string line;
+    std::size_t lineNo = 0;
+    bool haveHeader = false;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (!isBlank(line)) {
+            haveHeader = true;
+            break;
+        }
+    }
+    std::istringstream header{line};
     std::string magic, version;
     int nprocs = 0;
     std::size_t count = 0;
-    if (!(is >> magic >> version >> nprocs >> count) ||
+    if (!haveHeader || !(header >> magic >> version >> nprocs >> count) ||
         magic != "cchar-trace" || version != "v1") {
-        throw std::runtime_error("trace: bad header");
+        throw core::CCharError(core::StatusCode::ParseError,
+                               "trace: bad header");
     }
-    if (nprocs <= 0)
-        throw std::runtime_error("trace: invalid processor count");
+    if (nprocs <= 0) {
+        throw core::CCharError(core::StatusCode::ParseError,
+                               "trace: invalid processor count");
+    }
 
     Trace t{nprocs};
-    for (std::size_t i = 0; i < count; ++i) {
+    std::size_t consumed = 0; // record lines seen, good or skipped
+    while (consumed < count && std::getline(is, line)) {
+        ++lineNo;
+        if (isBlank(line))
+            continue;
+        ++consumed;
         TraceEvent ev;
-        std::string kind;
-        if (!(is >> ev.src >> ev.dst >> ev.bytes >> kind >> ev.sinceLast))
-            throw std::runtime_error("trace: truncated event list");
-        if (ev.src < 0 || ev.src >= nprocs || ev.dst < 0 ||
-            ev.dst >= nprocs) {
-            throw std::runtime_error("trace: node id out of range");
+        std::string err = parseEventLine(line, nprocs, ev);
+        if (err.empty()) {
+            t.add(ev);
+            continue;
         }
-        if (ev.bytes < 0 || ev.sinceLast < 0.0)
-            throw std::runtime_error("trace: negative field");
-        ev.kind = kindFromString(kind);
-        t.add(ev);
+        std::string msg =
+            "trace: line " + std::to_string(lineNo) + ": " + err;
+        if (!lenient)
+            throw core::CCharError(core::StatusCode::ParseError, msg);
+        ++t.skipped_;
+        core::reportDiagnostic(core::DiagSeverity::Warning, msg);
+    }
+    if (consumed < count) {
+        std::string msg = "trace: truncated event list (header "
+                          "promises " +
+                          std::to_string(count) + " events, found " +
+                          std::to_string(t.events_.size()) + ")";
+        if (!lenient)
+            throw core::CCharError(core::StatusCode::ParseError, msg);
+        // The missing records are data loss too: count them so the
+        // resilience accounting reflects the shortfall.
+        t.skipped_ += count - consumed;
+        core::reportDiagnostic(core::DiagSeverity::Warning, msg);
     }
     return t;
 }
@@ -78,18 +156,28 @@ void
 Trace::saveFile(const std::string &path) const
 {
     std::ofstream f{path};
-    if (!f)
-        throw std::runtime_error("trace: cannot open " + path);
+    if (!f) {
+        throw core::CCharError(core::StatusCode::IoError,
+                               "trace: cannot open " + path);
+    }
     save(f);
 }
 
 Trace
 Trace::loadFile(const std::string &path)
 {
+    return loadFile(path, TraceLoadOptions{});
+}
+
+Trace
+Trace::loadFile(const std::string &path, const TraceLoadOptions &opts)
+{
     std::ifstream f{path};
-    if (!f)
-        throw std::runtime_error("trace: cannot open " + path);
-    return load(f);
+    if (!f) {
+        throw core::CCharError(core::StatusCode::IoError,
+                               "trace: cannot open " + path);
+    }
+    return load(f, opts);
 }
 
 } // namespace cchar::trace

@@ -23,6 +23,24 @@
 
 namespace cchar::trace {
 
+/** How the trace loader treats malformed records. */
+enum class ErrorMode
+{
+    /** Any malformed record aborts the load (ParseError). */
+    Strict,
+    /**
+     * Malformed records are skipped and reported to the installed
+     * diagnostic sink; the load returns every parseable record.
+     */
+    Lenient,
+};
+
+/** Knobs of Trace::load. */
+struct TraceLoadOptions
+{
+    ErrorMode errors = ErrorMode::Strict;
+};
+
 /** One traced communication event. */
 struct TraceEvent
 {
@@ -59,18 +77,33 @@ class Trace
     void save(std::ostream &os) const;
 
     /**
-     * Parse the textual format.
-     * @throws std::runtime_error on malformed input.
+     * Parse the textual format (strict mode).
+     * @throws core::CCharError (ParseError; derives
+     *         std::runtime_error) on malformed input.
      */
     static Trace load(std::istream &is);
 
-    /** Convenience file wrappers. */
+    /**
+     * Parse the textual format under an explicit error mode. A bad
+     * header always aborts; in lenient mode malformed event records
+     * are skipped (counted in skippedRecords() and reported to the
+     * installed diagnostic sink) instead of aborting.
+     */
+    static Trace load(std::istream &is, const TraceLoadOptions &opts);
+
+    /** Convenience file wrappers (IoError when the file is missing). */
     void saveFile(const std::string &path) const;
     static Trace loadFile(const std::string &path);
+    static Trace loadFile(const std::string &path,
+                          const TraceLoadOptions &opts);
+
+    /** Malformed records skipped by a lenient load (0 when strict). */
+    std::uint64_t skippedRecords() const { return skipped_; }
 
   private:
     int nprocs_ = 0;
     std::vector<TraceEvent> events_;
+    std::uint64_t skipped_ = 0;
 };
 
 } // namespace cchar::trace

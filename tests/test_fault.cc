@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Unit tests for the fault-injection subsystem: plan parsing, the
+ * deterministic injector, faulted mesh behaviour, the mp
+ * retransmission protocol, replay-level retries, and the desim
+ * no-progress watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/replay.hh"
+#include "core/status.hh"
+#include "desim/watchdog.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
+#include "mesh/mesh.hh"
+#include "mp/mp.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace cchar;
+using namespace cchar::fault;
+using desim::Simulator;
+using desim::Task;
+using trace::MessageKind;
+using trace::MessageRecord;
+
+// --------------------------------------------------------------------
+// Plan parsing
+
+TEST(FaultPlan, ParsesLinkDownClause)
+{
+    FaultPlan plan = FaultPlan::parse("link:3->4:down@[10ms,25ms]");
+    ASSERT_EQ(plan.faults().size(), 1u);
+    const FaultSpec &f = plan.faults()[0];
+    EXPECT_EQ(f.kind, FaultKind::LinkDown);
+    EXPECT_EQ(f.node, 3);
+    EXPECT_EQ(f.peer, 4);
+    EXPECT_DOUBLE_EQ(f.window.begin, 10000.0);
+    EXPECT_DOUBLE_EQ(f.window.end, 25000.0);
+    EXPECT_DOUBLE_EQ(plan.plannedLinkDowntimeUs(), 15000.0);
+}
+
+TEST(FaultPlan, ParsesDropCorruptAndStall)
+{
+    FaultPlan plan =
+        FaultPlan::parse("drop:p=0.001; corrupt:p=0.01@[0,1s]\n"
+                         "router:7:stall=5us");
+    ASSERT_EQ(plan.faults().size(), 3u);
+    EXPECT_EQ(plan.faults()[0].kind, FaultKind::Drop);
+    EXPECT_DOUBLE_EQ(plan.faults()[0].probability, 0.001);
+    EXPECT_FALSE(plan.faults()[0].window.bounded());
+    EXPECT_EQ(plan.faults()[1].kind, FaultKind::Corrupt);
+    EXPECT_DOUBLE_EQ(plan.faults()[1].window.end, 1e6);
+    EXPECT_EQ(plan.faults()[2].kind, FaultKind::RouterStall);
+    EXPECT_EQ(plan.faults()[2].node, 7);
+    EXPECT_DOUBLE_EQ(plan.faults()[2].stallUs, 5.0);
+}
+
+TEST(FaultPlan, ParsesSeedRetryAndComments)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "# a comment\nseed=42; retry:timeout=250,max=0,backoff=3\n"
+        "drop:p=0.5");
+    EXPECT_EQ(plan.seed(), 42u);
+    EXPECT_DOUBLE_EQ(plan.retry().ackTimeoutUs, 250.0);
+    EXPECT_TRUE(plan.retry().unbounded());
+    EXPECT_DOUBLE_EQ(plan.retry().backoffFactor, 3.0);
+    ASSERT_EQ(plan.faults().size(), 1u);
+}
+
+TEST(FaultPlan, ParsesJsonForm)
+{
+    FaultPlan plan = FaultPlan::parse(
+        R"({"seed": 7,
+            "retry": {"timeout_us": 100, "max_attempts": 2,
+                      "backoff": 1.5},
+            "faults": ["link:0->1:down@[0,1ms]", "drop:p=0.25"]})");
+    EXPECT_EQ(plan.seed(), 7u);
+    EXPECT_EQ(plan.retry().maxAttempts, 2);
+    ASSERT_EQ(plan.faults().size(), 2u);
+    EXPECT_EQ(plan.faults()[0].kind, FaultKind::LinkDown);
+    EXPECT_EQ(plan.faults()[1].kind, FaultKind::Drop);
+}
+
+TEST(FaultPlan, DescribeRoundTrips)
+{
+    FaultPlan plan =
+        FaultPlan::parse("link:0->1:down@[5,10]; drop:p=0.125");
+    for (const FaultSpec &f : plan.faults()) {
+        FaultPlan again = FaultPlan::parse(f.describe());
+        ASSERT_EQ(again.faults().size(), 1u);
+        EXPECT_EQ(again.faults()[0].kind, f.kind);
+    }
+}
+
+TEST(FaultPlan, RejectsMalformedClauses)
+{
+    EXPECT_THROW(FaultPlan::parse("garbage:xyz"), core::CCharError);
+    EXPECT_THROW(FaultPlan::parse("link:0-1:down"), core::CCharError);
+    EXPECT_THROW(FaultPlan::parse("drop:p=nope"), core::CCharError);
+    EXPECT_THROW(FaultPlan::parse("drop:p=1.5"), core::CCharError);
+    EXPECT_THROW(FaultPlan::parse("router:1:stall=-3"),
+                 core::CCharError);
+    EXPECT_THROW(FaultPlan::parse("drop:p=0.1@[10,5]"),
+                 core::CCharError);
+    try {
+        FaultPlan::parse("bogus:clause");
+        FAIL() << "expected CCharError";
+    } catch (const core::CCharError &e) {
+        EXPECT_EQ(e.status().code(), core::StatusCode::ParseError);
+    }
+}
+
+// --------------------------------------------------------------------
+// Injector determinism
+
+TEST(FaultInjector, SameSeedSameDrawSequence)
+{
+    FaultPlan plan = FaultPlan::parse("seed=99; drop:p=0.3");
+    FaultInjector a{plan};
+    FaultInjector b{plan};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.drawDrop(double(i)), b.drawDrop(double(i)));
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSequence)
+{
+    FaultPlan p1 = FaultPlan::parse("seed=1; drop:p=0.5");
+    FaultPlan p2 = FaultPlan::parse("seed=2; drop:p=0.5");
+    FaultInjector a{p1};
+    FaultInjector b{p2};
+    int diff = 0;
+    for (int i = 0; i < 256; ++i)
+        diff += a.drawDrop(double(i)) != b.drawDrop(double(i));
+    EXPECT_GT(diff, 0);
+}
+
+TEST(FaultInjector, WindowGatesDecisions)
+{
+    FaultPlan plan = FaultPlan::parse("link:0->1:down@[10,20]");
+    FaultInjector inj{plan};
+    EXPECT_FALSE(inj.linkDown(0, 1, 5.0));
+    EXPECT_TRUE(inj.linkDown(0, 1, 10.0));
+    EXPECT_TRUE(inj.linkDown(0, 1, 19.9));
+    EXPECT_FALSE(inj.linkDown(0, 1, 20.0));
+    EXPECT_FALSE(inj.linkDown(1, 0, 15.0)); // directed: reverse is up
+}
+
+TEST(FaultInjector, RouterStallAccumulates)
+{
+    FaultPlan plan =
+        FaultPlan::parse("router:3:stall=2; router:3:stall=5");
+    FaultInjector inj{plan};
+    EXPECT_DOUBLE_EQ(inj.routerStallUs(3, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(inj.routerStallUs(4, 0.0), 0.0);
+}
+
+// --------------------------------------------------------------------
+// Faulted mesh behaviour
+
+mesh::MeshConfig
+meshCfg(FaultInjector *inj)
+{
+    mesh::MeshConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.faults = inj;
+    return cfg;
+}
+
+mesh::Packet
+pkt(int src, int dst, int bytes)
+{
+    mesh::Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.bytes = bytes;
+    p.kind = MessageKind::Data;
+    return p;
+}
+
+TEST(FaultedMesh, DownLinkTailDropsWorm)
+{
+    FaultPlan plan = FaultPlan::parse("link:0->1:down");
+    FaultInjector inj{plan};
+    Simulator sim;
+    trace::TrafficLog log;
+    mesh::MeshNetwork net{sim, meshCfg(&inj), &log};
+    MessageRecord out;
+    sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+        o = co_await n.transfer(pkt(0, 3, 16));
+    }(net, out));
+    sim.run();
+    EXPECT_FALSE(out.delivered);
+    EXPECT_EQ(inj.linkDrops(), 1u);
+    EXPECT_EQ(log.size(), 0u); // lost worms are not logged
+}
+
+TEST(FaultedMesh, ReverseDirectionUnaffected)
+{
+    FaultPlan plan = FaultPlan::parse("link:0->1:down");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mesh::MeshNetwork net{sim, meshCfg(&inj)};
+    MessageRecord out;
+    sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+        o = co_await n.transfer(pkt(1, 0, 16));
+    }(net, out));
+    sim.run();
+    EXPECT_TRUE(out.delivered);
+    EXPECT_EQ(inj.linkDrops(), 0u);
+}
+
+TEST(FaultedMesh, CertainDropLosesEveryPacket)
+{
+    FaultPlan plan = FaultPlan::parse("drop:p=1");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mesh::MeshNetwork net{sim, meshCfg(&inj)};
+    std::vector<MessageRecord> recs;
+    auto sender = [](mesh::MeshNetwork &n, int src, int dst,
+                     std::vector<MessageRecord> &out) -> Task<void> {
+        out.push_back(co_await n.transfer(pkt(src, dst, 16)));
+    };
+    sim.spawn(sender(net, 0, 3, recs));
+    sim.spawn(sender(net, 4, 7, recs));
+    sim.run();
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_FALSE(recs[0].delivered);
+    EXPECT_FALSE(recs[1].delivered);
+    EXPECT_EQ(inj.drops(), 2u);
+}
+
+TEST(FaultedMesh, CertainCorruptionDeliversTainted)
+{
+    FaultPlan plan = FaultPlan::parse("corrupt:p=1");
+    FaultInjector inj{plan};
+    Simulator sim;
+    trace::TrafficLog log;
+    mesh::MeshNetwork net{sim, meshCfg(&inj), &log};
+    MessageRecord out;
+    sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+        o = co_await n.transfer(pkt(0, 5, 32));
+    }(net, out));
+    sim.run();
+    EXPECT_TRUE(out.delivered);
+    EXPECT_TRUE(out.corrupted);
+    EXPECT_EQ(inj.corrupts(), 1u);
+    ASSERT_EQ(log.size(), 1u); // corrupted worms still traverse
+}
+
+TEST(FaultedMesh, RouterStallAddsLatency)
+{
+    Simulator simA;
+    mesh::MeshConfig plain = meshCfg(nullptr);
+    mesh::MeshNetwork netA{simA, plain};
+    MessageRecord base;
+    simA.spawn(
+        [](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+            o = co_await n.transfer(pkt(0, 3, 16));
+        }(netA, base));
+    simA.run();
+
+    FaultPlan plan = FaultPlan::parse("router:0:stall=5");
+    FaultInjector inj{plan};
+    Simulator simB;
+    mesh::MeshNetwork netB{simB, meshCfg(&inj)};
+    MessageRecord slow;
+    simB.spawn(
+        [](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+            o = co_await n.transfer(pkt(0, 3, 16));
+        }(netB, slow));
+    simB.run();
+
+    EXPECT_NEAR(slow.latency(), base.latency() + 5.0, 1e-9);
+    EXPECT_EQ(inj.routerStalls(), 1u);
+}
+
+TEST(FaultedMesh, NoPlanMatchesFaultFreeTiming)
+{
+    // An injector with an empty plan must not perturb the simulation.
+    FaultPlan empty;
+    FaultInjector inj{empty};
+    Simulator simA, simB;
+    mesh::MeshNetwork netA{simA, meshCfg(nullptr)};
+    mesh::MeshNetwork netB{simB, meshCfg(&inj)};
+    MessageRecord a, b;
+    simA.spawn(
+        [](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+            o = co_await n.transfer(pkt(0, 15, 64));
+        }(netA, a));
+    simB.spawn(
+        [](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+            o = co_await n.transfer(pkt(0, 15, 64));
+        }(netB, b));
+    simA.run();
+    simB.run();
+    EXPECT_DOUBLE_EQ(a.latency(), b.latency());
+    EXPECT_TRUE(b.delivered);
+    EXPECT_FALSE(b.corrupted);
+}
+
+// --------------------------------------------------------------------
+// mp retransmission protocol
+
+TEST(MpRetransmit, RecoversFromLossyLink)
+{
+    // Unbounded retries: every message eventually lands even though
+    // each attempt loses the data or the ack 19% of the time.
+    FaultPlan plan =
+        FaultPlan::parse("seed=5; drop:p=0.1; retry:timeout=200,max=0");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.mesh.faults = &inj;
+    mp::MpWorld world{sim, cfg};
+    std::vector<int> got;
+    world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        for (int i = 0; i < 20; ++i)
+            co_await ctx.send(1, 64, i);
+    }(world));
+    world.spawnRank(1, [](mp::MpWorld &w,
+                          std::vector<int> &out) -> Task<void> {
+        mp::MpContext ctx{w, 1};
+        for (int i = 0; i < 20; ++i)
+            out.push_back(co_await ctx.recv(0, i));
+    }(world, got));
+    world.run();
+    // Every message arrives exactly once despite the losses.
+    EXPECT_EQ(got.size(), 20u);
+    EXPECT_GT(world.retransmits(), 0u);
+    EXPECT_EQ(world.deliveryFailures(), 0u);
+    EXPECT_GT(world.acksReceived(), 0u);
+}
+
+TEST(MpRetransmit, BoundedRetriesGiveUpOnDeadLink)
+{
+    FaultPlan plan =
+        FaultPlan::parse("link:0->1:down; retry:timeout=50,max=3");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.mesh.faults = &inj;
+    mp::MpWorld world{sim, cfg};
+    world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        co_await ctx.send(1, 64);
+    }(world));
+    world.run();
+    EXPECT_EQ(world.deliveryFailures(), 1u);
+    EXPECT_EQ(world.retransmits(), 2u); // 3 attempts = 2 retries
+    EXPECT_GE(inj.linkDrops(), 3u);
+}
+
+TEST(MpRetransmit, FaultFreeWorldKeepsLegacyPath)
+{
+    // Without an injector the world must not emit acks or sequence
+    // bookkeeping — the trace log sees exactly the app's messages.
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    mp::MpWorld world{sim, cfg};
+    int got = 0;
+    world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        co_await ctx.send(1, 128);
+    }(world));
+    world.spawnRank(1, [](mp::MpWorld &w, int &out) -> Task<void> {
+        mp::MpContext ctx{w, 1};
+        out = co_await ctx.recv(0);
+    }(world, got));
+    world.run();
+    EXPECT_EQ(got, 128);
+    EXPECT_EQ(world.retransmits(), 0u);
+    EXPECT_EQ(world.acksReceived(), 0u);
+    EXPECT_EQ(world.log().size(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Replay resilience
+
+trace::Trace
+tinyTrace()
+{
+    trace::Trace t{4};
+    t.add({0, 1, 64, MessageKind::Data, 1.0});
+    t.add({1, 2, 64, MessageKind::Data, 1.0});
+    t.add({2, 3, 64, MessageKind::Data, 1.0});
+    return t;
+}
+
+TEST(ReplayResilience, RetriesUntilDelivered)
+{
+    FaultPlan plan = FaultPlan::parse("seed=11; drop:p=0.5");
+    FaultInjector inj{plan};
+    mesh::MeshConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    core::ReplayOptions opts;
+    opts.faults = &inj;
+    auto res = core::TraceReplayer::replay(tinyTrace(), cfg, opts);
+    // All three messages eventually land intact.
+    EXPECT_EQ(res.log.size(), 3u);
+    EXPECT_EQ(res.deliveryFailures, 0u);
+    EXPECT_EQ(res.retransmits, inj.drops());
+}
+
+TEST(ReplayResilience, BoundedBudgetReportsFailures)
+{
+    FaultPlan plan =
+        FaultPlan::parse("link:0->1:down; retry:timeout=10,max=2");
+    FaultInjector inj{plan};
+    mesh::MeshConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    core::ReplayOptions opts;
+    opts.faults = &inj;
+    auto res = core::TraceReplayer::replay(tinyTrace(), cfg, opts);
+    EXPECT_EQ(res.deliveryFailures, 1u);
+    EXPECT_EQ(res.linkDrops, 2u); // 2 attempts, both on the down link
+    EXPECT_EQ(res.log.size(), 2u);
+}
+
+// --------------------------------------------------------------------
+// Watchdog
+
+TEST(Watchdog, TripsOnLivelock)
+{
+    // An endless self-rescheduling poller makes no probe progress.
+    Simulator sim;
+    std::function<void()> tick = [&] {
+        sim.schedule(tick, sim.now() + 1.0);
+    };
+    sim.schedule(tick, 1.0);
+    desim::Watchdog dog{sim, {.checkPeriodUs = 10.0, .stallChecks = 3}};
+    dog.setProgressProbe([] { return std::uint64_t{0}; });
+    dog.arm();
+    EXPECT_THROW(sim.run(), desim::WatchdogError);
+    EXPECT_TRUE(dog.tripped());
+}
+
+TEST(Watchdog, StaysQuietWhenProgressing)
+{
+    Simulator sim;
+    std::uint64_t work = 0;
+    std::function<void()> tick = [&] {
+        if (++work < 100)
+            sim.schedule(tick, sim.now() + 1.0);
+    };
+    sim.schedule(tick, 1.0);
+    desim::Watchdog dog{sim, {.checkPeriodUs = 5.0, .stallChecks = 2}};
+    dog.setProgressProbe([&] { return work; });
+    dog.arm();
+    EXPECT_NO_THROW(sim.run());
+    EXPECT_FALSE(dog.tripped());
+    EXPECT_GT(dog.checks(), 0u);
+}
+
+TEST(Watchdog, NeverKeepsDrainedSimAlive)
+{
+    Simulator sim;
+    desim::Watchdog dog{sim, {.checkPeriodUs = 1.0, .stallChecks = 2}};
+    dog.setProgressProbe([] { return std::uint64_t{0}; });
+    dog.arm();
+    sim.run(); // no events: returns immediately, no trip
+    EXPECT_FALSE(dog.tripped());
+}
+
+TEST(Watchdog, SimTimeHorizonTrips)
+{
+    Simulator sim;
+    std::uint64_t work = 0;
+    std::function<void()> tick = [&] {
+        ++work; // real progress, but past the horizon
+        sim.schedule(tick, sim.now() + 1.0);
+    };
+    sim.schedule(tick, 1.0);
+    desim::Watchdog dog{
+        sim,
+        {.checkPeriodUs = 10.0, .stallChecks = 100,
+         .maxSimTimeUs = 50.0}};
+    dog.setProgressProbe([&] { return work; });
+    dog.arm();
+    EXPECT_THROW(sim.run(), desim::WatchdogError);
+}
+
+// --------------------------------------------------------------------
+// End-to-end determinism
+
+TEST(FaultDeterminism, SameSeedSamePlanSameOutcome)
+{
+    auto run = [](std::uint64_t seed) {
+        FaultPlan plan = FaultPlan::parse("drop:p=0.3; corrupt:p=0.1");
+        plan.setSeed(seed);
+        FaultInjector inj{plan};
+        mesh::MeshConfig cfg;
+        cfg.width = 2;
+        cfg.height = 2;
+        core::ReplayOptions opts;
+        opts.faults = &inj;
+        auto res = core::TraceReplayer::replay(tinyTrace(), cfg, opts);
+        std::ostringstream os;
+        os << res.makespan << '|' << res.retransmits << '|'
+           << res.droppedPackets << '|' << res.corruptedPackets;
+        for (const auto &r : res.log.records())
+            os << '|' << r.src << ',' << r.dst << ',' << r.deliverTime;
+        return os.str();
+    };
+    EXPECT_EQ(run(123), run(123));
+    EXPECT_NE(run(123), run(321));
+}
+
+// --------------------------------------------------------------------
+// Status / exit-code model
+
+TEST(Status, ExitCodeMapping)
+{
+    using core::StatusCode;
+    EXPECT_EQ(core::exitCodeOf(StatusCode::Ok), 0);
+    EXPECT_EQ(core::exitCodeOf(StatusCode::UsageError), 2);
+    EXPECT_EQ(core::exitCodeOf(StatusCode::ParseError), 3);
+    EXPECT_EQ(core::exitCodeOf(StatusCode::IoError), 3);
+    EXPECT_EQ(core::exitCodeOf(StatusCode::SimError), 4);
+    EXPECT_EQ(core::exitCodeOf(StatusCode::WatchdogTrip), 5);
+}
+
+TEST(Status, DiagnosticSinkBoundsRetention)
+{
+    core::DiagnosticSink sink;
+    core::ScopedDiagnostics guard{&sink};
+    for (int i = 0; i < 100; ++i)
+        core::reportDiagnostic(core::DiagSeverity::Warning, "w");
+    EXPECT_EQ(sink.total(), 100u);
+    EXPECT_LE(sink.entries().size(), 64u);
+}
+
+} // namespace

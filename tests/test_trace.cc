@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "core/status.hh"
 #include "trace/record.hh"
 #include "trace/trace.hh"
 
@@ -161,6 +162,77 @@ TEST(Trace, LoadRejectsNegativeFields)
 {
     std::stringstream ss{"cchar-trace v1 4 1\n0 1 -8 data 1.0\n"};
     EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsTrailingFields)
+{
+    std::stringstream ss{"cchar-trace v1 4 1\n0 1 8 data 1.0 junk\n"};
+    EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+// --------------------------------------------------------------------
+// Lenient ingestion
+
+TEST(TraceLenient, SkipsMalformedRecordsAndCounts)
+{
+    std::stringstream ss{"cchar-trace v1 4 5\n"
+                         "0 1 8 data 1.0\n"
+                         "0 9 8 data 1.0\n"    // node out of range
+                         "1 2 8 warp 1.0\n"    // unknown kind
+                         "not even a record\n" // malformed
+                         "2 3 16 sync 2.5\n"};
+    TraceLoadOptions opts;
+    opts.errors = ErrorMode::Lenient;
+    Trace t = Trace::load(ss, opts);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.skippedRecords(), 3u);
+    EXPECT_EQ(t.events()[1].dst, 3);
+}
+
+TEST(TraceLenient, ReportsSkipsToDiagnosticSink)
+{
+    cchar::core::DiagnosticSink sink;
+    cchar::core::ScopedDiagnostics guard{&sink};
+    std::stringstream ss{"cchar-trace v1 4 2\n"
+                         "0 1 8 warp 1.0\n"
+                         "0 1 8 data 1.0\n"};
+    TraceLoadOptions opts;
+    opts.errors = ErrorMode::Lenient;
+    Trace t = Trace::load(ss, opts);
+    EXPECT_EQ(t.skippedRecords(), 1u);
+    ASSERT_EQ(sink.entries().size(), 1u);
+    EXPECT_EQ(sink.entries()[0].severity,
+              cchar::core::DiagSeverity::Warning);
+    EXPECT_NE(sink.entries()[0].message.find("line 2"),
+              std::string::npos);
+}
+
+TEST(TraceLenient, TruncatedBodyIsSkippedNotFatal)
+{
+    std::stringstream ss{"cchar-trace v1 4 3\n0 1 8 data 1.0\n"};
+    TraceLoadOptions opts;
+    opts.errors = ErrorMode::Lenient;
+    Trace t = Trace::load(ss, opts);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_GE(t.skippedRecords(), 1u);
+}
+
+TEST(TraceLenient, BadHeaderStillFatal)
+{
+    // A broken header means the whole file is suspect: lenient mode
+    // only forgives record-level damage.
+    std::stringstream ss{"bogus v1 4 0\n"};
+    TraceLoadOptions opts;
+    opts.errors = ErrorMode::Lenient;
+    EXPECT_THROW(Trace::load(ss, opts), std::runtime_error);
+}
+
+TEST(TraceLenient, StrictModeViaOptionsStillThrows)
+{
+    std::stringstream ss{"cchar-trace v1 4 1\n0 1 8 warp 1.0\n"};
+    TraceLoadOptions opts;
+    opts.errors = ErrorMode::Strict;
+    EXPECT_THROW(Trace::load(ss, opts), std::runtime_error);
 }
 
 } // namespace

@@ -32,16 +32,43 @@
  *   --sample-period US               telemetry sampling period in
  *                                    simulated microseconds (default 50)
  *   --progress                       periodic progress line on stderr
+ *
+ * Resilience options:
+ *   --fault-plan SPEC|@FILE          run under a fault plan (clauses
+ *                                    like "link:3->4:down@[10ms,25ms];
+ *                                    drop:p=0.001", or @file with the
+ *                                    textual or JSON plan form)
+ *   --seed N                         fault-decision RNG seed override
+ *   --trace-errors strict|skip       malformed trace records abort
+ *                                    (strict, default) or are skipped
+ *                                    with a diagnostic (skip)
+ *   --strict / --lenient             aliases for --trace-errors
+ *   --watchdog-period US             no-progress check period (5000)
+ *   --watchdog-stalls N              checks without progress before
+ *                                    the watchdog trips (8)
+ *   --max-sim-time US                hard sim-time horizon (0 = none)
+ *
+ * Exit codes:
+ *   0  success
+ *   1  analysis or application-verification failure
+ *   2  usage error (bad command line)
+ *   3  input error (malformed trace or fault plan, missing file)
+ *   4  simulation error (deadlock, delivery failure wedge...)
+ *   5  no-progress watchdog tripped
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "fault/injector.hh"
 #include "obs/obs.hh"
 
 #include "apps/cholesky.hh"
@@ -76,6 +103,15 @@ struct Options
     bool progress = false;
     /** `cchar report` invocation: render HTML instead of text/JSON. */
     bool reportMode = false;
+
+    /** --fault-plan SPEC or @FILE ("" = fault-free). */
+    std::string faultPlan;
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+    trace::ErrorMode traceErrors = trace::ErrorMode::Strict;
+    desim::WatchdogConfig watchdog{};
+
+    bool faulted() const { return !faultPlan.empty(); }
 
     /** Any observability output requested at all. */
     bool
@@ -182,9 +218,9 @@ class ObsSession
             std::ofstream f{opts_.traceOut};
             tracer_.writeChromeJson(f);
             if (!f) {
-                std::cerr << "error: cannot write " << opts_.traceOut
-                          << "\n";
-                return false;
+                throw core::CCharError(core::StatusCode::IoError,
+                                       "cannot write " +
+                                           opts_.traceOut);
             }
             std::cerr << "wrote trace (" << tracer_.size()
                       << " records, " << tracer_.dropped()
@@ -200,9 +236,9 @@ class ObsSession
             std::ofstream f{opts_.metricsOut};
             core::writeMetricsJson(f, &registry_, &sampler_, &flows_);
             if (!f) {
-                std::cerr << "error: cannot write " << opts_.metricsOut
-                          << "\n";
-                return false;
+                throw core::CCharError(core::StatusCode::IoError,
+                                       "cannot write " +
+                                           opts_.metricsOut);
             }
             std::cerr << "wrote metrics to " << opts_.metricsOut
                       << "\n";
@@ -244,10 +280,18 @@ usage()
            "                     [--trace-out FILE] [--metrics-out FILE]\n"
            "                     [--report-out FILE]\n"
            "                     [--sample-period US] [--progress]\n"
+           "                     [--fault-plan SPEC|@FILE] [--seed N]\n"
+           "                     [--watchdog-period US]\n"
+           "                     [--watchdog-stalls N]\n"
+           "                     [--max-sim-time US]\n"
            "  cchar report <app> [--out FILE] [characterize options]\n"
            "  cchar trace <mp-app> --out FILE [--width W] [--height H]\n"
            "  cchar replay <FILE> [--width W] [--height H] [--torus]\n"
-           "                      [--trace-out FILE] [--metrics-out FILE]\n";
+           "                      [--trace-out FILE] [--metrics-out FILE]\n"
+           "                      [--fault-plan SPEC|@FILE] [--seed N]\n"
+           "                      [--trace-errors strict|skip]\n"
+           "exit codes: 0 ok, 1 verification/analysis failure, 2 usage,\n"
+           "            3 input error, 4 simulation error, 5 watchdog\n";
     return 2;
 }
 
@@ -306,12 +350,104 @@ parseOptions(int argc, char **argv, int first, Options &opts)
                 return false;
         } else if (arg == "--progress") {
             opts.progress = true;
+        } else if (arg == "--fault-plan") {
+            if (i + 1 >= argc)
+                return false;
+            opts.faultPlan = argv[++i];
+            if (opts.faultPlan.empty())
+                return false;
+        } else if (arg == "--seed") {
+            if (i + 1 >= argc)
+                return false;
+            char *end = nullptr;
+            opts.seed = std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0')
+                return false;
+            opts.seedSet = true;
+        } else if (arg == "--trace-errors") {
+            if (i + 1 >= argc)
+                return false;
+            std::string mode = argv[++i];
+            if (mode == "strict")
+                opts.traceErrors = trace::ErrorMode::Strict;
+            else if (mode == "skip")
+                opts.traceErrors = trace::ErrorMode::Lenient;
+            else
+                return false;
+        } else if (arg == "--strict") {
+            opts.traceErrors = trace::ErrorMode::Strict;
+        } else if (arg == "--lenient") {
+            opts.traceErrors = trace::ErrorMode::Lenient;
+        } else if (arg == "--watchdog-period") {
+            if (i + 1 >= argc)
+                return false;
+            opts.watchdog.checkPeriodUs = std::atof(argv[++i]);
+            if (opts.watchdog.checkPeriodUs <= 0.0)
+                return false;
+        } else if (arg == "--watchdog-stalls") {
+            int stalls = 0;
+            if (!next(stalls) || stalls < 1)
+                return false;
+            opts.watchdog.stallChecks = stalls;
+        } else if (arg == "--max-sim-time") {
+            if (i + 1 >= argc)
+                return false;
+            opts.watchdog.maxSimTimeUs = std::atof(argv[++i]);
+            if (opts.watchdog.maxSimTimeUs < 0.0)
+                return false;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return false;
         }
     }
     return true;
+}
+
+/**
+ * Build the fault plan of --fault-plan (inline spec or @file), with
+ * the --seed override applied.
+ * @throws core::CCharError IoError on a missing @file, ParseError on
+ *         a malformed plan.
+ */
+fault::FaultPlan
+loadFaultPlan(const Options &opts)
+{
+    std::string text = opts.faultPlan;
+    if (!text.empty() && text[0] == '@') {
+        std::ifstream f{text.substr(1)};
+        if (!f) {
+            throw core::CCharError(core::StatusCode::IoError,
+                                   "fault plan: cannot open " +
+                                       text.substr(1));
+        }
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        text = ss.str();
+    }
+    fault::FaultPlan plan = fault::FaultPlan::parse(text);
+    if (opts.seedSet)
+        plan.setSeed(opts.seed);
+    return plan;
+}
+
+/** Fill the report's Resilience section from the run's fault state. */
+void
+fillResilience(core::ResilienceSummary &rs,
+               const fault::FaultInjector &injector,
+               std::uint64_t retransmits, std::uint64_t deliveryFailures,
+               std::uint64_t traceRecordsSkipped)
+{
+    rs.enabled = true;
+    rs.planDescription = injector.plan().describe();
+    rs.faultsPlanned = injector.plan().faults().size();
+    rs.droppedPackets = injector.drops();
+    rs.corruptedPackets = injector.corrupts();
+    rs.linkDrops = injector.linkDrops();
+    rs.routerStalls = injector.routerStalls();
+    rs.retransmits = retransmits;
+    rs.deliveryFailures = deliveryFailures;
+    rs.traceRecordsSkipped = traceRecordsSkipped;
+    rs.plannedLinkDowntimeUs = injector.plan().plannedLinkDowntimeUs();
 }
 
 void
@@ -340,6 +476,11 @@ int
 cmdCharacterize(const std::string &name, const Options &opts)
 {
     ObsSession obsSession{opts};
+    // The injector registers its fault.* metrics at construction, so
+    // it must come after the ObsSession installs the registry.
+    std::optional<fault::FaultInjector> injector;
+    if (opts.faulted())
+        injector.emplace(loadFaultPlan(opts));
     core::PipelineOptions popts;
     popts.detectPhases =
         opts.phases || opts.reportMode || !opts.reportOut.empty();
@@ -350,9 +491,17 @@ cmdCharacterize(const std::string &name, const Options &opts)
     if (auto app = makeSharedMemoryApp(name)) {
         ccnuma::MachineConfig cfg;
         cfg.mesh = meshOf(opts);
+        if (injector)
+            cfg.mesh.faults = &*injector;
         // Re-run manually to keep the raw log for --windows.
         desim::Simulator sim;
         ccnuma::Machine machine{sim, cfg};
+        desim::Watchdog watchdog{sim, opts.watchdog};
+        if (injector) {
+            watchdog.setProgressProbe(
+                [&machine] { return machine.network().messageCount(); });
+            watchdog.arm();
+        }
         if (auto *sampler = obsSession.sampler()) {
             core::attachNetworkTelemetry(sim, machine.network(),
                                          *sampler,
@@ -376,13 +525,23 @@ cmdCharacterize(const std::string &name, const Options &opts)
                                   core::Strategy::Dynamic, net);
         report.verified = app->verify();
         logCopy = machine.log();
+        if (injector)
+            fillResilience(report.resilience, *injector, 0, 0, 0);
     } else if (auto mpApp = makeMessagePassingApp(name)) {
         // Run the two static-strategy phases in the open so the replay
         // log is kept for --windows without replaying twice.
         mp::MpConfig cfg;
         cfg.mesh = meshOf(opts);
+        if (injector)
+            cfg.mesh.faults = &*injector;
         desim::Simulator sim;
         mp::MpWorld world{sim, cfg};
+        desim::Watchdog watchdog{sim, opts.watchdog};
+        if (injector) {
+            watchdog.setProgressProbe(
+                [&world] { return world.network().messageCount(); });
+            watchdog.arm();
+        }
         world.enableTracing();
         if (opts.progress)
             attachProgress(sim, opts.samplePeriodUs * 10.0);
@@ -391,9 +550,16 @@ cmdCharacterize(const std::string &name, const Options &opts)
         bool verified = mpApp->verify();
         trace::Trace collected = world.collectedTrace();
 
-        auto replayed = core::TraceReplayer::replay(
-            collected, cfg.mesh, true, obsSession.sampler(),
-            obsSession.samplePeriodUs());
+        core::ReplayOptions ropts;
+        ropts.sampler = obsSession.sampler();
+        ropts.samplePeriodUs = obsSession.samplePeriodUs();
+        if (injector) {
+            ropts.faults = &*injector;
+            ropts.enableWatchdog = true;
+            ropts.watchdog = opts.watchdog;
+        }
+        auto replayed =
+            core::TraceReplayer::replay(collected, cfg.mesh, ropts);
         core::NetworkSummary net;
         net.latencyMean = replayed.latencyMean;
         net.latencyMax = replayed.latencyMax;
@@ -405,6 +571,13 @@ cmdCharacterize(const std::string &name, const Options &opts)
                                   core::Strategy::Static, net);
         report.verified = verified;
         logCopy = replayed.log;
+        if (injector) {
+            fillResilience(report.resilience, *injector,
+                           world.retransmits() + replayed.retransmits,
+                           world.deliveryFailures() +
+                               replayed.deliveryFailures,
+                           0);
+        }
     } else {
         std::cerr << "unknown application: " << name << "\n";
         return usage();
@@ -422,9 +595,8 @@ cmdCharacterize(const std::string &name, const Options &opts)
         std::ofstream f{opts.reportOut};
         core::writeHtmlReport(f, html);
         if (!f) {
-            std::cerr << "error: cannot write " << opts.reportOut
-                      << "\n";
-            return 1;
+            throw core::CCharError(core::StatusCode::IoError,
+                                   "cannot write " + opts.reportOut);
         }
         std::cerr << "wrote HTML report to " << opts.reportOut << "\n";
     }
@@ -435,9 +607,8 @@ cmdCharacterize(const std::string &name, const Options &opts)
                 std::ofstream f{opts.out};
                 core::writeHtmlReport(f, html);
                 if (!f) {
-                    std::cerr << "error: cannot write " << opts.out
-                              << "\n";
-                    return 1;
+                    throw core::CCharError(core::StatusCode::IoError,
+                                           "cannot write " + opts.out);
                 }
                 std::cerr << "wrote HTML report to " << opts.out
                           << "\n";
@@ -502,15 +673,39 @@ cmdTrace(const std::string &name, const Options &opts)
 int
 cmdReplay(const std::string &path, const Options &opts)
 {
-    trace::Trace t = trace::Trace::loadFile(path);
+    trace::TraceLoadOptions lopts;
+    lopts.errors = opts.traceErrors;
+    trace::Trace t = trace::Trace::loadFile(path, lopts);
+    if (t.skippedRecords() > 0) {
+        std::cerr << "warning: skipped " << t.skippedRecords()
+                  << " malformed trace record"
+                  << (t.skippedRecords() == 1 ? "" : "s") << "\n";
+    }
     ObsSession obsSession{opts};
-    auto result = core::TraceReplayer::replay(
-        t, meshOf(opts), true, obsSession.sampler(),
-        obsSession.samplePeriodUs());
+    std::optional<fault::FaultInjector> injector;
+    if (opts.faulted())
+        injector.emplace(loadFaultPlan(opts));
+    core::ReplayOptions ropts;
+    ropts.sampler = obsSession.sampler();
+    ropts.samplePeriodUs = obsSession.samplePeriodUs();
+    if (injector) {
+        ropts.faults = &*injector;
+        ropts.enableWatchdog = true;
+        ropts.watchdog = opts.watchdog;
+    }
+    auto result = core::TraceReplayer::replay(t, meshOf(opts), ropts);
     std::cout << "replayed " << result.log.size() << " messages: "
               << "latency mean " << result.latencyMean
               << "us, contention mean " << result.contentionMean
               << "us, makespan " << result.makespan << "us\n";
+    if (injector) {
+        std::cout << "resilience: " << result.linkDrops
+                  << " link drops, " << result.droppedPackets
+                  << " drops, " << result.corruptedPackets
+                  << " corrupted, " << result.retransmits
+                  << " retransmits, " << result.deliveryFailures
+                  << " delivery failures\n";
+    }
     core::CharacterizationPipeline pipeline;
     core::NetworkSummary net;
     net.latencyMean = result.latencyMean;
@@ -521,6 +716,15 @@ cmdReplay(const std::string &path, const Options &opts)
     net.maxChannelUtilization = result.maxChannelUtilization;
     auto report = pipeline.analyze(result.log, meshOf(opts), path,
                                    core::Strategy::Static, net);
+    if (injector) {
+        fillResilience(report.resilience, *injector,
+                       result.retransmits, result.deliveryFailures,
+                       t.skippedRecords());
+    } else if (t.skippedRecords() > 0) {
+        report.resilience.enabled = true;
+        report.resilience.planDescription = "none (lenient ingest)";
+        report.resilience.traceRecordsSkipped = t.skippedRecords();
+    }
     report.print(std::cout);
     return obsSession.finish() ? 0 : 1;
 }
@@ -551,20 +755,42 @@ main(int argc, char **argv)
     if (!parseOptions(argc, argv, 3, opts))
         return usage();
 
+    // Recoverable problems (lenient trace ingest, delivery failures)
+    // land here instead of aborting; dumped to stderr on exit.
+    core::DiagnosticSink sink;
+    core::ScopedDiagnostics diagGuard{&sink};
+    auto flushDiagnostics = [&sink] {
+        if (!sink.empty())
+            sink.writeText(std::cerr);
+    };
+
     try {
-        if (cmd == "characterize")
-            return cmdCharacterize(target, opts);
-        if (cmd == "report") {
+        int rc = 2;
+        if (cmd == "characterize") {
+            rc = cmdCharacterize(target, opts);
+        } else if (cmd == "report") {
             opts.reportMode = true;
-            return cmdCharacterize(target, opts);
+            rc = cmdCharacterize(target, opts);
+        } else if (cmd == "trace") {
+            rc = cmdTrace(target, opts);
+        } else if (cmd == "replay") {
+            rc = cmdReplay(target, opts);
+        } else {
+            return usage();
         }
-        if (cmd == "trace")
-            return cmdTrace(target, opts);
-        if (cmd == "replay")
-            return cmdReplay(target, opts);
-    } catch (const std::exception &err) {
+        flushDiagnostics();
+        return rc;
+    } catch (const desim::WatchdogError &err) {
+        flushDiagnostics();
         std::cerr << "error: " << err.what() << "\n";
-        return 1;
+        return core::exitCodeOf(core::StatusCode::WatchdogTrip);
+    } catch (const core::CCharError &err) {
+        flushDiagnostics();
+        std::cerr << "error: " << err.what() << "\n";
+        return core::exitCodeOf(err.status().code());
+    } catch (const std::exception &err) {
+        flushDiagnostics();
+        std::cerr << "error: " << err.what() << "\n";
+        return core::exitCodeOf(core::StatusCode::SimError);
     }
-    return usage();
 }
