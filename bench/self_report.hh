@@ -13,6 +13,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hh"
 
@@ -36,6 +38,23 @@ class SelfReport
     SelfReport(const SelfReport &) = delete;
     SelfReport &operator=(const SelfReport &) = delete;
 
+    /**
+     * Attach a bench-specific numeric field to the JSON record
+     * (appended in insertion order after the standard fields).
+     */
+    void
+    extra(std::string key, double value)
+    {
+        extras_.emplace_back(std::move(key), Value{value, false, false});
+    }
+
+    /** Attach a bench-specific boolean field to the JSON record. */
+    void
+    extraFlag(std::string key, bool value)
+    {
+        extras_.emplace_back(std::move(key), Value{0.0, value, true});
+    }
+
     ~SelfReport()
     {
         double wall = std::chrono::duration<double>(
@@ -53,11 +72,26 @@ class SelfReport
         std::ofstream f{"BENCH_" + name_ + ".json"};
         f << "{\"bench\":\"" << name_ << "\",\"wall_s\":" << wall
           << ",\"events\":" << events << ",\"events_per_sec\":" << eps
-          << ",\"messages\":" << msgs << ",\"messages_per_sec\":" << mps
-          << "}\n";
+          << ",\"messages\":" << msgs << ",\"messages_per_sec\":" << mps;
+        for (const auto &[key, v] : extras_) {
+            f << ",\"" << key << "\":";
+            if (v.isBool)
+                f << (v.flag ? "true" : "false");
+            else
+                f << v.num;
+        }
+        f << "}\n";
     }
 
   private:
+    struct Value
+    {
+        double num;
+        bool flag;
+        bool isBool;
+    };
+
+    std::vector<std::pair<std::string, Value>> extras_;
     std::string name_;
     obs::MetricsRegistry registry_;
     obs::ScopedObservability scope_;

@@ -1,0 +1,69 @@
+#include "registry.hh"
+
+#include "cholesky.hh"
+#include "fft1d.hh"
+#include "fft3d.hh"
+#include "is.hh"
+#include "maxflow.hh"
+#include "mg.hh"
+#include "nbody.hh"
+#include "sor.hh"
+
+namespace cchar::apps {
+
+const std::vector<std::string> &
+sharedMemoryAppNames()
+{
+    static const std::vector<std::string> names{
+        "1d-fft", "is", "cholesky", "maxflow", "nbody", "sor"};
+    return names;
+}
+
+const std::vector<std::string> &
+messagePassingAppNames()
+{
+    static const std::vector<std::string> names{"3d-fft", "mg"};
+    return names;
+}
+
+std::unique_ptr<SharedMemoryApp>
+makeSharedMemoryApp(const std::string &name)
+{
+    if (name == "1d-fft")
+        return std::make_unique<Fft1D>();
+    if (name == "is")
+        return std::make_unique<IntegerSort>();
+    if (name == "cholesky")
+        return std::make_unique<SparseCholesky>();
+    if (name == "maxflow")
+        return std::make_unique<Maxflow>();
+    if (name == "nbody")
+        return std::make_unique<Nbody>();
+    if (name == "sor")
+        return std::make_unique<RedBlackSor>();
+    return nullptr;
+}
+
+std::unique_ptr<MessagePassingApp>
+makeMessagePassingApp(const std::string &name)
+{
+    if (name == "3d-fft")
+        return std::make_unique<Fft3D>();
+    if (name == "mg")
+        return std::make_unique<Multigrid>();
+    return nullptr;
+}
+
+bool
+isKnownApp(const std::string &name)
+{
+    for (const auto &n : sharedMemoryAppNames())
+        if (n == name)
+            return true;
+    for (const auto &n : messagePassingAppNames())
+        if (n == name)
+            return true;
+    return false;
+}
+
+} // namespace cchar::apps

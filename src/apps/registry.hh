@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Name-based registry of the workload applications.
+ *
+ * One place that knows every application the tool chain can run, so
+ * the CLI, the sweep engine and the tests all agree on names and
+ * construction. Names match the paper's tables ("1d-fft", "is",
+ * "cholesky", "maxflow", "nbody", "sor" on the CC-NUMA side; "3d-fft",
+ * "mg" on the message-passing side).
+ */
+
+#ifndef CCHAR_APPS_REGISTRY_HH
+#define CCHAR_APPS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app.hh"
+
+namespace cchar::apps {
+
+/** Names of the shared-memory (dynamic strategy) applications. */
+const std::vector<std::string> &sharedMemoryAppNames();
+
+/** Names of the message-passing (static strategy) applications. */
+const std::vector<std::string> &messagePassingAppNames();
+
+/** Construct a shared-memory app by name; nullptr if unknown. */
+std::unique_ptr<SharedMemoryApp>
+makeSharedMemoryApp(const std::string &name);
+
+/** Construct a message-passing app by name; nullptr if unknown. */
+std::unique_ptr<MessagePassingApp>
+makeMessagePassingApp(const std::string &name);
+
+/** True if `name` names any registered application. */
+bool isKnownApp(const std::string &name);
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_REGISTRY_HH

@@ -27,6 +27,11 @@ Machine::Machine(desim::Simulator &sim, const MachineConfig &cfg)
     }
 }
 
+Machine::~Machine()
+{
+    sim_->destroyProcesses();
+}
+
 Addr
 Machine::allocShared(std::size_t bytes, Placement placement)
 {

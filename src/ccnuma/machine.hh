@@ -75,6 +75,14 @@ class Machine
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
+    /**
+     * Tears down every simulator process before the nodes and network
+     * are destroyed: suspended application frames hold RAII releases
+     * onto node resources, and must not outlive them (abnormal exits —
+     * deadlock, watchdog trip — leave such frames behind).
+     */
+    ~Machine();
+
     const MachineConfig &config() const { return cfg_; }
     int nprocs() const { return cfg_.nprocs(); }
     desim::Simulator &sim() { return *sim_; }

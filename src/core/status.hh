@@ -259,27 +259,29 @@ namespace detail {
 inline DiagnosticSink *&
 diagnosticsSlot()
 {
-    static DiagnosticSink *slot = nullptr;
+    // Thread-local so concurrent sweep workers each report to their
+    // own sink; a single-threaded driver sees no difference.
+    thread_local DiagnosticSink *slot = nullptr;
     return slot;
 }
 
 } // namespace detail
 
-/** Currently installed process-wide diagnostic sink, or nullptr. */
+/** This thread's currently installed diagnostic sink, or nullptr. */
 inline DiagnosticSink *
 diagnostics()
 {
     return detail::diagnosticsSlot();
 }
 
-/** Install (or with nullptr, remove) the process-wide sink. */
+/** Install (or with nullptr, remove) this thread's sink. */
 inline void
 setDiagnostics(DiagnosticSink *sink)
 {
     detail::diagnosticsSlot() = sink;
 }
 
-/** Report to the process-wide sink if one is installed (else no-op). */
+/** Report to this thread's sink if one is installed (else no-op). */
 inline void
 reportDiagnostic(DiagSeverity severity, std::string message)
 {

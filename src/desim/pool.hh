@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Thread-local slab recycler for coroutine frames.
+ *
+ * Every simulated process slice — a mesh transfer, an MP send, a
+ * coherence transaction — is a coroutine whose frame the compiler
+ * allocates with the promise's operator new. On the hot path that is
+ * one heap allocation and one deallocation per message. This pool
+ * intercepts both (see detail::PromiseBase in task.hh) and recycles
+ * frames through size-bucketed free lists:
+ *
+ *  - sizes are rounded up to 64-byte classes, so a frame is nearly
+ *    always satisfied by popping the head of its class's free list;
+ *  - the lists are thread_local, so sweep workers never contend and
+ *    no lock or atomic appears anywhere on the path;
+ *  - frames larger than kMaxPooled (rare: none of the project's
+ *    coroutines come close) fall through to the global heap.
+ *
+ * Invariant: a frame must be deallocated on the thread that allocated
+ * it. That holds by construction here — a Simulator and every
+ * coroutine it drives live and die on a single thread (the sweep
+ * engine gives each job its own Simulator on its worker thread).
+ */
+
+#ifndef CCHAR_DESIM_POOL_HH
+#define CCHAR_DESIM_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace cchar::desim {
+
+/** Size-bucketed free-list allocator (see file comment). */
+class FramePool
+{
+  public:
+    static constexpr std::size_t kAlign = 64;
+    static constexpr std::size_t kMaxPooled = 4096;
+    static constexpr std::size_t kClasses = kMaxPooled / kAlign;
+
+    FramePool() = default;
+    FramePool(const FramePool &) = delete;
+    FramePool &operator=(const FramePool &) = delete;
+
+    ~FramePool()
+    {
+        for (std::size_t c = 0; c < kClasses; ++c) {
+            FreeNode *node = free_[c];
+            while (node) {
+                FreeNode *next = node->next;
+                ::operator delete(static_cast<void *>(node));
+                node = next;
+            }
+            free_[c] = nullptr;
+        }
+    }
+
+    void *
+    allocate(std::size_t n)
+    {
+        if (n == 0)
+            n = 1;
+        if (n > kMaxPooled)
+            return ::operator new(n);
+        std::size_t c = classOf(n);
+        if (FreeNode *node = free_[c]) {
+            free_[c] = node->next;
+            return static_cast<void *>(node);
+        }
+        return ::operator new((c + 1) * kAlign);
+    }
+
+    void
+    deallocate(void *p, std::size_t n) noexcept
+    {
+        if (n == 0)
+            n = 1;
+        if (n > kMaxPooled) {
+            ::operator delete(p);
+            return;
+        }
+        std::size_t c = classOf(n);
+        FreeNode *node = static_cast<FreeNode *>(p);
+        node->next = free_[c];
+        free_[c] = node;
+    }
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    static std::size_t
+    classOf(std::size_t n)
+    {
+        return (n - 1) / kAlign;
+    }
+
+    FreeNode *free_[kClasses] = {};
+};
+
+/** The calling thread's frame pool. */
+inline FramePool &
+framePool()
+{
+    thread_local FramePool pool;
+    return pool;
+}
+
+} // namespace cchar::desim
+
+#endif // CCHAR_DESIM_POOL_HH

@@ -69,7 +69,7 @@ Simulator::spawn(Task<void> body, std::string name)
     // Schedule the runner's first resumption at the current time; the
     // frame itself stays owned by the registry entry so teardown is
     // deterministic even if the process never completes.
-    calendar_.push(Event{now_, seq_++, runner.rawHandle(), {}});
+    calendar_.push(CalendarEvent{now_, seq_++, runner.rawHandle(), 0});
     processes_.push_back(RootProcess{std::move(runner), state});
     return ProcessRef{std::move(state)};
 }
@@ -79,7 +79,20 @@ Simulator::scheduleResume(std::coroutine_handle<> h, SimTime at)
 {
     if (at < now_)
         at = now_;
-    calendar_.push(Event{at, seq_++, h, {}});
+    calendar_.push(CalendarEvent{at, seq_++, h, 0});
+}
+
+std::uint32_t
+Simulator::allocFnSlot(std::function<void()> fn)
+{
+    if (!fnFree_.empty()) {
+        std::uint32_t slot = fnFree_.back();
+        fnFree_.pop_back();
+        fnSlots_[slot - 1] = std::move(fn);
+        return slot;
+    }
+    fnSlots_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(fnSlots_.size());
 }
 
 void
@@ -87,7 +100,7 @@ Simulator::schedule(std::function<void()> fn, SimTime at)
 {
     if (at < now_)
         at = now_;
-    calendar_.push(Event{at, seq_++, {}, std::move(fn)});
+    calendar_.push(CalendarEvent{at, seq_++, {}, allocFnSlot(std::move(fn))});
 }
 
 void
@@ -121,15 +134,20 @@ Simulator::schedulePeriodicTick(
 }
 
 void
-Simulator::dispatch(Event &ev)
+Simulator::dispatch(const CalendarEvent &ev)
 {
     now_ = ev.time;
     ++processed_;
     eventsCtr_.add(1);
-    if (ev.handle)
+    if (ev.handle) {
         ev.handle.resume();
-    else if (ev.fn)
-        ev.fn();
+    } else if (ev.fnSlot != 0) {
+        // Move the callback out of its slot before invoking it: the
+        // callback may schedule again and reuse the freed slot.
+        std::function<void()> fn = std::move(fnSlots_[ev.fnSlot - 1]);
+        fnFree_.push_back(ev.fnSlot);
+        fn();
+    }
     if (calendar_.size() > calendarPeak_)
         calendarPeak_ = calendar_.size();
 }
@@ -149,8 +167,7 @@ Simulator::run()
         if (processed_ >= maxEvents_)
             throw std::runtime_error(
                 "desim: event cap exceeded (runaway simulation?)");
-        Event ev = calendar_.top();
-        calendar_.pop();
+        CalendarEvent ev = calendar_.popMin();
         dispatch(ev);
     }
     wallSeconds_ +=
@@ -169,8 +186,7 @@ Simulator::runUntil(SimTime t)
         if (processed_ >= maxEvents_)
             throw std::runtime_error(
                 "desim: event cap exceeded (runaway simulation?)");
-        Event ev = calendar_.top();
-        calendar_.pop();
+        CalendarEvent ev = calendar_.popMin();
         dispatch(ev);
     }
     if (now_ < t)
@@ -190,6 +206,19 @@ Simulator::rethrowProcessErrors() const
         if (proc.state->error)
             std::rethrow_exception(proc.state->error);
     }
+}
+
+void
+Simulator::destroyProcesses()
+{
+    // Frame teardown may release resources, which may in turn push
+    // wake-up events for sibling frames — destroy everything first,
+    // then drop the (now dangling) calendar entries and callbacks.
+    processes_.clear();
+    calendar_.clear();
+    fnSlots_.clear();
+    fnFree_.clear();
+    periodicPending_ = 0;
 }
 
 std::vector<std::string>

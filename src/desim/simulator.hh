@@ -30,10 +30,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "calendar.hh"
 #include "obs/obs.hh"
 #include "task.hh"
 
@@ -211,6 +211,19 @@ class Simulator
     void setMaxEvents(std::uint64_t n) { maxEvents_ = n; }
 
     /**
+     * Tear down every root process (destroying suspended coroutine
+     * chains) and drop all pending calendar entries. Idempotent.
+     *
+     * Owners of simulation resources (networks, machines) call this
+     * from their destructors: suspended frames hold RAII releases
+     * onto those resources, so the frames must die first. The object
+     * declaration order at every call site (simulator before machine)
+     * would otherwise destroy them in exactly the wrong order when a
+     * run ends abnormally (deadlock, watchdog trip).
+     */
+    void destroyProcesses();
+
+    /**
      * Names of spawned processes that have not completed. Non-empty
      * after run() indicates deadlock (every process blocked with no
      * pending events).
@@ -224,25 +237,6 @@ class Simulator
     obs::Tracer *tracer() const { return tracer_; }
 
   private:
-    struct Event
-    {
-        SimTime time;
-        std::uint64_t seq;
-        std::coroutine_handle<> handle{};
-        std::function<void()> fn{};
-    };
-
-    struct EventOrder
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.time != b.time)
-                return a.time > b.time;
-            return a.seq > b.seq;
-        }
-    };
-
     struct RootProcess
     {
         Task<void> runner;
@@ -253,7 +247,8 @@ class Simulator
                                     std::shared_ptr<ProcessState> state,
                                     Simulator *sim);
 
-    void dispatch(Event &ev);
+    void dispatch(const CalendarEvent &ev);
+    std::uint32_t allocFnSlot(std::function<void()> fn);
     void rethrowProcessErrors() const;
     void schedulePeriodicTick(
         std::shared_ptr<std::function<void(SimTime)>> fn, SimTime period);
@@ -267,7 +262,14 @@ class Simulator
     /** Periodic ticks currently sitting in the calendar. */
     std::size_t periodicPending_ = 0;
     double wallSeconds_ = 0.0;
-    std::priority_queue<Event, std::vector<Event>, EventOrder> calendar_;
+    EventCalendar calendar_;
+    /**
+     * Side storage for callback events: the calendar entry carries a
+     * 1-based index into fnSlots_ so heap percolation only ever moves
+     * 32-byte PODs. Freed indices are recycled through fnFree_.
+     */
+    std::vector<std::function<void()>> fnSlots_;
+    std::vector<std::uint32_t> fnFree_;
     std::vector<RootProcess> processes_;
 
     // Observability handles, resolved once at construction.

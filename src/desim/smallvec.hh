@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Inline small vector for hot-path, trivially-copyable records.
+ *
+ * The mesh transfers tens of thousands of worms per simulated
+ * millisecond, and each one used to heap-allocate two short vectors
+ * (its route and its held-lane stack). Paths on the simulated meshes
+ * are a handful of hops, so both fit in inline storage essentially
+ * always; SmallVec keeps the first N elements in the object itself and
+ * only touches the allocator for the rare longer path.
+ *
+ * Deliberately restricted to trivially copyable, trivially
+ * destructible element types: growth is a memcpy and teardown is a
+ * free, which is exactly what the POD hop/lane records need and keeps
+ * this header small enough to audit.
+ */
+
+#ifndef CCHAR_DESIM_SMALLVEC_HH
+#define CCHAR_DESIM_SMALLVEC_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace cchar::desim {
+
+/** Vector with N inline slots; spills to the heap past that. */
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec growth is a raw memcpy");
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "SmallVec never runs element destructors");
+    static_assert(N > 0, "SmallVec needs at least one inline slot");
+
+  public:
+    SmallVec() : data_(inlineSlots()) {}
+
+    SmallVec(const SmallVec &) = delete;
+    SmallVec &operator=(const SmallVec &) = delete;
+
+    ~SmallVec()
+    {
+        if (data_ != inlineSlots())
+            std::free(data_);
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == capacity_)
+            grow();
+        data_[size_++] = v;
+    }
+
+    void pop_back() { --size_; }
+
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void clear() { size_ = 0; }
+
+  private:
+    void
+    grow()
+    {
+        std::size_t newCap = capacity_ * 2;
+        T *fresh = static_cast<T *>(std::malloc(newCap * sizeof(T)));
+        if (!fresh)
+            throw std::bad_alloc{};
+        std::memcpy(fresh, data_, size_ * sizeof(T));
+        if (data_ != inlineSlots())
+            std::free(data_);
+        data_ = fresh;
+        capacity_ = newCap;
+    }
+
+    T *inlineSlots() { return reinterpret_cast<T *>(storage_); }
+
+    alignas(T) unsigned char storage_[N * sizeof(T)];
+    T *data_;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = N;
+};
+
+} // namespace cchar::desim
+
+#endif // CCHAR_DESIM_SMALLVEC_HH

@@ -15,9 +15,12 @@
 #define CCHAR_DESIM_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "pool.hh"
 
 namespace cchar::desim {
 
@@ -62,6 +65,23 @@ struct PromiseBase
     FinalAwaiter final_suspend() noexcept { return {}; }
 
     void unhandled_exception() { exception = std::current_exception(); }
+
+    /**
+     * Coroutine frames are allocated from a thread-local size-bucketed
+     * pool: simulated processes are created and destroyed by the
+     * million, and frame reuse keeps the allocator off the hot path.
+     */
+    static void *
+    operator new(std::size_t n)
+    {
+        return framePool().allocate(n);
+    }
+
+    static void
+    operator delete(void *p, std::size_t n) noexcept
+    {
+        framePool().deallocate(p, n);
+    }
 };
 
 } // namespace detail

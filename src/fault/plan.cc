@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/jsonscan.hh"
 #include "core/status.hh"
 
 namespace cchar::fault {
@@ -127,100 +128,11 @@ expectKeyValue(const std::string &part, const std::string &key,
     return part.substr(eq + 1);
 }
 
-// ---------------------------------------------------------------
-// Restricted JSON reader (objects, arrays of strings, numbers,
-// strings) — just enough for the documented plan schema.
-
-class JsonScanner
-{
-  public:
-    explicit JsonScanner(const std::string &text) : text_(text) {}
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            parseFail("unexpected end of JSON");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            parseFail(std::string{"expected '"} + c + "' in JSON");
-        ++pos_;
-    }
-
-    bool
-    consumeIf(char c)
-    {
-        if (pos_ < text_.size() && peek() == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    std::string
-    readString()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    parseFail("bad escape in JSON string");
-                out += text_[pos_++];
-            } else {
-                out += c;
-            }
-        }
-        if (pos_ >= text_.size())
-            parseFail("unterminated JSON string");
-        ++pos_; // closing quote
-        return out;
-    }
-
-    double
-    readNumber()
-    {
-        skipWs();
-        const char *begin = text_.c_str() + pos_;
-        char *end = nullptr;
-        double v = std::strtod(begin, &end);
-        if (end == begin)
-            parseFail("bad JSON number");
-        pos_ += static_cast<std::size_t>(end - begin);
-        return v;
-    }
-
-    bool atEnd()
-    {
-        skipWs();
-        return pos_ >= text_.size();
-    }
-
-  private:
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
-
 FaultPlan
 parseJson(const std::string &text)
 {
     FaultPlan plan;
-    JsonScanner js{text};
+    core::JsonScanner js{text, "fault plan"};
     js.expect('{');
     if (!js.consumeIf('}')) {
         for (;;) {

@@ -29,6 +29,11 @@ torusDelta(int from, int to, int extent)
 
 } // namespace
 
+MeshNetwork::~MeshNetwork()
+{
+    sim_->destroyProcesses();
+}
+
 MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
                          trace::TrafficLog *log)
     : sim_(&sim), cfg_(cfg), log_(log), faults_(cfg.faults)
@@ -113,10 +118,9 @@ MeshNetwork::hopCount(int src, int dst) const
            std::abs(nodeY(src) - nodeY(dst));
 }
 
-std::vector<MeshNetwork::Hop>
-MeshNetwork::route(int src, int dst) const
+void
+MeshNetwork::route(int src, int dst, RouteBuf &hops) const
 {
-    std::vector<Hop> hops;
     bool torus = cfg_.topology == Topology::Torus;
     int x = nodeX(src), y = nodeY(src);
     int dxTotal = torus ? torusDelta(x, nodeX(dst), cfg_.width)
@@ -154,7 +158,6 @@ MeshNetwork::route(int src, int dst) const
         }
         hops.push_back(hop);
     }
-    return hops;
 }
 
 int
@@ -263,7 +266,8 @@ MeshNetwork::transfer(Packet pkt)
     bool flowTraced =
         tracer_ && flows_ && pkt.flow != 0 && flows_->sampled(pkt.flow);
 
-    auto hops = route(pkt.src, pkt.dst);
+    RouteBuf hops;
+    route(pkt.src, pkt.dst, hops);
     rec.hops = static_cast<std::int32_t>(hops.size());
     double body =
         static_cast<double>(flitsOf(pkt.bytes)) * cfg_.flitTime;
@@ -277,7 +281,9 @@ MeshNetwork::transfer(Packet pkt)
         int node;     ///< router whose outgoing lane this is
         SimTime since; ///< acquisition time (channel-hold span start)
     };
-    std::vector<HeldLane> held;
+    // A worm holds at most its whole path plus the injection port, so
+    // the held stack fits inline alongside the route buffer.
+    desim::SmallVec<HeldLane, 31> held;
     co_await injection_[static_cast<std::size_t>(pkt.src)]->acquire();
     // Queueing delay: time spent waiting behind the node's own earlier
     // messages for the injection port.

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "desim/desim.hh"
+#include "desim/smallvec.hh"
 #include "fault/injector.hh"
 #include "trace/record.hh"
 
@@ -127,6 +128,14 @@ class MeshNetwork
     MeshNetwork(const MeshNetwork &) = delete;
     MeshNetwork &operator=(const MeshNetwork &) = delete;
 
+    /**
+     * Destroys every simulator process before the lanes die: frames
+     * suspended mid-transfer hold lane Resources, so an abnormal run
+     * (watchdog trip, deadlock) must not leave them to be torn down
+     * after the network.
+     */
+    ~MeshNetwork();
+
     const MeshConfig &config() const { return cfg_; }
     desim::Simulator &sim() { return *sim_; }
 
@@ -199,8 +208,14 @@ class MeshNetwork
         bool isX;    ///< X-dimension hop
     };
 
+    /**
+     * Routed path buffer: inline slots cover every path on meshes up
+     * to 16x16 (and most beyond); longer paths spill to the heap.
+     */
+    using RouteBuf = desim::SmallVec<Hop, 30>;
+
     /** Route from src to dst (dimension ordered, wrap-aware). */
-    std::vector<Hop> route(int src, int dst) const;
+    void route(int src, int dst, RouteBuf &hops) const;
 
     /** Node a hop lands on (wrap-aware). */
     int neighborOf(const Hop &hop) const;

@@ -33,6 +33,11 @@ MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
         sim_->spawn(dispatcher(r), "mp-dispatcher-" + std::to_string(r));
 }
 
+MpWorld::~MpWorld()
+{
+    sim_->destroyProcesses();
+}
+
 desim::Task<void>
 MpWorld::dispatcher(int rank)
 {

@@ -83,6 +83,9 @@ class MpWorld
     MpWorld(const MpWorld &) = delete;
     MpWorld &operator=(const MpWorld &) = delete;
 
+    /** Destroys suspended rank frames before the network they use. */
+    ~MpWorld();
+
     const MpConfig &config() const { return cfg_; }
     int size() const { return cfg_.nranks(); }
     desim::Simulator &sim() { return *sim_; }

@@ -4,9 +4,13 @@ namespace cchar::obs {
 
 namespace {
 
-MetricsRegistry *g_metrics = nullptr;
-Tracer *g_tracer = nullptr;
-FlowTracker *g_flows = nullptr;
+// Thread-local, not process-global: every simulation is still
+// single-threaded, but the sweep engine runs many simulations on
+// concurrent worker threads, each installing its own sinks. A worker's
+// install can never leak into a sibling's hot path.
+thread_local MetricsRegistry *g_metrics = nullptr;
+thread_local Tracer *g_tracer = nullptr;
+thread_local FlowTracker *g_flows = nullptr;
 
 } // namespace
 

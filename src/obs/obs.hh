@@ -15,12 +15,17 @@
  * sinks with setMetrics()/setTracer() *before* constructing the
  * simulator, runs, and exports.
  *
- * The hooks are deliberately process-wide rather than threaded through
+ * The hooks are deliberately ambient rather than threaded through
  * every constructor: simulations are single-threaded and short-lived,
  * every layer already owns a Simulator reference, and a global install
  * point means instrumenting a new subsystem never changes an API.
  * Components must read the hooks at construction time (cache handles),
  * never per event.
+ *
+ * The install point is *thread-local*: each thread has its own slot,
+ * so concurrent sweep workers (see sweep/engine.hh) install fully
+ * independent sinks with no synchronization on any hot path. A
+ * single-threaded driver behaves exactly as before.
  *
  * Compile with -DCCHAR_OBS_DISABLED to compile out every handle
  * operation; metrics()/tracer() then always return nullptr.
@@ -46,13 +51,13 @@ Tracer *tracer();
 /** Currently installed flow-tracking sink, or nullptr (disabled). */
 FlowTracker *flows();
 
-/** Install (or with nullptr, remove) the process-wide metrics sink. */
+/** Install (or with nullptr, remove) this thread's metrics sink. */
 void setMetrics(MetricsRegistry *registry);
 
-/** Install (or with nullptr, remove) the process-wide trace sink. */
+/** Install (or with nullptr, remove) this thread's trace sink. */
 void setTracer(Tracer *tracer);
 
-/** Install (or with nullptr, remove) the process-wide flow sink. */
+/** Install (or with nullptr, remove) this thread's flow sink. */
 void setFlows(FlowTracker *tracker);
 
 /**

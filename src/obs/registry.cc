@@ -143,6 +143,34 @@ jsonNumber(std::ostream &os, double v)
 } // namespace
 
 void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other)
+{
+    for (const auto &[name, idx] : other.counterIndex_) {
+        if (std::uint64_t v = other.counterSlots_[idx])
+            counter(name).add(v);
+    }
+    for (const auto &[name, idx] : other.gaugeIndex_)
+        gauge(name).high(other.gaugeSlots_[idx]);
+    for (const auto &[name, idx] : other.histogramIndex_) {
+        const HistogramData &src = other.histogramSlots_[idx];
+        if (!src.count)
+            continue;
+        Histogram handle = histogram(name);
+        HistogramData &dst = *handle.data_;
+        for (int b = 0; b < HistogramData::kBuckets; ++b) {
+            dst.buckets[static_cast<std::size_t>(b)] +=
+                src.buckets[static_cast<std::size_t>(b)];
+        }
+        dst.count += src.count;
+        dst.sum += src.sum;
+        if (src.min < dst.min)
+            dst.min = src.min;
+        if (src.max > dst.max)
+            dst.max = src.max;
+    }
+}
+
+void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
     os << "{\"counters\":{";

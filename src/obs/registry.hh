@@ -209,6 +209,15 @@ class MetricsRegistry
     void reset();
 
     /**
+     * Fold another registry into this one: counters add, gauges keep
+     * the maximum, histograms merge bucket-wise (count/sum add,
+     * min/max widen). Metrics absent here are interned on demand. The
+     * sweep engine uses this to aggregate per-worker registries into
+     * one fleet-wide snapshot in deterministic (job) order.
+     */
+    void mergeFrom(const MetricsRegistry &other);
+
+    /**
      * JSON snapshot:
      * {"counters":{...},"gauges":{...},"histograms":{name:
      *  {"count":n,"sum":s,"min":m,"max":M,"mean":mu,

@@ -212,7 +212,7 @@ Erlang::pdf(double x) const
         return 0.0;
     double k = static_cast<double>(k_);
     return std::exp(k * std::log(rate_) + (k - 1.0) * std::log(x) -
-                    rate_ * x - std::lgamma(k));
+                    rate_ * x - logGamma(k));
 }
 
 double
@@ -275,7 +275,7 @@ GammaDist::pdf(double x) const
         return 0.0;
     return std::exp(shape_ * std::log(rate_) +
                     (shape_ - 1.0) * std::log(x) - rate_ * x -
-                    std::lgamma(shape_));
+                    logGamma(shape_));
 }
 
 double
@@ -361,14 +361,14 @@ Weibull::cdf(double x) const
 double
 Weibull::mean() const
 {
-    return scale_ * std::exp(std::lgamma(1.0 + 1.0 / shape_));
+    return scale_ * std::exp(logGamma(1.0 + 1.0 / shape_));
 }
 
 double
 Weibull::variance() const
 {
-    double g1 = std::exp(std::lgamma(1.0 + 1.0 / shape_));
-    double g2 = std::exp(std::lgamma(1.0 + 2.0 / shape_));
+    double g1 = std::exp(logGamma(1.0 + 1.0 / shape_));
+    double g2 = std::exp(logGamma(1.0 + 2.0 / shape_));
     return scale_ * scale_ * (g2 - g1 * g1);
 }
 
@@ -390,8 +390,8 @@ Weibull::initFromMoments(const SummaryStats &s)
     // CV is monotonically decreasing in k.
     double target = s.cv * s.cv;
     auto cv2 = [](double k) {
-        double g1 = std::lgamma(1.0 + 1.0 / k);
-        double g2 = std::lgamma(1.0 + 2.0 / k);
+        double g1 = logGamma(1.0 + 1.0 / k);
+        double g2 = logGamma(1.0 + 2.0 / k);
         return std::exp(g2 - 2.0 * g1) - 1.0;
     };
     double lo = 0.05, hi = 80.0;
@@ -409,7 +409,7 @@ Weibull::initFromMoments(const SummaryStats &s)
         }
         shape_ = 0.5 * (lo + hi);
     }
-    scale_ = s.mean / std::exp(std::lgamma(1.0 + 1.0 / shape_));
+    scale_ = s.mean / std::exp(logGamma(1.0 + 1.0 / shape_));
     return true;
 }
 

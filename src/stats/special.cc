@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <math.h>
 
 namespace cchar::stats {
 
@@ -23,7 +24,7 @@ gammaPSeries(double a, double x)
         if (std::fabs(del) < std::fabs(sum) * epsilon)
             break;
     }
-    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return sum * std::exp(-x + a * std::log(x) - logGamma(a));
 }
 
 double
@@ -49,10 +50,21 @@ gammaQContinuedFraction(double a, double x)
         if (std::fabs(del - 1.0) < epsilon)
             break;
     }
-    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+    return std::exp(-x + a * std::log(x) - logGamma(a)) * h;
 }
 
 } // namespace
+
+double
+logGamma(double x)
+{
+#if defined(__GLIBC__) || defined(_GNU_SOURCE) || defined(__USE_MISC)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
 
 double
 regularizedGammaP(double a, double x)

@@ -16,6 +16,14 @@ namespace cchar::stats {
  */
 double regularizedGammaP(double a, double x);
 
+/**
+ * log |Gamma(x)|, thread-safe. glibc's lgamma() writes the global
+ * `signgam`, which is a data race when sweep workers fit
+ * distributions concurrently; this wrapper uses the reentrant
+ * lgamma_r where available.
+ */
+double logGamma(double x);
+
 /** Standard normal CDF Phi(z). */
 double normalCdf(double z);
 

@@ -1,0 +1,429 @@
+#include "engine.hh"
+
+#include <atomic>
+#include <cmath>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "apps/registry.hh"
+#include "ccnuma/machine.hh"
+#include "core/pipeline.hh"
+#include "core/replay.hh"
+#include "core/status.hh"
+#include "desim/watchdog.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
+#include "mp/mp.hh"
+#include "obs/obs.hh"
+#include "stats/spatial.hh"
+
+namespace cchar::sweep {
+
+namespace {
+
+/**
+ * Gauges derived from wall-clock measurement. Everything else in a
+ * job registry is a pure function of the job parameters; these are
+ * zeroed after the merge so the aggregate report stays byte-identical
+ * across worker counts and machines.
+ */
+const char *const kWallClockGauges[] = {"desim.events_per_sec"};
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << v;
+    os << tmp.str();
+}
+
+void
+csvField(std::ostream &os, const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+        os << s;
+        return;
+    }
+    os << '"';
+    for (char c : s) {
+        if (c == '"')
+            os << '"';
+        os << c;
+    }
+    os << '"';
+}
+
+core::NetworkSummary
+summaryOfMesh(const mesh::MeshNetwork &net, const trace::TrafficLog &log,
+              desim::SimTime now)
+{
+    core::NetworkSummary s;
+    s.latencyMean = net.latencyStats().mean();
+    s.latencyMax = net.latencyStats().max();
+    s.contentionMean = net.contentionStats().mean();
+    s.makespan = log.lastDeliverTime();
+    s.avgChannelUtilization = net.averageChannelUtilization(now);
+    s.maxChannelUtilization = net.maxChannelUtilization(now);
+    return s;
+}
+
+void
+fillOutcome(JobOutcome &out, const core::CharacterizationReport &report)
+{
+    out.verified = report.verified;
+    out.messages = report.volume.messageCount;
+    out.totalBytes = report.volume.totalBytes;
+    out.latencyMean = report.network.latencyMean;
+    out.latencyMax = report.network.latencyMax;
+    out.contentionMean = report.network.contentionMean;
+    out.makespan = report.network.makespan;
+    out.avgChannelUtilization = report.network.avgChannelUtilization;
+    out.maxChannelUtilization = report.network.maxChannelUtilization;
+    if (report.temporalAggregate.fit.dist)
+        out.temporalFit = report.temporalAggregate.fit.dist->name();
+    out.spatialPattern = stats::toString(report.spatialAggregate.pattern);
+}
+
+void
+fillFaults(JobOutcome &out, const fault::FaultInjector &injector,
+           std::uint64_t retransmits, std::uint64_t deliveryFailures)
+{
+    out.droppedPackets = injector.drops();
+    out.corruptedPackets = injector.corrupts();
+    out.linkDrops = injector.linkDrops();
+    out.retransmits = retransmits;
+    out.deliveryFailures = deliveryFailures;
+}
+
+mesh::MeshConfig
+meshOfJob(const SweepJob &job)
+{
+    mesh::MeshConfig cfg;
+    cfg.width = job.width;
+    cfg.height = job.height;
+    if (job.torus) {
+        cfg.topology = mesh::Topology::Torus;
+        cfg.virtualChannels = job.vcs < 2 ? 2 : job.vcs;
+    } else {
+        cfg.virtualChannels = job.vcs;
+    }
+    // The load factor models a network that is `load` times slower
+    // relative to the computation: both the per-flit serialization
+    // time and the per-hop router delay stretch, raising the
+    // effective offered load (cf. the F-LS load sweep figure).
+    cfg.flitTime *= job.load;
+    cfg.routerDelay *= job.load;
+    return cfg;
+}
+
+} // namespace
+
+JobOutcome
+SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
+{
+    JobOutcome out;
+    out.job = job;
+
+    // Per-job isolation: this thread's ambient hooks point at sinks
+    // owned by this frame for exactly the duration of the run.
+    obs::ScopedObservability obsScope{&registry};
+    core::DiagnosticSink diagSink;
+    core::ScopedDiagnostics diagScope{&diagSink};
+
+    try {
+        std::optional<fault::FaultInjector> injector;
+        if (!job.faultPlan.empty()) {
+            fault::FaultPlan plan = fault::FaultPlan::parse(job.faultPlan);
+            // The seed dimension overrides the plan's own seed; seed 0
+            // means "use the plan's".
+            if (job.seed != 0)
+                plan.setSeed(job.seed);
+            injector.emplace(plan);
+        }
+
+        mesh::MeshConfig mcfg = meshOfJob(job);
+        if (injector)
+            mcfg.faults = &*injector;
+
+        core::CharacterizationPipeline pipeline;
+        if (auto app = apps::makeSharedMemoryApp(job.app)) {
+            ccnuma::MachineConfig cfg;
+            cfg.mesh = mcfg;
+            desim::Simulator sim;
+            ccnuma::Machine machine{sim, cfg};
+            desim::Watchdog watchdog{sim, {}};
+            if (injector) {
+                watchdog.setProgressProbe([&machine] {
+                    return machine.network().messageCount();
+                });
+                watchdog.arm();
+            }
+            apps::launch(machine, *app);
+            machine.run();
+            core::CharacterizationReport report = pipeline.analyze(
+                machine.log(), cfg.mesh, job.app, core::Strategy::Dynamic,
+                summaryOfMesh(machine.network(), machine.log(),
+                              sim.now()));
+            report.verified = app->verify();
+            fillOutcome(out, report);
+            if (injector)
+                fillFaults(out, *injector, 0, 0);
+        } else if (auto mpApp = apps::makeMessagePassingApp(job.app)) {
+            mp::MpConfig cfg;
+            cfg.mesh = mcfg;
+            desim::Simulator sim;
+            mp::MpWorld world{sim, cfg};
+            desim::Watchdog watchdog{sim, {}};
+            if (injector) {
+                watchdog.setProgressProbe(
+                    [&world] { return world.network().messageCount(); });
+                watchdog.arm();
+            }
+            world.enableTracing();
+            apps::launch(world, *mpApp);
+            world.run();
+            bool verified = mpApp->verify();
+            trace::Trace collected = world.collectedTrace();
+
+            core::ReplayOptions ropts;
+            if (injector) {
+                ropts.faults = &*injector;
+                ropts.enableWatchdog = true;
+            }
+            auto replayed =
+                core::TraceReplayer::replay(collected, cfg.mesh, ropts);
+            core::NetworkSummary net;
+            net.latencyMean = replayed.latencyMean;
+            net.latencyMax = replayed.latencyMax;
+            net.contentionMean = replayed.contentionMean;
+            net.makespan = replayed.makespan;
+            net.avgChannelUtilization = replayed.avgChannelUtilization;
+            net.maxChannelUtilization = replayed.maxChannelUtilization;
+            core::CharacterizationReport report =
+                pipeline.analyze(replayed.log, cfg.mesh, job.app,
+                                 core::Strategy::Static, net);
+            report.verified = verified;
+            fillOutcome(out, report);
+            if (injector) {
+                fillFaults(out, *injector,
+                           world.retransmits() + replayed.retransmits,
+                           world.deliveryFailures() +
+                               replayed.deliveryFailures);
+            }
+        } else {
+            throw core::CCharError(core::StatusCode::UsageError,
+                                   "unknown application '" + job.app +
+                                       "'");
+        }
+    } catch (const core::CCharError &e) {
+        out.status = core::toString(e.status().code());
+        out.error = e.what();
+    } catch (const desim::WatchdogError &e) {
+        out.status = core::toString(core::StatusCode::WatchdogTrip);
+        out.error = e.what();
+    } catch (const std::exception &e) {
+        out.status = core::toString(core::StatusCode::SimError);
+        out.error = e.what();
+    }
+
+    out.diagWarnings = diagSink.warnings();
+    out.diagErrors = diagSink.errors();
+    return out;
+}
+
+SweepResult
+SweepEngine::run(int workers)
+{
+    std::vector<SweepJob> jobs = spec_.expand();
+
+    SweepResult result;
+    result.outcomes.resize(jobs.size());
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> registries(
+        jobs.size());
+
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            auto reg = std::make_unique<obs::MetricsRegistry>();
+            result.outcomes[i] = runJob(jobs[i], *reg);
+            registries[i] = std::move(reg);
+        }
+    };
+
+    std::size_t pool = workers < 1 ? 1 : static_cast<std::size_t>(workers);
+    if (pool > jobs.size() && !jobs.empty())
+        pool = jobs.size();
+    if (pool <= 1) {
+        drain();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (std::size_t i = 0; i < pool; ++i)
+            threads.emplace_back(drain);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    // Merge strictly in job order: the fold is associative but the
+    // interned-name order and float accumulation are not, so the order
+    // must not depend on which worker finished first.
+    result.metrics = std::make_unique<obs::MetricsRegistry>();
+    for (const auto &reg : registries) {
+        if (reg)
+            result.metrics->mergeFrom(*reg);
+    }
+    for (const char *name : kWallClockGauges)
+        result.metrics->gauge(name).set(0.0);
+    return result;
+}
+
+std::size_t
+SweepResult::failures() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &o : outcomes)
+        n += o.ok() ? 0 : 1;
+    return n;
+}
+
+void
+SweepResult::writeJson(std::ostream &os) const
+{
+    os << "{\"jobs\":[";
+    bool first = true;
+    for (const JobOutcome &o : outcomes) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"index\":" << o.job.index << ",\"app\":";
+        jsonEscape(os, o.job.app);
+        os << ",\"procs\":" << o.job.procs << ",\"width\":" << o.job.width
+           << ",\"height\":" << o.job.height
+           << ",\"torus\":" << (o.job.torus ? "true" : "false")
+           << ",\"vcs\":" << o.job.vcs << ",\"load\":";
+        jsonNumber(os, o.job.load);
+        os << ",\"seed\":" << o.job.seed << ",\"fault_plan\":";
+        jsonEscape(os, o.job.faultPlan);
+        os << ",\"status\":";
+        jsonEscape(os, o.status);
+        os << ",\"error\":";
+        jsonEscape(os, o.error);
+        os << ",\"verified\":" << (o.verified ? "true" : "false")
+           << ",\"messages\":" << o.messages << ",\"total_bytes\":";
+        jsonNumber(os, o.totalBytes);
+        os << ",\"latency_mean_us\":";
+        jsonNumber(os, o.latencyMean);
+        os << ",\"latency_max_us\":";
+        jsonNumber(os, o.latencyMax);
+        os << ",\"contention_mean_us\":";
+        jsonNumber(os, o.contentionMean);
+        os << ",\"makespan_us\":";
+        jsonNumber(os, o.makespan);
+        os << ",\"avg_channel_utilization\":";
+        jsonNumber(os, o.avgChannelUtilization);
+        os << ",\"max_channel_utilization\":";
+        jsonNumber(os, o.maxChannelUtilization);
+        os << ",\"temporal_fit\":";
+        jsonEscape(os, o.temporalFit);
+        os << ",\"spatial_pattern\":";
+        jsonEscape(os, o.spatialPattern);
+        os << ",\"dropped_packets\":" << o.droppedPackets
+           << ",\"corrupted_packets\":" << o.corruptedPackets
+           << ",\"link_drops\":" << o.linkDrops
+           << ",\"retransmits\":" << o.retransmits
+           << ",\"delivery_failures\":" << o.deliveryFailures
+           << ",\"diag_warnings\":" << o.diagWarnings
+           << ",\"diag_errors\":" << o.diagErrors << "}";
+    }
+    os << "],\"failures\":" << failures() << ",\"metrics\":";
+    if (metrics)
+        metrics->writeJson(os);
+    else
+        os << "null";
+    os << "}\n";
+}
+
+void
+SweepResult::writeCsv(std::ostream &os) const
+{
+    os << "index,app,procs,width,height,torus,vcs,load,seed,fault_plan,"
+          "status,verified,messages,total_bytes,latency_mean_us,"
+          "latency_max_us,contention_mean_us,makespan_us,"
+          "avg_channel_utilization,max_channel_utilization,temporal_fit,"
+          "spatial_pattern,dropped_packets,corrupted_packets,link_drops,"
+          "retransmits,delivery_failures,diag_warnings,diag_errors\n";
+    for (const JobOutcome &o : outcomes) {
+        os << o.job.index << ",";
+        csvField(os, o.job.app);
+        os << "," << o.job.procs << "," << o.job.width << ","
+           << o.job.height << "," << (o.job.torus ? 1 : 0) << ","
+           << o.job.vcs << ",";
+        jsonNumber(os, o.job.load);
+        os << "," << o.job.seed << ",";
+        csvField(os, o.job.faultPlan);
+        os << ",";
+        csvField(os, o.status);
+        os << "," << (o.verified ? 1 : 0) << "," << o.messages << ",";
+        jsonNumber(os, o.totalBytes);
+        os << ",";
+        jsonNumber(os, o.latencyMean);
+        os << ",";
+        jsonNumber(os, o.latencyMax);
+        os << ",";
+        jsonNumber(os, o.contentionMean);
+        os << ",";
+        jsonNumber(os, o.makespan);
+        os << ",";
+        jsonNumber(os, o.avgChannelUtilization);
+        os << ",";
+        jsonNumber(os, o.maxChannelUtilization);
+        os << ",";
+        csvField(os, o.temporalFit);
+        os << ",";
+        csvField(os, o.spatialPattern);
+        os << "," << o.droppedPackets << "," << o.corruptedPackets << ","
+           << o.linkDrops << "," << o.retransmits << ","
+           << o.deliveryFailures << "," << o.diagWarnings << ","
+           << o.diagErrors << "\n";
+    }
+}
+
+} // namespace cchar::sweep

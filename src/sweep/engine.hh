@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic parallel sweep engine.
+ *
+ * Executes every job of a SweepSpec matrix — each one a complete,
+ * isolated characterization run — across a pool of worker threads,
+ * and merges the results in canonical job order. The guarantee the
+ * rest of the tool chain builds on:
+ *
+ *     the aggregate report is byte-identical for any worker count.
+ *
+ * Three properties carry it:
+ *
+ *  1. Job isolation. Every mutable ambient hook the simulation layers
+ *     consult — the obs sinks (obs/obs.hh) and the diagnostic sink
+ *     (core/status.hh) — is thread-local, and each job installs its
+ *     own instances for the duration of the run. A job's simulator,
+ *     machine, injector and logs are all locals of its runner.
+ *  2. Deterministic jobs. A simulation result is a pure function of
+ *     the job parameters; nothing wall-clock-derived enters a job
+ *     outcome (the one wall-derived gauge the kernel publishes is
+ *     zeroed in the merged registry, see engine.cc).
+ *  3. Ordered merge. Workers write outcomes into a pre-sized slot
+ *     array indexed by job index; merging walks that array in index
+ *     order after all workers join. Scheduling affects only who
+ *     computed a slot, never what it holds or when it is folded.
+ */
+
+#ifndef CCHAR_SWEEP_ENGINE_HH
+#define CCHAR_SWEEP_ENGINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "spec.hh"
+
+namespace cchar::sweep {
+
+/** Deterministic result of one sweep job. */
+struct JobOutcome
+{
+    SweepJob job;
+    /** "ok" or a StatusCode tag ("sim-error", "watchdog-trip"...). */
+    std::string status = "ok";
+    /** Failure detail when status != "ok". */
+    std::string error;
+    /** Application self-verification result. */
+    bool verified = false;
+
+    // Summary attributes (sim-time only; all deterministic).
+    std::uint64_t messages = 0;
+    double totalBytes = 0.0;
+    double latencyMean = 0.0;
+    double latencyMax = 0.0;
+    double contentionMean = 0.0;
+    double makespan = 0.0;
+    double avgChannelUtilization = 0.0;
+    double maxChannelUtilization = 0.0;
+    /** Fitted inter-arrival family of the aggregate ("-" if none). */
+    std::string temporalFit = "-";
+    std::string spatialPattern = "-";
+
+    // Fault accounting (zero on healthy runs).
+    std::uint64_t droppedPackets = 0;
+    std::uint64_t corruptedPackets = 0;
+    std::uint64_t linkDrops = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t deliveryFailures = 0;
+
+    // Diagnostics emitted by this job's thread-local sink.
+    std::uint64_t diagWarnings = 0;
+    std::uint64_t diagErrors = 0;
+
+    bool ok() const { return status == "ok"; }
+};
+
+/** Aggregate result of a sweep run, merged in job order. */
+struct SweepResult
+{
+    std::vector<JobOutcome> outcomes;
+    /** Per-job registries folded together (see MetricsRegistry::mergeFrom). */
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+
+    std::size_t failures() const;
+
+    /** Deterministic JSON report (jobs array + merged metrics). */
+    void writeJson(std::ostream &os) const;
+
+    /** One CSV row per job (RFC 4180 quoting). */
+    void writeCsv(std::ostream &os) const;
+};
+
+/** Runs a sweep matrix over a worker pool. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepSpec spec) : spec_(std::move(spec)) {}
+
+    /**
+     * Expand the matrix and run every job.
+     *
+     * @param workers Worker threads (clamped to [1, jobs]).
+     * @throws core::CCharError(UsageError) for an invalid spec.
+     *         Individual job failures never throw; they are recorded
+     *         in the corresponding outcome.
+     */
+    SweepResult run(int workers);
+
+    /** Run one job in the calling thread (used by workers and tests). */
+    static JobOutcome runJob(const SweepJob &job,
+                             obs::MetricsRegistry &registry);
+
+  private:
+    SweepSpec spec_;
+};
+
+} // namespace cchar::sweep
+
+#endif // CCHAR_SWEEP_ENGINE_HH

@@ -1,0 +1,256 @@
+#include "spec.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "apps/registry.hh"
+#include "core/jsonscan.hh"
+#include "core/status.hh"
+#include "fault/plan.hh"
+
+namespace cchar::sweep {
+
+using core::CCharError;
+using core::StatusCode;
+
+namespace {
+
+[[noreturn]] void
+usageFail(const std::string &what)
+{
+    throw CCharError(StatusCode::UsageError, "sweep: " + what);
+}
+
+std::uint64_t
+parseU64(const std::string &text)
+{
+    if (text.empty())
+        usageFail("empty seed value");
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        usageFail("bad seed value '" + text + "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+std::string
+SweepJob::label() const
+{
+    std::ostringstream os;
+    os << app << "/p" << procs << "/l" << load << "/s" << seed;
+    if (!faultPlan.empty())
+        os << "/faulted";
+    return os.str();
+}
+
+void
+meshFactor(int n, int &width, int &height)
+{
+    if (n < 1)
+        usageFail("procs must be >= 1");
+    height = 1;
+    for (int h = 1; h * h <= n; ++h) {
+        if (n % h == 0)
+            height = h;
+    }
+    width = n / height;
+}
+
+std::vector<std::string>
+parseList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is{text};
+    while (std::getline(is, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+parseSeeds(const std::string &text)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &item : parseList(text)) {
+        std::size_t dots = item.find("..");
+        if (dots == std::string::npos) {
+            out.push_back(parseU64(item));
+            continue;
+        }
+        std::uint64_t lo = parseU64(item.substr(0, dots));
+        std::uint64_t hi = parseU64(item.substr(dots + 2));
+        if (hi < lo)
+            usageFail("descending seed range '" + item + "'");
+        if (hi - lo >= 4096)
+            usageFail("seed range '" + item + "' too large");
+        for (std::uint64_t s = lo; s <= hi; ++s)
+            out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<SweepJob>
+SweepSpec::expand() const
+{
+    if (apps.empty())
+        usageFail("no applications selected");
+    if (procs.empty())
+        usageFail("no processor counts selected");
+    if (loads.empty() || seeds.empty() || faultPlans.empty())
+        usageFail("empty sweep dimension");
+    if (vcs < 1)
+        usageFail("vcs must be >= 1");
+
+    for (const std::string &app : apps) {
+        if (!apps::isKnownApp(app))
+            usageFail("unknown application '" + app + "'");
+    }
+    for (double load : loads) {
+        if (!(load > 0.0))
+            usageFail("load factors must be > 0");
+    }
+    for (const std::string &plan : faultPlans) {
+        if (!plan.empty() && plan != "none")
+            (void)fault::FaultPlan::parse(plan); // validate up front
+    }
+
+    std::vector<SweepJob> jobs;
+    std::size_t index = 0;
+    for (const std::string &app : apps) {
+        for (int n : procs) {
+            int width = 0, height = 0;
+            meshFactor(n, width, height);
+            for (double load : loads) {
+                for (std::uint64_t seed : seeds) {
+                    for (const std::string &plan : faultPlans) {
+                        SweepJob job;
+                        job.index = index++;
+                        job.app = app;
+                        job.procs = n;
+                        job.width = width;
+                        job.height = height;
+                        job.torus = torus;
+                        job.vcs = torus && vcs < 2 ? 2 : vcs;
+                        job.load = load;
+                        job.seed = seed;
+                        job.faultPlan = plan == "none" ? "" : plan;
+                        jobs.push_back(std::move(job));
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+SweepSpec
+SweepSpec::fromJson(const std::string &text)
+{
+    SweepSpec spec;
+    core::JsonScanner js{text, "sweep spec"};
+    bool haveLoads = false, haveSeeds = false, havePlans = false;
+    js.expect('{');
+    if (!js.consumeIf('}')) {
+        for (;;) {
+            std::string key = js.readString();
+            js.expect(':');
+            if (key == "apps") {
+                js.expect('[');
+                if (!js.consumeIf(']')) {
+                    for (;;) {
+                        spec.apps.push_back(js.readString());
+                        if (!js.consumeIf(','))
+                            break;
+                    }
+                    js.expect(']');
+                }
+            } else if (key == "procs") {
+                js.expect('[');
+                if (!js.consumeIf(']')) {
+                    for (;;) {
+                        spec.procs.push_back(
+                            static_cast<int>(js.readNumber()));
+                        if (!js.consumeIf(','))
+                            break;
+                    }
+                    js.expect(']');
+                }
+            } else if (key == "loads") {
+                if (!haveLoads) {
+                    spec.loads.clear();
+                    haveLoads = true;
+                }
+                js.expect('[');
+                if (!js.consumeIf(']')) {
+                    for (;;) {
+                        spec.loads.push_back(js.readNumber());
+                        if (!js.consumeIf(','))
+                            break;
+                    }
+                    js.expect(']');
+                }
+            } else if (key == "seeds") {
+                if (!haveSeeds) {
+                    spec.seeds.clear();
+                    haveSeeds = true;
+                }
+                js.expect('[');
+                if (!js.consumeIf(']')) {
+                    for (;;) {
+                        spec.seeds.push_back(
+                            static_cast<std::uint64_t>(js.readNumber()));
+                        if (!js.consumeIf(','))
+                            break;
+                    }
+                    js.expect(']');
+                }
+            } else if (key == "fault_plans") {
+                if (!havePlans) {
+                    spec.faultPlans.clear();
+                    havePlans = true;
+                }
+                js.expect('[');
+                if (!js.consumeIf(']')) {
+                    for (;;) {
+                        spec.faultPlans.push_back(js.readString());
+                        if (!js.consumeIf(','))
+                            break;
+                    }
+                    js.expect(']');
+                }
+            } else if (key == "torus") {
+                spec.torus = js.readBool();
+            } else if (key == "vcs") {
+                spec.vcs = static_cast<int>(js.readNumber());
+            } else {
+                js.fail("unknown spec key '" + key + "'");
+            }
+            if (!js.consumeIf(','))
+                break;
+        }
+        js.expect('}');
+    }
+    if (!js.atEnd())
+        js.fail("trailing characters after JSON spec");
+    return spec;
+}
+
+SweepSpec
+SweepSpec::fromJsonFile(const std::string &path)
+{
+    std::ifstream in{path};
+    if (!in) {
+        throw CCharError(StatusCode::IoError,
+                         "sweep: cannot read spec file '" + path + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return fromJson(buf.str());
+}
+
+} // namespace cchar::sweep

@@ -18,6 +18,7 @@
 #include "fault/plan.hh"
 #include "mesh/mesh.hh"
 #include "mp/mp.hh"
+#include "stats/stats.hh"
 #include "trace/trace.hh"
 
 namespace {
@@ -114,6 +115,158 @@ TEST(FaultPlan, RejectsMalformedClauses)
     } catch (const core::CCharError &e) {
         EXPECT_EQ(e.status().code(), core::StatusCode::ParseError);
     }
+}
+
+// --------------------------------------------------------------------
+// Randomized grammar round-trip property
+//
+// Plans are generated with values the default stream formatting
+// renders exactly (small decimals, integral microseconds), so
+// parse -> describe -> parse must reproduce the plan field-for-field,
+// not merely kind-for-kind.
+
+FaultSpec
+randomSpec(stats::Rng &rng)
+{
+    FaultSpec s;
+    switch (rng.below(4)) {
+    case 0:
+        s.kind = FaultKind::LinkDown;
+        s.node = static_cast<int>(rng.below(64));
+        s.peer = static_cast<int>(rng.below(63));
+        if (s.peer >= s.node) // grammar rejects self-links
+            ++s.peer;
+        break;
+    case 1:
+        s.kind = FaultKind::Drop;
+        s.probability =
+            static_cast<double>(1 + rng.below(999)) / 1000.0;
+        break;
+    case 2:
+        s.kind = FaultKind::Corrupt;
+        s.probability =
+            static_cast<double>(1 + rng.below(999)) / 1000.0;
+        break;
+    default:
+        s.kind = FaultKind::RouterStall;
+        s.node = static_cast<int>(rng.below(64));
+        s.stallUs = static_cast<double>(1 + rng.below(500)) / 4.0;
+        break;
+    }
+    switch (rng.below(3)) {
+    case 0: // whole-run window (default)
+        break;
+    case 1: { // bounded window
+        double b = static_cast<double>(rng.below(1000));
+        s.window.begin = b;
+        s.window.end = b + 1.0 + static_cast<double>(rng.below(5000));
+        break;
+    }
+    default: // open-ended window starting late
+        s.window.begin = 1.0 + static_cast<double>(rng.below(1000));
+        break;
+    }
+    return s;
+}
+
+std::string
+formatPlan(const FaultPlan &plan)
+{
+    std::ostringstream os;
+    os << "seed=" << plan.seed() << "; retry:timeout="
+       << plan.retry().ackTimeoutUs << "us,max="
+       << plan.retry().maxAttempts << ",backoff="
+       << plan.retry().backoffFactor;
+    for (const FaultSpec &f : plan.faults())
+        os << "; " << f.describe();
+    return os.str();
+}
+
+TEST(FaultPlanProperty, ParseFormatParseIsIdentity)
+{
+    stats::Rng rng{0xf417};
+    for (int round = 0; round < 200; ++round) {
+        FaultPlan plan;
+        plan.setSeed(rng.below(1u << 30));
+        RetryConfig retry;
+        retry.ackTimeoutUs = static_cast<double>(1 + rng.below(5000));
+        retry.maxAttempts = static_cast<int>(rng.below(10));
+        retry.backoffFactor =
+            1.0 + static_cast<double>(rng.below(12)) / 4.0;
+        plan.setRetry(retry);
+        int nfaults = 1 + static_cast<int>(rng.below(5));
+        for (int i = 0; i < nfaults; ++i)
+            plan.add(randomSpec(rng));
+
+        std::string text = formatPlan(plan);
+        FaultPlan again = FaultPlan::parse(text);
+        // The formatted form must itself be a fixpoint.
+        EXPECT_EQ(formatPlan(again), text) << "round " << round;
+
+        EXPECT_EQ(again.seed(), plan.seed());
+        EXPECT_EQ(again.retry().ackTimeoutUs, retry.ackTimeoutUs);
+        EXPECT_EQ(again.retry().maxAttempts, retry.maxAttempts);
+        EXPECT_EQ(again.retry().backoffFactor, retry.backoffFactor);
+        ASSERT_EQ(again.faults().size(), plan.faults().size());
+        for (std::size_t i = 0; i < plan.faults().size(); ++i) {
+            const FaultSpec &a = plan.faults()[i];
+            const FaultSpec &b = again.faults()[i];
+            EXPECT_EQ(b.kind, a.kind) << "round " << round;
+            EXPECT_EQ(b.node, a.node);
+            EXPECT_EQ(b.peer, a.peer);
+            EXPECT_EQ(b.probability, a.probability);
+            EXPECT_EQ(b.stallUs, a.stallUs);
+            EXPECT_EQ(b.window.begin, a.window.begin);
+            EXPECT_EQ(b.window.end, a.window.end);
+        }
+    }
+}
+
+/** Splice random damage into a valid clause. */
+std::string
+mangleClause(stats::Rng &rng, const std::string &clause)
+{
+    switch (rng.below(5)) {
+    case 0: // chop the tail
+        return clause.substr(0, 1 + rng.below(clause.size() - 1));
+    case 1: // flip a character to line noise
+    {
+        std::string out = clause;
+        out[rng.below(out.size())] = '~';
+        return out;
+    }
+    case 2: // duplicate the probability sign-post
+        return clause + "=0.5";
+    case 3: // out-of-range probability
+        return "drop:p=" + std::to_string(2 + rng.below(9)) + ".5";
+    default: // inverted window
+        return clause + "@[100,5]";
+    }
+}
+
+TEST(FaultPlanProperty, MalformedSpecsFailWithStatusNeverAbort)
+{
+    stats::Rng rng{0xbad5eed};
+    int rejected = 0;
+    for (int round = 0; round < 300; ++round) {
+        FaultSpec seedSpec = randomSpec(rng);
+        std::string text = mangleClause(rng, seedSpec.describe());
+        try {
+            FaultPlan plan = FaultPlan::parse(text);
+            // Some mangled clauses stay well-formed (a '~' inside a
+            // comment-free numeric field usually does not) — parsing
+            // successfully is acceptable; crashing is not.
+            (void)plan;
+        } catch (const core::CCharError &err) {
+            ++rejected;
+            // Always a classified status that maps to a CLI exit
+            // code, never a bare exception or an abort.
+            EXPECT_EQ(err.status().code(), core::StatusCode::ParseError);
+            EXPECT_EQ(core::exitCodeOf(err.status().code()), 3);
+        }
+    }
+    // The mangler must actually exercise the error paths.
+    EXPECT_GT(rejected, 150);
 }
 
 // --------------------------------------------------------------------

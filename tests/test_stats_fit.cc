@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Golden tests for the distribution fitter (src/stats/fit.cc): draw
+ * synthetic samples from KNOWN parameters and assert the fitter both
+ * classifies the family correctly and recovers the parameters within
+ * tolerance. These pin the paper's SAS/STAT-substitute regression —
+ * the temporal-characterization column of Tables 2 and 3 depends on
+ * the fitter picking the right family.
+ *
+ * Seeds are fixed, so every run fits the exact same samples; the
+ * tolerances absorb sampling error at the chosen n, not run-to-run
+ * variance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace {
+
+using namespace cchar::stats;
+
+std::vector<double>
+sampleFrom(const Distribution &d, std::size_t n, std::uint64_t seed)
+{
+    Rng rng{seed};
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = d.sample(rng);
+    return xs;
+}
+
+// --------------------------------------------------------------------
+// Uniform
+
+TEST(FitGolden, UniformClassificationAndRecovery)
+{
+    UniformDist truth{2.0, 6.0};
+    auto xs = sampleFrom(truth, 4000, 42);
+
+    DistributionFitter fitter;
+    FitResult best = fitter.bestFit(xs);
+
+    ASSERT_TRUE(best.usable);
+    EXPECT_EQ(best.dist->name(), "uniform");
+
+    auto p = best.dist->params();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_NEAR(p[0], 2.0, 0.1); // a
+    EXPECT_NEAR(p[1], 6.0, 0.1); // b
+    EXPECT_GT(best.gof.r2, 0.99);
+    EXPECT_LT(best.gof.ks, 0.05);
+}
+
+// --------------------------------------------------------------------
+// Exponential
+
+TEST(FitGolden, ExponentialClassificationAndRecovery)
+{
+    Exponential truth{0.5}; // mean 2
+    auto xs = sampleFrom(truth, 4000, 7);
+
+    DistributionFitter fitter;
+    FitResult best = fitter.bestFit(xs);
+
+    ASSERT_TRUE(best.usable);
+    // The 2- and 3-parameter exponential generalizations (shifted,
+    // hyperexponential, gamma/Weibull with shape ~1) can edge out the
+    // pure family on adjusted R^2 for a finite sample; any of them is
+    // a correct classification as long as the recovered shape
+    // degenerates to the plain exponential.
+    const std::string name = best.dist->name();
+    const bool exponentialFamily =
+        name == "exponential" || name == "shifted-exponential" ||
+        name == "hyperexponential-2" || name == "gamma" ||
+        name == "weibull" || name == "erlang";
+    EXPECT_TRUE(exponentialFamily) << "classified as " << name;
+
+    // Moment recovery is asserted on the direct exponential fit below
+    // (a winning mixture's analytic moments can be dominated by a
+    // near-zero-weight component and are not a meaningful golden
+    // value); the best fit must still track the empirical CDF.
+    EXPECT_GT(best.gof.r2, 0.99);
+    EXPECT_LT(best.gof.ks, 0.05);
+}
+
+TEST(FitGolden, ExponentialDirectFitRecoversRate)
+{
+    Exponential truth{0.5};
+    auto xs = sampleFrom(truth, 4000, 7);
+
+    DistributionFitter fitter;
+    FitResult fr = fitter.fitOne(xs, Exponential{});
+
+    ASSERT_TRUE(fr.usable);
+    auto p = fr.dist->params();
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_NEAR(p[0], 0.5, 0.05); // rate
+    EXPECT_GT(fr.gof.r2, 0.99);
+}
+
+// --------------------------------------------------------------------
+// Bimodal (two-phase hyperexponential)
+
+TEST(FitGolden, BimodalClassificationAndRecovery)
+{
+    // Strongly bimodal: 30% fast messages (mean 1/3), 70% slow
+    // (mean 2.5) — CV well above 1, which is what pushes the fitter
+    // away from the one-parameter families.
+    HyperExponential2 truth{0.3, 3.0, 0.4};
+    auto xs = sampleFrom(truth, 6000, 11);
+
+    DistributionFitter fitter;
+    FitResult best = fitter.bestFit(xs);
+
+    ASSERT_TRUE(best.usable);
+    EXPECT_EQ(best.dist->name(), "hyperexponential-2");
+
+    // Mixture parameters are only identifiable up to component swap;
+    // normalize to rate1 >= rate2 before comparing.
+    auto p = best.dist->params();
+    ASSERT_EQ(p.size(), 3u);
+    double prob = p[0], r1 = p[1], r2 = p[2];
+    if (r1 < r2) {
+        std::swap(r1, r2);
+        prob = 1.0 - prob;
+    }
+    EXPECT_NEAR(prob, 0.3, 0.1);
+    EXPECT_NEAR(r1, 3.0, 0.9);
+    EXPECT_NEAR(r2, 0.4, 0.1);
+    EXPECT_NEAR(best.dist->mean(), truth.mean(), 0.15);
+    EXPECT_GT(best.gof.r2, 0.99);
+}
+
+// --------------------------------------------------------------------
+// Degenerate input
+
+TEST(FitGolden, ConstantSampleIsDeterministic)
+{
+    std::vector<double> xs(512, 3.25);
+    DistributionFitter fitter;
+    FitResult best = fitter.bestFit(xs);
+
+    ASSERT_TRUE(best.usable);
+    EXPECT_EQ(best.dist->name(), "deterministic");
+    EXPECT_NEAR(best.dist->mean(), 3.25, 1e-9);
+}
+
+// --------------------------------------------------------------------
+// Ranking sanity: the generating family should beat a clearly wrong
+// one on adjusted R^2 for every golden sample.
+
+TEST(FitGolden, GeneratingFamilyOutranksWrongFamily)
+{
+    UniformDist truth{1.0, 3.0};
+    auto xs = sampleFrom(truth, 4000, 99);
+
+    DistributionFitter fitter;
+    FitResult uniform = fitter.fitOne(xs, UniformDist{});
+    FitResult pareto = fitter.fitOne(xs, Pareto{});
+
+    ASSERT_TRUE(uniform.usable);
+    if (pareto.usable) {
+        EXPECT_GT(uniform.adjustedR2(xs.size()),
+                  pareto.adjustedR2(xs.size()));
+    }
+}
+
+} // namespace

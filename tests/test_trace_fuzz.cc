@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Seeded, deterministic fuzz tests for the trace loader.
+ *
+ * Strategy: generate a valid "cchar-trace v1" document, then apply
+ * mutations that are *guaranteed* to make the targeted record lines
+ * malformed (field deletion, junk fields, out-of-range ids, trailing
+ * fields, binary garbage). Because every mutation is known-bad, the
+ * lenient loader's skip count must equal the mutation count exactly —
+ * not "roughly survive", but account for every damaged record. The
+ * strict loader must reject the same documents with ParseError
+ * (process exit code 3), never abort.
+ *
+ * All randomness flows from fixed stats::Rng seeds; the same corpus
+ * is fuzzed on every run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/status.hh"
+#include "stats/stats.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace cchar;
+
+trace::Trace
+makeValidTrace(stats::Rng &rng, int nprocs, int nevents)
+{
+    trace::Trace t{nprocs};
+    for (int i = 0; i < nevents; ++i) {
+        trace::TraceEvent ev;
+        ev.src = static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(nprocs)));
+        ev.dst = static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(nprocs)));
+        ev.bytes = static_cast<std::int32_t>(rng.below(4096));
+        switch (rng.below(3)) {
+        case 0:
+            ev.kind = trace::MessageKind::Data;
+            break;
+        case 1:
+            ev.kind = trace::MessageKind::Control;
+            break;
+        default:
+            ev.kind = trace::MessageKind::Sync;
+            break;
+        }
+        ev.sinceLast = rng.uniform(0.0, 50.0);
+        t.add(ev);
+    }
+    return t;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is{text};
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const auto &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+/** Mutate one event line so it can never parse as a valid record. */
+std::string
+breakLine(stats::Rng &rng, const std::string &line, int nprocs)
+{
+    switch (rng.below(6)) {
+    case 0: // truncate to fewer than five fields
+        return line.substr(0, line.find(' '));
+    case 1: // non-numeric junk in a numeric field
+        return "x" + line;
+    case 2: // unknown message kind token
+        return "0 0 8 bogus-kind 1.0";
+    case 3: // node id out of range
+        return std::to_string(nprocs + 7) + " 0 8 data 1.0";
+    case 4: // trailing fields
+        return line + " extra trailing junk";
+    default: { // binary garbage
+        std::string junk;
+        for (int i = 0; i < 12; ++i)
+            junk += static_cast<char>(1 + rng.below(8)); // control bytes
+        return junk;
+    }
+    }
+}
+
+struct FuzzDoc
+{
+    std::string text;
+    std::size_t validEvents = 0;
+    std::size_t broken = 0;
+};
+
+/** A valid document with `nbreak` distinct record lines broken. */
+FuzzDoc
+makeFuzzDoc(std::uint64_t seed, int nprocs, int nevents, int nbreak)
+{
+    stats::Rng rng{seed};
+    trace::Trace t = makeValidTrace(rng, nprocs, nevents);
+    std::ostringstream os;
+    t.save(os);
+    std::vector<std::string> lines = splitLines(os.str());
+
+    std::vector<bool> damaged(lines.size(), false);
+    int broken = 0;
+    while (broken < nbreak) {
+        // Line 0 is the header; only event lines are mutated here.
+        std::size_t idx =
+            1 + rng.below(static_cast<std::uint64_t>(nevents));
+        if (damaged[idx])
+            continue;
+        damaged[idx] = true;
+        lines[idx] = breakLine(rng, lines[idx], nprocs);
+        ++broken;
+    }
+
+    FuzzDoc doc;
+    doc.text = joinLines(lines);
+    doc.validEvents = static_cast<std::size_t>(nevents - nbreak);
+    doc.broken = static_cast<std::size_t>(nbreak);
+    return doc;
+}
+
+// --------------------------------------------------------------------
+// Lenient mode: never crashes, exact skip accounting
+
+TEST(TraceFuzz, LenientSkipCountsAreExact)
+{
+    trace::TraceLoadOptions lenient;
+    lenient.errors = trace::ErrorMode::Lenient;
+
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        stats::Rng meta{seed * 977};
+        int nprocs = 2 + static_cast<int>(meta.below(15));
+        int nevents = 8 + static_cast<int>(meta.below(40));
+        int nbreak = 1 + static_cast<int>(
+                             meta.below(static_cast<std::uint64_t>(
+                                 nevents > 8 ? 8 : nevents)));
+        FuzzDoc doc = makeFuzzDoc(seed, nprocs, nevents, nbreak);
+
+        std::istringstream is{doc.text};
+        trace::Trace loaded = trace::Trace::load(is, lenient);
+
+        EXPECT_EQ(loaded.skippedRecords(), doc.broken)
+            << "seed " << seed;
+        EXPECT_EQ(loaded.size(), doc.validEvents) << "seed " << seed;
+        EXPECT_EQ(loaded.nprocs(), nprocs) << "seed " << seed;
+    }
+}
+
+TEST(TraceFuzz, LenientSurvivesTruncatedDocuments)
+{
+    trace::TraceLoadOptions lenient;
+    lenient.errors = trace::ErrorMode::Lenient;
+
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        stats::Rng rng{seed * 31};
+        trace::Trace t = makeValidTrace(rng, 8, 24);
+        std::ostringstream os;
+        t.save(os);
+        std::string text = os.str();
+
+        // Chop the document mid-stream (possibly mid-line). Keep at
+        // least the header line.
+        std::size_t headerEnd = text.find('\n') + 1;
+        std::size_t cut =
+            headerEnd + rng.below(text.size() - headerEnd);
+        std::istringstream is{text.substr(0, cut)};
+
+        trace::Trace loaded = trace::Trace::load(is, lenient);
+        // Every record the header promised is either loaded or
+        // accounted for as skipped — nothing silently vanishes.
+        EXPECT_EQ(loaded.size() + loaded.skippedRecords(), 24u)
+            << "seed " << seed;
+    }
+}
+
+TEST(TraceFuzz, LenientNeverCrashesOnBinaryJunk)
+{
+    trace::TraceLoadOptions lenient;
+    lenient.errors = trace::ErrorMode::Lenient;
+
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        stats::Rng rng{seed * 131};
+        std::string junk;
+        std::size_t len = 1 + rng.below(512);
+        for (std::size_t i = 0; i < len; ++i)
+            junk += static_cast<char>(rng.below(256));
+
+        std::istringstream is{junk};
+        // A garbage header is never recoverable: the documented
+        // behaviour is a ParseError (CLI exit 3), not a crash and
+        // not an uncaught abort.
+        try {
+            (void)trace::Trace::load(is, lenient);
+            // Astronomically unlikely, but if the junk happened to
+            // parse, that is not a failure of the "never crashes"
+            // property.
+        } catch (const core::CCharError &err) {
+            EXPECT_EQ(core::exitCodeOf(err.status().code()), 3)
+                << "seed " << seed;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Strict mode: same corpus must exit 3
+
+TEST(TraceFuzz, StrictModeRejectsEveryMutatedDocument)
+{
+    trace::TraceLoadOptions strict;
+    strict.errors = trace::ErrorMode::Strict;
+
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        FuzzDoc doc = makeFuzzDoc(seed, 8, 24, 3);
+        std::istringstream is{doc.text};
+        try {
+            (void)trace::Trace::load(is, strict);
+            FAIL() << "strict load accepted a mutated document, seed "
+                   << seed;
+        } catch (const core::CCharError &err) {
+            EXPECT_EQ(err.status().code(), core::StatusCode::ParseError)
+                << "seed " << seed;
+            EXPECT_EQ(core::exitCodeOf(err.status().code()), 3)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(TraceFuzz, StrictAndLenientAgreeOnCleanDocuments)
+{
+    trace::TraceLoadOptions lenient;
+    lenient.errors = trace::ErrorMode::Lenient;
+
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        stats::Rng rng{seed * 733};
+        trace::Trace t = makeValidTrace(rng, 6, 30);
+        std::ostringstream os;
+        t.save(os);
+
+        std::istringstream is1{os.str()};
+        std::istringstream is2{os.str()};
+        trace::Trace a = trace::Trace::load(is1);
+        trace::Trace b = trace::Trace::load(is2, lenient);
+
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(a.skippedRecords(), 0u);
+        EXPECT_EQ(b.skippedRecords(), 0u);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a.events()[i].src, b.events()[i].src);
+            EXPECT_EQ(a.events()[i].dst, b.events()[i].dst);
+            EXPECT_EQ(a.events()[i].bytes, b.events()[i].bytes);
+        }
+    }
+}
+
+} // namespace

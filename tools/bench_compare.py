@@ -8,7 +8,9 @@ a bench regressed:
 
  - `events` and `messages` are simulation-derived and deterministic:
    any difference means the simulated behaviour changed, which is a
-   hard failure regardless of tolerance.
+   hard failure regardless of tolerance. A report can opt out by
+   setting `"counts_deterministic": false` (used by benches whose
+   totals scale with google-benchmark's adaptive iteration counts).
  - `events_per_sec` and `messages_per_sec` are wall-clock throughput:
    a drop of more than --tolerance (relative, default 25%) below the
    baseline is a performance regression. Improvements never fail.
@@ -82,7 +84,8 @@ def compare_one(current_path, baseline_path, tolerance):
     with open(baseline_path) as f:
         base = json.load(f)
     failures = []
-    for field in EXACT_FIELDS:
+    exact_fields = EXACT_FIELDS if cur.get("counts_deterministic", True) else ()
+    for field in exact_fields:
         if cur.get(field) != base.get(field):
             failures.append(
                 f"{field}: {base.get(field)} -> {cur.get(field)} "

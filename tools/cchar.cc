@@ -71,15 +71,9 @@
 #include "fault/injector.hh"
 #include "obs/obs.hh"
 
-#include "apps/cholesky.hh"
-#include "apps/fft1d.hh"
-#include "apps/fft3d.hh"
-#include "apps/is.hh"
-#include "apps/maxflow.hh"
-#include "apps/mg.hh"
-#include "apps/nbody.hh"
-#include "apps/sor.hh"
+#include "apps/registry.hh"
 #include "core/core.hh"
+#include "sweep/engine.hh"
 
 namespace {
 
@@ -122,37 +116,8 @@ struct Options
     }
 };
 
-const std::vector<std::string> sharedMemoryApps{
-    "1d-fft", "is", "cholesky", "maxflow", "nbody", "sor"};
-const std::vector<std::string> messagePassingApps{"3d-fft", "mg"};
-
-std::unique_ptr<apps::SharedMemoryApp>
-makeSharedMemoryApp(const std::string &name)
-{
-    if (name == "1d-fft")
-        return std::make_unique<apps::Fft1D>();
-    if (name == "is")
-        return std::make_unique<apps::IntegerSort>();
-    if (name == "cholesky")
-        return std::make_unique<apps::SparseCholesky>();
-    if (name == "maxflow")
-        return std::make_unique<apps::Maxflow>();
-    if (name == "nbody")
-        return std::make_unique<apps::Nbody>();
-    if (name == "sor")
-        return std::make_unique<apps::RedBlackSor>();
-    return nullptr;
-}
-
-std::unique_ptr<apps::MessagePassingApp>
-makeMessagePassingApp(const std::string &name)
-{
-    if (name == "3d-fft")
-        return std::make_unique<apps::Fft3D>();
-    if (name == "mg")
-        return std::make_unique<apps::Multigrid>();
-    return nullptr;
-}
+using apps::makeMessagePassingApp;
+using apps::makeSharedMemoryApp;
 
 mesh::MeshConfig
 meshOf(const Options &opts)
@@ -290,6 +255,10 @@ usage()
            "                      [--trace-out FILE] [--metrics-out FILE]\n"
            "                      [--fault-plan SPEC|@FILE] [--seed N]\n"
            "                      [--trace-errors strict|skip]\n"
+           "  cchar sweep [--spec FILE] [--apps LIST] [--procs LIST]\n"
+           "              [--loads LIST] [--seeds LIST|A..B]\n"
+           "              [--fault-plan SPEC]... [--torus] [--vcs N]\n"
+           "              [-j N] [--out FILE] [--csv FILE]\n"
            "exit codes: 0 ok, 1 verification/analysis failure, 2 usage,\n"
            "            3 input error, 4 simulation error, 5 watchdog\n";
     return 2;
@@ -731,6 +700,133 @@ cmdReplay(const std::string &path, const Options &opts)
 
 } // namespace
 
+/**
+ * `cchar sweep` — run a whole experiment matrix across worker threads.
+ *
+ * Dimensions come from a JSON spec file (--spec) and/or CLI lists;
+ * CLI dimension flags override the spec file. The aggregate report is
+ * deterministic: byte-identical output for any -j value.
+ */
+int
+cmdSweep(int argc, char **argv)
+{
+    sweep::SweepSpec spec;
+    int jobs = 1;
+    std::string outPath, csvPath;
+
+    auto value = [&](int &i, const std::string &flag) -> std::string {
+        if (i + 1 >= argc) {
+            throw core::CCharError(core::StatusCode::UsageError,
+                                   "sweep: " + flag + " needs a value");
+        }
+        return argv[++i];
+    };
+
+    // Pass 1: the spec file seeds the matrix...
+    for (int i = 2; i < argc; ++i) {
+        if (std::string{argv[i]} == "--spec")
+            spec = sweep::SweepSpec::fromJsonFile(value(i, "--spec"));
+    }
+    // ...pass 2: CLI flags override individual dimensions.
+    bool sawFaultPlan = false;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--spec") {
+            ++i; // consumed in pass 1
+        } else if (arg == "--apps") {
+            spec.apps = sweep::parseList(value(i, arg));
+        } else if (arg == "--procs") {
+            spec.procs.clear();
+            for (const std::string &item :
+                 sweep::parseList(value(i, arg))) {
+                try {
+                    spec.procs.push_back(std::stoi(item));
+                } catch (const std::exception &) {
+                    throw core::CCharError(core::StatusCode::UsageError,
+                                           "sweep: bad procs value '" +
+                                               item + "'");
+                }
+            }
+        } else if (arg == "--loads") {
+            spec.loads.clear();
+            for (const std::string &item :
+                 sweep::parseList(value(i, arg))) {
+                try {
+                    spec.loads.push_back(std::stod(item));
+                } catch (const std::exception &) {
+                    throw core::CCharError(core::StatusCode::UsageError,
+                                           "sweep: bad load value '" +
+                                               item + "'");
+                }
+            }
+        } else if (arg == "--seeds") {
+            spec.seeds = sweep::parseSeeds(value(i, arg));
+        } else if (arg == "--fault-plan") {
+            if (!sawFaultPlan) {
+                spec.faultPlans.clear();
+                sawFaultPlan = true;
+            }
+            spec.faultPlans.push_back(value(i, arg));
+        } else if (arg == "--torus") {
+            spec.torus = true;
+        } else if (arg == "--vcs") {
+            spec.vcs = std::atoi(value(i, arg).c_str());
+        } else if (arg == "-j" || arg == "--jobs" ||
+                   arg.rfind("-j", 0) == 0) {
+            // Accept both "-j 8" and the make-style joined "-j8".
+            std::string count = (arg == "-j" || arg == "--jobs")
+                                    ? value(i, arg)
+                                    : arg.substr(2);
+            jobs = std::atoi(count.c_str());
+            if (jobs < 1) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "sweep: -j needs a positive "
+                                       "worker count");
+            }
+        } else if (arg == "--out") {
+            outPath = value(i, arg);
+        } else if (arg == "--csv") {
+            csvPath = value(i, arg);
+        } else {
+            throw core::CCharError(core::StatusCode::UsageError,
+                                   "sweep: unknown option '" + arg +
+                                       "'");
+        }
+    }
+
+    sweep::SweepEngine engine{std::move(spec)};
+    sweep::SweepResult result = engine.run(jobs);
+
+    if (outPath.empty()) {
+        result.writeJson(std::cout);
+    } else {
+        std::ofstream f{outPath};
+        if (!f) {
+            throw core::CCharError(core::StatusCode::IoError,
+                                   "sweep: cannot write '" + outPath +
+                                       "'");
+        }
+        result.writeJson(f);
+    }
+    if (!csvPath.empty()) {
+        std::ofstream f{csvPath};
+        if (!f) {
+            throw core::CCharError(core::StatusCode::IoError,
+                                   "sweep: cannot write '" + csvPath +
+                                       "'");
+        }
+        result.writeCsv(f);
+    }
+
+    std::size_t unverified = 0;
+    for (const auto &o : result.outcomes)
+        unverified += (o.ok() && !o.verified) ? 1 : 0;
+    std::cerr << "sweep: " << result.outcomes.size() << " jobs, "
+              << result.failures() << " failed, " << unverified
+              << " unverified\n";
+    return (result.failures() || unverified) ? 1 : 0;
+}
+
 int
 main(int argc, char **argv)
 {
@@ -740,12 +836,24 @@ main(int argc, char **argv)
 
     if (cmd == "list") {
         std::cout << "shared-memory (dynamic strategy):\n";
-        for (const auto &name : sharedMemoryApps)
+        for (const auto &name : apps::sharedMemoryAppNames())
             std::cout << "  " << name << "\n";
         std::cout << "message-passing (static strategy):\n";
-        for (const auto &name : messagePassingApps)
+        for (const auto &name : apps::messagePassingAppNames())
             std::cout << "  " << name << "\n";
         return 0;
+    }
+
+    if (cmd == "sweep") {
+        try {
+            return cmdSweep(argc, argv);
+        } catch (const core::CCharError &err) {
+            std::cerr << "error: " << err.what() << "\n";
+            return core::exitCodeOf(err.status().code());
+        } catch (const std::exception &err) {
+            std::cerr << "error: " << err.what() << "\n";
+            return core::exitCodeOf(core::StatusCode::SimError);
+        }
     }
 
     if (argc < 3)
