@@ -28,6 +28,7 @@ NodeController::NodeController(Machine &machine, int id)
         msgDataCtr_ = reg->counter("ccnuma.msg.data");
         msgSyncCtr_ = reg->counter("ccnuma.msg.sync");
     }
+    activity_ = obs::rankActivity();
 }
 
 void
@@ -285,10 +286,18 @@ NodeController::requestLine(CoherenceOp op, Addr line_addr)
                                    "value");
         wbValue = it->second;
     }
+    // Miss service time — local directory access or the full remote
+    // round trip — is the processor's blocked-recv span.
+    if (activity_) {
+        activity_->beginBlocked(id_, obs::RankState::BlockedRecv,
+                                machine_->sim().now());
+    }
     if (home == id_) {
         // Local directory: no network round trip.
         HomeReply rep =
             co_await homeTransaction(op, id_, line_addr, wbValue);
+        if (activity_)
+            activity_->endBlocked(id_, machine_->sim().now());
         co_return rep;
     }
     ++remoteTx_;
@@ -305,6 +314,8 @@ NodeController::requestLine(CoherenceOp op, Addr line_addr)
     HomeReply rep;
     rep.value = slot_.value;
     rep.exclusive = slot_.exclusive;
+    if (activity_)
+        activity_->endBlocked(id_, machine_->sim().now());
     co_return rep;
 }
 
@@ -377,6 +388,10 @@ desim::Task<void>
 NodeController::lock(int lock_id)
 {
     int home = lock_id % machine_->nprocs();
+    if (activity_) {
+        activity_->beginBlocked(id_, obs::RankState::BlockedRecv,
+                                machine_->sim().now());
+    }
     co_await machine_->sim().delay(machine_->config().syncProcessTime);
     slot_.syncId = lock_id;
     slot_.event = std::make_unique<desim::SimEvent>(machine_->sim());
@@ -389,6 +404,8 @@ NodeController::lock(int lock_id)
         postMsg(home, msg);
     }
     co_await awaitSlot();
+    if (activity_)
+        activity_->endBlocked(id_, machine_->sim().now());
 }
 
 desim::Task<void>
@@ -413,6 +430,13 @@ NodeController::barrier(int barrier_id, int participants)
     if (participants <= 0)
         participants = machine_->nprocs();
     int home = barrier_id % machine_->nprocs();
+    // Barrier entry is the per-rank synchronization marker for the
+    // skew analysis; the wait until release is a blocked-recv span.
+    if (activity_) {
+        activity_->noteMarker(id_, machine_->sim().now());
+        activity_->beginBlocked(id_, obs::RankState::BlockedRecv,
+                                machine_->sim().now());
+    }
     co_await machine_->sim().delay(machine_->config().syncProcessTime);
     slot_.syncId = barrier_id;
     slot_.event = std::make_unique<desim::SimEvent>(machine_->sim());
@@ -426,6 +450,8 @@ NodeController::barrier(int barrier_id, int participants)
         postMsg(home, msg);
     }
     co_await awaitSlot();
+    if (activity_)
+        activity_->endBlocked(id_, machine_->sim().now());
 }
 
 // ---------------------------------------------------------------

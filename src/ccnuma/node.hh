@@ -191,6 +191,9 @@ class NodeController
     obs::Counter msgDataCtr_;
     obs::Counter msgSyncCtr_;
 
+    /** Per-rank activity sink (miss/lock/barrier stalls + markers). */
+    obs::RankActivityTracker *activity_ = nullptr;
+
     ReqSlot slot_;
     std::unordered_map<Addr, std::uint64_t> wbPending_;
 

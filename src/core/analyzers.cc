@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <map>
 
 namespace cchar::core {
@@ -364,6 +365,288 @@ VolumeAnalyzer::analyze(const trace::TrafficLog &log) const
     }
     out.perSourceCounts = log.sourceCounts();
     return out;
+}
+
+// ---------------------------------------------------------------
+// RankActivityAnalyzer
+
+namespace {
+
+/** Sort by begin and merge overlapping/adjacent spans. */
+std::vector<obs::RankInterval>
+mergeSpans(std::vector<obs::RankInterval> spans)
+{
+    std::sort(spans.begin(), spans.end(),
+              [](const obs::RankInterval &a, const obs::RankInterval &b) {
+                  return a.beginUs < b.beginUs;
+              });
+    std::vector<obs::RankInterval> merged;
+    for (const obs::RankInterval &s : spans) {
+        if (!merged.empty() && s.beginUs <= merged.back().endUs) {
+            if (s.endUs > merged.back().endUs)
+                merged.back().endUs = s.endUs;
+        } else {
+            merged.push_back(s);
+        }
+    }
+    return merged;
+}
+
+/** A candidate idle-wave front: one long blocked interval. */
+struct FrontEvent
+{
+    double tUs = 0.0;
+    bool used = false;
+};
+
+} // namespace
+
+RankActivitySummary
+RankActivityAnalyzer::analyze(
+    const obs::RankActivityTracker &tracker,
+    const std::vector<PhaseCharacterization> &phases) const
+{
+    RankActivitySummary out;
+    out.enabled = true;
+    out.droppedRecords = tracker.dropped();
+    int nranks = tracker.ranks();
+    if (nranks == 0)
+        return out;
+    double runEnd = tracker.endUs();
+    if (runEnd <= 0.0)
+        runEnd = 1.0; // degenerate zero-length run: avoid 0/0 below
+    out.runEndUs = tracker.endUs();
+
+    int windows = std::max(1, cfg_.idleWindows);
+    out.windowUs = runEnd / windows;
+    out.ranks.resize(static_cast<std::size_t>(nranks));
+    out.timeline.resize(static_cast<std::size_t>(nranks));
+    out.idleWindows.assign(static_cast<std::size_t>(nranks),
+                           std::vector<double>(
+                               static_cast<std::size_t>(windows), 0.0));
+
+    for (int r = 0; r < nranks; ++r) {
+        const obs::RankRecord &rec = tracker.record(r);
+        RankActivityRow &row = out.ranks[static_cast<std::size_t>(r)];
+        row.rank = r;
+        row.blockedIntervals = rec.blocked.size();
+        row.markers = rec.markers.size();
+        double blockedTotal = 0.0;
+        auto &wins = out.idleWindows[static_cast<std::size_t>(r)];
+        for (const obs::RankInterval &iv : rec.blocked) {
+            double d = iv.durationUs();
+            blockedTotal += d;
+            if (iv.state == obs::RankState::BlockedSend)
+                row.blockedSendUs += d;
+            else
+                row.blockedRecvUs += d;
+            // Spread the interval over the idle-fraction windows.
+            int w0 = std::clamp(
+                static_cast<int>(iv.beginUs / out.windowUs), 0,
+                windows - 1);
+            int w1 = std::clamp(static_cast<int>(iv.endUs / out.windowUs),
+                                0, windows - 1);
+            for (int w = w0; w <= w1; ++w) {
+                double lo = std::max(iv.beginUs, w * out.windowUs);
+                double hi = std::min(iv.endUs, (w + 1) * out.windowUs);
+                if (hi > lo)
+                    wins[static_cast<std::size_t>(w)] += hi - lo;
+            }
+        }
+        for (double &w : wins)
+            w /= out.windowUs;
+        row.computeUs = std::max(0.0, runEnd - blockedTotal);
+        row.idleFraction = blockedTotal / runEnd;
+
+        std::vector<obs::RankInterval> comm = mergeSpans(rec.comm);
+        for (const obs::RankInterval &iv : comm)
+            row.commUs += iv.durationUs();
+
+        // Render timeline: blocked spans first (non-overlapping by
+        // construction), merged comm spans after, each capped.
+        auto &tl = out.timeline[static_cast<std::size_t>(r)];
+        std::size_t nb = std::min(rec.blocked.size(), cfg_.timelineCap);
+        std::size_t nc = std::min(comm.size(), cfg_.timelineCap);
+        out.timelineDropped +=
+            rec.blocked.size() - nb + comm.size() - nc;
+        tl.assign(rec.blocked.begin(),
+                  rec.blocked.begin() + static_cast<std::ptrdiff_t>(nb));
+        tl.insert(tl.end(), comm.begin(),
+                  comm.begin() + static_cast<std::ptrdiff_t>(nc));
+        std::stable_sort(
+            tl.begin(), tl.end(),
+            [](const obs::RankInterval &a, const obs::RankInterval &b) {
+                return a.beginUs < b.beginUs;
+            });
+    }
+
+    // Skew at synchronization markers: marker k across ranks is skew
+    // sample k; a rank leads (negative) or trails (positive) the mean.
+    std::size_t samples = std::numeric_limits<std::size_t>::max();
+    for (int r = 0; r < nranks; ++r)
+        samples = std::min(samples, tracker.record(r).markers.size());
+    if (samples == std::numeric_limits<std::size_t>::max())
+        samples = 0;
+    out.markerSamples = samples;
+    for (std::size_t k = 0; k < samples; ++k) {
+        double mean = 0.0;
+        for (int r = 0; r < nranks; ++r)
+            mean += tracker.record(r).markers[k];
+        mean /= nranks;
+        for (int r = 0; r < nranks; ++r) {
+            double skew = tracker.record(r).markers[k] - mean;
+            RankActivityRow &row =
+                out.ranks[static_cast<std::size_t>(r)];
+            row.meanSkewUs += skew;
+            row.maxAbsSkewUs =
+                std::max(row.maxAbsSkewUs, std::abs(skew));
+            out.maxAbsSkewUs =
+                std::max(out.maxAbsSkewUs, std::abs(skew));
+        }
+    }
+    if (samples > 0) {
+        for (RankActivityRow &row : out.ranks)
+            row.meanSkewUs /= static_cast<double>(samples);
+    }
+
+    // Idle-wave fronts: long blocked intervals whose start times march
+    // across consecutive neighboring ranks with strictly positive lag
+    // bounded by maxLagUs. Greedy earliest-match chaining, seeded in
+    // global front-time order (a wave's origin is its earliest front,
+    // wherever it sits in the fleet), is deterministic and never
+    // reuses a front for two waves.
+    std::vector<std::vector<FrontEvent>> fronts(
+        static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        for (const obs::RankInterval &iv : tracker.record(r).blocked) {
+            if (iv.durationUs() >= cfg_.minBlockedUs)
+                fronts[static_cast<std::size_t>(r)].push_back(
+                    {iv.beginUs, false});
+        }
+        std::sort(fronts[static_cast<std::size_t>(r)].begin(),
+                  fronts[static_cast<std::size_t>(r)].end(),
+                  [](const FrontEvent &a, const FrontEvent &b) {
+                      return a.tUs < b.tUs;
+                  });
+    }
+    auto chainFrom = [&](int rank, std::size_t idx, int dir) {
+        std::vector<std::pair<int, std::size_t>> chain{{rank, idx}};
+        double t = fronts[static_cast<std::size_t>(rank)][idx].tUs;
+        for (int nr = rank + dir; nr >= 0 && nr < nranks; nr += dir) {
+            auto &cand = fronts[static_cast<std::size_t>(nr)];
+            std::size_t pick = cand.size();
+            for (std::size_t i = 0; i < cand.size(); ++i) {
+                if (cand[i].used || cand[i].tUs <= t)
+                    continue;
+                if (cand[i].tUs - t > cfg_.maxLagUs)
+                    break;
+                pick = i;
+                break;
+            }
+            if (pick == cand.size())
+                break;
+            chain.emplace_back(nr, pick);
+            t = cand[pick].tUs;
+        }
+        return chain;
+    };
+    struct Seed
+    {
+        double tUs;
+        int rank;
+        std::size_t idx;
+    };
+    std::vector<Seed> seeds;
+    for (int r = 0; r < nranks; ++r) {
+        auto &evs = fronts[static_cast<std::size_t>(r)];
+        for (std::size_t i = 0; i < evs.size(); ++i)
+            seeds.push_back({evs[i].tUs, r, i});
+    }
+    std::sort(seeds.begin(), seeds.end(),
+              [](const Seed &a, const Seed &b) {
+                  if (a.tUs != b.tUs)
+                      return a.tUs < b.tUs;
+                  if (a.rank != b.rank)
+                      return a.rank < b.rank;
+                  return a.idx < b.idx;
+              });
+    for (int dir : {+1, -1}) {
+        for (const Seed &seed : seeds) {
+            if (fronts[static_cast<std::size_t>(seed.rank)][seed.idx]
+                    .used)
+                continue;
+            auto chain = chainFrom(seed.rank, seed.idx, dir);
+            if (static_cast<int>(chain.size()) < cfg_.minRanks)
+                continue;
+            IdleWave wave;
+            wave.rankBegin = chain.front().first;
+            wave.rankEnd = chain.back().first;
+            wave.extent = static_cast<int>(chain.size());
+            wave.direction = dir;
+            wave.tBeginUs =
+                fronts[static_cast<std::size_t>(
+                           chain.front().first)][chain.front().second]
+                    .tUs;
+            wave.tEndUs =
+                fronts[static_cast<std::size_t>(
+                           chain.back().first)][chain.back().second]
+                    .tUs;
+            double dt = wave.tEndUs - wave.tBeginUs;
+            if (dt > 0.0)
+                wave.speedRanksPerUs = (wave.extent - 1) / dt;
+            for (auto [cr, ci] : chain)
+                fronts[static_cast<std::size_t>(cr)][ci].used = true;
+            // Cross-reference with the detected phases (note: on the
+            // static strategy phase times come from the trace replay
+            // clock, which approximates the app clock).
+            for (const PhaseCharacterization &ph : phases) {
+                if (wave.tBeginUs >= ph.tBegin &&
+                    wave.tBeginUs < ph.tEnd) {
+                    wave.phase = ph.index;
+                    break;
+                }
+            }
+            out.waves.push_back(wave);
+        }
+    }
+    std::sort(out.waves.begin(), out.waves.end(),
+              [](const IdleWave &a, const IdleWave &b) {
+                  if (a.tBeginUs != b.tBeginUs)
+                      return a.tBeginUs < b.tBeginUs;
+                  return a.rankBegin < b.rankBegin;
+              });
+    return out;
+}
+
+void
+publishRankMetrics(obs::MetricsRegistry &registry,
+                   const RankActivitySummary &summary)
+{
+    std::uint64_t intervals = 0;
+    std::uint64_t markers = 0;
+    double idleMax = 0.0;
+    double idleSum = 0.0;
+    for (const RankActivityRow &row : summary.ranks) {
+        intervals += row.blockedIntervals;
+        markers += row.markers;
+        idleMax = std::max(idleMax, row.idleFraction);
+        idleSum += row.idleFraction;
+    }
+    registry.counter("rank.blocked_intervals").add(intervals);
+    registry.counter("rank.markers").add(markers);
+    registry.counter("rank.waves")
+        .add(static_cast<std::uint64_t>(summary.waves.size()));
+    registry.counter("rank.dropped").add(summary.droppedRecords);
+    registry.gauge("rank.skew_max_us").set(summary.maxAbsSkewUs);
+    registry.gauge("rank.idle_fraction_max").set(idleMax);
+    registry.gauge("rank.idle_fraction_mean")
+        .set(summary.ranks.empty()
+                 ? 0.0
+                 : idleSum / static_cast<double>(summary.ranks.size()));
+    double speedMax = 0.0;
+    for (const IdleWave &w : summary.waves)
+        speedMax = std::max(speedMax, w.speedRanksPerUs);
+    registry.gauge("rank.wave_speed_max").set(speedMax);
 }
 
 } // namespace cchar::core

@@ -164,6 +164,57 @@ class BandwidthAnalyzer
     static double peakToMean(const std::vector<double> &profile);
 };
 
+/** Detection parameters of the RankActivityAnalyzer. */
+struct RankActivityConfig
+{
+    /**
+     * Blocked intervals shorter than this never join an idle wave.
+     * The default sits well above the per-message software overhead
+     * (~73 us for control messages), so routine recv waits in a
+     * healthy run do not register as fronts while fault-induced
+     * stalls (typically >= 1 ms) do.
+     */
+    double minBlockedUs = 300.0;
+    /** Maximum front lag between neighboring ranks (us). */
+    double maxLagUs = 2000.0;
+    /** Minimum ranks a front must traverse to count as a wave. */
+    int minRanks = 3;
+    /** Idle-fraction windows over the run. */
+    int idleWindows = 24;
+    /** Rendered timeline spans kept per rank (totals stay exact). */
+    std::size_t timelineCap = 512;
+};
+
+/**
+ * Derives the desynchronization view from a RankActivityTracker:
+ * per-rank time decomposition (compute / blocked-send / blocked-recv /
+ * merged in-network time), skew at synchronization markers, windowed
+ * idle fractions, and idle-wave fronts propagating across neighboring
+ * ranks. Waves are cross-referenced against the detected phases by
+ * start time.
+ */
+class RankActivityAnalyzer
+{
+  public:
+    explicit RankActivityAnalyzer(RankActivityConfig cfg = {})
+        : cfg_(cfg)
+    {}
+
+    RankActivitySummary
+    analyze(const obs::RankActivityTracker &tracker,
+            const std::vector<PhaseCharacterization> &phases = {}) const;
+
+  private:
+    RankActivityConfig cfg_;
+};
+
+/**
+ * Register the rank.* metric family from an analyzed summary. Called
+ * only on --rank-activity runs so a default metrics dump is unchanged.
+ */
+void publishRankMetrics(obs::MetricsRegistry &registry,
+                        const RankActivitySummary &summary);
+
 } // namespace cchar::core
 
 #endif // CCHAR_CORE_ANALYZERS_HH

@@ -127,6 +127,42 @@ CharacterizationReport::print(std::ostream &os) const
            << std::setprecision(6) << resilience.plannedLinkDowntimeUs
            << "us\n";
     }
+
+    if (rankActivity.enabled) {
+        const RankActivitySummary &ra = rankActivity;
+        os << "-- Rank activity (desynchronization) --\n";
+        os << "  runEnd=" << std::setprecision(6) << ra.runEndUs
+           << "us skewSamples=" << ra.markerSamples
+           << " maxAbsSkew=" << std::setprecision(4) << ra.maxAbsSkewUs
+           << "us waves=" << ra.waves.size() << "\n";
+        for (const auto &row : ra.ranks) {
+            os << "  p" << row.rank << ": compute="
+               << std::setprecision(6) << row.computeUs
+               << "us blockedSend=" << row.blockedSendUs
+               << "us blockedRecv=" << row.blockedRecvUs
+               << "us comm=" << row.commUs << "us idle="
+               << std::setprecision(3) << row.idleFraction
+               << " skew mean=" << std::setprecision(4)
+               << row.meanSkewUs << "us max=" << row.maxAbsSkewUs
+               << "us\n";
+        }
+        for (std::size_t i = 0; i < ra.waves.size(); ++i) {
+            const IdleWave &w = ra.waves[i];
+            os << "  wave " << i << ": ranks " << w.rankBegin << "->"
+               << w.rankEnd << " (extent " << w.extent << ", "
+               << (w.direction > 0 ? "up" : "down") << ") over ["
+               << std::setprecision(6) << w.tBeginUs << "us, "
+               << w.tEndUs << "us] speed=" << std::setprecision(4)
+               << w.speedRanksPerUs << " ranks/us";
+            if (w.phase >= 0)
+                os << " phase=" << w.phase;
+            os << "\n";
+        }
+        if (ra.droppedRecords > 0) {
+            os << "  warning: " << ra.droppedRecords
+               << " activity records dropped (tracker capacity)\n";
+        }
+    }
 }
 
 namespace {
@@ -272,6 +308,62 @@ CharacterizationReport::writeJson(std::ostream &os) const
            << resilience.traceRecordsSkipped
            << ",\"plannedLinkDowntimeUs\":"
            << resilience.plannedLinkDowntimeUs << "}";
+    }
+
+    // Emitted only for --rank-activity runs: a report without the
+    // flag renders byte-identically to earlier versions.
+    if (rankActivity.enabled) {
+        const RankActivitySummary &ra = rankActivity;
+        os << ",\"rankActivity\":{\"runEndUs\":" << ra.runEndUs
+           << ",\"markerSamples\":" << ra.markerSamples
+           << ",\"maxAbsSkewUs\":" << ra.maxAbsSkewUs
+           << ",\"droppedRecords\":" << ra.droppedRecords
+           << ",\"windowUs\":" << ra.windowUs << ",\"ranks\":[";
+        for (std::size_t i = 0; i < ra.ranks.size(); ++i) {
+            const RankActivityRow &row = ra.ranks[i];
+            if (i)
+                os << ",";
+            os << "{\"rank\":" << row.rank << ",\"computeUs\":"
+               << row.computeUs << ",\"blockedSendUs\":"
+               << row.blockedSendUs << ",\"blockedRecvUs\":"
+               << row.blockedRecvUs << ",\"commUs\":" << row.commUs
+               << ",\"idleFraction\":" << row.idleFraction
+               << ",\"meanSkewUs\":" << row.meanSkewUs
+               << ",\"maxAbsSkewUs\":" << row.maxAbsSkewUs
+               << ",\"blockedIntervals\":" << row.blockedIntervals
+               << ",\"markers\":" << row.markers << ",\"idleWindows\":[";
+            if (i < ra.idleWindows.size()) {
+                const auto &wins = ra.idleWindows[i];
+                for (std::size_t w = 0; w < wins.size(); ++w)
+                    os << (w ? "," : "") << wins[w];
+            }
+            os << "],\"timeline\":[";
+            if (i < ra.timeline.size()) {
+                const auto &tl = ra.timeline[i];
+                for (std::size_t t = 0; t < tl.size(); ++t) {
+                    if (t)
+                        os << ",";
+                    os << "{\"state\":";
+                    jsonString(os, obs::rankStateName(tl[t].state));
+                    os << ",\"beginUs\":" << tl[t].beginUs
+                       << ",\"endUs\":" << tl[t].endUs << "}";
+                }
+            }
+            os << "]}";
+        }
+        os << "],\"waves\":[";
+        for (std::size_t i = 0; i < ra.waves.size(); ++i) {
+            const IdleWave &w = ra.waves[i];
+            if (i)
+                os << ",";
+            os << "{\"tBeginUs\":" << w.tBeginUs << ",\"tEndUs\":"
+               << w.tEndUs << ",\"rankBegin\":" << w.rankBegin
+               << ",\"rankEnd\":" << w.rankEnd << ",\"extent\":"
+               << w.extent << ",\"direction\":" << w.direction
+               << ",\"speedRanksPerUs\":" << w.speedRanksPerUs
+               << ",\"phase\":" << w.phase << "}";
+        }
+        os << "],\"timelineDropped\":" << ra.timelineDropped << "}";
     }
     os << "}\n";
 }

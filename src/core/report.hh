@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mesh/mesh.hh"
+#include "obs/rank_activity.hh"
 #include "patterns.hh"
 #include "stats/stats.hh"
 #include "trace/record.hh"
@@ -114,6 +115,78 @@ struct ResilienceSummary
     double plannedLinkDowntimeUs = 0.0;
 };
 
+/** One rank's activity totals and skew statistics. */
+struct RankActivityRow
+{
+    int rank = 0;
+    /** Time not inside any blocking primitive (us). */
+    double computeUs = 0.0;
+    double blockedSendUs = 0.0;
+    double blockedRecvUs = 0.0;
+    /** Merged in-network time of packets sourced by the rank (us). */
+    double commUs = 0.0;
+    /** Blocked (send + recv) time over the run duration. */
+    double idleFraction = 0.0;
+    /** Signed mean deviation from mean progress at markers (us). */
+    double meanSkewUs = 0.0;
+    double maxAbsSkewUs = 0.0;
+    std::size_t blockedIntervals = 0;
+    std::size_t markers = 0;
+};
+
+/**
+ * One idle wave: a front of long blocked intervals starting on
+ * consecutive neighboring ranks at strictly increasing times — the
+ * propagating signature of a localized slowdown (arXiv 2205.13963).
+ */
+struct IdleWave
+{
+    /** Front arrival at the first / last rank of the chain (us). */
+    double tBeginUs = 0.0;
+    double tEndUs = 0.0;
+    int rankBegin = 0;
+    int rankEnd = 0;
+    /** Ranks the front traversed (chain length). */
+    int extent = 0;
+    /** +1 = toward higher ranks, -1 = toward lower. */
+    int direction = 1;
+    double speedRanksPerUs = 0.0;
+    /** Index of the detected phase containing tBegin, or -1. */
+    int phase = -1;
+};
+
+/**
+ * Per-rank activity, desynchronization and idle-wave analysis. Only
+ * rendered (text, JSON, HTML) when enabled — reports without
+ * --rank-activity are unchanged.
+ */
+struct RankActivitySummary
+{
+    /** True when the run was tracked with --rank-activity. */
+    bool enabled = false;
+    /** Analysis horizon: end of the tracked run (us). */
+    double runEndUs = 0.0;
+    /** Skew samples used (min marker count across ranks). */
+    std::size_t markerSamples = 0;
+    /** Fleet-wide worst |skew| over all markers and ranks (us). */
+    double maxAbsSkewUs = 0.0;
+    /** Facts lost to tracker capacity limits. */
+    std::uint64_t droppedRecords = 0;
+    std::vector<RankActivityRow> ranks;
+    std::vector<IdleWave> waves;
+    /**
+     * Bounded per-rank render timeline: blocked intervals plus merged
+     * comm spans, by begin time. Totals above are exact even when the
+     * timeline is truncated (timelineDropped counts the cut spans).
+     */
+    std::vector<std::vector<obs::RankInterval>> timeline;
+    std::size_t timelineDropped = 0;
+    /** Idle fraction per rank per analysis window (ranks x windows). */
+    std::vector<std::vector<double>> idleWindows;
+    /** Width of one idle-fraction window (us). */
+    double windowUs = 0.0;
+};
+
 /** Acquisition strategy used for the run. */
 enum class Strategy
 {
@@ -156,6 +229,8 @@ struct CharacterizationReport
     std::vector<PhaseCharacterization> phases;
     /** Fault activity and recovery (rendered only when enabled). */
     ResilienceSummary resilience;
+    /** Per-rank activity and desync (rendered only when enabled). */
+    RankActivitySummary rankActivity;
 
     /** Paper-style multi-section text rendering. */
     void print(std::ostream &os) const;

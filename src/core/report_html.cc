@@ -586,6 +586,135 @@ writeResilience(std::ostream &os, const CharacterizationReport &r)
     }
 }
 
+void
+writeRankActivity(std::ostream &os, const CharacterizationReport &r)
+{
+    const RankActivitySummary &ra = r.rankActivity;
+    if (!ra.enabled)
+        return;
+    os << "<h2>Rank activity</h2>\n";
+    int n = static_cast<int>(ra.ranks.size());
+    if (n == 0 || ra.runEndUs <= 0.0) {
+        os << "<p class=\"muted\">No rank activity was recorded.</p>\n";
+        return;
+    }
+    double tMax = ra.runEndUs;
+
+    // Per-rank Gantt: one lane per rank; blocked spans drawn over a
+    // neutral compute background, merged in-network spans as a thin
+    // strip under the lane.
+    const double w = 720.0, ox = 30.0;
+    const double laneH = 14.0, commH = 3.0, pitch = laneH + commH + 6.0;
+    double h = n * pitch + 16.0;
+    auto x = [&](double t) { return ox + t / tMax * (w - ox); };
+    os << "<svg viewBox=\"0 0 " << w << ' ' << fmt(h, 6)
+       << "\" role=\"img\" aria-label=\"per-rank activity "
+          "timeline\">\n";
+    for (int rk = 0; rk < n; ++rk) {
+        double y0 = rk * pitch;
+        os << "<text x=\"" << fmt(ox - 4.0, 6) << "\" y=\""
+           << fmt(y0 + laneH - 3.0, 6)
+           << "\" text-anchor=\"end\" class=\"muted\">" << rk
+           << "</text>\n";
+        os << "<rect x=\"" << fmt(ox, 6) << "\" y=\"" << fmt(y0, 6)
+           << "\" width=\"" << fmt(w - ox, 6) << "\" height=\""
+           << laneH << "\" rx=\"2\" fill=\"var(--card)\"/>\n";
+        if (rk >= static_cast<int>(ra.timeline.size()))
+            continue;
+        for (const obs::RankInterval &iv :
+             ra.timeline[static_cast<std::size_t>(rk)]) {
+            bool comm = iv.state == obs::RankState::Comm;
+            double bx = x(iv.beginUs);
+            double bw =
+                std::max(iv.durationUs() / tMax * (w - ox), 0.6);
+            const char *slot =
+                iv.state == obs::RankState::BlockedSend
+                    ? "2"
+                    : (comm ? "3" : "1");
+            os << "<rect x=\"" << fmt(bx, 6) << "\" y=\""
+               << fmt(comm ? y0 + laneH + 1.0 : y0, 6)
+               << "\" width=\"" << fmt(bw, 6) << "\" height=\""
+               << (comm ? commH : laneH)
+               << "\" fill=\"var(--cat-" << slot << ")\"><title>p"
+               << rk << ' ' << obs::rankStateName(iv.state) << ' '
+               << fmt(iv.beginUs, 6) << "-" << fmt(iv.endUs, 6)
+               << " us (" << fmt(iv.durationUs(), 4)
+               << " us)</title></rect>\n";
+        }
+    }
+    // Idle-wave fronts as dashed trajectories across the lanes.
+    for (const IdleWave &wv : ra.waves) {
+        os << "<line x1=\"" << fmt(x(wv.tBeginUs), 6) << "\" y1=\""
+           << fmt(wv.rankBegin * pitch + laneH / 2.0, 6)
+           << "\" x2=\"" << fmt(x(wv.tEndUs), 6) << "\" y2=\""
+           << fmt(wv.rankEnd * pitch + laneH / 2.0, 6)
+           << "\" stroke=\"var(--ink)\" stroke-width=\"1.5\" "
+              "stroke-dasharray=\"5 3\"><title>idle wave: ranks "
+           << wv.rankBegin << "&rarr;" << wv.rankEnd << ", "
+           << fmt(wv.speedRanksPerUs, 4)
+           << " ranks/us</title></line>\n";
+    }
+    os << "<text x=\"" << fmt(ox, 6) << "\" y=\"" << fmt(h - 4.0, 6)
+       << "\" class=\"muted\">0</text>\n<text x=\"" << w << "\" y=\""
+       << fmt(h - 4.0, 6) << "\" text-anchor=\"end\" class=\"muted\">"
+       << fmt(tMax, 6) << " us</text>\n</svg>\n";
+    os << "<p class=\"legend\">"
+          "<span><i style=\"background:var(--cat-1)\"></i>blocked "
+          "recv</span> "
+          "<span><i style=\"background:var(--cat-2)\"></i>blocked "
+          "send</span> "
+          "<span><i style=\"background:var(--cat-3)\"></i>in-network "
+          "(strip)</span> "
+          "<span>dashed line = idle-wave front</span></p>\n";
+    if (ra.timelineDropped > 0) {
+        os << "<p class=\"muted\">" << ra.timelineDropped
+           << " spans beyond the render cap are not drawn (totals "
+              "below stay exact).</p>\n";
+    }
+
+    os << "<h2>Desynchronization</h2>\n";
+    os << "<p class=\"muted\">" << ra.markerSamples
+       << " skew samples (barrier markers), worst |skew| "
+       << fmt(ra.maxAbsSkewUs, 4) << " us, " << ra.waves.size()
+       << " idle wave" << (ra.waves.size() == 1 ? "" : "s")
+       << " detected</p>\n";
+    os << "<table>\n<tr><th>rank</th><td>compute (us)</td>"
+          "<td>blocked send (us)</td><td>blocked recv (us)</td>"
+          "<td>in-network (us)</td><td>idle fraction</td>"
+          "<td>mean skew (us)</td><td>max |skew| (us)</td></tr>\n";
+    for (const RankActivityRow &row : ra.ranks) {
+        os << "<tr><th>" << row.rank << "</th><td>"
+           << fmt(row.computeUs, 6) << "</td><td>"
+           << fmt(row.blockedSendUs, 6) << "</td><td>"
+           << fmt(row.blockedRecvUs, 6) << "</td><td>"
+           << fmt(row.commUs, 6) << "</td><td>"
+           << fmt(row.idleFraction, 3) << "</td><td>"
+           << fmt(row.meanSkewUs, 4) << "</td><td>"
+           << fmt(row.maxAbsSkewUs, 4) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+    if (!ra.waves.empty()) {
+        os << "<table>\n<tr><th>wave</th><td>ranks</td>"
+              "<td>direction</td><td>t begin (us)</td>"
+              "<td>t end (us)</td><td>extent</td>"
+              "<td>speed (ranks/us)</td><td>phase</td></tr>\n";
+        for (std::size_t i = 0; i < ra.waves.size(); ++i) {
+            const IdleWave &wv = ra.waves[i];
+            os << "<tr><th>" << i << "</th><td>" << wv.rankBegin
+               << "&rarr;" << wv.rankEnd << "</td><td>"
+               << (wv.direction > 0 ? "up" : "down") << "</td><td>"
+               << fmt(wv.tBeginUs, 6) << "</td><td>"
+               << fmt(wv.tEndUs, 6) << "</td><td>" << wv.extent
+               << "</td><td>" << fmt(wv.speedRanksPerUs, 4)
+               << "</td><td>"
+               << (wv.phase >= 0 ? std::to_string(wv.phase)
+                                 : std::string{"-"})
+               << "</td></tr>\n";
+        }
+        os << "</table>\n";
+    }
+}
+
 } // namespace
 
 void
@@ -618,6 +747,7 @@ writeHtmlReport(std::ostream &os, const HtmlReportInputs &inputs)
     writeTelemetry(os, r, inputs.sampler);
     writeFlowStats(os, inputs.flows);
     writeResilience(os, r);
+    writeRankActivity(os, r);
 
     if (inputs.registry) {
         os << "<h2>Metrics snapshot</h2>\n"

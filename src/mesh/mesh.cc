@@ -94,6 +94,7 @@ MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
     }
     tracer_ = obs::tracer();
     flows_ = obs::flows();
+    activity_ = obs::rankActivity();
     if (tracer_) {
         routerLane_.reserve(static_cast<std::size_t>(n));
         for (int node = 0; node < n; ++node)
@@ -427,6 +428,11 @@ MeshNetwork::transfer(Packet pkt)
         flows_->onInject(pkt.flow, rec.injectTime);
         flows_->onDeliver(pkt.flow, rec.deliverTime, rec.hops, queueWait,
                           stallSum);
+    }
+    if (activity_) {
+        // In-network span attributed to the source rank; overlapping
+        // spans are merged by the rank-activity analyzer.
+        activity_->noteComm(pkt.src, rec.injectTime, rec.deliverTime);
     }
     if (tracer_) {
         // Injection-to-delivery flight span on the source router lane.

@@ -249,6 +249,8 @@ class MeshNetwork
     obs::Histogram transitHist_;
     obs::Tracer *tracer_ = nullptr;
     obs::FlowTracker *flows_ = nullptr;
+    /** Per-rank activity sink: in-network spans by source rank. */
+    obs::RankActivityTracker *activity_ = nullptr;
     /** Tracer lane of each router (tracer_ != nullptr only). */
     std::vector<int> routerLane_;
     int msgName_ = 0;

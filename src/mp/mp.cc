@@ -29,6 +29,7 @@ MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
         }
     }
     flows_ = obs::flows();
+    activity_ = obs::rankActivity();
     for (int r = 0; r < cfg_.nranks(); ++r)
         sim_->spawn(dispatcher(r), "mp-dispatcher-" + std::to_string(r));
 }
@@ -256,6 +257,14 @@ MpContext::sendInternal(int dst, int bytes, int tag,
                                       bytes, now);
     }
 
+    // The blocked-send span covers everything that suspends the rank:
+    // the sender-side overhead delay and, in fault mode, the reliable
+    // transmit with its retransmission waits.
+    if (world_->activity_) {
+        world_->activity_->beginBlocked(rank_, obs::RankState::BlockedSend,
+                                        now);
+    }
+
     // Sender's share of the SP2 software overhead.
     const MpConfig &cfg = world_->config();
     co_await world_->sim().delay(cfg.sendFraction * cfg.overhead(bytes));
@@ -280,6 +289,8 @@ MpContext::sendInternal(int dst, int bytes, int tag,
     world_->sendCtr_.add(1);
     world_->bytesSentCtr_.add(static_cast<std::uint64_t>(bytes));
     state.lastActivity = world_->sim().now();
+    if (world_->activity_)
+        world_->activity_->endBlocked(rank_, state.lastActivity);
 }
 
 desim::Task<int>
@@ -291,6 +302,12 @@ MpContext::recvInternal(int src, int tag)
         throw std::invalid_argument("mp: source out of range");
 
     auto &state = world_->ranks_[static_cast<std::size_t>(rank_)];
+    // The blocked-recv span covers the wait for the message (if it has
+    // not already arrived) plus the receiver-side overhead delay.
+    if (world_->activity_) {
+        world_->activity_->beginBlocked(rank_, obs::RankState::BlockedRecv,
+                                        world_->sim().now());
+    }
     auto key = std::make_pair(src, tag);
     std::int32_t bytes = 0;
     auto ait = state.arrived.find(key);
@@ -308,6 +325,8 @@ MpContext::recvInternal(int src, int tag)
                                  cfg.overhead(bytes));
     world_->recvCtr_.add(1);
     state.lastActivity = world_->sim().now();
+    if (world_->activity_)
+        world_->activity_->endBlocked(rank_, state.lastActivity);
     co_return bytes;
 }
 
@@ -334,6 +353,11 @@ MpContext::sendrecv(int dst, int send_bytes, int src, int tag)
 desim::Task<void>
 MpContext::barrier()
 {
+    // Barrier entry is the per-rank synchronization marker: marker k
+    // across all ranks defines skew sample k in the rank-activity
+    // analysis.
+    if (world_->activity_)
+        world_->activity_->noteMarker(rank_, world_->sim().now());
     int p = size();
     for (int dist = 1; dist < p; dist *= 2) {
         int to = (rank_ + dist) % p;

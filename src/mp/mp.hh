@@ -203,6 +203,8 @@ class MpWorld
     obs::Counter ackCtr_;
     obs::Histogram backoffHist_;
     obs::FlowTracker *flows_ = nullptr;
+    /** Per-rank activity sink (blocked spans + barrier markers). */
+    obs::RankActivityTracker *activity_ = nullptr;
 };
 
 /** Per-rank communication interface handed to application code. */

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs.hh"
+
 namespace cchar::obs {
 
 FlowTracker::FlowTracker(std::size_t capacity, std::uint64_t stride)
@@ -54,10 +56,17 @@ FlowTracker::onDeliver(std::uint64_t id, double t, std::int32_t hops,
     rec.queueWait = queue_wait;
     rec.stallWait = stall_wait;
     ++completed_;
-    if (records_.size() < capacity_)
+    if (records_.size() < capacity_) {
         records_.push_back(rec);
-    else
+    } else {
         ++droppedRecords_;
+        if (!droppedMetricResolved_) {
+            droppedMetricResolved_ = true;
+            if (MetricsRegistry *reg = metrics())
+                droppedMetric_ = reg->counter("flow.dropped");
+        }
+        droppedMetric_.add();
+    }
 }
 
 void

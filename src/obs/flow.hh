@@ -38,6 +38,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "registry.hh"
+
 namespace cchar::obs {
 
 /** Completed lifecycle of one message. */
@@ -139,6 +141,14 @@ class FlowTracker
     std::uint64_t completed_ = 0;
     std::uint64_t droppedRecords_ = 0;
     std::size_t capacity_;
+    /**
+     * "flow.dropped" counter, resolved from the ambient registry on
+     * the first overflow rather than at construction: drivers build
+     * the tracker before installing their sinks, and the drop path is
+     * cold by definition.
+     */
+    Counter droppedMetric_;
+    bool droppedMetricResolved_ = false;
     std::vector<FlowRecord> records_;
     /** Generated-but-undelivered flows (bounded by in-flight count). */
     std::unordered_map<std::uint64_t, FlowRecord> open_;

@@ -11,6 +11,7 @@ namespace {
 thread_local MetricsRegistry *g_metrics = nullptr;
 thread_local Tracer *g_tracer = nullptr;
 thread_local FlowTracker *g_flows = nullptr;
+thread_local RankActivityTracker *g_rankActivity = nullptr;
 
 } // namespace
 
@@ -60,6 +61,22 @@ void
 setFlows(FlowTracker *tracker)
 {
     g_flows = tracker;
+}
+
+RankActivityTracker *
+rankActivity()
+{
+#ifndef CCHAR_OBS_DISABLED
+    return g_rankActivity;
+#else
+    return nullptr;
+#endif
+}
+
+void
+setRankActivity(RankActivityTracker *tracker)
+{
+    g_rankActivity = tracker;
 }
 
 void

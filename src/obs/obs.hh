@@ -36,6 +36,7 @@
 
 #include "flow.hh"
 #include "phases.hh"
+#include "rank_activity.hh"
 #include "registry.hh"
 #include "sampler.hh"
 #include "tracer.hh"
@@ -51,6 +52,9 @@ Tracer *tracer();
 /** Currently installed flow-tracking sink, or nullptr (disabled). */
 FlowTracker *flows();
 
+/** Currently installed rank-activity sink, or nullptr (disabled). */
+RankActivityTracker *rankActivity();
+
 /** Install (or with nullptr, remove) this thread's metrics sink. */
 void setMetrics(MetricsRegistry *registry);
 
@@ -59,6 +63,9 @@ void setTracer(Tracer *tracer);
 
 /** Install (or with nullptr, remove) this thread's flow sink. */
 void setFlows(FlowTracker *tracker);
+
+/** Install (or with nullptr, remove) this thread's rank-activity sink. */
+void setRankActivity(RankActivityTracker *tracker);
 
 /**
  * Publish the side sinks' own health into a registry snapshot:
@@ -79,13 +86,15 @@ class ScopedObservability
   public:
     explicit ScopedObservability(MetricsRegistry *registry,
                                  Tracer *trace = nullptr,
-                                 FlowTracker *flow = nullptr)
+                                 FlowTracker *flow = nullptr,
+                                 RankActivityTracker *activity = nullptr)
         : prevMetrics_(metrics()), prevTracer_(tracer()),
-          prevFlows_(flows())
+          prevFlows_(flows()), prevActivity_(rankActivity())
     {
         setMetrics(registry);
         setTracer(trace);
         setFlows(flow);
+        setRankActivity(activity);
     }
 
     ScopedObservability(const ScopedObservability &) = delete;
@@ -96,12 +105,37 @@ class ScopedObservability
         setMetrics(prevMetrics_);
         setTracer(prevTracer_);
         setFlows(prevFlows_);
+        setRankActivity(prevActivity_);
     }
 
   private:
     MetricsRegistry *prevMetrics_;
     Tracer *prevTracer_;
     FlowTracker *prevFlows_;
+    RankActivityTracker *prevActivity_;
+};
+
+/**
+ * RAII installer for the rank-activity sink alone. Used to detach the
+ * tracker around a trace replay (which rebuilds the network and would
+ * otherwise double-count comm spans) without touching the other sinks.
+ */
+class ScopedRankActivity
+{
+  public:
+    explicit ScopedRankActivity(RankActivityTracker *tracker)
+        : prev_(rankActivity())
+    {
+        setRankActivity(tracker);
+    }
+
+    ScopedRankActivity(const ScopedRankActivity &) = delete;
+    ScopedRankActivity &operator=(const ScopedRankActivity &) = delete;
+
+    ~ScopedRankActivity() { setRankActivity(prev_); }
+
+  private:
+    RankActivityTracker *prev_;
 };
 
 } // namespace cchar::obs

@@ -1,0 +1,130 @@
+#include "rank_activity.hh"
+
+#include <algorithm>
+
+namespace cchar::obs {
+
+const char *
+rankStateName(RankState s)
+{
+    switch (s) {
+    case RankState::Compute:
+        return "compute";
+    case RankState::BlockedSend:
+        return "blocked_send";
+    case RankState::BlockedRecv:
+        return "blocked_recv";
+    case RankState::Comm:
+        return "comm";
+    }
+    return "?";
+}
+
+RankActivityTracker::RankActivityTracker(std::size_t maxIntervalsPerRank,
+                                         std::size_t maxMarkersPerRank)
+    : maxIntervals_(maxIntervalsPerRank), maxMarkers_(maxMarkersPerRank)
+{
+}
+
+RankRecord &
+RankActivityTracker::ensure(int rank)
+{
+    if (rank >= static_cast<int>(records_.size())) {
+        records_.resize(static_cast<std::size_t>(rank) + 1);
+        open_.resize(static_cast<std::size_t>(rank) + 1);
+    }
+    return records_[static_cast<std::size_t>(rank)];
+}
+
+void
+RankActivityTracker::beginBlocked(int rank, RankState state, double nowUs)
+{
+    if (rank < 0)
+        return;
+    ensure(rank);
+    OpenState &open = open_[static_cast<std::size_t>(rank)];
+    if (open.depth++ == 0) {
+        open.beginUs = nowUs;
+        open.state = state;
+    }
+    endUs_ = std::max(endUs_, nowUs);
+}
+
+void
+RankActivityTracker::endBlocked(int rank, double nowUs)
+{
+    if (rank < 0 || rank >= static_cast<int>(open_.size()))
+        return;
+    OpenState &open = open_[static_cast<std::size_t>(rank)];
+    if (open.depth == 0)
+        return; // unmatched end: instrumentation bug, stay safe
+    endUs_ = std::max(endUs_, nowUs);
+    if (--open.depth > 0)
+        return;
+    RankRecord &rec = records_[static_cast<std::size_t>(rank)];
+    if (rec.blocked.size() >= maxIntervals_) {
+        ++dropped_;
+        return;
+    }
+    rec.blocked.push_back({open.beginUs, nowUs, open.state});
+}
+
+void
+RankActivityTracker::noteComm(int rank, double beginUs, double endUs)
+{
+    if (rank < 0)
+        return;
+    RankRecord &rec = ensure(rank);
+    endUs_ = std::max(endUs_, endUs);
+    if (rec.comm.size() >= maxIntervals_) {
+        ++dropped_;
+        return;
+    }
+    rec.comm.push_back({beginUs, endUs, RankState::Comm});
+}
+
+void
+RankActivityTracker::noteMarker(int rank, double nowUs)
+{
+    if (rank < 0)
+        return;
+    RankRecord &rec = ensure(rank);
+    endUs_ = std::max(endUs_, nowUs);
+    if (rec.markers.size() >= maxMarkers_) {
+        ++dropped_;
+        return;
+    }
+    rec.markers.push_back(nowUs);
+}
+
+void
+RankActivityTracker::finish(double nowUs)
+{
+    endUs_ = std::max(endUs_, nowUs);
+    for (std::size_t rank = 0; rank < open_.size(); ++rank) {
+        OpenState &open = open_[rank];
+        if (open.depth == 0)
+            continue;
+        // A rank still blocked at the end of the run (deadlock, or the
+        // simulation drained first): close the span at the run end so
+        // the idle time is visible instead of silently vanishing.
+        open.depth = 0;
+        RankRecord &rec = records_[rank];
+        if (rec.blocked.size() >= maxIntervals_) {
+            ++dropped_;
+            continue;
+        }
+        rec.blocked.push_back({open.beginUs, endUs_, open.state});
+    }
+}
+
+std::size_t
+RankActivityTracker::blockedIntervals() const
+{
+    std::size_t n = 0;
+    for (const RankRecord &rec : records_)
+        n += rec.blocked.size();
+    return n;
+}
+
+} // namespace cchar::obs

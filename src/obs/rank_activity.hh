@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Per-rank activity timelines: who was computing, who was stuck, when.
+ *
+ * The aggregate analyzers (temporal/spatial/volume) say *what* ranks
+ * communicate; this sink records *when each rank falls out of step*.
+ * Instrumented layers report three kinds of facts, all in sim time:
+ *
+ *  - blocked intervals: a rank's program thread is inside a blocking
+ *    primitive (message send overhead + reliable-delivery waits,
+ *    receive waits, ccNUMA miss/lock/barrier stalls). Reported via
+ *    beginBlocked()/endBlocked(), which nest (only the outermost pair
+ *    defines the interval, classified by the outermost state).
+ *  - comm spans: a packet attributed to a source rank was in the
+ *    network (mesh inject -> deliver). These overlap each other and
+ *    the rank's own timeline; they are raw material for in-network
+ *    time, merged at analysis time.
+ *  - markers: the rank reached a synchronization point (barrier
+ *    entry). Marker k across all ranks defines the skew sample k.
+ *
+ * Anything not covered by a blocked interval counts as compute, so
+ * the instrumentation only has to mark the waits, never the work.
+ *
+ * Like every obs sink the tracker is ambient (obs::rankActivity()),
+ * resolved once at component construction, null when characterization
+ * is not requested — the default run records nothing and costs one
+ * null-check per blocking primitive. Storage is bounded per rank;
+ * overflow increments dropped() instead of growing without bound, so
+ * a pathological run degrades the timeline, not the process.
+ */
+
+#ifndef CCHAR_OBS_RANK_ACTIVITY_HH
+#define CCHAR_OBS_RANK_ACTIVITY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cchar::obs {
+
+/** What a rank was doing during a recorded interval. */
+enum class RankState : std::uint8_t {
+    Compute = 0,    ///< derived: any gap between blocked intervals
+    BlockedSend = 1,///< inside send overhead / reliable-delivery wait
+    BlockedRecv = 2,///< waiting for a message / line / lock / barrier
+    Comm = 3,       ///< packet from this rank in flight in the mesh
+};
+
+/** Printable lowercase name ("compute", "blocked_send", ...). */
+const char *rankStateName(RankState s);
+
+/** One contiguous [begin,end) span of a rank's timeline. */
+struct RankInterval
+{
+    double beginUs = 0.0;
+    double endUs = 0.0;
+    RankState state = RankState::Compute;
+
+    double durationUs() const { return endUs - beginUs; }
+};
+
+/** Recorded facts for one rank. */
+struct RankRecord
+{
+    /** Closed blocked intervals, in begin order (sim is causal). */
+    std::vector<RankInterval> blocked;
+    /** Raw in-network spans; overlapping, sorted by insertion. */
+    std::vector<RankInterval> comm;
+    /** Synchronization-marker times (barrier entries), in order. */
+    std::vector<double> markers;
+};
+
+class RankActivityTracker
+{
+  public:
+    /**
+     * @param maxIntervalsPerRank cap on stored blocked + comm spans
+     *        per rank (further reports only bump dropped()).
+     * @param maxMarkersPerRank   cap on stored markers per rank.
+     */
+    explicit RankActivityTracker(std::size_t maxIntervalsPerRank = 1 << 15,
+                                 std::size_t maxMarkersPerRank = 1 << 12);
+
+    /**
+     * Enter a blocking primitive on @p rank at time @p nowUs. Calls
+     * nest: only the outermost begin opens an interval, and its
+     * @p state labels the whole span.
+     */
+    void beginBlocked(int rank, RankState state, double nowUs);
+
+    /** Leave the innermost blocking primitive on @p rank. */
+    void endBlocked(int rank, double nowUs);
+
+    /** Record an in-network span for a packet sourced by @p rank. */
+    void noteComm(int rank, double beginUs, double endUs);
+
+    /** Record a synchronization marker (barrier entry) on @p rank. */
+    void noteMarker(int rank, double nowUs);
+
+    /**
+     * Close any still-open blocked interval at @p nowUs (end of run,
+     * or a deadlocked rank) and remember the run end for analysis.
+     */
+    void finish(double nowUs);
+
+    /** Number of ranks that reported at least one fact. */
+    int ranks() const { return static_cast<int>(records_.size()); }
+
+    /** Per-rank record (rank < ranks()). */
+    const RankRecord &record(int rank) const { return records_[rank]; }
+
+    /** Largest time seen (finish() time if called). */
+    double endUs() const { return endUs_; }
+
+    /** Facts discarded because a per-rank cap was hit. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Total stored blocked intervals across ranks. */
+    std::size_t blockedIntervals() const;
+
+  private:
+    RankRecord &ensure(int rank);
+
+    struct OpenState
+    {
+        int depth = 0;
+        double beginUs = 0.0;
+        RankState state = RankState::Compute;
+    };
+
+    std::size_t maxIntervals_;
+    std::size_t maxMarkers_;
+    std::vector<RankRecord> records_;
+    std::vector<OpenState> open_;
+    double endUs_ = 0.0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace cchar::obs
+
+#endif // CCHAR_OBS_RANK_ACTIVITY_HH

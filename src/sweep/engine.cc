@@ -1,7 +1,11 @@
 #include "engine.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <iostream>
+#include <limits>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -9,6 +13,7 @@
 
 #include "apps/registry.hh"
 #include "ccnuma/machine.hh"
+#include "core/analyzers.hh"
 #include "core/pipeline.hh"
 #include "core/replay.hh"
 #include "core/status.hh"
@@ -24,12 +29,25 @@ namespace cchar::sweep {
 namespace {
 
 /**
- * Gauges derived from wall-clock measurement. Everything else in a
+ * Gauges derived from wall-clock measurement (or from worker
+ * scheduling, which is just as nondeterministic). Everything else in a
  * job registry is a pure function of the job parameters; these are
  * zeroed after the merge so the aggregate report stays byte-identical
- * across worker counts and machines.
+ * across worker counts and machines. The sweep.worker.* family uses
+ * count-independent names for the same reason: per-worker-indexed
+ * names would change the key set with -j. Real values live in
+ * SweepResult::workerStats.
  */
-const char *const kWallClockGauges[] = {"desim.events_per_sec"};
+const char *const kWallClockGauges[] = {
+    "desim.events_per_sec",
+    "sweep.workers",
+    "sweep.worker.busy_fraction_mean",
+    "sweep.worker.busy_fraction_min",
+    "sweep.worker.busy_fraction_max",
+    "sweep.worker.jobs_mean",
+    "sweep.worker.jobs_min",
+    "sweep.worker.jobs_max",
+};
 
 void
 jsonEscape(std::ostream &os, const std::string &s)
@@ -120,6 +138,22 @@ fillOutcome(JobOutcome &out, const core::CharacterizationReport &report)
 }
 
 void
+fillRankActivity(JobOutcome &out, const core::RankActivitySummary &ra)
+{
+    out.skewMaxUs = ra.maxAbsSkewUs;
+    if (!ra.ranks.empty()) {
+        double sum = 0.0;
+        for (const core::RankActivityRow &row : ra.ranks)
+            sum += row.idleFraction;
+        out.idleFractionMean = sum / static_cast<double>(ra.ranks.size());
+    }
+    out.idleWaves = ra.waves.size();
+    for (const core::IdleWave &wave : ra.waves)
+        out.waveSpeedMax = std::max(out.waveSpeedMax,
+                                    wave.speedRanksPerUs);
+}
+
+void
 fillFaults(JobOutcome &out, const fault::FaultInjector &injector,
            std::uint64_t retransmits, std::uint64_t deliveryFailures)
 {
@@ -161,7 +195,10 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
 
     // Per-job isolation: this thread's ambient hooks point at sinks
     // owned by this frame for exactly the duration of the run.
-    obs::ScopedObservability obsScope{&registry};
+    obs::RankActivityTracker activity;
+    obs::ScopedObservability obsScope{&registry, nullptr, nullptr,
+                                      job.rankActivity ? &activity
+                                                       : nullptr};
     core::DiagnosticSink diagSink;
     core::ScopedDiagnostics diagScope{&diagSink};
 
@@ -203,6 +240,14 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
             fillOutcome(out, report);
             if (injector)
                 fillFaults(out, *injector, 0, 0);
+            if (job.rankActivity) {
+                activity.finish(sim.now());
+                core::RankActivitySummary ra =
+                    core::RankActivityAnalyzer{}.analyze(activity,
+                                                         report.phases);
+                fillRankActivity(out, ra);
+                core::publishRankMetrics(registry, ra);
+            }
         } else if (auto mpApp = apps::makeMessagePassingApp(job.app)) {
             mp::MpConfig cfg;
             cfg.mesh = mcfg;
@@ -219,6 +264,13 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
             world.run();
             bool verified = mpApp->verify();
             trace::Trace collected = world.collectedTrace();
+            if (job.rankActivity)
+                activity.finish(sim.now());
+
+            // Detach the tracker for the rest of the job: the replay
+            // rebuilds a MeshNetwork that would re-resolve the hook
+            // and double-count the comm spans already recorded live.
+            obs::ScopedRankActivity detachActivity{nullptr};
 
             core::ReplayOptions ropts;
             if (injector) {
@@ -239,6 +291,13 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
                                  core::Strategy::Static, net);
             report.verified = verified;
             fillOutcome(out, report);
+            if (job.rankActivity) {
+                core::RankActivitySummary ra =
+                    core::RankActivityAnalyzer{}.analyze(activity,
+                                                         report.phases);
+                fillRankActivity(out, ra);
+                core::publishRankMetrics(registry, ra);
+            }
             if (injector) {
                 fillFaults(out, *injector,
                            world.retransmits() + replayed.retransmits,
@@ -267,8 +326,10 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
 }
 
 SweepResult
-SweepEngine::run(int workers)
+SweepEngine::run(int workers, bool progress)
 {
+    using Clock = std::chrono::steady_clock;
+
     std::vector<SweepJob> jobs = spec_.expand();
 
     SweepResult result;
@@ -276,30 +337,95 @@ SweepEngine::run(int workers)
     std::vector<std::unique_ptr<obs::MetricsRegistry>> registries(
         jobs.size());
 
+    std::size_t pool = workers < 1 ? 1 : static_cast<std::size_t>(workers);
+    if (pool > jobs.size() && !jobs.empty())
+        pool = jobs.size();
+
+    struct WorkerClock
+    {
+        double busySeconds = 0.0;
+        std::uint64_t jobsCompleted = 0;
+    };
+    std::vector<WorkerClock> clocks(pool);
+
     std::atomic<std::size_t> next{0};
-    auto drain = [&] {
+    std::atomic<std::size_t> done{0};
+    auto drain = [&](std::size_t worker) {
         for (;;) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
+            Clock::time_point t0 = Clock::now();
             auto reg = std::make_unique<obs::MetricsRegistry>();
             result.outcomes[i] = runJob(jobs[i], *reg);
             registries[i] = std::move(reg);
+            clocks[worker].busySeconds +=
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            ++clocks[worker].jobsCompleted;
+            done.fetch_add(1, std::memory_order_release);
         }
     };
 
-    std::size_t pool = workers < 1 ? 1 : static_cast<std::size_t>(workers);
-    if (pool > jobs.size() && !jobs.empty())
-        pool = jobs.size();
+    Clock::time_point sweepStart = Clock::now();
+
+    // The reporter is pure stderr decoration: it never touches the
+    // outcomes, so it cannot perturb the deterministic merge below.
+    std::atomic<bool> reporterStop{false};
+    std::thread reporter;
+    if (progress && !jobs.empty()) {
+        reporter = std::thread([&] {
+            for (;;) {
+                std::size_t d = done.load(std::memory_order_acquire);
+                double elapsed = std::chrono::duration<double>(
+                                     Clock::now() - sweepStart)
+                                     .count();
+                std::ostringstream line;
+                line << "\rsweep: " << d << "/" << jobs.size()
+                     << " jobs";
+                if (d > 0 && d < jobs.size()) {
+                    double eta = elapsed *
+                                 static_cast<double>(jobs.size() - d) /
+                                 static_cast<double>(d);
+                    line.precision(1);
+                    line << ", eta " << std::fixed << eta << "s";
+                }
+                line << "   ";
+                std::cerr << line.str() << std::flush;
+                if (reporterStop.load(std::memory_order_acquire))
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+            }
+            std::cerr << "\n";
+        });
+    }
+
     if (pool <= 1) {
-        drain();
+        drain(0);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(pool);
         for (std::size_t i = 0; i < pool; ++i)
-            threads.emplace_back(drain);
+            threads.emplace_back(drain, i);
         for (std::thread &t : threads)
             t.join();
+    }
+
+    double wallSeconds =
+        std::chrono::duration<double>(Clock::now() - sweepStart).count();
+
+    if (reporter.joinable()) {
+        reporterStop.store(true, std::memory_order_release);
+        reporter.join();
+    }
+
+    result.workerStats.resize(pool);
+    for (std::size_t w = 0; w < pool; ++w) {
+        result.workerStats[w].busyFraction =
+            wallSeconds > 0.0
+                ? std::min(1.0, clocks[w].busySeconds / wallSeconds)
+                : 0.0;
+        result.workerStats[w].jobsCompleted = clocks[w].jobsCompleted;
     }
 
     // Merge strictly in job order: the fold is associative but the
@@ -309,6 +435,37 @@ SweepEngine::run(int workers)
     for (const auto &reg : registries) {
         if (reg)
             result.metrics->mergeFrom(*reg);
+    }
+
+    // Publish the worker view, then zero the whole wall-clock family:
+    // the keys document the schema while the values stay deterministic
+    // (workerStats carries the measurements to the CLI).
+    if (!result.workerStats.empty()) {
+        double bfMin = 1.0, bfMax = 0.0, bfSum = 0.0;
+        std::uint64_t jMin = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t jMax = 0, jSum = 0;
+        for (const WorkerStat &ws : result.workerStats) {
+            bfMin = std::min(bfMin, ws.busyFraction);
+            bfMax = std::max(bfMax, ws.busyFraction);
+            bfSum += ws.busyFraction;
+            jMin = std::min(jMin, ws.jobsCompleted);
+            jMax = std::max(jMax, ws.jobsCompleted);
+            jSum += ws.jobsCompleted;
+        }
+        double n = static_cast<double>(result.workerStats.size());
+        result.metrics->gauge("sweep.workers").set(n);
+        result.metrics->gauge("sweep.worker.busy_fraction_mean")
+            .set(bfSum / n);
+        result.metrics->gauge("sweep.worker.busy_fraction_min")
+            .set(bfMin);
+        result.metrics->gauge("sweep.worker.busy_fraction_max")
+            .set(bfMax);
+        result.metrics->gauge("sweep.worker.jobs_mean")
+            .set(static_cast<double>(jSum) / n);
+        result.metrics->gauge("sweep.worker.jobs_min")
+            .set(static_cast<double>(jMin));
+        result.metrics->gauge("sweep.worker.jobs_max")
+            .set(static_cast<double>(jMax));
     }
     for (const char *name : kWallClockGauges)
         result.metrics->gauge(name).set(0.0);
@@ -371,7 +528,15 @@ SweepResult::writeJson(std::ostream &os) const
            << ",\"retransmits\":" << o.retransmits
            << ",\"delivery_failures\":" << o.deliveryFailures
            << ",\"diag_warnings\":" << o.diagWarnings
-           << ",\"diag_errors\":" << o.diagErrors << "}";
+           << ",\"diag_errors\":" << o.diagErrors
+           << ",\"skew_max_us\":";
+        jsonNumber(os, o.skewMaxUs);
+        os << ",\"idle_fraction_mean\":";
+        jsonNumber(os, o.idleFractionMean);
+        os << ",\"idle_waves\":" << o.idleWaves
+           << ",\"wave_speed_max\":";
+        jsonNumber(os, o.waveSpeedMax);
+        os << "}";
     }
     os << "],\"failures\":" << failures() << ",\"metrics\":";
     if (metrics)
@@ -389,7 +554,8 @@ SweepResult::writeCsv(std::ostream &os) const
           "latency_max_us,contention_mean_us,makespan_us,"
           "avg_channel_utilization,max_channel_utilization,temporal_fit,"
           "spatial_pattern,dropped_packets,corrupted_packets,link_drops,"
-          "retransmits,delivery_failures,diag_warnings,diag_errors\n";
+          "retransmits,delivery_failures,diag_warnings,diag_errors,"
+          "skew_max_us,idle_fraction_mean,idle_waves,wave_speed_max\n";
     for (const JobOutcome &o : outcomes) {
         os << o.job.index << ",";
         csvField(os, o.job.app);
@@ -422,7 +588,13 @@ SweepResult::writeCsv(std::ostream &os) const
         os << "," << o.droppedPackets << "," << o.corruptedPackets << ","
            << o.linkDrops << "," << o.retransmits << ","
            << o.deliveryFailures << "," << o.diagWarnings << ","
-           << o.diagErrors << "\n";
+           << o.diagErrors << ",";
+        jsonNumber(os, o.skewMaxUs);
+        os << ",";
+        jsonNumber(os, o.idleFractionMean);
+        os << "," << o.idleWaves << ",";
+        jsonNumber(os, o.waveSpeedMax);
+        os << "\n";
     }
 }
 

@@ -75,7 +75,28 @@ struct JobOutcome
     std::uint64_t diagWarnings = 0;
     std::uint64_t diagErrors = 0;
 
+    // Desynchronization aggregates (all zero unless the job ran with
+    // rank-activity tracking; columns are always present so the report
+    // schema does not depend on the flag).
+    double skewMaxUs = 0.0;
+    double idleFractionMean = 0.0;
+    std::uint64_t idleWaves = 0;
+    double waveSpeedMax = 0.0;
+
     bool ok() const { return status == "ok"; }
+};
+
+/**
+ * Wall-clock view of one worker thread: fraction of the sweep's wall
+ * time it spent inside jobs, and how many jobs it drained. Scheduling-
+ * dependent by nature, so it never enters the serialized report — the
+ * matching sweep.worker.* gauges are zeroed after the merge, and the
+ * real values only reach stderr (see cmdSweep).
+ */
+struct WorkerStat
+{
+    double busyFraction = 0.0;
+    std::uint64_t jobsCompleted = 0;
 };
 
 /** Aggregate result of a sweep run, merged in job order. */
@@ -84,6 +105,8 @@ struct SweepResult
     std::vector<JobOutcome> outcomes;
     /** Per-job registries folded together (see MetricsRegistry::mergeFrom). */
     std::unique_ptr<obs::MetricsRegistry> metrics;
+    /** One entry per worker of the pool that ran the sweep. */
+    std::vector<WorkerStat> workerStats;
 
     std::size_t failures() const;
 
@@ -103,12 +126,13 @@ class SweepEngine
     /**
      * Expand the matrix and run every job.
      *
-     * @param workers Worker threads (clamped to [1, jobs]).
+     * @param workers  Worker threads (clamped to [1, jobs]).
+     * @param progress Emit a live done/total + ETA line on stderr.
      * @throws core::CCharError(UsageError) for an invalid spec.
      *         Individual job failures never throw; they are recorded
      *         in the corresponding outcome.
      */
-    SweepResult run(int workers);
+    SweepResult run(int workers, bool progress = false);
 
     /** Run one job in the calling thread (used by workers and tests). */
     static JobOutcome runJob(const SweepJob &job,

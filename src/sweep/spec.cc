@@ -139,6 +139,7 @@ SweepSpec::expand() const
                         job.load = load;
                         job.seed = seed;
                         job.faultPlan = plan == "none" ? "" : plan;
+                        job.rankActivity = rankActivity;
                         jobs.push_back(std::move(job));
                     }
                 }
@@ -227,6 +228,8 @@ SweepSpec::fromJson(const std::string &text)
                 spec.torus = js.readBool();
             } else if (key == "vcs") {
                 spec.vcs = static_cast<int>(js.readNumber());
+            } else if (key == "rank_activity") {
+                spec.rankActivity = js.readBool();
             } else {
                 js.fail("unknown spec key '" + key + "'");
             }

@@ -28,7 +28,7 @@
  *   {"apps": ["is", "sor"], "procs": [4, 16],
  *    "loads": [1.0, 2.0], "seeds": [1, 2],
  *    "fault_plans": ["none", "drop:p=0.001"],
- *    "torus": false, "vcs": 1}
+ *    "torus": false, "vcs": 1, "rank_activity": false}
  *
  * (restricted schema, same no-external-parser discipline as the fault
  * plan JSON form).
@@ -59,6 +59,8 @@ struct SweepJob
     std::uint64_t seed = 0;
     /** Fault-plan spec ("" = healthy). */
     std::string faultPlan;
+    /** Track per-rank activity and report desync aggregates. */
+    bool rankActivity = false;
 
     /** Compact human-readable job label for logs and reports. */
     std::string label() const;
@@ -74,6 +76,8 @@ struct SweepSpec
     std::vector<std::string> faultPlans{""};
     bool torus = false;
     int vcs = 1;
+    /** Run every job with rank-activity tracking (--rank-activity). */
+    bool rankActivity = false;
 
     /**
      * Cross the dimensions into the canonical job list.

@@ -9,6 +9,8 @@
  *                                    to --out FILE (default stdout)
  *   trace <mp-app> --out FILE        collect an SP2-style trace
  *   replay <FILE> [options]          replay a trace into a mesh
+ *   sweep <SPEC|@FILE> [options]     run a job matrix on a worker
+ *                                    pool, merge deterministically
  *
  * Common options:
  *   --width W --height H             network dimensions
@@ -31,7 +33,15 @@
  *                                    run report (implies --phases)
  *   --sample-period US               telemetry sampling period in
  *                                    simulated microseconds (default 50)
+ *   --rank-activity                  record per-rank activity
+ *                                    timelines and report skew /
+ *                                    idle-fraction / idle-wave
+ *                                    desynchronization analytics
+ *                                    (off by default; default
+ *                                    outputs are unchanged)
  *   --progress                       periodic progress line on stderr
+ *                                    (sweep: live done/total + ETA
+ *                                    and per-worker stats)
  *
  * Resilience options:
  *   --fault-plan SPEC|@FILE          run under a fault plan (clauses
@@ -95,6 +105,8 @@ struct Options
     std::string reportOut;
     double samplePeriodUs = 50.0;
     bool progress = false;
+    /** Track per-rank activity and run the desync analysis. */
+    bool rankActivity = false;
     /** `cchar report` invocation: render HTML instead of text/JSON. */
     bool reportMode = false;
 
@@ -147,7 +159,8 @@ class ObsSession
         : opts_(opts),
           scope_(opts.wantsObs() ? &registry_ : nullptr,
                  opts.traceOut.empty() ? nullptr : &tracer_,
-                 opts.wantsObs() ? &flows_ : nullptr)
+                 opts.wantsObs() ? &flows_ : nullptr,
+                 opts.rankActivity ? &activity_ : nullptr)
     {}
 
     /** The sampler to hand to the run, or nullptr when unwanted. */
@@ -169,6 +182,18 @@ class ObsSession
     const obs::FlowTracker *flows() const
     {
         return opts_.wantsObs() ? &flows_ : nullptr;
+    }
+
+    /** The rank-activity tracker, or nullptr without --rank-activity. */
+    obs::RankActivityTracker *activity()
+    {
+        return opts_.rankActivity ? &activity_ : nullptr;
+    }
+
+    /** Writable registry for post-run metric publication. */
+    obs::MetricsRegistry *mutableRegistry()
+    {
+        return opts_.wantsObs() ? &registry_ : nullptr;
     }
 
     /** Write --trace-out / --metrics-out files. False on I/O error. */
@@ -217,6 +242,7 @@ class ObsSession
     obs::Tracer tracer_;
     obs::WindowedSampler sampler_;
     obs::FlowTracker flows_;
+    obs::RankActivityTracker activity_;
     obs::ScopedObservability scope_;
 };
 
@@ -243,7 +269,7 @@ usage()
            "                     [--torus] [--vcs N] [--windows N]\n"
            "                     [--phases] [--synthetic] [--json]\n"
            "                     [--trace-out FILE] [--metrics-out FILE]\n"
-           "                     [--report-out FILE]\n"
+           "                     [--report-out FILE] [--rank-activity]\n"
            "                     [--sample-period US] [--progress]\n"
            "                     [--fault-plan SPEC|@FILE] [--seed N]\n"
            "                     [--watchdog-period US]\n"
@@ -258,6 +284,7 @@ usage()
            "  cchar sweep [--spec FILE] [--apps LIST] [--procs LIST]\n"
            "              [--loads LIST] [--seeds LIST|A..B]\n"
            "              [--fault-plan SPEC]... [--torus] [--vcs N]\n"
+           "              [--rank-activity] [--progress]\n"
            "              [-j N] [--out FILE] [--csv FILE]\n"
            "exit codes: 0 ok, 1 verification/analysis failure, 2 usage,\n"
            "            3 input error, 4 simulation error, 5 watchdog\n";
@@ -319,6 +346,8 @@ parseOptions(int argc, char **argv, int first, Options &opts)
                 return false;
         } else if (arg == "--progress") {
             opts.progress = true;
+        } else if (arg == "--rank-activity") {
+            opts.rankActivity = true;
         } else if (arg == "--fault-plan") {
             if (i + 1 >= argc)
                 return false;
@@ -496,6 +525,12 @@ cmdCharacterize(const std::string &name, const Options &opts)
         logCopy = machine.log();
         if (injector)
             fillResilience(report.resilience, *injector, 0, 0, 0);
+        if (auto *tracker = obsSession.activity()) {
+            tracker->finish(sim.now());
+            report.rankActivity =
+                core::RankActivityAnalyzer{}.analyze(*tracker,
+                                                     report.phases);
+        }
     } else if (auto mpApp = makeMessagePassingApp(name)) {
         // Run the two static-strategy phases in the open so the replay
         // log is kept for --windows without replaying twice.
@@ -518,6 +553,12 @@ cmdCharacterize(const std::string &name, const Options &opts)
         world.run();
         bool verified = mpApp->verify();
         trace::Trace collected = world.collectedTrace();
+        if (auto *tracker = obsSession.activity())
+            tracker->finish(sim.now());
+        // The replay below rebuilds the network; detach the tracker so
+        // the replayed traffic does not double-count comm spans on top
+        // of the application run just recorded.
+        obs::ScopedRankActivity detachActivity{nullptr};
 
         core::ReplayOptions ropts;
         ropts.sampler = obsSession.sampler();
@@ -547,9 +588,19 @@ cmdCharacterize(const std::string &name, const Options &opts)
                                replayed.deliveryFailures,
                            0);
         }
+        if (auto *tracker = obsSession.activity()) {
+            report.rankActivity =
+                core::RankActivityAnalyzer{}.analyze(*tracker,
+                                                     report.phases);
+        }
     } else {
         std::cerr << "unknown application: " << name << "\n";
         return usage();
+    }
+
+    if (report.rankActivity.enabled) {
+        if (auto *reg = obsSession.mutableRegistry())
+            core::publishRankMetrics(*reg, report.rankActivity);
     }
 
     if (!obsSession.finish())
@@ -694,6 +745,17 @@ cmdReplay(const std::string &path, const Options &opts)
         report.resilience.planDescription = "none (lenient ingest)";
         report.resilience.traceRecordsSkipped = t.skippedRecords();
     }
+    // A replay has no application threads, so the tracker only holds
+    // in-network comm spans — still useful as a per-rank traffic
+    // timeline, with no blocked intervals or skew.
+    if (auto *tracker = obsSession.activity()) {
+        tracker->finish(result.makespan);
+        report.rankActivity =
+            core::RankActivityAnalyzer{}.analyze(*tracker,
+                                                 report.phases);
+        if (auto *reg = obsSession.mutableRegistry())
+            core::publishRankMetrics(*reg, report.rankActivity);
+    }
     report.print(std::cout);
     return obsSession.finish() ? 0 : 1;
 }
@@ -712,6 +774,7 @@ cmdSweep(int argc, char **argv)
 {
     sweep::SweepSpec spec;
     int jobs = 1;
+    bool progress = false;
     std::string outPath, csvPath;
 
     auto value = [&](int &i, const std::string &flag) -> std::string {
@@ -771,6 +834,10 @@ cmdSweep(int argc, char **argv)
             spec.torus = true;
         } else if (arg == "--vcs") {
             spec.vcs = std::atoi(value(i, arg).c_str());
+        } else if (arg == "--rank-activity") {
+            spec.rankActivity = true;
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "-j" || arg == "--jobs" ||
                    arg.rfind("-j", 0) == 0) {
             // Accept both "-j 8" and the make-style joined "-j8".
@@ -795,7 +862,7 @@ cmdSweep(int argc, char **argv)
     }
 
     sweep::SweepEngine engine{std::move(spec)};
-    sweep::SweepResult result = engine.run(jobs);
+    sweep::SweepResult result = engine.run(jobs, progress);
 
     if (outPath.empty()) {
         result.writeJson(std::cout);
@@ -824,6 +891,18 @@ cmdSweep(int argc, char **argv)
     std::cerr << "sweep: " << result.outcomes.size() << " jobs, "
               << result.failures() << " failed, " << unverified
               << " unverified\n";
+    if (progress) {
+        // The wall-clock worker view only ever reaches stderr; the
+        // serialized reports keep the matching gauges zeroed so they
+        // stay byte-identical across -j (see sweep/engine.cc).
+        for (std::size_t w = 0; w < result.workerStats.size(); ++w) {
+            const auto &ws = result.workerStats[w];
+            std::cerr << "sweep: worker " << w << ": "
+                      << ws.jobsCompleted << " jobs, busy "
+                      << static_cast<int>(ws.busyFraction * 100.0 + 0.5)
+                      << "%\n";
+        }
+    }
     return (result.failures() || unverified) ? 1 : 0;
 }
 
