@@ -10,9 +10,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "desim/desim.hh"
 #include "mesh/mesh.hh"
+#include "obs/obs.hh"
 #include "obs/sampler.hh"
 #include "stats/stats.hh"
 
@@ -186,6 +188,114 @@ reportCkptOverhead(cchar::bench::SelfReport &report)
               << (noise ? ", below noise floor" : "") << ")\n";
 }
 
+/**
+ * One mesh workload run for the link-stats overhead probe.
+ *
+ * Modes map onto the three states the production code can be in:
+ *  0  plain: no ambient observability scope at all;
+ *  1  flag-off: a ScopedObservability is installed but carries no
+ *     link sink — the default CLI path, whose only possible cost is
+ *     the dormant null-checked hooks in the mesh hot path;
+ *  2  flag-on: a LinkStatsTracker is installed and every lane
+ *     acquire/release/hop pays the recording cost.
+ *
+ * @return wall seconds spent inside sim.run().
+ */
+double
+linkWorkload(int mode)
+{
+    desim::Simulator sim;
+    obs::LinkStatsTracker tracker;
+    std::optional<obs::ScopedObservability> scope;
+    if (mode == 1)
+        scope.emplace(nullptr, nullptr, nullptr, nullptr, nullptr);
+    else if (mode == 2)
+        scope.emplace(nullptr, nullptr, nullptr, nullptr, &tracker);
+    mesh::MeshConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    mesh::MeshNetwork net{sim, cfg}; // after scope: caches the sink
+    for (int node = 0; node < 16; ++node) {
+        sim.spawn([](mesh::MeshNetwork *n, int node2) -> desim::Task<void> {
+            for (;;)
+                (void)co_await n->rxQueue(node2).receive();
+        }(&net, node));
+    }
+    sim.spawn([](mesh::MeshNetwork *n) -> desim::Task<void> {
+        stats::Rng rng{23};
+        for (int i = 0; i < 4000; ++i) {
+            int src = static_cast<int>(rng.below(16));
+            int dst = static_cast<int>(rng.below(16));
+            if (src == dst)
+                continue;
+            mesh::Packet pkt;
+            pkt.src = src;
+            pkt.dst = dst;
+            pkt.bytes = 32;
+            (void)co_await n->transfer(std::move(pkt));
+        }
+    }(&net));
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run();
+    if (mode == 2)
+        tracker.finish(sim.now());
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Link-stats (network weather) overhead, same protocol as the
+ * checkpoint probe: shared warm-up, interleaved min-of-N reps, the
+ * plain baseline's own spread as the measurement resolution.
+ *
+ * Two results matter downstream:
+ *  - link_stats_overhead_pct: flag-on over flag-off — the price of
+ *    actually recording per-link facts;
+ *  - link_stats_off_within_noise: the flag-off path (dormant hooks)
+ *    must stay within the noise floor of the plain run. This is the
+ *    zero-perturbation guarantee as a measurement; bench_compare.py
+ *    hard-fails when it is false.
+ */
+void
+reportLinkStatsOverhead(cchar::bench::SelfReport &report)
+{
+    constexpr int kReps = 7;
+    linkWorkload(0); // warm-up: allocator, frame pools, code paths
+    linkWorkload(1);
+    linkWorkload(2);
+
+    double ref = 0.0, refMax = 0.0, off = 0.0, on = 0.0;
+    for (int i = 0; i < kReps; ++i) {
+        // Interleaved so slow drift (thermal, cgroup) hits all sides.
+        double r = linkWorkload(0);
+        double f = linkWorkload(1);
+        double n = linkWorkload(2);
+        ref = i == 0 ? r : std::min(ref, r);
+        refMax = i == 0 ? r : std::max(refMax, r);
+        off = i == 0 ? f : std::min(off, f);
+        on = i == 0 ? n : std::min(on, n);
+    }
+    double resolutionPct = (refMax - ref) / ref * 100.0;
+    double offPct = (off - ref) / ref * 100.0;
+    double onPct = (on - off) / off * 100.0;
+    bool onNoise = onPct < resolutionPct;
+    if (onNoise && onPct < 0.0)
+        onPct = 0.0;
+    // 2% floor: min-of-N spreads on a quiet machine can shrink below
+    // what rep-to-rep scheduling jitter actually is.
+    bool offWithinNoise = offPct <= std::max(resolutionPct, 2.0);
+    report.extra("link_stats_overhead_pct", onPct);
+    report.extra("link_stats_off_pct", offPct);
+    report.extra("link_stats_resolution_pct", resolutionPct);
+    report.extraFlag("link_stats_overhead_noise", onNoise);
+    report.extraFlag("link_stats_off_within_noise", offWithinNoise);
+    std::cerr << "[bench] perf_micro: link-stats overhead " << onPct
+              << "% on/off, flag-off " << offPct
+              << "% vs plain (resolution " << resolutionPct << "%"
+              << (onNoise ? ", below noise floor" : "") << ")\n";
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the SelfReport registry wraps the runs.
@@ -198,6 +308,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     reportCkptOverhead(selfReport);
+    reportLinkStatsOverhead(selfReport);
     // Event/message totals scale with google-benchmark's adaptive
     // iteration counts, so only the rate fields are comparable runs.
     selfReport.extraFlag("counts_deterministic", false);

@@ -649,4 +649,295 @@ publishRankMetrics(obs::MetricsRegistry &registry,
     registry.gauge("rank.wave_speed_max").set(speedMax);
 }
 
+// ---------------------------------------------------------------
+// LinkWeatherAnalyzer
+
+namespace {
+
+/** Node a directed mesh link feeds (wrap-aware), or -1 (injection). */
+int
+linkNeighbor(int node, int dir, const mesh::MeshConfig &mesh)
+{
+    int x = node % mesh.width, y = node / mesh.width;
+    switch (dir) {
+    case 0: // East
+        x = (x + 1) % mesh.width;
+        break;
+    case 1: // West
+        x = (x - 1 + mesh.width) % mesh.width;
+        break;
+    case 2: // North
+        y = (y + 1) % mesh.height;
+        break;
+    case 3: // South
+        y = (y - 1 + mesh.height) % mesh.height;
+        break;
+    default: // injection port
+        return -1;
+    }
+    return y * mesh.width + x;
+}
+
+/**
+ * Gini coefficient of a load vector (0 = perfectly even, -> 1 = all
+ * load on one link). Sorts ascending; zero total load is 0.
+ */
+double
+giniOf(std::vector<double> values)
+{
+    std::size_t n = values.size();
+    if (n < 2)
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    double sum = 0.0, weighted = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += values[i];
+        weighted += static_cast<double>(i + 1) * values[i];
+    }
+    if (sum <= 0.0)
+        return 0.0;
+    double dn = static_cast<double>(n);
+    return 2.0 * weighted / (dn * sum) - (dn + 1.0) / dn;
+}
+
+} // namespace
+
+LinkWeatherSummary
+LinkWeatherAnalyzer::analyze(
+    const obs::LinkStatsTracker &tracker, const mesh::MeshConfig &mesh,
+    const std::vector<PhaseCharacterization> &phases) const
+{
+    LinkWeatherSummary out;
+    out.enabled = true;
+    out.droppedFacts = tracker.dropped();
+    out.runEndUs = tracker.endUs();
+    double runEnd = out.runEndUs > 0.0 ? out.runEndUs : 1.0;
+    out.windowUs = tracker.windowUs();
+
+    // Effective analysis windows: those covering [0, runEnd].
+    int nWin = std::clamp(
+        static_cast<int>(runEnd / out.windowUs) + 1, 1,
+        obs::LinkStatsTracker::kWindows);
+
+    // ---- per-link utilization over the channel-lane universe ----
+    out.avgUtilization = tracker.avgChannelUtilization(runEnd);
+    out.maxUtilization = tracker.maxChannelUtilization(runEnd);
+    std::vector<double> channelUtils;
+    std::vector<LinkWeatherRow> rows;
+    out.dirUtil.assign(4, std::vector<double>(
+                              static_cast<std::size_t>(mesh.nodes()),
+                              -1.0));
+    for (int id = 0; id < tracker.links(); ++id) {
+        const obs::LinkRecord &rec = tracker.link(id);
+        if (rec.dir >= obs::kLinkInject) {
+            ++out.injectionLinks;
+            continue;
+        }
+        ++out.totalLinks;
+        double util = rec.busyUs(runEnd) / runEnd;
+        channelUtils.push_back(util);
+
+        LinkWeatherRow row;
+        row.node = rec.node;
+        row.toNode = linkNeighbor(rec.node, rec.dir, mesh);
+        row.dir = rec.dir;
+        row.vc = rec.vc;
+        row.utilization = util;
+        row.packets = rec.packets;
+        row.bytes = rec.bytes;
+        row.stalls = rec.stalls;
+        row.stallUs = rec.stallUs;
+        row.meanQueueDepth = rec.depthIntegralUs / runEnd;
+        row.peakBacklog = rec.peakBacklog;
+        row.sparkline.reserve(static_cast<std::size_t>(nWin));
+        for (int w = 0; w < nWin; ++w) {
+            double width = std::min(out.windowUs,
+                                    runEnd - w * out.windowUs);
+            row.sparkline.push_back(
+                width > 0.0
+                    ? rec.busyWindowUs[static_cast<std::size_t>(w)] /
+                          width
+                    : 0.0);
+        }
+        rows.push_back(std::move(row));
+
+        if (rec.node >= 0 && rec.node < mesh.nodes()) {
+            double &cell =
+                out.dirUtil[static_cast<std::size_t>(rec.dir)]
+                           [static_cast<std::size_t>(rec.node)];
+            cell = std::max(cell, util);
+        }
+
+        out.holStalls += rec.stalls;
+        out.holStallUs += rec.stallUs;
+    }
+
+    {
+        std::vector<double> sorted = channelUtils;
+        std::sort(sorted.begin(), sorted.end());
+        out.medianUtilization =
+            sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
+    }
+    out.gini = giniOf(channelUtils);
+
+    // ---- sustained-hotspot detection ----
+    double threshold = std::max(cfg_.minHotspotUtil,
+                                cfg_.hotspotFactor *
+                                    out.medianUtilization);
+    for (LinkWeatherRow &row : rows) {
+        int above = 0;
+        for (double frac : row.sparkline) {
+            if (frac >= out.medianUtilization && frac > 0.0)
+                ++above;
+        }
+        row.sustainedFraction =
+            row.sparkline.empty()
+                ? 0.0
+                : static_cast<double>(above) /
+                      static_cast<double>(row.sparkline.size());
+        row.hotspot = row.utilization >= threshold &&
+                      row.sustainedFraction >= cfg_.sustainedFraction;
+        if (row.hotspot)
+            ++out.hotspotCount;
+    }
+
+    // ---- utilization ranking, bounded by --top-links ----
+    std::sort(rows.begin(), rows.end(),
+              [](const LinkWeatherRow &a, const LinkWeatherRow &b) {
+                  if (a.utilization != b.utilization)
+                      return a.utilization > b.utilization;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  if (a.dir != b.dir)
+                      return a.dir < b.dir;
+                  return a.vc < b.vc;
+              });
+    std::size_t keep = std::min(
+        rows.size(), static_cast<std::size_t>(std::max(cfg_.topLinks, 0)));
+    out.elidedLinks = static_cast<int>(rows.size() - keep);
+    rows.resize(keep);
+    // Sparklines are rendered for hotspots only; drop the rest so the
+    // report payload stays proportional to what is drawn.
+    for (LinkWeatherRow &row : rows) {
+        if (!row.hotspot)
+            row.sparkline.clear();
+    }
+    out.links = std::move(rows);
+
+    // ---- per-router forwarding totals ----
+    std::vector<RouterLoadRow> routers;
+    for (int nodeId = 0; nodeId < tracker.routers(); ++nodeId) {
+        const obs::RouterRecord &rr = tracker.router(nodeId);
+        if (rr.forwards == 0)
+            continue;
+        routers.push_back({nodeId, rr.forwards, rr.bytes});
+    }
+    std::sort(routers.begin(), routers.end(),
+              [](const RouterLoadRow &a, const RouterLoadRow &b) {
+                  if (a.forwards != b.forwards)
+                      return a.forwards > b.forwards;
+                  return a.node < b.node;
+              });
+    if (routers.size() >
+        static_cast<std::size_t>(std::max(cfg_.topLinks, 0)))
+        routers.resize(static_cast<std::size_t>(cfg_.topLinks));
+    out.routers = std::move(routers);
+
+    // ---- offered vs delivered throughput and the congestion knee ----
+    out.offeredBytes = tracker.offeredBytes();
+    out.deliveredBytes = tracker.deliveredBytes();
+    const auto &offered = tracker.offeredWindowBytes();
+    const auto &delivered = tracker.deliveredWindowBytes();
+    out.offeredSeries.reserve(static_cast<std::size_t>(nWin));
+    out.deliveredSeries.reserve(static_cast<std::size_t>(nWin));
+    for (int w = 0; w < nWin; ++w) {
+        out.offeredSeries.push_back(
+            offered[static_cast<std::size_t>(w)] / out.windowUs);
+        out.deliveredSeries.push_back(
+            delivered[static_cast<std::size_t>(w)] / out.windowUs);
+    }
+    struct LoadPoint
+    {
+        double offered;
+        double efficiency;
+        int window;
+    };
+    std::vector<LoadPoint> active;
+    for (int w = 0; w < nWin; ++w) {
+        double off = out.offeredSeries[static_cast<std::size_t>(w)];
+        if (off <= 0.0)
+            continue;
+        active.push_back(
+            {off, out.deliveredSeries[static_cast<std::size_t>(w)] / off,
+             w});
+    }
+    if (static_cast<int>(active.size()) >= cfg_.minKneeWindows) {
+        std::vector<LoadPoint> byLoad = active;
+        std::sort(byLoad.begin(), byLoad.end(),
+                  [](const LoadPoint &a, const LoadPoint &b) {
+                      if (a.offered != b.offered)
+                          return a.offered < b.offered;
+                      return a.window < b.window;
+                  });
+        // Baseline efficiency: median of the lowest-offered quartile,
+        // where the network is assumed uncongested.
+        std::size_t quartile = std::max<std::size_t>(
+            1, byLoad.size() / 4);
+        std::vector<double> eff;
+        for (std::size_t i = 0; i < quartile; ++i)
+            eff.push_back(byLoad[i].efficiency);
+        std::sort(eff.begin(), eff.end());
+        double baseline = eff[eff.size() / 2];
+        double cutoff = cfg_.kneeEfficiency * baseline;
+        double onsetLoad = 0.0;
+        int onsetWindow = -1;
+        for (const LoadPoint &p : byLoad) {
+            if (p.efficiency < cutoff) {
+                onsetLoad = p.offered;
+                break;
+            }
+        }
+        if (onsetLoad > 0.0) {
+            for (const LoadPoint &p : active) {
+                double off = p.offered;
+                if (off >= onsetLoad && p.efficiency < cutoff) {
+                    onsetWindow = p.window;
+                    break;
+                }
+            }
+        }
+        if (onsetWindow >= 0) {
+            out.congestionOnsetLoad = onsetLoad;
+            out.congestionOnsetUs = onsetWindow * out.windowUs;
+            for (const PhaseCharacterization &ph : phases) {
+                if (out.congestionOnsetUs >= ph.tBegin &&
+                    out.congestionOnsetUs < ph.tEnd) {
+                    out.congestionPhase = ph.index;
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+publishLinkMetrics(obs::MetricsRegistry &registry,
+                   const LinkWeatherSummary &summary)
+{
+    registry.counter("link.hol_stalls").add(summary.holStalls);
+    registry.counter("link.hotspots")
+        .add(static_cast<std::uint64_t>(summary.hotspotCount));
+    registry.counter("link.offered_bytes").add(summary.offeredBytes);
+    registry.counter("link.delivered_bytes")
+        .add(summary.deliveredBytes);
+    registry.counter("link.dropped").add(summary.droppedFacts);
+    registry.gauge("link.max_util").set(summary.maxUtilization);
+    registry.gauge("link.avg_util").set(summary.avgUtilization);
+    registry.gauge("link.gini").set(summary.gini);
+    registry.gauge("link.onset_load").set(summary.congestionOnsetLoad);
+    registry.gauge("link.tracked_links")
+        .set(static_cast<double>(summary.totalLinks));
+}
+
 } // namespace cchar::core

@@ -215,6 +215,61 @@ class RankActivityAnalyzer
 void publishRankMetrics(obs::MetricsRegistry &registry,
                         const RankActivitySummary &summary);
 
+/** Detection parameters of the LinkWeatherAnalyzer. */
+struct LinkWeatherConfig
+{
+    /** Ranked links / routers kept in the report (--top-links). */
+    int topLinks = 16;
+    /** A hotspot must exceed hotspotFactor x median utilization... */
+    double hotspotFactor = 1.5;
+    /** ...and this absolute utilization floor. */
+    double minHotspotUtil = 0.02;
+    /**
+     * ...and stay above the fleet median in at least this fraction of
+     * the run's windows (sustained, not a single burst).
+     */
+    double sustainedFraction = 0.5;
+    /**
+     * Congestion onset: a window is congested when its delivered /
+     * offered ratio drops below kneeEfficiency x the baseline
+     * efficiency of the lowest-offered-load quartile.
+     */
+    double kneeEfficiency = 0.75;
+    /** Minimum active windows before a knee estimate is attempted. */
+    int minKneeWindows = 8;
+};
+
+/**
+ * Derives the network-weather view from a LinkStatsTracker: per-link
+ * utilization ranking with sustained-hotspot detection, a
+ * load-imbalance Gini coefficient across channel lanes, per-router
+ * forwarding totals, and a congestion-onset estimate from the
+ * windowed offered-load vs delivered-throughput knee. The onset is
+ * cross-referenced against the detected phases by start time.
+ */
+class LinkWeatherAnalyzer
+{
+  public:
+    explicit LinkWeatherAnalyzer(LinkWeatherConfig cfg = {}) : cfg_(cfg)
+    {}
+
+    LinkWeatherSummary
+    analyze(const obs::LinkStatsTracker &tracker,
+            const mesh::MeshConfig &mesh,
+            const std::vector<PhaseCharacterization> &phases = {}) const;
+
+  private:
+    LinkWeatherConfig cfg_;
+};
+
+/**
+ * Register the link.* metric family (aggregates only — per-link names
+ * would blow the registry's fixed gauge capacity). Called only on
+ * --link-stats runs so a default metrics dump is unchanged.
+ */
+void publishLinkMetrics(obs::MetricsRegistry &registry,
+                        const LinkWeatherSummary &summary);
+
 } // namespace cchar::core
 
 #endif // CCHAR_CORE_ANALYZERS_HH

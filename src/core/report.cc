@@ -163,6 +163,65 @@ CharacterizationReport::print(std::ostream &os) const
                << " activity records dropped (tracker capacity)\n";
         }
     }
+
+    if (linkStats.enabled) {
+        const LinkWeatherSummary &lw = linkStats;
+        os << "-- Network weather (per-link utilization) --\n";
+        os << "  runEnd=" << std::setprecision(6) << lw.runEndUs
+           << "us channelLinks=" << lw.totalLinks << " (+"
+           << lw.injectionLinks << " injection) util avg="
+           << std::setprecision(4) << lw.avgUtilization
+           << " max=" << lw.maxUtilization
+           << " median=" << lw.medianUtilization
+           << " gini=" << std::setprecision(3) << lw.gini << "\n";
+        os << "  hotspots=" << lw.hotspotCount
+           << " holStalls=" << lw.holStalls << " ("
+           << std::setprecision(6) << lw.holStallUs
+           << "us) offered=" << lw.offeredBytes << "B delivered="
+           << lw.deliveredBytes << "B\n";
+        if (lw.congestionOnsetLoad > 0.0) {
+            os << "  congestion onset: load=" << std::setprecision(4)
+               << lw.congestionOnsetLoad << "B/us at t="
+               << std::setprecision(6) << lw.congestionOnsetUs << "us";
+            if (lw.congestionPhase >= 0)
+                os << " phase=" << lw.congestionPhase;
+            os << "\n";
+        } else {
+            os << "  congestion onset: none detected\n";
+        }
+        for (std::size_t i = 0; i < lw.links.size(); ++i) {
+            const LinkWeatherRow &row = lw.links[i];
+            os << "  #" << i << " " << row.node << "->" << row.toNode
+               << " " << obs::linkDirName(row.dir) << " v" << row.vc
+               << ": util=" << std::setprecision(4) << row.utilization
+               << " pkts=" << row.packets << " bytes=" << row.bytes
+               << " stalls=" << row.stalls << " stall="
+               << std::setprecision(6) << row.stallUs
+               << "us queue mean=" << std::setprecision(3)
+               << row.meanQueueDepth << " peak=" << row.peakBacklog;
+            if (row.hotspot)
+                os << " [hotspot sustained="
+                   << std::setprecision(3) << row.sustainedFraction
+                   << "]";
+            os << "\n";
+        }
+        if (lw.elidedLinks > 0) {
+            os << "  (" << lw.elidedLinks
+               << " lower-ranked links elided; raise --top-links to "
+                  "see them)\n";
+        }
+        if (!lw.routers.empty()) {
+            os << "  top routers (by forwards):";
+            for (const RouterLoadRow &rr : lw.routers)
+                os << " " << rr.node << ":" << rr.forwards << "("
+                   << rr.bytes << "B)";
+            os << "\n";
+        }
+        if (lw.droppedFacts > 0) {
+            os << "  warning: " << lw.droppedFacts
+               << " link facts dropped (tracker capacity)\n";
+        }
+    }
 }
 
 namespace {
@@ -364,6 +423,65 @@ CharacterizationReport::writeJson(std::ostream &os) const
                << ",\"phase\":" << w.phase << "}";
         }
         os << "],\"timelineDropped\":" << ra.timelineDropped << "}";
+    }
+
+    // Emitted only for --link-stats runs: a report without the flag
+    // renders byte-identically to earlier versions.
+    if (linkStats.enabled) {
+        const LinkWeatherSummary &lw = linkStats;
+        os << ",\"linkStats\":{\"runEndUs\":" << lw.runEndUs
+           << ",\"windowUs\":" << lw.windowUs
+           << ",\"totalLinks\":" << lw.totalLinks
+           << ",\"injectionLinks\":" << lw.injectionLinks
+           << ",\"elidedLinks\":" << lw.elidedLinks
+           << ",\"avgUtilization\":" << lw.avgUtilization
+           << ",\"maxUtilization\":" << lw.maxUtilization
+           << ",\"medianUtilization\":" << lw.medianUtilization
+           << ",\"gini\":" << lw.gini
+           << ",\"hotspotCount\":" << lw.hotspotCount
+           << ",\"holStalls\":" << lw.holStalls
+           << ",\"holStallUs\":" << lw.holStallUs
+           << ",\"offeredBytes\":" << lw.offeredBytes
+           << ",\"deliveredBytes\":" << lw.deliveredBytes
+           << ",\"congestionOnsetLoad\":" << lw.congestionOnsetLoad
+           << ",\"congestionOnsetUs\":" << lw.congestionOnsetUs
+           << ",\"congestionPhase\":" << lw.congestionPhase
+           << ",\"droppedFacts\":" << lw.droppedFacts << ",\"links\":[";
+        for (std::size_t i = 0; i < lw.links.size(); ++i) {
+            const LinkWeatherRow &row = lw.links[i];
+            if (i)
+                os << ",";
+            os << "{\"node\":" << row.node << ",\"toNode\":"
+               << row.toNode << ",\"dir\":";
+            jsonString(os, obs::linkDirName(row.dir));
+            os << ",\"vc\":" << row.vc << ",\"utilization\":"
+               << row.utilization << ",\"packets\":" << row.packets
+               << ",\"bytes\":" << row.bytes << ",\"stalls\":"
+               << row.stalls << ",\"stallUs\":" << row.stallUs
+               << ",\"meanQueueDepth\":" << row.meanQueueDepth
+               << ",\"peakBacklog\":" << row.peakBacklog
+               << ",\"hotspot\":" << (row.hotspot ? "true" : "false")
+               << ",\"sustainedFraction\":" << row.sustainedFraction
+               << ",\"sparkline\":[";
+            for (std::size_t w = 0; w < row.sparkline.size(); ++w)
+                os << (w ? "," : "") << row.sparkline[w];
+            os << "]}";
+        }
+        os << "],\"routers\":[";
+        for (std::size_t i = 0; i < lw.routers.size(); ++i) {
+            const RouterLoadRow &rr = lw.routers[i];
+            if (i)
+                os << ",";
+            os << "{\"node\":" << rr.node << ",\"forwards\":"
+               << rr.forwards << ",\"bytes\":" << rr.bytes << "}";
+        }
+        os << "],\"offeredSeries\":[";
+        for (std::size_t w = 0; w < lw.offeredSeries.size(); ++w)
+            os << (w ? "," : "") << lw.offeredSeries[w];
+        os << "],\"deliveredSeries\":[";
+        for (std::size_t w = 0; w < lw.deliveredSeries.size(); ++w)
+            os << (w ? "," : "") << lw.deliveredSeries[w];
+        os << "]}";
     }
     os << "}\n";
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mesh/mesh.hh"
+#include "obs/link_stats.hh"
 #include "obs/rank_activity.hh"
 #include "patterns.hh"
 #include "stats/stats.hh"
@@ -187,6 +188,90 @@ struct RankActivitySummary
     double windowUs = 0.0;
 };
 
+/** Network weather of one directed link (ranked by utilization). */
+struct LinkWeatherRow
+{
+    int node = 0;    ///< router whose outgoing lane this is
+    int toNode = -1; ///< neighbor the link feeds (-1 = local inject)
+    int dir = 0;     ///< 0..3 = E/W/N/S, obs::kLinkInject = injection
+    int vc = 0;
+    double utilization = 0.0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    /** Head-of-line blocking: acquires that waited, and for how long. */
+    std::uint64_t stalls = 0;
+    double stallUs = 0.0;
+    /** Time-weighted mean queue depth (worms waiting for the lane). */
+    double meanQueueDepth = 0.0;
+    int peakBacklog = 0;
+    /** Utilization >= hotspot threshold and sustained across windows. */
+    bool hotspot = false;
+    /** Fraction of run windows with busy fraction >= fleet median. */
+    double sustainedFraction = 0.0;
+    /** Busy fraction per analysis window (sparkline source). */
+    std::vector<double> sparkline;
+};
+
+/** Forwarding totals of one router (ranked by forwards). */
+struct RouterLoadRow
+{
+    int node = 0;
+    std::uint64_t forwards = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Per-link utilization, hotspot and saturation analysis. Only
+ * rendered (text, JSON, HTML) when enabled — reports without
+ * --link-stats are unchanged.
+ */
+struct LinkWeatherSummary
+{
+    /** True when the run was tracked with --link-stats. */
+    bool enabled = false;
+    /** Analysis horizon: end of the tracked run (us). */
+    double runEndUs = 0.0;
+    /** Tracked channel lanes (idle ones included). */
+    int totalLinks = 0;
+    /** Tracked injection ports. */
+    int injectionLinks = 0;
+    /** Ranked links beyond the top-N bound (logged, not silent). */
+    int elidedLinks = 0;
+    /** Channel-lane utilization aggregates (injection excluded). */
+    double avgUtilization = 0.0;
+    double maxUtilization = 0.0;
+    double medianUtilization = 0.0;
+    /** Load-imbalance Gini coefficient across channel lanes. */
+    double gini = 0.0;
+    int hotspotCount = 0;
+    std::uint64_t holStalls = 0;
+    double holStallUs = 0.0;
+    std::uint64_t offeredBytes = 0;
+    std::uint64_t deliveredBytes = 0;
+    /** Offered load (bytes/us) at the congestion knee; 0 = none. */
+    double congestionOnsetLoad = 0.0;
+    /** Start of the earliest congested window (us); < 0 = none. */
+    double congestionOnsetUs = -1.0;
+    /** Detected phase containing the onset, or -1. */
+    int congestionPhase = -1;
+    /** Width of one analysis window (us). */
+    double windowUs = 0.0;
+    /** Facts lost to tracker capacity limits. */
+    std::uint64_t droppedFacts = 0;
+    /** Top-N links by utilization (see elidedLinks). */
+    std::vector<LinkWeatherRow> links;
+    /** Top-N routers by forwards. */
+    std::vector<RouterLoadRow> routers;
+    /**
+     * Utilization per direction per node (4 x nodes; max over VCs,
+     * -1 where the topology has no such link) — HTML heatmap source.
+     */
+    std::vector<std::vector<double>> dirUtil;
+    /** Offered / delivered throughput per window (bytes/us). */
+    std::vector<double> offeredSeries;
+    std::vector<double> deliveredSeries;
+};
+
 /** Acquisition strategy used for the run. */
 enum class Strategy
 {
@@ -231,6 +316,8 @@ struct CharacterizationReport
     ResilienceSummary resilience;
     /** Per-rank activity and desync (rendered only when enabled). */
     RankActivitySummary rankActivity;
+    /** Per-link network weather (rendered only when enabled). */
+    LinkWeatherSummary linkStats;
 
     /** Paper-style multi-section text rendering. */
     void print(std::ostream &os) const;

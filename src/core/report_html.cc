@@ -715,6 +715,161 @@ writeRankActivity(std::ostream &os, const CharacterizationReport &r)
     }
 }
 
+/** Inline SVG sparkline of one link's per-window busy fraction. */
+void
+writeSparkline(std::ostream &os, const std::vector<double> &frac)
+{
+    if (frac.empty())
+        return;
+    const double w = 96.0, h = 16.0;
+    double bw = w / static_cast<double>(frac.size());
+    os << "<svg viewBox=\"0 0 " << w << ' ' << h
+       << "\" style=\"display:inline-block;width:" << w
+       << "px;height:" << h << "px;vertical-align:middle\">";
+    for (std::size_t i = 0; i < frac.size(); ++i) {
+        double f = std::clamp(frac[i], 0.0, 1.0);
+        double bh = std::max(f * (h - 2.0), f > 0.0 ? 1.0 : 0.0);
+        if (bh <= 0.0)
+            continue;
+        os << "<rect x=\"" << fmt(i * bw + 0.5, 6) << "\" y=\""
+           << fmt(h - bh, 6) << "\" width=\"" << fmt(bw - 1.0, 6)
+           << "\" height=\"" << fmt(bh, 6)
+           << "\" fill=\"var(--cat-2)\"/>";
+    }
+    os << "</svg>";
+}
+
+void
+writeLinkWeather(std::ostream &os, const CharacterizationReport &r)
+{
+    const LinkWeatherSummary &lw = r.linkStats;
+    if (!lw.enabled)
+        return;
+    os << "<h2>Network weather</h2>\n";
+    os << "<p class=\"muted\">" << lw.totalLinks << " channel lanes ("
+       << lw.injectionLinks << " injection ports), utilization avg "
+       << fmt(lw.avgUtilization, 4) << " / median "
+       << fmt(lw.medianUtilization, 4) << " / max "
+       << fmt(lw.maxUtilization, 4) << ", Gini " << fmt(lw.gini, 3)
+       << ", " << lw.hotspotCount << " hotspot"
+       << (lw.hotspotCount == 1 ? "" : "s") << ", " << lw.holStalls
+       << " HoL stalls (" << fmt(lw.holStallUs, 4) << " us)</p>\n";
+    if (lw.congestionOnsetLoad > 0.0) {
+        os << "<p class=\"muted\">congestion onset at offered load "
+           << fmt(lw.congestionOnsetLoad, 4) << " B/us (t = "
+           << fmt(lw.congestionOnsetUs, 6) << " us"
+           << (lw.congestionPhase >= 0
+                   ? ", phase " + std::to_string(lw.congestionPhase)
+                   : std::string{})
+           << ")</p>\n";
+    } else {
+        os << "<p class=\"muted\">no congestion knee detected "
+              "(delivered throughput tracked offered load)</p>\n";
+    }
+
+    // Topology heatmap: one grid per direction, each cell one
+    // router's outgoing lane (max utilization over its VCs).
+    int mw = r.mesh.width, mh = r.mesh.height;
+    int nodes = mw * mh;
+    double uMax = std::max(lw.maxUtilization, 1e-12);
+    if (mw > 0 && mh > 0 &&
+        static_cast<int>(lw.dirUtil.size()) == 4 &&
+        std::all_of(lw.dirUtil.begin(), lw.dirUtil.end(),
+                    [nodes](const std::vector<double> &v) {
+                        return static_cast<int>(v.size()) == nodes;
+                    })) {
+        const double cell = nodes <= 64 ? 16.0 : 8.0;
+        const double pitch = cell + 2.0, oy = 16.0;
+        double gridW = mw * pitch;
+        double gw = gridW + 14.0;
+        double w = 4 * gw, h = oy + mh * pitch + 4.0;
+        os << "<svg viewBox=\"0 0 " << fmt(w, 6) << ' ' << fmt(h, 6)
+           << "\" role=\"img\" aria-label=\"per-direction link "
+              "utilization heatmap\" style=\"max-width:" << fmt(w, 6)
+           << "px\">\n";
+        for (int dir = 0; dir < 4; ++dir) {
+            double gx = dir * gw;
+            os << "<text x=\"" << fmt(gx, 6) << "\" y=\"10\" "
+                  "class=\"muted\">" << obs::linkDirName(dir)
+               << "</text>\n";
+            for (int node = 0; node < nodes; ++node) {
+                double u =
+                    lw.dirUtil[static_cast<std::size_t>(dir)]
+                              [static_cast<std::size_t>(node)];
+                double cx = gx + (node % mw) * pitch;
+                double cy = oy + (node / mw) * pitch;
+                std::string fill =
+                    u < 0.0 ? "var(--grid)"
+                    : u > 0.0
+                        ? "var(--seq-" +
+                              std::to_string(seqStep(u / uMax)) + ")"
+                        : "var(--card)";
+                os << "<rect x=\"" << fmt(cx, 6) << "\" y=\""
+                   << fmt(cy, 6) << "\" width=\"" << cell
+                   << "\" height=\"" << cell << "\" rx=\"2\" fill=\""
+                   << fill << "\"><title>node " << node << ' '
+                   << obs::linkDirName(dir) << ": "
+                   << (u < 0.0 ? std::string{"no link"} : fmt(u, 4))
+                   << "</title></rect>\n";
+            }
+        }
+        os << "</svg>\n"
+           << "<p class=\"legend\">each grid = outgoing links of one "
+              "direction (row-major routers); darker = higher "
+              "utilization (max " << fmt(lw.maxUtilization, 4)
+           << ")</p>\n";
+    }
+
+    // Ranked congested-links table with hotspot badges + sparklines.
+    if (!lw.links.empty()) {
+        os << "<table>\n<tr><th>#</th><th>link</th><td>vc</td>"
+              "<td>util</td><td>pkts</td><td>bytes</td>"
+              "<td>stalls</td><td>stall (us)</td><td>queue mean</td>"
+              "<td>peak</td><th>activity</th></tr>\n";
+        for (std::size_t i = 0; i < lw.links.size(); ++i) {
+            const LinkWeatherRow &row = lw.links[i];
+            os << "<tr><th>" << (i + 1) << "</th><th>" << row.node
+               << "&rarr;"
+               << (row.toNode >= 0 ? std::to_string(row.toNode)
+                                   : std::string{"inject"})
+               << ' ' << obs::linkDirName(row.dir) << "</th><td>"
+               << row.vc << "</td><td>" << fmt(row.utilization, 4)
+               << "</td><td>" << row.packets << "</td><td>"
+               << row.bytes << "</td><td>" << row.stalls
+               << "</td><td>" << fmt(row.stallUs, 4) << "</td><td>"
+               << fmt(row.meanQueueDepth, 3) << "</td><td>"
+               << row.peakBacklog << "</td><th>";
+            if (row.hotspot) {
+                os << "<span style=\"color:var(--cat-2)\">&#9650; "
+                      "hotspot " << fmt(row.sustainedFraction, 2)
+                   << "</span> ";
+            }
+            writeSparkline(os, row.sparkline);
+            os << "</th></tr>\n";
+        }
+        os << "</table>\n";
+        if (lw.elidedLinks > 0) {
+            os << "<p class=\"muted\">" << lw.elidedLinks
+               << " lower-ranked links elided; raise --top-links to "
+                  "see them.</p>\n";
+        }
+    }
+    if (!lw.routers.empty()) {
+        os << "<p class=\"muted\">top routers by forwards: ";
+        for (std::size_t i = 0; i < lw.routers.size(); ++i) {
+            const RouterLoadRow &rt = lw.routers[i];
+            os << (i > 0 ? ", " : "") << "node " << rt.node << " ("
+               << rt.forwards << " fwd, " << rt.bytes << " B)";
+        }
+        os << "</p>\n";
+    }
+    if (lw.droppedFacts > 0) {
+        os << "<p class=\"muted\">" << lw.droppedFacts
+           << " link facts dropped at the tracker capacity limit "
+              "(totals above are lower bounds).</p>\n";
+    }
+}
+
 } // namespace
 
 void
@@ -748,6 +903,7 @@ writeHtmlReport(std::ostream &os, const HtmlReportInputs &inputs)
     writeFlowStats(os, inputs.flows);
     writeResilience(os, r);
     writeRankActivity(os, r);
+    writeLinkWeather(os, r);
 
     if (inputs.registry) {
         os << "<h2>Metrics snapshot</h2>\n"

@@ -95,6 +95,27 @@ MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
     tracer_ = obs::tracer();
     flows_ = obs::flows();
     activity_ = obs::rankActivity();
+    linkStats_ = obs::linkStats();
+    if (linkStats_) {
+        // Declare the link universe up front, channel lanes first in
+        // the exact flat order the utilization statistics iterate, so
+        // the sink's channel aggregates replicate them bit for bit.
+        linkStats_->declareRouters(n);
+        laneLink_.resize(lanes_.size());
+        for (std::size_t li = 0; li < lanes_.size(); ++li) {
+            int node = static_cast<int>(li / 4);
+            int dir = static_cast<int>(li % 4);
+            for (std::size_t vc = 0; vc < lanes_[li].size(); ++vc) {
+                laneLink_[li].push_back(linkStats_->declareLink(
+                    node, dir, static_cast<int>(vc)));
+            }
+        }
+        injLink_.reserve(static_cast<std::size_t>(n));
+        for (int node = 0; node < n; ++node) {
+            injLink_.push_back(
+                linkStats_->declareLink(node, obs::kLinkInject, 0));
+        }
+    }
     if (tracer_) {
         routerLane_.reserve(static_cast<std::size_t>(n));
         for (int node = 0; node < n; ++node)
@@ -183,7 +204,7 @@ MeshNetwork::neighborOf(const Hop &hop) const
 }
 
 desim::Resource &
-MeshNetwork::lane(const Hop &hop, bool crossed_dateline)
+MeshNetwork::lane(const Hop &hop, bool crossed_dateline, int &vcOut)
 {
     auto &vcs = lanes_[static_cast<std::size_t>(hop.from) * 4 +
                        static_cast<std::size_t>(hop.dir)];
@@ -202,6 +223,7 @@ MeshNetwork::lane(const Hop &hop, bool crossed_dateline)
     }
     // Among the permitted class, take the least-loaded lane
     // (deterministic tie-break toward the lowest index).
+    int bestIdx = base;
     desim::Resource *best = vcs[static_cast<std::size_t>(base)].get();
     for (int i = 1; i < span; ++i) {
         desim::Resource *cand =
@@ -210,9 +232,12 @@ MeshNetwork::lane(const Hop &hop, bool crossed_dateline)
             cand->queueLength() + static_cast<std::size_t>(cand->inUse());
         std::size_t bestLoad =
             best->queueLength() + static_cast<std::size_t>(best->inUse());
-        if (candLoad < bestLoad)
+        if (candLoad < bestLoad) {
             best = cand;
+            bestIdx = base + i;
+        }
     }
+    vcOut = bestIdx;
     return *best;
 }
 
@@ -281,18 +306,27 @@ MeshNetwork::transfer(Packet pkt)
         desim::Resource *res;
         int node;     ///< router whose outgoing lane this is
         SimTime since; ///< acquisition time (channel-hold span start)
+        int link;     ///< link-stats id (-1 when the sink is absent)
     };
     // A worm holds at most its whole path plus the injection port, so
     // the held stack fits inline alongside the route buffer.
     desim::SmallVec<HeldLane, 31> held;
+    int curLink = -1;
+    if (linkStats_) {
+        curLink = injLink_[static_cast<std::size_t>(pkt.src)];
+        linkStats_->onOffered(pkt.bytes, rec.injectTime);
+        linkStats_->onRequest(curLink, rec.injectTime);
+    }
     co_await injection_[static_cast<std::size_t>(pkt.src)]->acquire();
     // Queueing delay: time spent waiting behind the node's own earlier
     // messages for the injection port.
     double queueWait = sim_->now() - rec.injectTime;
     double stallSum = 0.0;
+    if (linkStats_)
+        linkStats_->onAcquire(curLink, sim_->now(), queueWait, pkt.bytes);
     held.push_back(
         HeldLane{injection_[static_cast<std::size_t>(pkt.src)].get(),
-                 pkt.src, sim_->now()});
+                 pkt.src, sim_->now(), curLink});
     if (flowTraced) {
         tracer_->flowStart(routerLane_[static_cast<std::size_t>(pkt.src)],
                            msgName_, rec.injectTime, pkt.flow);
@@ -315,6 +349,8 @@ MeshNetwork::transfer(Packet pkt)
                     tracer_->span(
                         routerLane_[static_cast<std::size_t>(hl.node)],
                         holdName_, hl.since, sim_->now() - hl.since);
+                if (linkStats_)
+                    linkStats_->onRelease(hl.link, sim_->now());
                 hl.res->release();
             }
             faults_->noteLinkDrop();
@@ -322,11 +358,21 @@ MeshNetwork::transfer(Packet pkt)
             rec.deliverTime = sim_->now();
             co_return rec;
         }
+        int vcIdx = 0;
         desim::Resource &ch =
-            lane(hop, hop.isX ? crossedX : crossedY);
+            lane(hop, hop.isX ? crossedX : crossedY, vcIdx);
         SimTime hopStart = sim_->now();
+        if (linkStats_) {
+            curLink = laneLink_[static_cast<std::size_t>(hop.from) * 4 +
+                                static_cast<std::size_t>(hop.dir)]
+                               [static_cast<std::size_t>(vcIdx)];
+            linkStats_->onRequest(curLink, hopStart);
+        }
         co_await ch.acquire();
         SimTime waited = sim_->now() - hopStart;
+        if (linkStats_)
+            linkStats_->onAcquire(curLink, sim_->now(), waited,
+                                  pkt.bytes);
         if (waited > 0.0) {
             stallCtr_.add(1);
             stallSum += waited;
@@ -350,9 +396,11 @@ MeshNetwork::transfer(Packet pkt)
                 tracer_->span(
                     routerLane_[static_cast<std::size_t>(prev.node)],
                     holdName_, prev.since, freeAt - prev.since);
+            if (linkStats_)
+                linkStats_->onRelease(prev.link, freeAt);
             sim_->schedule([res = prev.res] { res->release(); }, freeAt);
         }
-        held.push_back(HeldLane{&ch, hop.from, sim_->now()});
+        held.push_back(HeldLane{&ch, hop.from, sim_->now(), curLink});
         double headDelay = cfg_.routerDelay;
         if (faults_) {
             double stall = faults_->routerStallUs(hop.from, sim_->now());
@@ -361,6 +409,8 @@ MeshNetwork::transfer(Packet pkt)
                 headDelay += stall;
             }
         }
+        if (linkStats_)
+            linkStats_->onForward(hop.from, pkt.bytes);
         co_await sim_->delay(headDelay);
         hopHist_.record(waited + headDelay);
     }
@@ -385,6 +435,8 @@ MeshNetwork::transfer(Packet pkt)
             tracer_->span(
                 routerLane_[static_cast<std::size_t>(hl.node)],
                 holdName_, hl.since, sim_->now() - hl.since);
+        if (linkStats_)
+            linkStats_->onRelease(hl.link, sim_->now());
         hl.res->release();
     }
 
@@ -442,6 +494,8 @@ MeshNetwork::transfer(Packet pkt)
     }
     if (log_)
         log_->add(rec);
+    if (linkStats_)
+        linkStats_->onDelivered(pkt.bytes, rec.deliverTime);
     rx_[static_cast<std::size_t>(pkt.dst)]->send(std::move(pkt));
     co_return rec;
 }
@@ -458,6 +512,12 @@ MeshNetwork::post(Packet pkt)
 double
 MeshNetwork::averageChannelUtilization(SimTime t) const
 {
+    // One source of truth: with the link-stats sink installed, the
+    // telemetry series and the network-weather report read the same
+    // accumulators (the sink replicates the lane iteration order, so
+    // the delegated value is bit-identical to the fallback loop).
+    if (linkStats_)
+        return linkStats_->avgChannelUtilization(t);
     double sum = 0.0;
     int n = 0;
     for (const auto &vcs : lanes_) {
@@ -472,6 +532,8 @@ MeshNetwork::averageChannelUtilization(SimTime t) const
 double
 MeshNetwork::maxChannelUtilization(SimTime t) const
 {
+    if (linkStats_)
+        return linkStats_->maxChannelUtilization(t);
     double best = 0.0;
     for (const auto &vcs : lanes_) {
         for (const auto &res : vcs)

@@ -220,8 +220,12 @@ class MeshNetwork
     /** Node a hop lands on (wrap-aware). */
     int neighborOf(const Hop &hop) const;
 
-    /** Pick a virtual channel lane for a hop. */
-    desim::Resource &lane(const Hop &hop, bool crossed_dateline);
+    /**
+     * Pick a virtual channel lane for a hop; @p vcOut reports the
+     * chosen VC index (for link-stats attribution).
+     */
+    desim::Resource &lane(const Hop &hop, bool crossed_dateline,
+                          int &vcOut);
 
     desim::Simulator *sim_;
     MeshConfig cfg_;
@@ -251,6 +255,12 @@ class MeshNetwork
     obs::FlowTracker *flows_ = nullptr;
     /** Per-rank activity sink: in-network spans by source rank. */
     obs::RankActivityTracker *activity_ = nullptr;
+    /** Per-link weather sink (nullptr unless --link-stats). */
+    obs::LinkStatsTracker *linkStats_ = nullptr;
+    /** Link-stats id per lane, shaped like lanes_ (sink only). */
+    std::vector<std::vector<int>> laneLink_;
+    /** Link-stats id per injection port (sink only). */
+    std::vector<int> injLink_;
     /** Tracer lane of each router (tracer_ != nullptr only). */
     std::vector<int> routerLane_;
     int msgName_ = 0;

@@ -1,0 +1,306 @@
+#include "link_stats.hh"
+
+#include <algorithm>
+
+namespace cchar::obs {
+
+const char *
+linkDirName(int dir)
+{
+    switch (dir) {
+    case 0:
+        return "E";
+    case 1:
+        return "W";
+    case 2:
+        return "N";
+    case 3:
+        return "S";
+    case kLinkInject:
+        return "inj";
+    default:
+        return "?";
+    }
+}
+
+int
+LinkRecord::depthBucket(int depth)
+{
+    if (depth <= 3)
+        return depth < 0 ? 0 : depth;
+    if (depth < 8)
+        return 4;
+    if (depth < 16)
+        return 5;
+    if (depth < 32)
+        return 6;
+    return 7;
+}
+
+LinkStatsTracker::LinkStatsTracker(std::size_t maxLinks)
+    : maxLinks_(maxLinks)
+{
+}
+
+int
+LinkStatsTracker::declareLink(int node, int dir, int vc)
+{
+    if (node < 0 || dir < 0 || vc < 0)
+        return -1;
+    std::uint64_t key = (static_cast<std::uint64_t>(node) << 20) |
+                        (static_cast<std::uint64_t>(dir) << 16) |
+                        static_cast<std::uint64_t>(vc);
+    auto it = index_.find(key);
+    if (it != index_.end())
+        return it->second;
+    if (links_.size() >= maxLinks_) {
+        ++dropped_;
+        return -1;
+    }
+    LinkRecord rec;
+    rec.node = node;
+    rec.dir = dir;
+    rec.vc = vc;
+    rec.busyWindowUs.assign(static_cast<std::size_t>(kWindows), 0.0);
+    int id = static_cast<int>(links_.size());
+    links_.push_back(std::move(rec));
+    index_.emplace(key, id);
+    if (dir < kLinkInject)
+        ++channelLinks_;
+    return id;
+}
+
+void
+LinkStatsTracker::declareRouters(int nodes)
+{
+    if (nodes < 0 || static_cast<std::size_t>(nodes) > maxLinks_) {
+        ++dropped_;
+        return;
+    }
+    if (static_cast<std::size_t>(nodes) > routers_.size())
+        routers_.resize(static_cast<std::size_t>(nodes));
+}
+
+void
+LinkStatsTracker::ensureWindow(double t)
+{
+    while (t >= windowUs_ * kWindows) {
+        // The run outgrew the series: double the window, fold pairs.
+        auto fold = [](auto &arr) {
+            for (int i = 0; i < kWindows / 2; ++i)
+                arr[static_cast<std::size_t>(i)] =
+                    arr[static_cast<std::size_t>(2 * i)] +
+                    arr[static_cast<std::size_t>(2 * i + 1)];
+            for (int i = kWindows / 2; i < kWindows; ++i)
+                arr[static_cast<std::size_t>(i)] = 0.0;
+        };
+        fold(offered_);
+        fold(delivered_);
+        for (LinkRecord &rec : links_)
+            fold(rec.busyWindowUs);
+        windowUs_ *= 2.0;
+    }
+}
+
+int
+LinkStatsTracker::windowOf(double t) const
+{
+    int w = static_cast<int>(t / windowUs_);
+    return std::clamp(w, 0, kWindows - 1);
+}
+
+void
+LinkStatsTracker::addBusySpan(LinkRecord &rec, double beginUs,
+                              double endUs)
+{
+    if (endUs <= beginUs)
+        return;
+    ensureWindow(endUs);
+    int w0 = windowOf(beginUs);
+    int w1 = windowOf(endUs);
+    for (int w = w0; w <= w1; ++w) {
+        double lo = std::max(beginUs, w * windowUs_);
+        double hi = std::min(endUs, (w + 1) * windowUs_);
+        if (hi > lo)
+            rec.busyWindowUs[static_cast<std::size_t>(w)] += hi - lo;
+    }
+}
+
+void
+LinkStatsTracker::advanceDepth(LinkRecord &rec, double nowUs)
+{
+    if (nowUs > rec.depthChangeUs) {
+        double dt = nowUs - rec.depthChangeUs;
+        rec.depthTimeUs[static_cast<std::size_t>(
+            LinkRecord::depthBucket(rec.queueDepth))] += dt;
+        rec.depthIntegralUs += dt * rec.queueDepth;
+    }
+    rec.depthChangeUs = std::max(rec.depthChangeUs, nowUs);
+}
+
+void
+LinkStatsTracker::onRequest(int link, double nowUs)
+{
+    if (link < 0 || link >= links()) {
+        ++dropped_;
+        return;
+    }
+    LinkRecord &rec = links_[static_cast<std::size_t>(link)];
+    advanceDepth(rec, nowUs);
+    ++rec.queueDepth;
+    rec.peakBacklog = std::max(rec.peakBacklog, rec.queueDepth);
+    endUs_ = std::max(endUs_, nowUs);
+}
+
+void
+LinkStatsTracker::closeHold(LinkRecord &rec, double atUs)
+{
+    if (rec.busySinceUs < 0.0)
+        return;
+    double end = atUs;
+    if (rec.busyUntilUs >= 0.0 && rec.busyUntilUs < end)
+        end = rec.busyUntilUs;
+    if (end > rec.busySinceUs) {
+        rec.busyClosedUs += end - rec.busySinceUs;
+        addBusySpan(rec, rec.busySinceUs, end);
+    }
+    rec.busySinceUs = -1.0;
+    rec.busyUntilUs = -1.0;
+}
+
+void
+LinkStatsTracker::onAcquire(int link, double nowUs, double waitedUs,
+                            int bytes)
+{
+    if (link < 0 || link >= links()) {
+        ++dropped_;
+        return;
+    }
+    LinkRecord &rec = links_[static_cast<std::size_t>(link)];
+    // A pending scheduled release (EarlyRelease) is now in the past:
+    // the lane could not have been granted before it freed.
+    closeHold(rec, nowUs);
+    advanceDepth(rec, nowUs);
+    if (rec.queueDepth > 0)
+        --rec.queueDepth;
+    rec.busySinceUs = nowUs;
+    rec.busyUntilUs = -1.0;
+    ++rec.packets;
+    rec.bytes += static_cast<std::uint64_t>(bytes > 0 ? bytes : 0);
+    if (waitedUs > 0.0) {
+        ++rec.stalls;
+        rec.stallUs += waitedUs;
+    }
+    endUs_ = std::max(endUs_, nowUs);
+}
+
+void
+LinkStatsTracker::onRelease(int link, double endUs)
+{
+    if (link < 0 || link >= links()) {
+        ++dropped_;
+        return;
+    }
+    LinkRecord &rec = links_[static_cast<std::size_t>(link)];
+    if (rec.busySinceUs < 0.0)
+        return; // unmatched release: instrumentation bug, stay safe
+    // Record the (possibly future) end; the span is folded into the
+    // closed integral lazily, on the next acquire or at finish().
+    rec.busyUntilUs = endUs;
+    endUs_ = std::max(endUs_, endUs);
+}
+
+void
+LinkStatsTracker::onForward(int router, int bytes)
+{
+    if (router < 0 || router >= routers()) {
+        ++dropped_;
+        return;
+    }
+    RouterRecord &rec = routers_[static_cast<std::size_t>(router)];
+    ++rec.forwards;
+    rec.bytes += static_cast<std::uint64_t>(bytes > 0 ? bytes : 0);
+}
+
+void
+LinkStatsTracker::onOffered(int bytes, double nowUs)
+{
+    ensureWindow(nowUs);
+    offered_[static_cast<std::size_t>(windowOf(nowUs))] +=
+        static_cast<double>(bytes);
+    offeredBytes_ += static_cast<std::uint64_t>(bytes > 0 ? bytes : 0);
+    ++offeredPackets_;
+    endUs_ = std::max(endUs_, nowUs);
+}
+
+void
+LinkStatsTracker::onDelivered(int bytes, double nowUs)
+{
+    ensureWindow(nowUs);
+    delivered_[static_cast<std::size_t>(windowOf(nowUs))] +=
+        static_cast<double>(bytes);
+    deliveredBytes_ += static_cast<std::uint64_t>(bytes > 0 ? bytes : 0);
+    ++deliveredPackets_;
+    endUs_ = std::max(endUs_, nowUs);
+}
+
+void
+LinkStatsTracker::finish(double nowUs)
+{
+    endUs_ = std::max(endUs_, nowUs);
+    for (LinkRecord &rec : links_) {
+        advanceDepth(rec, endUs_);
+        // A lane still held at the end of the run (deadlock, or the
+        // simulation drained first) closes here so the busy time is
+        // visible instead of silently vanishing.
+        closeHold(rec, endUs_);
+    }
+}
+
+void
+LinkStatsTracker::reset()
+{
+    links_.clear();
+    routers_.clear();
+    index_.clear();
+    channelLinks_ = 0;
+    windowUs_ = 32.0;
+    offered_.fill(0.0);
+    delivered_.fill(0.0);
+    offeredBytes_ = deliveredBytes_ = 0;
+    offeredPackets_ = deliveredPackets_ = 0;
+    endUs_ = 0.0;
+    dropped_ = 0;
+}
+
+double
+LinkStatsTracker::avgChannelUtilization(double at) const
+{
+    if (at <= 0.0)
+        return 0.0;
+    double sum = 0.0;
+    int n = 0;
+    for (const LinkRecord &rec : links_) {
+        if (rec.dir >= kLinkInject)
+            continue;
+        sum += rec.busyUs(at) / at;
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+double
+LinkStatsTracker::maxChannelUtilization(double at) const
+{
+    if (at <= 0.0)
+        return 0.0;
+    double best = 0.0;
+    for (const LinkRecord &rec : links_) {
+        if (rec.dir >= kLinkInject)
+            continue;
+        best = std::max(best, rec.busyUs(at) / at);
+    }
+    return best;
+}
+
+} // namespace cchar::obs

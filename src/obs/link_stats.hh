@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Per-link network weather: who carried the traffic, who queued it,
+ * who blocked it.
+ *
+ * The endpoint attributes (temporal/spatial/volume) and the rank
+ * timelines say what the *processors* did; this sink opens up the
+ * network interior. Every directed link — a (node, direction, virtual
+ * channel) lane, plus each node's injection port — accumulates, in
+ * sim time:
+ *
+ *  - busy time: the integral of "a worm holds this lane", identical
+ *    by construction to the lane Resource's own busy integral, so the
+ *    sink and MeshNetwork::averageChannelUtilization() are one source
+ *    of truth (the mesh delegates to the sink when it is installed);
+ *  - packets/bytes forwarded over the link;
+ *  - a time-weighted queue-depth histogram and the peak backlog of
+ *    worms waiting for the lane;
+ *  - head-of-line blocking stalls: acquires that had to wait, and the
+ *    total time they waited.
+ *
+ * Per router it counts forwards (head traversals) and bytes switched,
+ * and fleet-wide it keeps a windowed offered-load vs delivered-
+ * throughput series (bytes injected vs bytes delivered per window)
+ * that the link-weather analyzer turns into a congestion-onset
+ * estimate. Windows double in width when the run outgrows them
+ * (folding pairs), so memory stays fixed no matter how long the run.
+ *
+ * Like every obs sink the tracker is ambient (obs::linkStats()),
+ * resolved once at network construction, null when --link-stats was
+ * not given — the default run records nothing and the hot path pays
+ * one null-check per event. The mesh declares its links up front
+ * (declareLink interns a dense id), so idle links are part of the
+ * universe: utilization ranking and the Gini coefficient see the
+ * zeros. Storage is bounded by maxLinks; declarations beyond the cap
+ * are refused and their facts counted in dropped().
+ */
+
+#ifndef CCHAR_OBS_LINK_STATS_HH
+#define CCHAR_OBS_LINK_STATS_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace cchar::obs {
+
+/** Direction index of an injection-port link (0..3 are E/W/N/S). */
+inline constexpr int kLinkInject = 4;
+
+/** Printable direction name ("E", "W", "N", "S", "inj"). */
+const char *linkDirName(int dir);
+
+/** Accumulated weather of one directed link. */
+struct LinkRecord
+{
+    /** Fixed-depth occupancy buckets: 0,1,2,3,4-7,8-15,16-31,32+. */
+    static constexpr int kDepthBuckets = 8;
+
+    int node = 0; ///< router whose outgoing lane this is
+    int dir = 0;  ///< 0..3 = mesh direction, kLinkInject = injection
+    int vc = 0;   ///< virtual-channel index within the channel
+
+    /** Closed busy time (us); open holds are added by busyUs(at). */
+    double busyClosedUs = 0.0;
+    /** Start of the open hold, or < 0 when the lane is free. */
+    double busySinceUs = -1.0;
+    /**
+     * Scheduled end of the open hold (EarlyRelease frees a lane at a
+     * future sim time), or < 0 when the hold is unbounded. Queries
+     * clamp to it so mid-run utilization matches the lane Resource.
+     */
+    double busyUntilUs = -1.0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    /** Acquires that found the lane held (head-of-line blocking). */
+    std::uint64_t stalls = 0;
+    /** Total time acquires waited for this lane (us). */
+    double stallUs = 0.0;
+    /** Worms currently waiting for the lane. */
+    int queueDepth = 0;
+    int peakBacklog = 0;
+    /** Exact integral of queueDepth over time (us * worms). */
+    double depthIntegralUs = 0.0;
+    /** Time spent at each occupancy bucket (us). */
+    std::array<double, kDepthBuckets> depthTimeUs{};
+    /** Busy time per analysis window (us); see windowUs(). */
+    std::vector<double> busyWindowUs;
+
+    /** Last queue-depth change (internal bookkeeping). */
+    double depthChangeUs = 0.0;
+
+    /** Busy integral including an open hold, evaluated at @p at. */
+    double
+    busyUs(double at) const
+    {
+        double b = busyClosedUs;
+        if (busySinceUs >= 0.0) {
+            double end = at;
+            if (busyUntilUs >= 0.0 && busyUntilUs < end)
+                end = busyUntilUs;
+            if (end > busySinceUs)
+                b += end - busySinceUs;
+        }
+        return b;
+    }
+
+    /** Bucket index of a queue depth. */
+    static int depthBucket(int depth);
+};
+
+/** Forwarding totals of one router. */
+struct RouterRecord
+{
+    std::uint64_t forwards = 0;
+    std::uint64_t bytes = 0;
+};
+
+class LinkStatsTracker
+{
+  public:
+    /** Windows of the busy / offered / delivered time series. */
+    static constexpr int kWindows = 64;
+
+    /**
+     * @param maxLinks cap on tracked links; declareLink() beyond it
+     *        returns -1 and later facts bump dropped().
+     */
+    explicit LinkStatsTracker(std::size_t maxLinks = 1 << 14);
+
+    /**
+     * Intern a link and return its dense id (stable for the tracker's
+     * lifetime, assigned in declaration order so aggregate iteration
+     * is deterministic). Re-declaring an existing (node, dir, vc)
+     * returns the same id. Returns -1 once maxLinks is reached.
+     */
+    int declareLink(int node, int dir, int vc);
+
+    /** Size the per-router table (ids 0..nodes-1). */
+    void declareRouters(int nodes);
+
+    // ------------- hot-path facts (link = declareLink id) -------------
+
+    /** A worm asked for the lane (joins the queue until granted). */
+    void onRequest(int link, double nowUs);
+
+    /**
+     * The lane was granted after @p waitedUs in the queue; the link
+     * will carry @p bytes payload bytes. waitedUs > 0 counts a
+     * head-of-line stall.
+     */
+    void onAcquire(int link, double nowUs, double waitedUs, int bytes);
+
+    /**
+     * The hold ends at @p endUs. Under EarlyRelease the mesh reports
+     * the scheduled future free time; endUs may therefore lie ahead
+     * of the sim clock (the lane cannot be re-acquired before it).
+     */
+    void onRelease(int link, double endUs);
+
+    /** A worm's head traversed @p router (switched @p bytes). */
+    void onForward(int router, int bytes);
+
+    /** @p bytes were offered to the network (message injection). */
+    void onOffered(int bytes, double nowUs);
+
+    /** @p bytes were delivered to a receive queue. */
+    void onDelivered(int bytes, double nowUs);
+
+    // ------------------------- lifecycle -------------------------
+
+    /**
+     * Close every open hold and queue-depth integral at @p nowUs and
+     * remember the run end for analysis.
+     */
+    void finish(double nowUs);
+
+    /**
+     * Forget everything, including declared links and routers. The
+     * static strategy resets the tracker between the live run and the
+     * trace replay so the reported weather matches the replayed
+     * network the rest of the report describes.
+     */
+    void reset();
+
+    // ------------------------- inspection -------------------------
+
+    int links() const { return static_cast<int>(links_.size()); }
+    const LinkRecord &link(int id) const
+    {
+        return links_[static_cast<std::size_t>(id)];
+    }
+
+    int routers() const { return static_cast<int>(routers_.size()); }
+    const RouterRecord &router(int id) const
+    {
+        return routers_[static_cast<std::size_t>(id)];
+    }
+
+    /** Largest time seen (finish() time if called). */
+    double endUs() const { return endUs_; }
+
+    /** Facts discarded because maxLinks (or a router id) overflowed. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Width of one series window (us); doubles as the run grows. */
+    double windowUs() const { return windowUs_; }
+
+    /** Bytes offered to the network per window (us series). */
+    const std::array<double, kWindows> &offeredWindowBytes() const
+    {
+        return offered_;
+    }
+    const std::array<double, kWindows> &deliveredWindowBytes() const
+    {
+        return delivered_;
+    }
+
+    std::uint64_t offeredBytes() const { return offeredBytes_; }
+    std::uint64_t deliveredBytes() const { return deliveredBytes_; }
+    std::uint64_t offeredPackets() const { return offeredPackets_; }
+    std::uint64_t deliveredPackets() const { return deliveredPackets_; }
+
+    /**
+     * Mean / peak utilization at @p at over the *channel* lanes (dir
+     * < kLinkInject), replicating MeshNetwork's lane iteration order
+     * exactly so the mesh can delegate its channel-utilization
+     * statistics here without changing a single bit of output.
+     */
+    double avgChannelUtilization(double at) const;
+    double maxChannelUtilization(double at) const;
+
+    /** Tracked channel lanes (dir < kLinkInject). */
+    int channelLinks() const { return channelLinks_; }
+
+  private:
+    /** Double windowUs_ (folding pairs) until @p t fits the series. */
+    void ensureWindow(double t);
+
+    /** Window index of @p t (ensureWindow() must have run). */
+    int windowOf(double t) const;
+
+    /** Smear a busy span over the per-link window series. */
+    void addBusySpan(LinkRecord &rec, double beginUs, double endUs);
+
+    /** Close an open hold at min(scheduled end, @p atUs). */
+    void closeHold(LinkRecord &rec, double atUs);
+
+    /** Advance a link's queue-depth integrals to @p nowUs. */
+    void advanceDepth(LinkRecord &rec, double nowUs);
+
+    std::size_t maxLinks_;
+    std::vector<LinkRecord> links_;
+    std::vector<RouterRecord> routers_;
+    /** (node << 20 | dir << 16 | vc) -> dense id. */
+    std::map<std::uint64_t, int> index_;
+    int channelLinks_ = 0;
+    double windowUs_ = 32.0;
+    std::array<double, kWindows> offered_{};
+    std::array<double, kWindows> delivered_{};
+    std::uint64_t offeredBytes_ = 0;
+    std::uint64_t deliveredBytes_ = 0;
+    std::uint64_t offeredPackets_ = 0;
+    std::uint64_t deliveredPackets_ = 0;
+    double endUs_ = 0.0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace cchar::obs
+
+#endif // CCHAR_OBS_LINK_STATS_HH

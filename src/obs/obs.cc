@@ -12,6 +12,7 @@ thread_local MetricsRegistry *g_metrics = nullptr;
 thread_local Tracer *g_tracer = nullptr;
 thread_local FlowTracker *g_flows = nullptr;
 thread_local RankActivityTracker *g_rankActivity = nullptr;
+thread_local LinkStatsTracker *g_linkStats = nullptr;
 
 } // namespace
 
@@ -77,6 +78,22 @@ void
 setRankActivity(RankActivityTracker *tracker)
 {
     g_rankActivity = tracker;
+}
+
+LinkStatsTracker *
+linkStats()
+{
+#ifndef CCHAR_OBS_DISABLED
+    return g_linkStats;
+#else
+    return nullptr;
+#endif
+}
+
+void
+setLinkStats(LinkStatsTracker *tracker)
+{
+    g_linkStats = tracker;
 }
 
 void

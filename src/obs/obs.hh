@@ -35,6 +35,7 @@
 #define CCHAR_OBS_OBS_HH
 
 #include "flow.hh"
+#include "link_stats.hh"
 #include "phases.hh"
 #include "rank_activity.hh"
 #include "registry.hh"
@@ -55,6 +56,9 @@ FlowTracker *flows();
 /** Currently installed rank-activity sink, or nullptr (disabled). */
 RankActivityTracker *rankActivity();
 
+/** Currently installed link-stats sink, or nullptr (disabled). */
+LinkStatsTracker *linkStats();
+
 /** Install (or with nullptr, remove) this thread's metrics sink. */
 void setMetrics(MetricsRegistry *registry);
 
@@ -66,6 +70,9 @@ void setFlows(FlowTracker *tracker);
 
 /** Install (or with nullptr, remove) this thread's rank-activity sink. */
 void setRankActivity(RankActivityTracker *tracker);
+
+/** Install (or with nullptr, remove) this thread's link-stats sink. */
+void setLinkStats(LinkStatsTracker *tracker);
 
 /**
  * Publish the side sinks' own health into a registry snapshot:
@@ -87,14 +94,17 @@ class ScopedObservability
     explicit ScopedObservability(MetricsRegistry *registry,
                                  Tracer *trace = nullptr,
                                  FlowTracker *flow = nullptr,
-                                 RankActivityTracker *activity = nullptr)
+                                 RankActivityTracker *activity = nullptr,
+                                 LinkStatsTracker *links = nullptr)
         : prevMetrics_(metrics()), prevTracer_(tracer()),
-          prevFlows_(flows()), prevActivity_(rankActivity())
+          prevFlows_(flows()), prevActivity_(rankActivity()),
+          prevLinks_(linkStats())
     {
         setMetrics(registry);
         setTracer(trace);
         setFlows(flow);
         setRankActivity(activity);
+        setLinkStats(links);
     }
 
     ScopedObservability(const ScopedObservability &) = delete;
@@ -106,6 +116,7 @@ class ScopedObservability
         setTracer(prevTracer_);
         setFlows(prevFlows_);
         setRankActivity(prevActivity_);
+        setLinkStats(prevLinks_);
     }
 
   private:
@@ -113,6 +124,7 @@ class ScopedObservability
     Tracer *prevTracer_;
     FlowTracker *prevFlows_;
     RankActivityTracker *prevActivity_;
+    LinkStatsTracker *prevLinks_;
 };
 
 /**

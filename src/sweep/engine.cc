@@ -154,6 +154,15 @@ fillRankActivity(JobOutcome &out, const core::RankActivitySummary &ra)
 }
 
 void
+fillLinkStats(JobOutcome &out, const core::LinkWeatherSummary &lw)
+{
+    out.maxLinkUtil = lw.maxUtilization;
+    out.linkGini = lw.gini;
+    out.hotspotCount = static_cast<std::uint64_t>(lw.hotspotCount);
+    out.congestionOnsetLoad = lw.congestionOnsetLoad;
+}
+
+void
 fillFaults(JobOutcome &out, const fault::FaultInjector &injector,
            std::uint64_t retransmits, std::uint64_t deliveryFailures)
 {
@@ -196,9 +205,11 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
     // Per-job isolation: this thread's ambient hooks point at sinks
     // owned by this frame for exactly the duration of the run.
     obs::RankActivityTracker activity;
+    obs::LinkStatsTracker links;
     obs::ScopedObservability obsScope{&registry, nullptr, nullptr,
                                       job.rankActivity ? &activity
-                                                       : nullptr};
+                                                       : nullptr,
+                                      job.linkStats ? &links : nullptr};
     core::DiagnosticSink diagSink;
     core::ScopedDiagnostics diagScope{&diagSink};
 
@@ -248,6 +259,14 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
                 fillRankActivity(out, ra);
                 core::publishRankMetrics(registry, ra);
             }
+            if (job.linkStats) {
+                links.finish(sim.now());
+                core::LinkWeatherSummary lw =
+                    core::LinkWeatherAnalyzer{}.analyze(links, cfg.mesh,
+                                                        report.phases);
+                fillLinkStats(out, lw);
+                core::publishLinkMetrics(registry, lw);
+            }
         } else if (auto mpApp = apps::makeMessagePassingApp(job.app)) {
             mp::MpConfig cfg;
             cfg.mesh = mcfg;
@@ -277,6 +296,12 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
                 ropts.faults = &*injector;
                 ropts.enableWatchdog = true;
             }
+            // The replay mesh is the network whose behaviour the
+            // static-strategy report describes, so the link sink
+            // restarts here: the replay re-declares the same topology
+            // and only its traffic enters the weather analysis.
+            if (job.linkStats)
+                links.reset();
             auto replayed =
                 core::TraceReplayer::replay(collected, cfg.mesh, ropts);
             core::NetworkSummary net;
@@ -297,6 +322,14 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
                                                          report.phases);
                 fillRankActivity(out, ra);
                 core::publishRankMetrics(registry, ra);
+            }
+            if (job.linkStats) {
+                links.finish(replayed.makespan);
+                core::LinkWeatherSummary lw =
+                    core::LinkWeatherAnalyzer{}.analyze(links, cfg.mesh,
+                                                        report.phases);
+                fillLinkStats(out, lw);
+                core::publishLinkMetrics(registry, lw);
             }
             if (injector) {
                 fillFaults(out, *injector,
@@ -536,6 +569,13 @@ SweepResult::writeJson(std::ostream &os) const
         os << ",\"idle_waves\":" << o.idleWaves
            << ",\"wave_speed_max\":";
         jsonNumber(os, o.waveSpeedMax);
+        os << ",\"max_link_util\":";
+        jsonNumber(os, o.maxLinkUtil);
+        os << ",\"link_gini\":";
+        jsonNumber(os, o.linkGini);
+        os << ",\"hotspot_count\":" << o.hotspotCount
+           << ",\"congestion_onset_load\":";
+        jsonNumber(os, o.congestionOnsetLoad);
         os << "}";
     }
     os << "],\"failures\":" << failures() << ",\"metrics\":";
@@ -555,7 +595,9 @@ SweepResult::writeCsv(std::ostream &os) const
           "avg_channel_utilization,max_channel_utilization,temporal_fit,"
           "spatial_pattern,dropped_packets,corrupted_packets,link_drops,"
           "retransmits,delivery_failures,diag_warnings,diag_errors,"
-          "skew_max_us,idle_fraction_mean,idle_waves,wave_speed_max\n";
+          "skew_max_us,idle_fraction_mean,idle_waves,wave_speed_max,"
+          "max_link_util,link_gini,hotspot_count,"
+          "congestion_onset_load\n";
     for (const JobOutcome &o : outcomes) {
         os << o.job.index << ",";
         csvField(os, o.job.app);
@@ -594,6 +636,12 @@ SweepResult::writeCsv(std::ostream &os) const
         jsonNumber(os, o.idleFractionMean);
         os << "," << o.idleWaves << ",";
         jsonNumber(os, o.waveSpeedMax);
+        os << ",";
+        jsonNumber(os, o.maxLinkUtil);
+        os << ",";
+        jsonNumber(os, o.linkGini);
+        os << "," << o.hotspotCount << ",";
+        jsonNumber(os, o.congestionOnsetLoad);
         os << "\n";
     }
 }

@@ -83,6 +83,13 @@ struct JobOutcome
     std::uint64_t idleWaves = 0;
     double waveSpeedMax = 0.0;
 
+    // Network-weather aggregates (all zero unless the job ran with
+    // link-stats tracking; same always-present-columns contract).
+    double maxLinkUtil = 0.0;
+    double linkGini = 0.0;
+    std::uint64_t hotspotCount = 0;
+    double congestionOnsetLoad = 0.0;
+
     bool ok() const { return status == "ok"; }
 };
 

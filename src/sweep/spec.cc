@@ -140,6 +140,7 @@ SweepSpec::expand() const
                         job.seed = seed;
                         job.faultPlan = plan == "none" ? "" : plan;
                         job.rankActivity = rankActivity;
+                        job.linkStats = linkStats;
                         jobs.push_back(std::move(job));
                     }
                 }
@@ -230,6 +231,8 @@ SweepSpec::fromJson(const std::string &text)
                 spec.vcs = static_cast<int>(js.readNumber());
             } else if (key == "rank_activity") {
                 spec.rankActivity = js.readBool();
+            } else if (key == "link_stats") {
+                spec.linkStats = js.readBool();
             } else {
                 js.fail("unknown spec key '" + key + "'");
             }

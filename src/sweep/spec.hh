@@ -28,7 +28,8 @@
  *   {"apps": ["is", "sor"], "procs": [4, 16],
  *    "loads": [1.0, 2.0], "seeds": [1, 2],
  *    "fault_plans": ["none", "drop:p=0.001"],
- *    "torus": false, "vcs": 1, "rank_activity": false}
+ *    "torus": false, "vcs": 1, "rank_activity": false,
+ *    "link_stats": false}
  *
  * (restricted schema, same no-external-parser discipline as the fault
  * plan JSON form).
@@ -61,6 +62,8 @@ struct SweepJob
     std::string faultPlan;
     /** Track per-rank activity and report desync aggregates. */
     bool rankActivity = false;
+    /** Track per-link stats and report network-weather aggregates. */
+    bool linkStats = false;
 
     /** Compact human-readable job label for logs and reports. */
     std::string label() const;
@@ -78,6 +81,8 @@ struct SweepSpec
     int vcs = 1;
     /** Run every job with rank-activity tracking (--rank-activity). */
     bool rankActivity = false;
+    /** Run every job with link-stats tracking (--link-stats). */
+    bool linkStats = false;
 
     /**
      * Cross the dimensions into the canonical job list.

@@ -17,6 +17,11 @@ a bench regressed:
    runner throughput is too machine-dependent to gate on.
    Improvements never warn. Pass --strict-rates to turn throughput
    warnings into failures on a stable machine.
+ - boolean fields ending in `_within_noise` are in-process guarantees
+   the bench measured against its own noise floor (e.g. the link-stats
+   flag-off path costing nothing measurable). They are machine-
+   independent by construction, so a `false` value is a hard failure,
+   as is a flag the baseline records but the current report dropped.
 
 Baselines are machine-dependent for the throughput fields; refresh
 them with --bless after intentional changes. CI runs this step as a
@@ -45,6 +50,7 @@ import sys
 
 EXACT_FIELDS = ("events", "messages")
 RATE_FIELDS = ("events_per_sec", "messages_per_sec")
+NOISE_FLAG_SUFFIX = "_within_noise"
 
 
 def repo_root():
@@ -106,6 +112,18 @@ def compare_one(current_path, baseline_path, tolerance):
             warnings.append(
                 f"{field}: {c:.3g}/s is {100 * (1 - c / b):.1f}% below "
                 f"baseline {b:.3g}/s (tolerance {100 * tolerance:.0f}%)"
+            )
+    for field in sorted(cur):
+        if field.endswith(NOISE_FLAG_SUFFIX) and cur[field] is False:
+            failures.append(
+                f"{field}: false (overhead exceeded the bench's own "
+                "noise floor)"
+            )
+    for field in sorted(base):
+        if field.endswith(NOISE_FLAG_SUFFIX) and field not in cur:
+            failures.append(
+                f"{field}: recorded in baseline but missing from the "
+                "current report"
             )
     return failures, warnings
 

@@ -39,6 +39,14 @@
  *                                    desynchronization analytics
  *                                    (off by default; default
  *                                    outputs are unchanged)
+ *   --link-stats                     record per-link utilization and
+ *                                    queue occupancy and report the
+ *                                    network-weather analysis
+ *                                    (hotspots, Gini, congestion
+ *                                    onset; off by default, default
+ *                                    outputs are unchanged)
+ *   --top-links N                    ranked links/routers kept in the
+ *                                    network-weather output (16)
  *   --progress                       periodic progress line on stderr
  *                                    (sweep: live done/total + ETA
  *                                    and per-worker stats)
@@ -107,6 +115,10 @@ struct Options
     bool progress = false;
     /** Track per-rank activity and run the desync analysis. */
     bool rankActivity = false;
+    /** Track per-link stats and run the network-weather analysis. */
+    bool linkStats = false;
+    /** Ranked links/routers kept in link-weather output. */
+    int topLinks = 16;
     /** `cchar report` invocation: render HTML instead of text/JSON. */
     bool reportMode = false;
 
@@ -160,7 +172,8 @@ class ObsSession
           scope_(opts.wantsObs() ? &registry_ : nullptr,
                  opts.traceOut.empty() ? nullptr : &tracer_,
                  opts.wantsObs() ? &flows_ : nullptr,
-                 opts.rankActivity ? &activity_ : nullptr)
+                 opts.rankActivity ? &activity_ : nullptr,
+                 opts.linkStats ? &linkStats_ : nullptr)
     {}
 
     /** The sampler to hand to the run, or nullptr when unwanted. */
@@ -188,6 +201,12 @@ class ObsSession
     obs::RankActivityTracker *activity()
     {
         return opts_.rankActivity ? &activity_ : nullptr;
+    }
+
+    /** The link-stats tracker, or nullptr without --link-stats. */
+    obs::LinkStatsTracker *linkStats()
+    {
+        return opts_.linkStats ? &linkStats_ : nullptr;
     }
 
     /** Writable registry for post-run metric publication. */
@@ -243,6 +262,7 @@ class ObsSession
     obs::WindowedSampler sampler_;
     obs::FlowTracker flows_;
     obs::RankActivityTracker activity_;
+    obs::LinkStatsTracker linkStats_;
     obs::ScopedObservability scope_;
 };
 
@@ -270,6 +290,7 @@ usage()
            "                     [--phases] [--synthetic] [--json]\n"
            "                     [--trace-out FILE] [--metrics-out FILE]\n"
            "                     [--report-out FILE] [--rank-activity]\n"
+           "                     [--link-stats] [--top-links N]\n"
            "                     [--sample-period US] [--progress]\n"
            "                     [--fault-plan SPEC|@FILE] [--seed N]\n"
            "                     [--watchdog-period US]\n"
@@ -279,12 +300,13 @@ usage()
            "  cchar trace <mp-app> --out FILE [--width W] [--height H]\n"
            "  cchar replay <FILE> [--width W] [--height H] [--torus]\n"
            "                      [--trace-out FILE] [--metrics-out FILE]\n"
+           "                      [--link-stats] [--top-links N]\n"
            "                      [--fault-plan SPEC|@FILE] [--seed N]\n"
            "                      [--trace-errors strict|skip]\n"
            "  cchar sweep [--spec FILE] [--apps LIST] [--procs LIST]\n"
            "              [--loads LIST] [--seeds LIST|A..B]\n"
            "              [--fault-plan SPEC]... [--torus] [--vcs N]\n"
-           "              [--rank-activity] [--progress]\n"
+           "              [--rank-activity] [--link-stats] [--progress]\n"
            "              [-j N] [--out FILE] [--csv FILE]\n"
            "exit codes: 0 ok, 1 verification/analysis failure, 2 usage,\n"
            "            3 input error, 4 simulation error, 5 watchdog\n";
@@ -348,6 +370,11 @@ parseOptions(int argc, char **argv, int first, Options &opts)
             opts.progress = true;
         } else if (arg == "--rank-activity") {
             opts.rankActivity = true;
+        } else if (arg == "--link-stats") {
+            opts.linkStats = true;
+        } else if (arg == "--top-links") {
+            if (!next(opts.topLinks) || opts.topLinks < 1)
+                return false;
         } else if (arg == "--fault-plan") {
             if (i + 1 >= argc)
                 return false;
@@ -531,6 +558,13 @@ cmdCharacterize(const std::string &name, const Options &opts)
                 core::RankActivityAnalyzer{}.analyze(*tracker,
                                                      report.phases);
         }
+        if (auto *tracker = obsSession.linkStats()) {
+            tracker->finish(sim.now());
+            core::LinkWeatherConfig lwcfg;
+            lwcfg.topLinks = opts.topLinks;
+            report.linkStats = core::LinkWeatherAnalyzer{lwcfg}.analyze(
+                *tracker, cfg.mesh, report.phases);
+        }
     } else if (auto mpApp = makeMessagePassingApp(name)) {
         // Run the two static-strategy phases in the open so the replay
         // log is kept for --windows without replaying twice.
@@ -568,6 +602,12 @@ cmdCharacterize(const std::string &name, const Options &opts)
             ropts.enableWatchdog = true;
             ropts.watchdog = opts.watchdog;
         }
+        // The replay mesh is the network the static-strategy report
+        // describes, so the link sink restarts here: the replay
+        // re-declares the same topology and only its traffic enters
+        // the weather analysis.
+        if (auto *tracker = obsSession.linkStats())
+            tracker->reset();
         auto replayed =
             core::TraceReplayer::replay(collected, cfg.mesh, ropts);
         core::NetworkSummary net;
@@ -593,6 +633,13 @@ cmdCharacterize(const std::string &name, const Options &opts)
                 core::RankActivityAnalyzer{}.analyze(*tracker,
                                                      report.phases);
         }
+        if (auto *tracker = obsSession.linkStats()) {
+            tracker->finish(replayed.makespan);
+            core::LinkWeatherConfig lwcfg;
+            lwcfg.topLinks = opts.topLinks;
+            report.linkStats = core::LinkWeatherAnalyzer{lwcfg}.analyze(
+                *tracker, cfg.mesh, report.phases);
+        }
     } else {
         std::cerr << "unknown application: " << name << "\n";
         return usage();
@@ -601,6 +648,10 @@ cmdCharacterize(const std::string &name, const Options &opts)
     if (report.rankActivity.enabled) {
         if (auto *reg = obsSession.mutableRegistry())
             core::publishRankMetrics(*reg, report.rankActivity);
+    }
+    if (report.linkStats.enabled) {
+        if (auto *reg = obsSession.mutableRegistry())
+            core::publishLinkMetrics(*reg, report.linkStats);
     }
 
     if (!obsSession.finish())
@@ -756,6 +807,15 @@ cmdReplay(const std::string &path, const Options &opts)
         if (auto *reg = obsSession.mutableRegistry())
             core::publishRankMetrics(*reg, report.rankActivity);
     }
+    if (auto *tracker = obsSession.linkStats()) {
+        tracker->finish(result.makespan);
+        core::LinkWeatherConfig lwcfg;
+        lwcfg.topLinks = opts.topLinks;
+        report.linkStats = core::LinkWeatherAnalyzer{lwcfg}.analyze(
+            *tracker, meshOf(opts), report.phases);
+        if (auto *reg = obsSession.mutableRegistry())
+            core::publishLinkMetrics(*reg, report.linkStats);
+    }
     report.print(std::cout);
     return obsSession.finish() ? 0 : 1;
 }
@@ -836,6 +896,8 @@ cmdSweep(int argc, char **argv)
             spec.vcs = std::atoi(value(i, arg).c_str());
         } else if (arg == "--rank-activity") {
             spec.rankActivity = true;
+        } else if (arg == "--link-stats") {
+            spec.linkStats = true;
         } else if (arg == "--progress") {
             progress = true;
         } else if (arg == "-j" || arg == "--jobs" ||
