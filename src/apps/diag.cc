@@ -1,0 +1,37 @@
+#include "diag.hh"
+
+#include <stdexcept>
+
+namespace cchar::apps {
+
+void
+DiagSpin::setup(mp::MpWorld &world)
+{
+    (void)world;
+}
+
+desim::Task<void>
+DiagSpin::runRank(mp::MpContext ctx)
+{
+    // Small steps keep the kernel's periodic ticks (and with them any
+    // armed watchdog's cancellation check) firing at a high wall-clock
+    // rate while the rank spins.
+    for (;;)
+        co_await ctx.compute(100.0);
+}
+
+void
+DiagThrow::setup(mp::MpWorld &world)
+{
+    (void)world;
+}
+
+desim::Task<void>
+DiagThrow::runRank(mp::MpContext ctx)
+{
+    co_await ctx.compute(10.0);
+    throw std::runtime_error("diag-throw: deliberate mid-run failure (rank " +
+                             std::to_string(ctx.rank()) + ")");
+}
+
+} // namespace cchar::apps

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Diagnostic workloads for exercising the orchestration layer.
+ *
+ * These are not paper workloads: they exist so tests, CI smokes and
+ * operators can provoke the failure modes the sweep orchestrator must
+ * survive — a job that never finishes (deadline/quarantine paths) and
+ * a job that throws mid-run (worker-pool exception safety). They are
+ * constructible through the app registry by name ("diag-spin",
+ * "diag-throw") but deliberately kept out of the standard
+ * shared-memory / message-passing name lists, so `characterize`-all
+ * loops, benches and the default sweep matrices never pick them up by
+ * accident.
+ */
+
+#ifndef CCHAR_APPS_DIAG_HH
+#define CCHAR_APPS_DIAG_HH
+
+#include "app.hh"
+
+namespace cchar::apps {
+
+/**
+ * "diag-spin": every rank computes forever in small steps and never
+ * communicates or terminates. In sim terms it makes perpetual
+ * progress (events keep committing), so only a wall-clock deadline —
+ * `cchar sweep --job-timeout` — or the kernel's event-cap safety
+ * valve ever stops it. The canonical permanently-hanging job.
+ */
+class DiagSpin : public MessagePassingApp
+{
+  public:
+    std::string name() const override { return "diag-spin"; }
+    void setup(mp::MpWorld &world) override;
+    desim::Task<void> runRank(mp::MpContext ctx) override;
+    bool verify() const override { return false; }
+};
+
+/**
+ * "diag-throw": every rank throws std::runtime_error from its
+ * coroutine body immediately after a token compute step. The kernel
+ * stores the exception in the process state and rethrows it out of
+ * Simulator::run(), so this reproduces a job blowing up mid-
+ * simulation inside a sweep worker.
+ */
+class DiagThrow : public MessagePassingApp
+{
+  public:
+    std::string name() const override { return "diag-throw"; }
+    void setup(mp::MpWorld &world) override;
+    desim::Task<void> runRank(mp::MpContext ctx) override;
+    bool verify() const override { return false; }
+};
+
+} // namespace cchar::apps
+
+#endif // CCHAR_APPS_DIAG_HH

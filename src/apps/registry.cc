@@ -1,6 +1,9 @@
 #include "registry.hh"
 
+#include <map>
+
 #include "cholesky.hh"
+#include "diag.hh"
 #include "fft1d.hh"
 #include "fft3d.hh"
 #include "is.hh"
@@ -10,6 +13,29 @@
 #include "sor.hh"
 
 namespace cchar::apps {
+
+namespace {
+
+std::map<std::string, std::function<std::unique_ptr<SharedMemoryApp>()>> &
+customSharedMemory()
+{
+    static std::map<std::string,
+                    std::function<std::unique_ptr<SharedMemoryApp>()>>
+        table;
+    return table;
+}
+
+std::map<std::string,
+         std::function<std::unique_ptr<MessagePassingApp>()>> &
+customMessagePassing()
+{
+    static std::map<std::string,
+                    std::function<std::unique_ptr<MessagePassingApp>()>>
+        table;
+    return table;
+}
+
+} // namespace
 
 const std::vector<std::string> &
 sharedMemoryAppNames()
@@ -26,9 +52,36 @@ messagePassingAppNames()
     return names;
 }
 
+const std::vector<std::string> &
+diagnosticAppNames()
+{
+    static const std::vector<std::string> names{"diag-spin",
+                                                "diag-throw"};
+    return names;
+}
+
+void
+registerSharedMemoryApp(
+    const std::string &name,
+    std::function<std::unique_ptr<SharedMemoryApp>()> factory)
+{
+    customSharedMemory()[name] = std::move(factory);
+}
+
+void
+registerMessagePassingApp(
+    const std::string &name,
+    std::function<std::unique_ptr<MessagePassingApp>()> factory)
+{
+    customMessagePassing()[name] = std::move(factory);
+}
+
 std::unique_ptr<SharedMemoryApp>
 makeSharedMemoryApp(const std::string &name)
 {
+    auto custom = customSharedMemory().find(name);
+    if (custom != customSharedMemory().end())
+        return custom->second();
     if (name == "1d-fft")
         return std::make_unique<Fft1D>();
     if (name == "is")
@@ -47,20 +100,33 @@ makeSharedMemoryApp(const std::string &name)
 std::unique_ptr<MessagePassingApp>
 makeMessagePassingApp(const std::string &name)
 {
+    auto custom = customMessagePassing().find(name);
+    if (custom != customMessagePassing().end())
+        return custom->second();
     if (name == "3d-fft")
         return std::make_unique<Fft3D>();
     if (name == "mg")
         return std::make_unique<Multigrid>();
+    if (name == "diag-spin")
+        return std::make_unique<DiagSpin>();
+    if (name == "diag-throw")
+        return std::make_unique<DiagThrow>();
     return nullptr;
 }
 
 bool
 isKnownApp(const std::string &name)
 {
+    if (customSharedMemory().count(name) ||
+        customMessagePassing().count(name))
+        return true;
     for (const auto &n : sharedMemoryAppNames())
         if (n == name)
             return true;
     for (const auto &n : messagePassingAppNames())
+        if (n == name)
+            return true;
+    for (const auto &n : diagnosticAppNames())
         if (n == name)
             return true;
     return false;

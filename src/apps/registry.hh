@@ -12,6 +12,7 @@
 #ifndef CCHAR_APPS_REGISTRY_HH
 #define CCHAR_APPS_REGISTRY_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,29 @@ const std::vector<std::string> &sharedMemoryAppNames();
 
 /** Names of the message-passing (static strategy) applications. */
 const std::vector<std::string> &messagePassingAppNames();
+
+/**
+ * Names of the built-in diagnostic workloads ("diag-spin",
+ * "diag-throw"). Constructible and isKnownApp()-accepted like any
+ * app, but kept out of the standard lists above so they only run
+ * when asked for by name.
+ */
+const std::vector<std::string> &diagnosticAppNames();
+
+/**
+ * Register (or replace) a custom app factory under `name`. The
+ * dynamic table is consulted before the built-ins by the make*
+ * functions and isKnownApp(), which lets tests inject bespoke
+ * behavior (throw on first attempt, hang until cancelled...) behind
+ * an ordinary registry name. Not thread-safe: register before
+ * running a sweep, never from inside one.
+ */
+void registerSharedMemoryApp(
+    const std::string &name,
+    std::function<std::unique_ptr<SharedMemoryApp>()> factory);
+void registerMessagePassingApp(
+    const std::string &name,
+    std::function<std::unique_ptr<MessagePassingApp>()> factory);
 
 /** Construct a shared-memory app by name; nullptr if unknown. */
 std::unique_ptr<SharedMemoryApp>

@@ -8,6 +8,7 @@
 
 #include "analytic.hh"
 #include "analyzers.hh"
+#include "fsio.hh"
 #include "patterns.hh"
 #include "pipeline.hh"
 #include "replay.hh"

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Crash-safe file output helpers.
+ *
+ * Every report the tool chain produces (aggregate sweep JSON/CSV,
+ * metrics exports, Chrome traces, HTML run reports) used to be
+ * written straight through an ofstream: a crash or SIGKILL mid-write
+ * left a truncated, half-valid document at the destination path — the
+ * worst failure mode for files whose consumers byte-compare or
+ * json.load them.
+ *
+ * AtomicFileWriter gives every such output the standard
+ * write-to-temp-then-rename discipline:
+ *
+ *   1. all bytes go to `<path>.tmp` in the destination directory;
+ *   2. commit() flushes, fsyncs and closes the temp file, then
+ *      renames it over `<path>` (rename(2) is atomic on POSIX for
+ *      paths on one filesystem — which `<path>.tmp` guarantees);
+ *   3. a destructor without commit() (exception unwind, early
+ *      return) deletes the temp file and leaves any previous
+ *      `<path>` untouched.
+ *
+ * So at every instant the destination either holds the complete old
+ * document or the complete new one, never a prefix of either.
+ *
+ * Header-only, like status.hh, so the CLI and lower layers can use
+ * it without new link-time dependencies.
+ */
+
+#ifndef CCHAR_CORE_FSIO_HH
+#define CCHAR_CORE_FSIO_HH
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifdef _WIN32
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "status.hh"
+
+namespace cchar::core {
+
+namespace detail {
+
+/** Best-effort fsync of a path (no-op where unsupported). */
+inline void
+fsyncPath(const std::string &path)
+{
+#ifndef _WIN32
+    int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd >= 0) {
+        (void)::fsync(fd);
+        (void)::close(fd);
+    }
+#else
+    (void)path;
+#endif
+}
+
+} // namespace detail
+
+/**
+ * Write-to-temp-then-rename file writer. Usage:
+ *
+ *   core::AtomicFileWriter out{path, "sweep"};
+ *   result.writeJson(out.stream());
+ *   out.commit();
+ *
+ * Throws CCharError(IoError) when the temp file cannot be opened,
+ * written, or renamed into place.
+ */
+class AtomicFileWriter
+{
+  public:
+    /**
+     * @param path    Final destination path.
+     * @param context Error-message prefix ("sweep", "cchar"...).
+     */
+    explicit AtomicFileWriter(std::string path,
+                              std::string context = "cchar")
+        : path_(std::move(path)), tmp_(path_ + ".tmp"),
+          context_(std::move(context)), out_(tmp_, std::ios::binary)
+    {
+        if (!out_) {
+            throw CCharError(StatusCode::IoError,
+                             context_ + ": cannot write '" + path_ +
+                                 "'");
+        }
+    }
+
+    AtomicFileWriter(const AtomicFileWriter &) = delete;
+    AtomicFileWriter &operator=(const AtomicFileWriter &) = delete;
+
+    ~AtomicFileWriter()
+    {
+        if (!committed_) {
+            out_.close();
+            (void)std::remove(tmp_.c_str());
+        }
+    }
+
+    /** The stream to write the document to. */
+    std::ostream &stream() { return out_; }
+
+    /**
+     * Flush, fsync, and atomically rename the temp file over the
+     * destination. After commit() the writer is inert.
+     * @throws CCharError(IoError) on any failure (the temp file is
+     *         removed; a previous destination file is untouched).
+     */
+    void
+    commit()
+    {
+        if (committed_)
+            return;
+        out_.flush();
+        bool ok = static_cast<bool>(out_);
+        out_.close();
+        if (ok)
+            detail::fsyncPath(tmp_);
+        if (!ok || std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+            (void)std::remove(tmp_.c_str());
+            throw CCharError(StatusCode::IoError,
+                             context_ + ": cannot write '" + path_ +
+                                 "'");
+        }
+        committed_ = true;
+    }
+
+  private:
+    std::string path_;
+    std::string tmp_;
+    std::string context_;
+    std::ofstream out_;
+    bool committed_ = false;
+};
+
+} // namespace cchar::core
+
+#endif // CCHAR_CORE_FSIO_HH

@@ -15,6 +15,7 @@
 #define CCHAR_CORE_JSONSCAN_HH
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -86,7 +87,32 @@ class JsonScanner
             if (c == '\\') {
                 if (pos_ >= text_.size())
                     fail("bad escape in JSON string");
-                out += text_[pos_++];
+                char esc = text_[pos_++];
+                // Decode the standard single-character escapes so a
+                // string written by a conforming serializer (e.g. the
+                // sweep job journal, whose error messages carry
+                // newlines) round-trips exactly; unrecognized escapes
+                // keep the escaped character verbatim, preserving the
+                // scanner's historical tolerance.
+                switch (esc) {
+                case 'n':
+                    out += '\n';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 'b':
+                    out += '\b';
+                    break;
+                case 'f':
+                    out += '\f';
+                    break;
+                default:
+                    out += esc;
+                }
             } else {
                 out += c;
             }
@@ -95,6 +121,26 @@ class JsonScanner
             fail("unterminated JSON string");
         ++pos_; // closing quote
         return out;
+    }
+
+    /**
+     * Exact unsigned 64-bit integer. readNumber() goes through a
+     * double and silently loses precision past 2^53, which is not
+     * acceptable for event counters round-tripping through the sweep
+     * job journal.
+     */
+    std::uint64_t
+    readUInt()
+    {
+        skipWs();
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            fail("expected JSON unsigned integer");
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(begin, &end, 10);
+        pos_ += static_cast<std::size_t>(end - begin);
+        return static_cast<std::uint64_t>(v);
     }
 
     double

@@ -44,6 +44,18 @@ enum class StatusCode
     SimError,
     /** The no-progress watchdog tripped (cchar exit 5). */
     WatchdogTrip,
+    /**
+     * A wall-clock job deadline expired (cchar exit 6). Raised by the
+     * sweep orchestrator when --job-timeout converts a hung or
+     * livelocked job into a recorded per-job failure.
+     */
+    DeadlineExceeded,
+    /**
+     * The run was interrupted (SIGINT/SIGTERM) after a graceful
+     * drain; completed work was journaled and the run is resumable
+     * with `cchar sweep --resume` (cchar exit 7).
+     */
+    Interrupted,
 };
 
 /** Documented process exit code of a status class. */
@@ -62,6 +74,10 @@ exitCodeOf(StatusCode code)
         return 4;
     case StatusCode::WatchdogTrip:
         return 5;
+    case StatusCode::DeadlineExceeded:
+        return 6;
+    case StatusCode::Interrupted:
+        return 7;
     }
     return 4;
 }
@@ -83,6 +99,10 @@ toString(StatusCode code)
         return "sim-error";
     case StatusCode::WatchdogTrip:
         return "watchdog-trip";
+    case StatusCode::DeadlineExceeded:
+        return "deadline-exceeded";
+    case StatusCode::Interrupted:
+        return "interrupted";
     }
     return "sim-error";
 }

@@ -42,6 +42,9 @@ Watchdog::arm()
     sim_->attachPeriodic(
         [this](SimTime now) {
             ++checks_;
+            if (cfg_.cancelFlag != nullptr &&
+                cfg_.cancelFlag->load(std::memory_order_acquire))
+                trip(cfg_.cancelReason, /*cancelled=*/true);
             if (cfg_.maxSimTimeUs > 0.0 && now >= cfg_.maxSimTimeUs) {
                 std::ostringstream os;
                 os << "sim-time horizon exceeded (t=" << now
@@ -66,7 +69,7 @@ Watchdog::arm()
 }
 
 void
-Watchdog::trip(const std::string &reason)
+Watchdog::trip(const std::string &reason, bool cancelled)
 {
     tripped_ = true;
     std::ostringstream os;
@@ -82,7 +85,7 @@ Watchdog::trip(const std::string &reason)
         os << (i == 0 ? " " : ", ") << unfinished[i];
     if (unfinished.size() > kMaxListed)
         os << ", ... (" << unfinished.size() - kMaxListed << " more)";
-    throw WatchdogError(os.str());
+    throw WatchdogError(os.str(), cancelled);
 }
 
 } // namespace cchar::desim

@@ -24,6 +24,7 @@
 #ifndef CCHAR_DESIM_WATCHDOG_HH
 #define CCHAR_DESIM_WATCHDOG_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -42,15 +43,40 @@ struct WatchdogConfig
     int stallChecks = 8;
     /** Absolute sim-time horizon; 0 disables the horizon. */
     double maxSimTimeUs = 0.0;
+    /**
+     * Optional external cancellation flag, polled at every periodic
+     * check before the progress probe. When another thread stores
+     * `true` (a wall-clock deadline monitor, a signal handler's
+     * drain path), the watchdog trips on its next tick with
+     * `cancelReason` and WatchdogError::cancelled() set — the only
+     * sanctioned way to stop a running simulation from outside,
+     * since the kernel itself is single-threaded.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
+    /** Trip message used for external cancellation. */
+    std::string cancelReason = "cancelled by external request";
 };
 
 /** Thrown out of Simulator::run() when the watchdog trips. */
 class WatchdogError : public std::runtime_error
 {
   public:
-    explicit WatchdogError(const std::string &diagnostic)
-        : std::runtime_error(diagnostic)
+    explicit WatchdogError(const std::string &diagnostic,
+                           bool cancelled = false)
+        : std::runtime_error(diagnostic), cancelled_(cancelled)
     {}
+
+    /**
+     * True when the trip was requested through
+     * WatchdogConfig::cancelFlag rather than detected (livelock or
+     * sim-time horizon). Callers use this to classify the failure:
+     * a cancellation is the *caller's* wall-clock policy (deadline,
+     * shutdown), not a property of the simulated system.
+     */
+    bool cancelled() const { return cancelled_; }
+
+  private:
+    bool cancelled_ = false;
 };
 
 /** Livelock / no-progress detector; arm() before Simulator::run(). */
@@ -79,7 +105,8 @@ class Watchdog
     std::uint64_t checks() const { return checks_; }
 
   private:
-    [[noreturn]] void trip(const std::string &reason);
+    [[noreturn]] void trip(const std::string &reason,
+                           bool cancelled = false);
 
     Simulator *sim_;
     WatchdogConfig cfg_;

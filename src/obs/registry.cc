@@ -105,6 +105,44 @@ MetricsRegistry::histogramData(const std::string &name) const
                                        : &histogramSlots_[it->second];
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counterIndex_.size());
+    for (const auto &[name, idx] : counterIndex_)
+        out.emplace_back(name, counterSlots_[idx]);
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::gauges() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gaugeIndex_.size());
+    for (const auto &[name, idx] : gaugeIndex_)
+        out.emplace_back(name, gaugeSlots_[idx]);
+    return out;
+}
+
+std::vector<std::pair<std::string, const HistogramData *>>
+MetricsRegistry::histograms() const
+{
+    std::vector<std::pair<std::string, const HistogramData *>> out;
+    out.reserve(histogramIndex_.size());
+    for (const auto &[name, idx] : histogramIndex_)
+        out.emplace_back(name, &histogramSlots_[idx]);
+    return out;
+}
+
+void
+MetricsRegistry::restoreHistogram(const std::string &name,
+                                  const HistogramData &data)
+{
+    Histogram handle = histogram(name);
+    *handle.data_ = data;
+}
+
 void
 MetricsRegistry::reset()
 {

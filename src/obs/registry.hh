@@ -35,6 +35,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cchar::obs {
@@ -204,6 +205,27 @@ class MetricsRegistry
     std::uint64_t counterValue(const std::string &name) const;
     double gaugeValue(const std::string &name) const;
     const HistogramData *histogramData(const std::string &name) const;
+
+    /**
+     * Full-content snapshots in sorted-name order (the same order
+     * writeJson emits). The sweep journal uses these to serialize a
+     * completed job's registry so a resumed run can rebuild it
+     * exactly; pointers in histograms() stay valid for the
+     * registry's lifetime.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+    std::vector<std::pair<std::string, double>> gauges() const;
+    std::vector<std::pair<std::string, const HistogramData *>>
+    histograms() const;
+
+    /**
+     * Intern the named histogram and overwrite its payload verbatim
+     * (buckets, count, sum, min, max). Restore-side complement of
+     * histograms(); counters and gauges restore through
+     * counter().add() / gauge().set().
+     */
+    void restoreHistogram(const std::string &name,
+                          const HistogramData &data);
 
     /** Zero every value; handles stay attached. */
     void reset();

@@ -20,8 +20,10 @@
 #include "desim/watchdog.hh"
 #include "fault/injector.hh"
 #include "fault/plan.hh"
+#include "journal.hh"
 #include "mp/mp.hh"
 #include "obs/obs.hh"
+#include "policy.hh"
 #include "stats/spatial.hh"
 
 namespace cchar::sweep {
@@ -47,6 +49,7 @@ const char *const kWallClockGauges[] = {
     "sweep.worker.jobs_mean",
     "sweep.worker.jobs_min",
     "sweep.worker.jobs_max",
+    "sweep.resumed_jobs",
 };
 
 void
@@ -197,7 +200,8 @@ meshOfJob(const SweepJob &job)
 } // namespace
 
 JobOutcome
-SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
+SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry,
+                    const std::atomic<bool> *cancel)
 {
     JobOutcome out;
     out.job = job;
@@ -229,16 +233,29 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
             mcfg.faults = &*injector;
 
         core::CharacterizationPipeline pipeline;
+        // The watchdog doubles as the external-cancellation port: the
+        // deadline monitor and the shutdown path flip `cancel`, and
+        // the next periodic tick throws a cancelled WatchdogError out
+        // of the run. Without an injector the probe is the kernel's
+        // committed-event count, which advances on every tick, so the
+        // no-progress heuristic can never fire — only cancellation.
+        desim::WatchdogConfig wcfg;
+        wcfg.cancelFlag = cancel;
+
         if (auto app = apps::makeSharedMemoryApp(job.app)) {
             ccnuma::MachineConfig cfg;
             cfg.mesh = mcfg;
             desim::Simulator sim;
             ccnuma::Machine machine{sim, cfg};
-            desim::Watchdog watchdog{sim, {}};
+            desim::Watchdog watchdog{sim, wcfg};
             if (injector) {
                 watchdog.setProgressProbe([&machine] {
                     return machine.network().messageCount();
                 });
+                watchdog.arm();
+            } else if (cancel != nullptr) {
+                watchdog.setProgressProbe(
+                    [&sim] { return sim.processedEvents(); });
                 watchdog.arm();
             }
             apps::launch(machine, *app);
@@ -272,10 +289,14 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
             cfg.mesh = mcfg;
             desim::Simulator sim;
             mp::MpWorld world{sim, cfg};
-            desim::Watchdog watchdog{sim, {}};
+            desim::Watchdog watchdog{sim, wcfg};
             if (injector) {
                 watchdog.setProgressProbe(
                     [&world] { return world.network().messageCount(); });
+                watchdog.arm();
+            } else if (cancel != nullptr) {
+                watchdog.setProgressProbe(
+                    [&sim] { return sim.processedEvents(); });
                 watchdog.arm();
             }
             world.enableTracing();
@@ -295,6 +316,17 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
             if (injector) {
                 ropts.faults = &*injector;
                 ropts.enableWatchdog = true;
+            }
+            if (cancel != nullptr) {
+                // Cancellation must reach the replay simulation too.
+                // Without an injector the replay's delivered-message
+                // probe could stall legitimately (bursty delivery),
+                // so the stall threshold is pushed out of reach and
+                // only the cancel flag can trip.
+                ropts.enableWatchdog = true;
+                ropts.watchdog.cancelFlag = cancel;
+                if (!injector)
+                    ropts.watchdog.stallChecks = 1 << 30;
             }
             // The replay mesh is the network whose behaviour the
             // static-strategy report describes, so the link sink
@@ -348,6 +380,9 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
     } catch (const desim::WatchdogError &e) {
         out.status = core::toString(core::StatusCode::WatchdogTrip);
         out.error = e.what();
+        // The orchestrator reclassifies a cancelled trip (deadline vs
+        // shutdown); a genuine livelock keeps watchdog-trip.
+        out.cancelled = e.cancelled();
     } catch (const std::exception &e) {
         out.status = core::toString(core::StatusCode::SimError);
         out.error = e.what();
@@ -359,18 +394,92 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry)
 }
 
 SweepResult
-SweepEngine::run(int workers, bool progress)
+SweepEngine::run(const SweepRunOptions &opts)
 {
     using Clock = std::chrono::steady_clock;
 
     std::vector<SweepJob> jobs = spec_.expand();
+    const std::uint64_t matrixHash = specHash(jobs);
 
     SweepResult result;
     result.outcomes.resize(jobs.size());
     std::vector<std::unique_ptr<obs::MetricsRegistry>> registries(
         jobs.size());
+    std::vector<char> completed(jobs.size(), 0);
 
-    std::size_t pool = workers < 1 ? 1 : static_cast<std::size_t>(workers);
+    // Every slot starts as "interrupted, never started": a graceful
+    // shutdown leaves unclaimed slots exactly in this state, and every
+    // job that does run (or is resumed) overwrites its slot.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        result.outcomes[i].job = jobs[i];
+        result.outcomes[i].status =
+            core::toString(core::StatusCode::Interrupted);
+        result.outcomes[i].error = "not started before shutdown";
+        result.outcomes[i].attempts = 0;
+    }
+
+    // Resume prefill: journaled jobs keep their recorded outcome and
+    // a registry rebuilt from the journal, and are never rerun.
+    if (!opts.resumePath.empty()) {
+        JournalContents journal = loadJournalFile(opts.resumePath);
+        if (journal.specHash != matrixHash ||
+            journal.jobs != jobs.size()) {
+            throw core::CCharError(
+                core::StatusCode::UsageError,
+                "sweep: journal '" + opts.resumePath +
+                    "' does not match this sweep spec (different "
+                    "matrix?)");
+        }
+        for (const JournalRecord &record : journal.records) {
+            std::size_t i = record.outcome.job.index;
+            if (i >= jobs.size() || jobHash(jobs[i]) != record.hash) {
+                throw core::CCharError(
+                    core::StatusCode::UsageError,
+                    "sweep: journal '" + opts.resumePath +
+                        "' holds a record that does not match the "
+                        "job at its index");
+            }
+            JobOutcome outcome = record.outcome;
+            outcome.job = jobs[i];
+            result.outcomes[i] = std::move(outcome);
+            auto reg = std::make_unique<obs::MetricsRegistry>();
+            restoreRegistry(record, *reg);
+            registries[i] = std::move(reg);
+            if (!completed[i]) {
+                completed[i] = 1;
+                ++result.resumedJobs;
+            }
+        }
+
+        // Resuming into a different journal file replays the resumed
+        // records first, so the new journal is complete on its own.
+        if (!opts.journalPath.empty() &&
+            opts.journalPath != opts.resumePath) {
+            JournalWriter writer{opts.journalPath, matrixHash,
+                                 jobs.size(), /*append=*/false};
+            for (const JournalRecord &record : journal.records)
+                writer.append(record);
+        }
+    }
+
+    std::unique_ptr<JournalWriter> journal;
+    {
+        std::string journalPath = opts.journalPath;
+        if (journalPath.empty())
+            journalPath = opts.resumePath;
+        if (!journalPath.empty()) {
+            bool append = !opts.resumePath.empty();
+            journal = std::make_unique<JournalWriter>(
+                journalPath, matrixHash, jobs.size(), append);
+        }
+    }
+    // A journal I/O failure mid-run (disk full...) must not take the
+    // sweep down: journaling stops with a warning and the run keeps
+    // its in-memory results.
+    std::atomic<bool> journalBroken{false};
+
+    std::size_t pool =
+        opts.workers < 1 ? 1 : static_cast<std::size_t>(opts.workers);
     if (pool > jobs.size() && !jobs.empty())
         pool = jobs.size();
 
@@ -381,16 +490,146 @@ SweepEngine::run(int workers, bool progress)
     };
     std::vector<WorkerClock> clocks(pool);
 
+    /**
+     * One per worker: the channel between a running job and the
+     * monitor thread. `kind` records who requested the cancellation
+     * (1 = deadline, 2 = shutdown) and is claimed by compare-exchange
+     * so the two causes cannot race each other.
+     */
+    struct Lane
+    {
+        std::atomic<bool> active{false};
+        std::atomic<bool> cancel{false};
+        std::atomic<int> kind{0};
+        std::atomic<long long> deadlineAtMs{0};
+    };
+    std::vector<Lane> lanes(pool);
+
+    Clock::time_point sweepStart = Clock::now();
+    auto msSinceStart = [sweepStart] {
+        return static_cast<long long>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - sweepStart)
+                .count());
+    };
+    auto shutdownLevel = [&opts] {
+        return opts.shutdown == nullptr
+                   ? 0
+                   : opts.shutdown->load(std::memory_order_relaxed);
+    };
+    const bool wantCancel =
+        opts.policy.jobTimeoutSec > 0.0 || opts.shutdown != nullptr;
+
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> done{result.resumedJobs};
     auto drain = [&](std::size_t worker) {
+        Lane &lane = lanes[worker];
         for (;;) {
+            // Graceful shutdown step 1: a signalled run stops
+            // claiming; in-flight jobs elsewhere drain (or are
+            // cancelled by the monitor on the second signal).
+            if (shutdownLevel() > 0)
+                return;
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
+            if (completed[i])
+                continue; // resumed from the journal
             Clock::time_point t0 = Clock::now();
-            auto reg = std::make_unique<obs::MetricsRegistry>();
-            result.outcomes[i] = runJob(jobs[i], *reg);
+
+            JobOutcome out;
+            std::unique_ptr<obs::MetricsRegistry> reg;
+            int attempt = 0;
+            bool interrupted = false;
+            for (;;) {
+                ++attempt;
+                // Fresh registry per attempt: a half-run failed
+                // attempt must not leak metrics into the final
+                // result.
+                reg = std::make_unique<obs::MetricsRegistry>();
+                lane.kind.store(0, std::memory_order_relaxed);
+                lane.cancel.store(false, std::memory_order_relaxed);
+                lane.deadlineAtMs.store(
+                    opts.policy.jobTimeoutSec > 0.0
+                        ? msSinceStart() +
+                              static_cast<long long>(
+                                  opts.policy.jobTimeoutSec * 1000.0)
+                        : 0,
+                    std::memory_order_relaxed);
+                lane.active.store(true, std::memory_order_release);
+                out = runJob(jobs[i], *reg,
+                             wantCancel ? &lane.cancel : nullptr);
+                lane.active.store(false, std::memory_order_release);
+
+                if (out.cancelled) {
+                    int kind = lane.kind.load(std::memory_order_acquire);
+                    if (kind == 2 ||
+                        (kind == 0 && shutdownLevel() > 0)) {
+                        out.status = core::toString(
+                            core::StatusCode::Interrupted);
+                        out.error = "interrupted by shutdown signal "
+                                    "before completion";
+                        interrupted = true;
+                    } else {
+                        out.status = core::toString(
+                            core::StatusCode::DeadlineExceeded);
+                        std::ostringstream err;
+                        err << "wall-clock deadline exceeded "
+                               "(--job-timeout "
+                            << opts.policy.jobTimeoutSec << "s)";
+                        out.error = err.str();
+                    }
+                }
+                if (interrupted || out.ok())
+                    break;
+                if (!isTransientStatus(out.status) ||
+                    attempt > opts.policy.maxRetries)
+                    break;
+
+                // Exponential backoff before the retry; a shutdown
+                // signal aborts the wait (and the job).
+                double delayMs =
+                    backoffDelayMs(opts.policy, attempt + 1);
+                Clock::time_point until =
+                    Clock::now() +
+                    std::chrono::milliseconds(
+                        static_cast<long long>(delayMs));
+                while (Clock::now() < until && shutdownLevel() == 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                }
+                if (shutdownLevel() > 0) {
+                    out.status =
+                        core::toString(core::StatusCode::Interrupted);
+                    out.error =
+                        "interrupted during retry backoff";
+                    interrupted = true;
+                    break;
+                }
+            }
+
+            out.attempts = attempt;
+            if (interrupted) {
+                // Not journaled and no registry kept: a resumed run
+                // reruns this job from scratch.
+                out.quarantined = false;
+                result.outcomes[i] = std::move(out);
+                done.fetch_add(1, std::memory_order_release);
+                continue;
+            }
+
+            out.quarantined = !out.ok();
+            if (journal && !journalBroken.load(std::memory_order_acquire)) {
+                try {
+                    journal->append(out, *reg);
+                } catch (const core::CCharError &e) {
+                    if (!journalBroken.exchange(true)) {
+                        std::cerr << "sweep: journaling disabled: "
+                                  << e.what() << "\n";
+                    }
+                }
+            }
+            result.outcomes[i] = std::move(out);
             registries[i] = std::move(reg);
             clocks[worker].busySeconds +=
                 std::chrono::duration<double>(Clock::now() - t0).count();
@@ -399,13 +638,53 @@ SweepEngine::run(int workers, bool progress)
         }
     };
 
-    Clock::time_point sweepStart = Clock::now();
+    // The monitor enforces per-job wall-clock deadlines and hard
+    // cancellation on the second shutdown signal. A narrow benign
+    // race exists by design: if a worker finishes an attempt and
+    // starts the next one between the monitor's active-check and its
+    // kind-claim, the fresh attempt can absorb a cancellation meant
+    // for the previous one — it is classified transient and retried,
+    // never lost.
+    std::atomic<bool> monitorStop{false};
+    std::thread monitor;
+    if (wantCancel) {
+        monitor = std::thread([&] {
+            while (!monitorStop.load(std::memory_order_acquire)) {
+                long long nowMs = msSinceStart();
+                int level = shutdownLevel();
+                for (Lane &lane : lanes) {
+                    if (!lane.active.load(std::memory_order_acquire))
+                        continue;
+                    int expected = 0;
+                    if (level >= 2) {
+                        if (lane.kind.compare_exchange_strong(
+                                expected, 2,
+                                std::memory_order_acq_rel))
+                            lane.cancel.store(
+                                true, std::memory_order_release);
+                        continue;
+                    }
+                    long long deadline = lane.deadlineAtMs.load(
+                        std::memory_order_relaxed);
+                    if (deadline > 0 && nowMs >= deadline) {
+                        if (lane.kind.compare_exchange_strong(
+                                expected, 1,
+                                std::memory_order_acq_rel))
+                            lane.cancel.store(
+                                true, std::memory_order_release);
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        });
+    }
 
     // The reporter is pure stderr decoration: it never touches the
     // outcomes, so it cannot perturb the deterministic merge below.
     std::atomic<bool> reporterStop{false};
     std::thread reporter;
-    if (progress && !jobs.empty()) {
+    if (opts.progress && !jobs.empty()) {
         reporter = std::thread([&] {
             for (;;) {
                 std::size_t d = done.load(std::memory_order_acquire);
@@ -447,9 +726,20 @@ SweepEngine::run(int workers, bool progress)
     double wallSeconds =
         std::chrono::duration<double>(Clock::now() - sweepStart).count();
 
+    if (monitor.joinable()) {
+        monitorStop.store(true, std::memory_order_release);
+        monitor.join();
+    }
     if (reporter.joinable()) {
         reporterStop.store(true, std::memory_order_release);
         reporter.join();
+    }
+
+    for (const JobOutcome &o : result.outcomes) {
+        if (o.status == core::toString(core::StatusCode::Interrupted)) {
+            result.interrupted = true;
+            break;
+        }
     }
 
     result.workerStats.resize(pool);
@@ -500,8 +790,20 @@ SweepEngine::run(int workers, bool progress)
         result.metrics->gauge("sweep.worker.jobs_max")
             .set(static_cast<double>(jMax));
     }
+    // Resumed-job count depends on where the previous run stopped, so
+    // it joins the zeroed wall-clock family (real value: stderr only).
+    result.metrics->gauge("sweep.resumed_jobs")
+        .set(static_cast<double>(result.resumedJobs));
     for (const char *name : kWallClockGauges)
         result.metrics->gauge(name).set(0.0);
+
+    // Orchestration counters ARE deterministic: attempts are a
+    // journaled property of each outcome, identical across -j and
+    // across an interrupted-then-resumed split.
+    result.metrics->counter("sweep.retries")
+        .add(static_cast<std::uint64_t>(result.retries()));
+    result.metrics->counter("sweep.quarantined")
+        .add(static_cast<std::uint64_t>(result.quarantinedCount()));
     return result;
 }
 
@@ -511,6 +813,36 @@ SweepResult::failures() const
     std::size_t n = 0;
     for (const JobOutcome &o : outcomes)
         n += o.ok() ? 0 : 1;
+    return n;
+}
+
+std::size_t
+SweepResult::retries() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &o : outcomes)
+        n += o.attempts > 1 ? static_cast<std::size_t>(o.attempts - 1)
+                            : 0;
+    return n;
+}
+
+std::size_t
+SweepResult::quarantinedCount() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &o : outcomes)
+        n += o.quarantined ? 1 : 0;
+    return n;
+}
+
+std::size_t
+SweepResult::interruptedCount() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &o : outcomes)
+        n += o.status == core::toString(core::StatusCode::Interrupted)
+                 ? 1
+                 : 0;
     return n;
 }
 
@@ -576,9 +908,34 @@ SweepResult::writeJson(std::ostream &os) const
         os << ",\"hotspot_count\":" << o.hotspotCount
            << ",\"congestion_onset_load\":";
         jsonNumber(os, o.congestionOnsetLoad);
-        os << "}";
+        os << ",\"attempts\":" << o.attempts << ",\"quarantined\":"
+           << (o.quarantined ? "true" : "false") << "}";
     }
-    os << "],\"failures\":" << failures() << ",\"metrics\":";
+    os << "],\"failures\":" << failures();
+    // Degraded-results section: present only when at least one job
+    // exhausted its options, so healthy reports keep their schema.
+    if (quarantinedCount() > 0) {
+        os << ",\"degraded\":[";
+        bool firstDegraded = true;
+        for (const JobOutcome &o : outcomes) {
+            if (!o.quarantined)
+                continue;
+            if (!firstDegraded)
+                os << ",";
+            firstDegraded = false;
+            os << "{\"index\":" << o.job.index << ",\"app\":";
+            jsonEscape(os, o.job.app);
+            os << ",\"label\":";
+            jsonEscape(os, o.job.label());
+            os << ",\"status\":";
+            jsonEscape(os, o.status);
+            os << ",\"attempts\":" << o.attempts << ",\"error\":";
+            jsonEscape(os, o.error);
+            os << "}";
+        }
+        os << "]";
+    }
+    os << ",\"metrics\":";
     if (metrics)
         metrics->writeJson(os);
     else
@@ -597,7 +954,7 @@ SweepResult::writeCsv(std::ostream &os) const
           "retransmits,delivery_failures,diag_warnings,diag_errors,"
           "skew_max_us,idle_fraction_mean,idle_waves,wave_speed_max,"
           "max_link_util,link_gini,hotspot_count,"
-          "congestion_onset_load\n";
+          "congestion_onset_load,attempts,quarantined\n";
     for (const JobOutcome &o : outcomes) {
         os << o.job.index << ",";
         csvField(os, o.job.app);
@@ -642,7 +999,8 @@ SweepResult::writeCsv(std::ostream &os) const
         jsonNumber(os, o.linkGini);
         os << "," << o.hotspotCount << ",";
         jsonNumber(os, o.congestionOnsetLoad);
-        os << "\n";
+        os << "," << o.attempts << "," << (o.quarantined ? 1 : 0)
+           << "\n";
     }
 }
 

@@ -29,6 +29,7 @@
 #ifndef CCHAR_SWEEP_ENGINE_HH
 #define CCHAR_SWEEP_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -90,6 +91,19 @@ struct JobOutcome
     std::uint64_t hotspotCount = 0;
     double congestionOnsetLoad = 0.0;
 
+    // Orchestration accounting (always-present columns). attempts is
+    // 0 for a job an interrupted run never started.
+    int attempts = 1;
+    /** Failed after the retry budget; see the "degraded" section. */
+    bool quarantined = false;
+
+    /**
+     * Transient marker, never serialized: the run was stopped through
+     * the watchdog's external cancel flag (deadline or shutdown) and
+     * the caller must reclassify status by the cancellation kind.
+     */
+    bool cancelled = false;
+
     bool ok() const { return status == "ok"; }
 };
 
@@ -115,13 +129,62 @@ struct SweepResult
     /** One entry per worker of the pool that ran the sweep. */
     std::vector<WorkerStat> workerStats;
 
+    /** Jobs prefilled from a --resume journal (wall-clock view: the
+     *  value depends on where the previous run stopped, so it only
+     *  reaches stderr and the zeroed sweep.resumed_jobs gauge). */
+    std::size_t resumedJobs = 0;
+    /** A shutdown signal cut the run short; at least one job carries
+     *  status "interrupted" and the journal (if any) is resumable. */
+    bool interrupted = false;
+
     std::size_t failures() const;
+    /** Sum of (attempts - 1) over all run jobs (deterministic). */
+    std::size_t retries() const;
+    /** Jobs that exhausted the retry budget and were quarantined. */
+    std::size_t quarantinedCount() const;
+    /** Jobs an interrupted run never completed. */
+    std::size_t interruptedCount() const;
 
     /** Deterministic JSON report (jobs array + merged metrics). */
     void writeJson(std::ostream &os) const;
 
     /** One CSV row per job (RFC 4180 quoting). */
     void writeCsv(std::ostream &os) const;
+};
+
+/** Retry/deadline policy of a sweep run (see policy.hh helpers). */
+struct JobPolicy
+{
+    /** Wall-clock per-job deadline in seconds; 0 disables it. */
+    double jobTimeoutSec = 0.0;
+    /** Extra attempts granted to transiently-failing jobs. */
+    int maxRetries = 0;
+    /** Base retry backoff; doubles per attempt (capped). */
+    double backoffMs = 100.0;
+};
+
+/** Orchestration options of SweepEngine::run. */
+struct SweepRunOptions
+{
+    /** Worker threads (clamped to [1, jobs]). */
+    int workers = 1;
+    /** Emit a live done/total + ETA line on stderr. */
+    bool progress = false;
+    JobPolicy policy{};
+    /** Write a job journal here ("" = none). Fresh runs truncate. */
+    std::string journalPath{};
+    /** Resume from this journal ("" = fresh run). Journaled jobs are
+     *  skipped and their recorded results merged; the same file keeps
+     *  receiving the newly completed jobs. */
+    std::string resumePath{};
+    /**
+     * Shutdown signal counter (owned by the CLI's signal handlers;
+     * may be null). 1 = stop claiming new jobs and drain in-flight
+     * ones; >= 2 = also cancel in-flight jobs at the next watchdog
+     * tick. Jobs cut short are marked "interrupted" and NOT
+     * journaled, so a resumed run reruns them.
+     */
+    const std::atomic<int> *shutdown = nullptr;
 };
 
 /** Runs a sweep matrix over a worker pool. */
@@ -131,19 +194,39 @@ class SweepEngine
     explicit SweepEngine(SweepSpec spec) : spec_(std::move(spec)) {}
 
     /**
-     * Expand the matrix and run every job.
+     * Expand the matrix and run every job with full orchestration:
+     * resume prefill, durable journaling, per-job wall-clock
+     * deadlines, transient-failure retry with exponential backoff,
+     * quarantine of persistent failures, and graceful shutdown.
      *
-     * @param workers  Worker threads (clamped to [1, jobs]).
-     * @param progress Emit a live done/total + ETA line on stderr.
-     * @throws core::CCharError(UsageError) for an invalid spec.
+     * @throws core::CCharError(UsageError) for an invalid spec or a
+     *         journal that does not match it; CCharError(IoError/
+     *         ParseError) for an unreadable or damaged journal.
      *         Individual job failures never throw; they are recorded
      *         in the corresponding outcome.
      */
-    SweepResult run(int workers, bool progress = false);
+    SweepResult run(const SweepRunOptions &opts);
 
-    /** Run one job in the calling thread (used by workers and tests). */
+    /** Compatibility shim for the pre-orchestration call sites. */
+    SweepResult
+    run(int workers, bool progress = false)
+    {
+        SweepRunOptions opts;
+        opts.workers = workers;
+        opts.progress = progress;
+        return run(opts);
+    }
+
+    /**
+     * Run one job in the calling thread (used by workers and tests).
+     * When `cancel` is non-null a watchdog is armed on every
+     * simulation of the job and trips at its next periodic tick once
+     * the flag turns true; the outcome then carries cancelled=true
+     * for the caller to classify (deadline vs shutdown).
+     */
     static JobOutcome runJob(const SweepJob &job,
-                             obs::MetricsRegistry &registry);
+                             obs::MetricsRegistry &registry,
+                             const std::atomic<bool> *cancel = nullptr);
 
   private:
     SweepSpec spec_;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Retry/quarantine policy helpers for the sweep orchestrator.
+ *
+ * The state machine per job (see DESIGN §6f):
+ *
+ *              run ──ok──────────────────────────▶ done (journaled)
+ *               │
+ *               ├─transient failure (deadline-exceeded,
+ *               │  watchdog-trip) & attempts ≤ --job-retries
+ *               │        └─▶ backoff ─▶ run again (same seed: the
+ *               │            rerun is reseeded-identical, so only a
+ *               │            wall-clock-dependent failure can clear)
+ *               │
+ *               ├─deterministic failure (usage/parse/io/sim error)
+ *               │        └─▶ quarantined immediately: a pure
+ *               │            function of the job spec fails the same
+ *               │            way every time, retrying wastes budget
+ *               │
+ *               ├─transient failure & budget exhausted
+ *               │        └─▶ quarantined (degraded-results section)
+ *               │
+ *               └─cancelled by shutdown ─▶ interrupted (NOT
+ *                        journaled; a resumed run reruns the job)
+ *
+ * Backoff is pure wall-clock scheduling: it never touches the
+ * simulation, so determinism of job *results* is unaffected.
+ */
+
+#ifndef CCHAR_SWEEP_POLICY_HH
+#define CCHAR_SWEEP_POLICY_HH
+
+#include <algorithm>
+#include <string>
+
+#include "engine.hh"
+
+namespace cchar::sweep {
+
+/**
+ * True for failure classes that can clear on a wall-clock rerun:
+ * the per-job deadline (machine load, cold caches) and the
+ * watchdog's no-progress heuristic (its sim-time check cadence can
+ * race a slow-but-live protocol). Everything else is a
+ * deterministic property of the job spec.
+ */
+inline bool
+isTransientStatus(const std::string &status)
+{
+    return status == "deadline-exceeded" || status == "watchdog-trip";
+}
+
+/**
+ * Backoff before retry attempt `attempt` (the first retry is
+ * attempt 2): base * 2^(attempt-2), capped at 5 s so a deep retry
+ * budget cannot stall a worker for minutes.
+ */
+inline double
+backoffDelayMs(const JobPolicy &policy, int attempt)
+{
+    double delay = policy.backoffMs;
+    for (int i = 2; i < attempt; ++i)
+        delay *= 2.0;
+    return std::clamp(delay, 0.0, 5000.0);
+}
+
+} // namespace cchar::sweep
+
+#endif // CCHAR_SWEEP_POLICY_HH

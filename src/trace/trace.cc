@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/fsio.hh"
 #include "core/status.hh"
 
 namespace cchar::trace {
@@ -155,12 +156,9 @@ Trace::load(std::istream &is, const TraceLoadOptions &opts)
 void
 Trace::saveFile(const std::string &path) const
 {
-    std::ofstream f{path};
-    if (!f) {
-        throw core::CCharError(core::StatusCode::IoError,
-                               "trace: cannot open " + path);
-    }
-    save(f);
+    core::AtomicFileWriter writer{path, "trace"};
+    save(writer.stream());
+    writer.commit();
 }
 
 Trace

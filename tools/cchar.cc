@@ -73,8 +73,14 @@
  *   3  input error (malformed trace or fault plan, missing file)
  *   4  simulation error (deadlock, delivery failure wedge...)
  *   5  no-progress watchdog tripped
+ *   6  a sweep job exceeded its --job-timeout deadline (after
+ *      exhausting --job-retries) and was quarantined
+ *   7  interrupted by SIGINT/SIGTERM; a journaled sweep can be
+ *      continued with --resume
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -85,6 +91,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "fault/injector.hh"
 #include "obs/obs.hh"
@@ -224,13 +232,9 @@ class ObsSession
                 opts_.traceOut.empty() ? nullptr : &tracer_, &flows_);
         }
         if (!opts_.traceOut.empty()) {
-            std::ofstream f{opts_.traceOut};
-            tracer_.writeChromeJson(f);
-            if (!f) {
-                throw core::CCharError(core::StatusCode::IoError,
-                                       "cannot write " +
-                                           opts_.traceOut);
-            }
+            core::AtomicFileWriter writer{opts_.traceOut};
+            tracer_.writeChromeJson(writer.stream());
+            writer.commit();
             std::cerr << "wrote trace (" << tracer_.size()
                       << " records, " << tracer_.dropped()
                       << " dropped) to " << opts_.traceOut << "\n";
@@ -242,13 +246,10 @@ class ObsSession
             }
         }
         if (!opts_.metricsOut.empty()) {
-            std::ofstream f{opts_.metricsOut};
-            core::writeMetricsJson(f, &registry_, &sampler_, &flows_);
-            if (!f) {
-                throw core::CCharError(core::StatusCode::IoError,
-                                       "cannot write " +
-                                           opts_.metricsOut);
-            }
+            core::AtomicFileWriter writer{opts_.metricsOut};
+            core::writeMetricsJson(writer.stream(), &registry_,
+                                   &sampler_, &flows_);
+            writer.commit();
             std::cerr << "wrote metrics to " << opts_.metricsOut
                       << "\n";
         }
@@ -308,8 +309,13 @@ usage()
            "              [--fault-plan SPEC]... [--torus] [--vcs N]\n"
            "              [--rank-activity] [--link-stats] [--progress]\n"
            "              [-j N] [--out FILE] [--csv FILE]\n"
+           "              [--journal FILE] [--resume FILE]\n"
+           "              [--job-timeout SEC] [--job-retries N]\n"
+           "              [--retry-backoff-ms MS]\n"
            "exit codes: 0 ok, 1 verification/analysis failure, 2 usage,\n"
-           "            3 input error, 4 simulation error, 5 watchdog\n";
+           "            3 input error, 4 simulation error, 5 watchdog,\n"
+           "            6 job deadline exceeded, 7 interrupted (resume\n"
+           "              with --resume JOURNAL)\n";
     return 2;
 }
 
@@ -663,24 +669,18 @@ cmdCharacterize(const std::string &name, const Options &opts)
     html.sampler = obsSession.sampler();
     html.flows = obsSession.flows();
     if (!opts.reportOut.empty()) {
-        std::ofstream f{opts.reportOut};
-        core::writeHtmlReport(f, html);
-        if (!f) {
-            throw core::CCharError(core::StatusCode::IoError,
-                                   "cannot write " + opts.reportOut);
-        }
+        core::AtomicFileWriter writer{opts.reportOut};
+        core::writeHtmlReport(writer.stream(), html);
+        writer.commit();
         std::cerr << "wrote HTML report to " << opts.reportOut << "\n";
     }
 
     if (opts.reportMode) {
         if (opts.reportOut.empty()) {
             if (!opts.out.empty()) {
-                std::ofstream f{opts.out};
-                core::writeHtmlReport(f, html);
-                if (!f) {
-                    throw core::CCharError(core::StatusCode::IoError,
-                                           "cannot write " + opts.out);
-                }
+                core::AtomicFileWriter writer{opts.out};
+                core::writeHtmlReport(writer.stream(), html);
+                writer.commit();
                 std::cerr << "wrote HTML report to " << opts.out
                           << "\n";
             } else {
@@ -829,6 +829,53 @@ cmdReplay(const std::string &path, const Options &opts)
  * CLI dimension flags override the spec file. The aggregate report is
  * deterministic: byte-identical output for any -j value.
  */
+/**
+ * Graceful-shutdown signal counter. The handler only bumps the
+ * counter (async-signal-safe); the sweep engine's monitor thread and
+ * drain loops poll it: one signal stops job claiming and drains, a
+ * second also cancels in-flight jobs at their next watchdog tick.
+ */
+std::atomic<int> gSweepSignals{0};
+
+extern "C" void
+sweepSignalHandler(int)
+{
+    int level = gSweepSignals.fetch_add(1, std::memory_order_relaxed);
+    // write(2) is on the async-signal-safe list; iostreams are not.
+    const char *msg =
+        level == 0
+            ? "\nsweep: shutdown requested; draining in-flight jobs "
+              "(signal again to cancel them)\n"
+            : "\nsweep: cancelling in-flight jobs\n";
+    ssize_t ignored = ::write(2, msg, std::strlen(msg));
+    (void)ignored;
+}
+
+/** Installs SIGINT/SIGTERM handlers for the sweep, restores on exit. */
+class ScopedSweepSignals
+{
+  public:
+    ScopedSweepSignals()
+    {
+        gSweepSignals.store(0, std::memory_order_relaxed);
+        struct sigaction sa = {};
+        sa.sa_handler = sweepSignalHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_RESTART;
+        sigaction(SIGINT, &sa, &oldInt_);
+        sigaction(SIGTERM, &sa, &oldTerm_);
+    }
+    ~ScopedSweepSignals()
+    {
+        sigaction(SIGINT, &oldInt_, nullptr);
+        sigaction(SIGTERM, &oldTerm_, nullptr);
+    }
+
+  private:
+    struct sigaction oldInt_ = {};
+    struct sigaction oldTerm_ = {};
+};
+
 int
 cmdSweep(int argc, char **argv)
 {
@@ -836,6 +883,7 @@ cmdSweep(int argc, char **argv)
     int jobs = 1;
     bool progress = false;
     std::string outPath, csvPath;
+    sweep::SweepRunOptions ropts;
 
     auto value = [&](int &i, const std::string &flag) -> std::string {
         if (i + 1 >= argc) {
@@ -916,6 +964,32 @@ cmdSweep(int argc, char **argv)
             outPath = value(i, arg);
         } else if (arg == "--csv") {
             csvPath = value(i, arg);
+        } else if (arg == "--journal") {
+            ropts.journalPath = value(i, arg);
+        } else if (arg == "--resume") {
+            ropts.resumePath = value(i, arg);
+        } else if (arg == "--job-timeout") {
+            ropts.policy.jobTimeoutSec =
+                std::atof(value(i, arg).c_str());
+            if (ropts.policy.jobTimeoutSec <= 0.0) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "sweep: --job-timeout needs a "
+                                       "positive number of seconds");
+            }
+        } else if (arg == "--job-retries") {
+            ropts.policy.maxRetries = std::atoi(value(i, arg).c_str());
+            if (ropts.policy.maxRetries < 0) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "sweep: --job-retries cannot "
+                                       "be negative");
+            }
+        } else if (arg == "--retry-backoff-ms") {
+            ropts.policy.backoffMs = std::atof(value(i, arg).c_str());
+            if (ropts.policy.backoffMs < 0.0) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "sweep: --retry-backoff-ms "
+                                       "cannot be negative");
+            }
         } else {
             throw core::CCharError(core::StatusCode::UsageError,
                                    "sweep: unknown option '" + arg +
@@ -923,28 +997,53 @@ cmdSweep(int argc, char **argv)
         }
     }
 
+    ropts.workers = jobs;
+    ropts.progress = progress;
+    ropts.shutdown = &gSweepSignals;
+    ScopedSweepSignals signalScope;
+
     sweep::SweepEngine engine{std::move(spec)};
-    sweep::SweepResult result = engine.run(jobs, progress);
+    sweep::SweepResult result = engine.run(ropts);
+
+    if (result.resumedJobs > 0) {
+        std::cerr << "sweep: resumed " << result.resumedJobs
+                  << " completed job"
+                  << (result.resumedJobs == 1 ? "" : "s")
+                  << " from journal\n";
+    }
+
+    if (result.interrupted) {
+        // A partial aggregate would be mistaken for a complete one;
+        // the journal already holds everything that finished.
+        std::string journalPath = !ropts.journalPath.empty()
+                                      ? ropts.journalPath
+                                      : ropts.resumePath;
+        std::cerr << "sweep: interrupted after "
+                  << (result.outcomes.size() -
+                      result.interruptedCount())
+                  << "/" << result.outcomes.size() << " jobs";
+        if (!journalPath.empty()) {
+            std::cerr << "; resume with: cchar sweep ... --resume "
+                      << journalPath;
+        } else {
+            std::cerr << " (no --journal: completed work was not "
+                         "persisted)";
+        }
+        std::cerr << "\n";
+        return core::exitCodeOf(core::StatusCode::Interrupted);
+    }
 
     if (outPath.empty()) {
         result.writeJson(std::cout);
     } else {
-        std::ofstream f{outPath};
-        if (!f) {
-            throw core::CCharError(core::StatusCode::IoError,
-                                   "sweep: cannot write '" + outPath +
-                                       "'");
-        }
-        result.writeJson(f);
+        core::AtomicFileWriter writer{outPath, "sweep"};
+        result.writeJson(writer.stream());
+        writer.commit();
     }
     if (!csvPath.empty()) {
-        std::ofstream f{csvPath};
-        if (!f) {
-            throw core::CCharError(core::StatusCode::IoError,
-                                   "sweep: cannot write '" + csvPath +
-                                       "'");
-        }
-        result.writeCsv(f);
+        core::AtomicFileWriter writer{csvPath, "sweep"};
+        result.writeCsv(writer.stream());
+        writer.commit();
     }
 
     std::size_t unverified = 0;
@@ -952,7 +1051,12 @@ cmdSweep(int argc, char **argv)
         unverified += (o.ok() && !o.verified) ? 1 : 0;
     std::cerr << "sweep: " << result.outcomes.size() << " jobs, "
               << result.failures() << " failed, " << unverified
-              << " unverified\n";
+              << " unverified";
+    if (std::size_t q = result.quarantinedCount())
+        std::cerr << ", " << q << " quarantined";
+    if (std::size_t r = result.retries())
+        std::cerr << ", " << r << " retries";
+    std::cerr << "\n";
     if (progress) {
         // The wall-clock worker view only ever reaches stderr; the
         // serialized reports keep the matching gauges zeroed so they
@@ -964,6 +1068,14 @@ cmdSweep(int argc, char **argv)
                       << static_cast<int>(ws.busyFraction * 100.0 + 0.5)
                       << "%\n";
         }
+    }
+    // Exit-code precedence: a deadline-killed job is the most
+    // actionable signal (raise --job-timeout or quarantine the app),
+    // so it outranks the generic failure code.
+    for (const auto &o : result.outcomes) {
+        if (o.status ==
+            core::toString(core::StatusCode::DeadlineExceeded))
+            return core::exitCodeOf(core::StatusCode::DeadlineExceeded);
     }
     return (result.failures() || unverified) ? 1 : 0;
 }
