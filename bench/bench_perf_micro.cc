@@ -15,6 +15,8 @@
 #include <string>
 
 #include "desim/desim.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
 #include "mesh/mesh.hh"
 #include "obs/obs.hh"
 #include "obs/sampler.hh"
@@ -301,6 +303,130 @@ reportLinkStatsOverhead(cchar::bench::SelfReport &report)
 }
 
 /**
+ * One mesh workload run for the reroute-path overhead probe.
+ *
+ * Modes map onto the three states the routing hot path can be in:
+ *  0  fault-free: no injector, no fault branch is ever reached —
+ *     byte-identical to a build without the fault layer;
+ *  1  armed, static routing: an injector with a link-down clause is
+ *     installed but adaptive routing is off (--no-reroute). Every hop
+ *     pays the pre-existing tail-drop and router-stall probes;
+ *  2  armed, adaptive routing: same injector with the default
+ *     adaptive routing on, so every transfer additionally prescans
+ *     its dimension-ordered route for down links at injection time.
+ *
+ * In the armed modes the clause's window sits far beyond the
+ * simulated horizon, so no drop or reroute ever fires and the
+ * simulated behaviour stays identical to mode 0: what is measured is
+ * exactly the price of the dormant checks, and mode 2 minus mode 1
+ * isolates what the adaptive-routing prescan adds on top.
+ *
+ * @return wall seconds spent inside sim.run().
+ */
+double
+rerouteWorkload(int mode)
+{
+    desim::Simulator sim;
+    std::optional<fault::FaultInjector> inj;
+    mesh::MeshConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    if (mode != 0) {
+        // Window opens ~17 simulated minutes in: linksConfigured() is
+        // true (checks run per packet) but linkDown() never is.
+        inj.emplace(fault::FaultPlan::parse(
+            "seed=1; link:0->1:down@[1e9us,2e9us]"));
+        cfg.faults = &*inj;
+        cfg.adaptiveRouting = mode == 2;
+    }
+    mesh::MeshNetwork net{sim, cfg};
+    for (int node = 0; node < 16; ++node) {
+        sim.spawn([](mesh::MeshNetwork *n, int node2) -> desim::Task<void> {
+            for (;;)
+                (void)co_await n->rxQueue(node2).receive();
+        }(&net, node));
+    }
+    sim.spawn([](mesh::MeshNetwork *n) -> desim::Task<void> {
+        stats::Rng rng{29};
+        for (int i = 0; i < 4000; ++i) {
+            int src = static_cast<int>(rng.below(16));
+            int dst = static_cast<int>(rng.below(16));
+            if (src == dst)
+                continue;
+            mesh::Packet pkt;
+            pkt.src = src;
+            pkt.dst = dst;
+            pkt.bytes = 32;
+            (void)co_await n->transfer(std::move(pkt));
+        }
+    }(&net));
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Reroute-path (adaptive routing) overhead, same protocol as the
+ * other probes: shared warm-up, interleaved min-of-N reps, the
+ * fault-free baseline's own spread as the measurement resolution.
+ *
+ * Two results matter downstream:
+ *  - fault_arm_pct: the armed-but-static fault machinery (tail-drop
+ *    and stall probes on every hop) over fault-free — pre-existing
+ *    cost, reported for visibility but not gated: it is only paid
+ *    when a fault plan is explicitly installed;
+ *  - reroute_overhead_within_noise: turning adaptive routing on must
+ *    cost nothing measurable over the same armed-static run. Actual
+ *    reroutes around a down link are degraded operation and may cost
+ *    whatever the detour costs; the prescan every packet pays on a
+ *    healthy (if armed) network is not allowed to. bench_compare.py
+ *    hard-fails when the flag is false.
+ */
+void
+reportRerouteOverhead(cchar::bench::SelfReport &report)
+{
+    constexpr int kReps = 7;
+    rerouteWorkload(0); // warm-up: allocator, frame pools, code paths
+    rerouteWorkload(1);
+    rerouteWorkload(2);
+
+    double ref = 0.0, arm = 0.0, armMax = 0.0, ad = 0.0;
+    for (int i = 0; i < kReps; ++i) {
+        // Interleaved so slow drift (thermal, cgroup) hits all sides.
+        double r = rerouteWorkload(0);
+        double s = rerouteWorkload(1);
+        double a = rerouteWorkload(2);
+        ref = i == 0 ? r : std::min(ref, r);
+        arm = i == 0 ? s : std::min(arm, s);
+        armMax = i == 0 ? s : std::max(armMax, s);
+        ad = i == 0 ? a : std::min(ad, a);
+    }
+    // The armed-static side is the baseline the gated delta is taken
+    // against, so its own spread is the measurement resolution here.
+    double resolutionPct = (armMax - arm) / arm * 100.0;
+    double armPct = (arm - ref) / ref * 100.0;
+    double overheadPct = (ad - arm) / arm * 100.0;
+    bool noise = overheadPct < resolutionPct;
+    if (noise && overheadPct < 0.0)
+        overheadPct = 0.0;
+    // Same 2% floor as the link-stats probe: min-of-N spreads on a
+    // quiet machine can shrink below real scheduling jitter.
+    bool withinNoise = overheadPct <= std::max(resolutionPct, 2.0);
+    report.extra("fault_arm_pct", armPct);
+    report.extra("reroute_overhead_pct", overheadPct);
+    report.extra("reroute_resolution_pct", resolutionPct);
+    report.extraFlag("reroute_overhead_noise", noise);
+    report.extraFlag("reroute_overhead_within_noise", withinNoise);
+    std::cerr << "[bench] perf_micro: reroute prescan overhead "
+              << overheadPct << "% adaptive vs static on an armed "
+              << "network, arming itself " << armPct
+              << "% vs fault-free (resolution " << resolutionPct << "%"
+              << (noise ? ", below noise floor" : "") << ")\n";
+}
+
+/**
  * One four-job sweep for the journal-overhead probe, optionally with
  * the durable job journal attached. The journal's cost per job is one
  * record format + one O_APPEND write + one fdatasync, paid between
@@ -387,6 +513,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     reportCkptOverhead(selfReport);
     reportLinkStatsOverhead(selfReport);
+    reportRerouteOverhead(selfReport);
     reportJournalOverhead(selfReport);
     // Event/message totals scale with google-benchmark's adaptive
     // iteration counts, so only the rate fields are comparable runs.

@@ -106,11 +106,15 @@ TraceReplayer::replay(const trace::Trace &trace,
     mesh::MeshNetwork net{sim, meshCfg, &result.log};
     desim::Watchdog watchdog{sim, opts.watchdog};
     if (opts.enableWatchdog) {
-        // Progress = delivered messages: retries that never complete a
-        // delivery (a permanently down link under an unbounded retry
-        // budget) are livelock and must trip the watchdog.
-        watchdog.setProgressProbe(
-            [&net] { return net.messageCount(); });
+        // Progress = delivered messages plus resolved delivery
+        // failures: a bounded retry budget burning down on a hostile
+        // plan is progress toward the accounted delivery-failure
+        // exit, not livelock. Retries that never resolve (a
+        // permanently down link under an unbounded budget) advance
+        // neither term and still trip the watchdog.
+        watchdog.setProgressProbe([&net, &resilience] {
+            return net.messageCount() + resilience.deliveryFailures;
+        });
         watchdog.arm();
     }
     if (opts.sampler && opts.samplePeriodUs > 0.0)

@@ -123,9 +123,26 @@ CharacterizationReport::print(std::ostream &os) const
            << " deliveryFailures=" << resilience.deliveryFailures
            << " traceRecordsSkipped="
            << resilience.traceRecordsSkipped << "\n";
+        if (!resilience.rankRetransmits.empty()) {
+            os << "  per-rank (retransmits/corruptDiscards):";
+            for (std::size_t r = 0;
+                 r < resilience.rankRetransmits.size(); ++r) {
+                std::uint64_t discards =
+                    r < resilience.rankCorruptDiscards.size()
+                        ? resilience.rankCorruptDiscards[r]
+                        : 0;
+                os << " p" << r << "="
+                   << resilience.rankRetransmits[r] << "/" << discards;
+            }
+            os << "\n";
+        }
         os << "  planned link downtime="
            << std::setprecision(6) << resilience.plannedLinkDowntimeUs
            << "us\n";
+        os << "-- Degraded routing --\n";
+        os << "  reroutedPackets=" << resilience.reroutedPackets
+           << " rerouteExtraHops=" << resilience.rerouteExtraHops
+           << "\n";
     }
 
     if (rankActivity.enabled) {
@@ -366,7 +383,24 @@ CharacterizationReport::writeJson(std::ostream &os) const
            << ",\"traceRecordsSkipped\":"
            << resilience.traceRecordsSkipped
            << ",\"plannedLinkDowntimeUs\":"
-           << resilience.plannedLinkDowntimeUs << "}";
+           << resilience.plannedLinkDowntimeUs
+           << ",\"reroutedPackets\":" << resilience.reroutedPackets
+           << ",\"rerouteExtraHops\":"
+           << resilience.rerouteExtraHops;
+        if (!resilience.rankRetransmits.empty()) {
+            os << ",\"rankRetransmits\":[";
+            for (std::size_t r = 0;
+                 r < resilience.rankRetransmits.size(); ++r)
+                os << (r ? "," : "")
+                   << resilience.rankRetransmits[r];
+            os << "],\"rankCorruptDiscards\":[";
+            for (std::size_t r = 0;
+                 r < resilience.rankCorruptDiscards.size(); ++r)
+                os << (r ? "," : "")
+                   << resilience.rankCorruptDiscards[r];
+            os << "]";
+        }
+        os << "}";
     }
 
     // Emitted only for --rank-activity runs: a report without the

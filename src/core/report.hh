@@ -114,6 +114,15 @@ struct ResilienceSummary
     std::uint64_t traceRecordsSkipped = 0;
     /** Sum of bounded link-down windows in the plan (us). */
     double plannedLinkDowntimeUs = 0.0;
+    /** Packets steered around a down link by adaptive routing. */
+    std::uint64_t reroutedPackets = 0;
+    /** Hops beyond the minimal path summed over all reroutes. */
+    std::uint64_t rerouteExtraHops = 0;
+    /** Per-rank retransmissions (sender-attributed; empty when the
+     *  driver has no rank-level protocol, e.g. replay). */
+    std::vector<std::uint64_t> rankRetransmits;
+    /** Per-rank corrupt discards (receiver-attributed). */
+    std::vector<std::uint64_t> rankCorruptDiscards;
 };
 
 /** One rank's activity totals and skew statistics. */

@@ -580,6 +580,26 @@ writeResilience(std::ostream &os, const CharacterizationReport &r)
        << rs.routerStalls << "</td><td>" << rs.retransmits
        << "</td><td>" << rs.deliveryFailures << "</td><td>"
        << rs.traceRecordsSkipped << "</td></tr>\n</table>\n";
+    if (!rs.rankRetransmits.empty()) {
+        os << "<h3>Per-rank recovery</h3>\n<table>\n"
+              "<tr><th>rank</th><th>retransmits</th>"
+              "<th>corrupt discards</th></tr>\n";
+        for (std::size_t r = 0; r < rs.rankRetransmits.size(); ++r) {
+            std::uint64_t discards =
+                r < rs.rankCorruptDiscards.size()
+                    ? rs.rankCorruptDiscards[r]
+                    : 0;
+            os << "<tr><td>p" << r << "</td><td>"
+               << rs.rankRetransmits[r] << "</td><td>" << discards
+               << "</td></tr>\n";
+        }
+        os << "</table>\n";
+    }
+    os << "<h3>Degraded routing</h3>\n<table>\n"
+          "<tr><th>rerouted packets</th><th>extra hops</th></tr>\n"
+          "<tr><td>"
+       << rs.reroutedPackets << "</td><td>" << rs.rerouteExtraHops
+       << "</td></tr>\n</table>\n";
     if (rs.plannedLinkDowntimeUs > 0.0) {
         os << "<p class=\"muted\">planned link downtime: "
            << fmt(rs.plannedLinkDowntimeUs, 6) << " us</p>\n";

@@ -1,5 +1,7 @@
 #include "injector.hh"
 
+#include <algorithm>
+
 namespace cchar::fault {
 
 FaultInjector::FaultInjector(const FaultPlan &plan)
@@ -10,6 +12,15 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
             dropConfigured_ = true;
         if (spec.kind == FaultKind::Corrupt && spec.probability > 0.0)
             corruptConfigured_ = true;
+        if (spec.kind == FaultKind::LinkDown) {
+            linkConfigured_ = true;
+            linkWinBegin_ = std::min(linkWinBegin_, spec.window.begin);
+            linkWinEnd_ = std::max(linkWinEnd_, spec.window.end);
+        }
+        if (spec.kind == FaultKind::RouterStall) {
+            stallWinBegin_ = std::min(stallWinBegin_, spec.window.begin);
+            stallWinEnd_ = std::max(stallWinEnd_, spec.window.end);
+        }
     }
     if (obs::MetricsRegistry *reg = obs::metrics()) {
         linkDropCtr_ = reg->counter("fault.link_drops");
@@ -23,7 +34,7 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
 }
 
 bool
-FaultInjector::linkDown(int from, int to, double now) const
+FaultInjector::linkDownScan(int from, int to, double now) const
 {
     for (const auto &spec : plan_.faults()) {
         if (spec.kind == FaultKind::LinkDown && spec.node == from &&
@@ -34,7 +45,7 @@ FaultInjector::linkDown(int from, int to, double now) const
 }
 
 double
-FaultInjector::routerStallUs(int node, double now) const
+FaultInjector::routerStallScan(int node, double now) const
 {
     double stall = 0.0;
     for (const auto &spec : plan_.faults()) {
@@ -102,6 +113,16 @@ FaultInjector::noteRouterStall(double stallUs)
     ++routerStalls_;
     routerStallCtr_.add(1);
     stallHist_.record(stallUs);
+}
+
+void
+FaultInjector::noteReroute(int extraHops)
+{
+    // The mesh owns the obs mirrors (mesh.rerouted_packets /
+    // mesh.reroute_extra_hops); the injector keeps the exact totals
+    // so drivers can fill the Resilience summary without a registry.
+    ++reroutes_;
+    rerouteExtraHops_ += static_cast<std::uint64_t>(extraHops);
 }
 
 } // namespace cchar::fault

@@ -27,6 +27,7 @@
 #define CCHAR_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "obs/obs.hh"
@@ -46,15 +47,34 @@ class FaultInjector
 
     const FaultPlan &plan() const { return plan_; }
 
-    /** True if the directed link from->to is down at time `now`. */
-    bool linkDown(int from, int to, double now) const;
+    /**
+     * True if the directed link from->to is down at time `now`.
+     *
+     * Called per hop on the mesh hot path, so the common case — no
+     * link-down window open right now — is an inline pair of compares
+     * against the aggregate [min begin, max end) of all link clauses;
+     * the clause scan only runs while some window could be open.
+     */
+    bool linkDown(int from, int to, double now) const
+    {
+        if (now < linkWinBegin_ || now >= linkWinEnd_)
+            return false;
+        return linkDownScan(from, to, now);
+    }
 
     /** Extra head delay through `node` at time `now` (us). */
-    double routerStallUs(int node, double now) const;
+    double routerStallUs(int node, double now) const
+    {
+        if (now < stallWinBegin_ || now >= stallWinEnd_)
+            return 0.0;
+        return routerStallScan(node, now);
+    }
 
     /** Any Bernoulli drop clause active (avoids dead RNG draws)? */
     bool dropsConfigured() const { return dropConfigured_; }
     bool corruptsConfigured() const { return corruptConfigured_; }
+    /** Any link-down clause present (gates adaptive-routing checks)? */
+    bool linksConfigured() const { return linkConfigured_; }
 
     /** Draw the drop decision for a packet injected at `now`. */
     bool drawDrop(double now);
@@ -68,6 +88,7 @@ class FaultInjector
     void noteDrop();
     void noteCorrupt();
     void noteRouterStall(double stallUs);
+    void noteReroute(int extraHops);
 
     /** Packets dropped on a down link. */
     std::uint64_t linkDrops() const { return linkDrops_; }
@@ -79,17 +100,33 @@ class FaultInjector
     std::uint64_t routerStalls() const { return routerStalls_; }
     /** All packets lost in the network (link drops + drops). */
     std::uint64_t lostPackets() const { return linkDrops_ + drops_; }
+    /** Packets steered around a down link by adaptive routing. */
+    std::uint64_t reroutes() const { return reroutes_; }
+    /** Hops taken beyond the minimal path across all reroutes. */
+    std::uint64_t rerouteExtraHops() const { return rerouteExtraHops_; }
 
   private:
+    bool linkDownScan(int from, int to, double now) const;
+    double routerStallScan(int node, double now) const;
+
     FaultPlan plan_;
     stats::Rng rng_;
     bool dropConfigured_ = false;
     bool corruptConfigured_ = false;
+    bool linkConfigured_ = false;
+    // Aggregate activity windows (empty when no such clause exists):
+    // outside them the hot-path queries answer inline without scanning.
+    double linkWinBegin_ = std::numeric_limits<double>::infinity();
+    double linkWinEnd_ = -std::numeric_limits<double>::infinity();
+    double stallWinBegin_ = std::numeric_limits<double>::infinity();
+    double stallWinEnd_ = -std::numeric_limits<double>::infinity();
 
     std::uint64_t linkDrops_ = 0;
     std::uint64_t drops_ = 0;
     std::uint64_t corrupts_ = 0;
     std::uint64_t routerStalls_ = 0;
+    std::uint64_t reroutes_ = 0;
+    std::uint64_t rerouteExtraHops_ = 0;
 
     // Mirrors into the installed obs registry (detached when absent).
     obs::Counter linkDropCtr_;

@@ -155,7 +155,11 @@ parseJson(const std::string &text)
                             retry.maxAttempts = static_cast<int>(v);
                         else if (rk == "backoff")
                             retry.backoffFactor = v;
-                        else
+                        else if (rk == "window") {
+                            retry.window = static_cast<int>(v);
+                            if (retry.window < 1)
+                                parseFail("retry window must be >= 1");
+                        } else
                             parseFail("unknown retry key '" + rk + "'");
                         if (!js.consumeIf(','))
                             break;
@@ -272,6 +276,10 @@ FaultPlan::addSpec(const std::string &rawClause)
                 if (end == begin || *end != '\0' ||
                     retry_.backoffFactor < 1.0)
                     parseFail("retry backoff must be >= 1");
+            } else if (key == "window") {
+                retry_.window = parseNode(value);
+                if (retry_.window < 1)
+                    parseFail("retry window must be >= 1");
             } else {
                 parseFail("unknown retry key '" + key + "'");
             }

@@ -21,10 +21,13 @@
  *   router:N:stall=D[@[T1,T2]]    add D of extra pipeline delay to
  *                                 every head traversal of router N
  *   seed=S                        seed of the fault RNG stream
- *   retry:timeout=T,max=M,backoff=F
+ *   retry:timeout=T,max=M,backoff=F,window=W
  *                                 retransmission protocol parameters
  *                                 (max=0 retries forever — pair it
- *                                 with a watchdog)
+ *                                 with a watchdog; window=1 is
+ *                                 stop-and-wait, window>1 a sliding
+ *                                 window with cumulative + selective
+ *                                 acks)
  *
  * Times accept us/ms/s suffixes ("10ms", "5us", "0.5s"); a bare
  * number is microseconds (the project-wide convention).
@@ -32,7 +35,8 @@
  * JSON form (restricted schema, no external parser dependency):
  *
  *   {"seed": 42,
- *    "retry": {"timeout_us": 500, "max_attempts": 5, "backoff": 2},
+ *    "retry": {"timeout_us": 500, "max_attempts": 5, "backoff": 2,
+ *              "window": 8},
  *    "faults": ["link:0->1:down@[0,1ms]", "drop:p=0.001"]}
  */
 
@@ -99,6 +103,13 @@ struct RetryConfig
      * 0 = retry forever (pair with a watchdog).
      */
     int maxAttempts = 5;
+    /**
+     * Maximum unacknowledged data packets in flight per destination.
+     * 1 (the default) is the original stop-and-wait protocol;
+     * larger windows pipeline sends with cumulative + selective acks
+     * and in-order delivery at the receiver.
+     */
+    int window = 1;
 
     bool unbounded() const { return maxAttempts <= 0; }
 };

@@ -91,6 +91,12 @@ MeshNetwork::MeshNetwork(desim::Simulator &sim, const MeshConfig &cfg,
         queueHist_ = reg->histogram("mesh.queue_us");
         stallTimeHist_ = reg->histogram("mesh.stall_us");
         transitHist_ = reg->histogram("mesh.transit_us");
+        // Registered only under a fault plan so a fault-free metrics
+        // snapshot stays byte-identical to pre-fault-layer builds.
+        if (faults_) {
+            rerouteCtr_ = reg->counter("mesh.rerouted_packets");
+            rerouteHopsCtr_ = reg->counter("mesh.reroute_extra_hops");
+        }
     }
     tracer_ = obs::tracer();
     flows_ = obs::flows();
@@ -180,6 +186,156 @@ MeshNetwork::route(int src, int dst, RouteBuf &hops) const
         }
         hops.push_back(hop);
     }
+}
+
+bool
+MeshNetwork::routeAvoiding(int src, int dst, double now,
+                           RouteBuf &hops) const
+{
+    if (cfg_.topology == Topology::Torus) {
+        // Dimension-ordered with a per-dimension ring-arc flip: when
+        // the shortest arc crosses a down link, go the other way
+        // around. The dateline VC discipline keeps either arc
+        // deadlock-free (wrap hops switch to the upper VC class).
+        auto emitRing = [&](bool isX, int from, int to, int extent,
+                            int fixed) -> bool {
+            int prim = torusDelta(from, to, extent);
+            if (prim == 0)
+                return true;
+            int fwd = (to - from + extent) % extent;
+            int alt = prim == fwd ? fwd - extent : fwd;
+            for (int delta : {prim, alt}) {
+                std::size_t mark = hops.size();
+                int c = from;
+                bool ok = true;
+                for (int step = 0; step < std::abs(delta); ++step) {
+                    Hop hop;
+                    hop.from = isX ? nodeId(c, fixed) : nodeId(fixed, c);
+                    hop.isX = isX;
+                    if (delta > 0) {
+                        hop.dir = isX ? East : North;
+                        hop.wrap = (c == extent - 1);
+                        c = (c + 1) % extent;
+                    } else {
+                        hop.dir = isX ? West : South;
+                        hop.wrap = (c == 0);
+                        c = (c - 1 + extent) % extent;
+                    }
+                    int next = isX ? nodeId(c, fixed) : nodeId(fixed, c);
+                    if (faults_->linkDown(hop.from, next, now)) {
+                        ok = false;
+                        break;
+                    }
+                    hops.push_back(hop);
+                }
+                if (ok)
+                    return true;
+                while (hops.size() > mark)
+                    hops.pop_back();
+            }
+            return false;
+        };
+        if (!emitRing(true, nodeX(src), nodeX(dst), cfg_.width,
+                      nodeY(src)))
+            return false;
+        return emitRing(false, nodeY(src), nodeY(dst), cfg_.height,
+                        nodeX(dst));
+    }
+
+    // Mesh: BFS over (node, west-still-allowed) states. The west-first
+    // turn model forbids turning into West, so a path is legal iff all
+    // its West hops come first; within that restriction the search is
+    // fully adaptive (non-minimal detours included) and remains
+    // deadlock-free with a single VC. Fixed expansion order keeps the
+    // chosen detour deterministic.
+    int n = cfg_.nodes();
+    std::vector<std::int8_t> prevDir(static_cast<std::size_t>(n) * 2,
+                                     -1);
+    std::vector<int> prevState(static_cast<std::size_t>(n) * 2, -1);
+    std::vector<int> frontier;
+    frontier.reserve(static_cast<std::size_t>(n) * 2);
+    int start = src * 2 + 1; // state = node * 2 + westAllowed
+    prevDir[static_cast<std::size_t>(start)] = 4; // visited sentinel
+    frontier.push_back(start);
+    int goal = -1;
+    for (std::size_t qi = 0; qi < frontier.size() && goal < 0; ++qi) {
+        int state = frontier[qi];
+        int node = state / 2;
+        bool westAllowed = (state & 1) != 0;
+        int x = nodeX(node), y = nodeY(node);
+        for (int dir : {East, West, North, South}) {
+            int nx = x, ny = y;
+            switch (dir) {
+            case East:
+                if (x + 1 >= cfg_.width)
+                    continue;
+                nx = x + 1;
+                break;
+            case West:
+                if (!westAllowed || x == 0)
+                    continue;
+                nx = x - 1;
+                break;
+            case North:
+                if (y + 1 >= cfg_.height)
+                    continue;
+                ny = y + 1;
+                break;
+            default: // South
+                if (y == 0)
+                    continue;
+                ny = y - 1;
+                break;
+            }
+            int next = nodeId(nx, ny);
+            if (faults_->linkDown(node, next, now))
+                continue;
+            int nextState = next * 2 + (dir == West ? 1 : 0);
+            if (prevDir[static_cast<std::size_t>(nextState)] != -1)
+                continue;
+            prevDir[static_cast<std::size_t>(nextState)] =
+                static_cast<std::int8_t>(dir);
+            prevState[static_cast<std::size_t>(nextState)] = state;
+            if (next == dst) {
+                goal = nextState;
+                break;
+            }
+            frontier.push_back(nextState);
+        }
+    }
+    if (goal < 0)
+        return false;
+
+    // Walk the predecessor chain back to the source, then emit the
+    // hops forward.
+    desim::SmallVec<std::int8_t, 30> rev;
+    for (int cur = goal; cur != start;
+         cur = prevState[static_cast<std::size_t>(cur)])
+        rev.push_back(prevDir[static_cast<std::size_t>(cur)]);
+    int x = nodeX(src), y = nodeY(src);
+    for (std::size_t i = rev.size(); i-- > 0;) {
+        Hop hop;
+        hop.from = nodeId(x, y);
+        hop.dir = rev[i];
+        hop.wrap = false;
+        hop.isX = rev[i] == East || rev[i] == West;
+        switch (rev[i]) {
+        case East:
+            ++x;
+            break;
+        case West:
+            --x;
+            break;
+        case North:
+            ++y;
+            break;
+        default: // South
+            --y;
+            break;
+        }
+        hops.push_back(hop);
+    }
+    return true;
 }
 
 int
@@ -294,6 +450,38 @@ MeshNetwork::transfer(Packet pkt)
 
     RouteBuf hops;
     route(pkt.src, pkt.dst, hops);
+    if (faults_ && cfg_.adaptiveRouting && faults_->linksConfigured()) {
+        // Fault-aware adaptive routing: when the dimension-ordered
+        // route crosses a link down right now, swap in a deadlock-free
+        // detour. The per-hop check below still guards links that go
+        // down while the worm is in flight.
+        bool blocked = false;
+        for (const Hop &hop : hops) {
+            if (faults_->linkDown(hop.from, neighborOf(hop),
+                                  rec.injectTime)) {
+                blocked = true;
+                break;
+            }
+        }
+        if (blocked) {
+            int minimal = static_cast<int>(hops.size());
+            hops.clear();
+            if (routeAvoiding(pkt.src, pkt.dst, rec.injectTime, hops)) {
+                int extra = static_cast<int>(hops.size()) - minimal;
+                faults_->noteReroute(extra);
+                ++rerouted_;
+                rerouteExtraHops_ +=
+                    static_cast<std::uint64_t>(extra);
+                rerouteCtr_.add(1);
+                rerouteHopsCtr_.add(static_cast<std::uint64_t>(extra));
+            } else {
+                // No legal detour: fall through on the primary route
+                // and let the down link tail-drop the worm as before.
+                hops.clear();
+                route(pkt.src, pkt.dst, hops);
+            }
+        }
+    }
     rec.hops = static_cast<std::int32_t>(hops.size());
     double body =
         static_cast<double>(flitsOf(pkt.bytes)) * cfg_.flitTime;

@@ -88,6 +88,15 @@ struct MeshConfig
      * without the fault layer.
      */
     fault::FaultInjector *faults = nullptr;
+    /**
+     * Fault-aware adaptive routing: when the planned route crosses a
+     * link that is down at injection time, fall back to a deadlock-free
+     * alternate path (west-first turn model on the mesh, the longer
+     * ring arc under the dateline VC discipline on the torus). Only
+     * consulted when a fault plan with link clauses is installed, so
+     * fault-free runs are byte-identical either way.
+     */
+    bool adaptiveRouting = true;
 
     int nodes() const { return width * height; }
 };
@@ -186,6 +195,12 @@ class MeshNetwork
     /** Payload bytes across all completed transfers. */
     std::uint64_t payloadBytes() const { return payloadBytes_; }
 
+    /** Packets steered around a down link by adaptive routing. */
+    std::uint64_t reroutedPackets() const { return rerouted_; }
+
+    /** Hops beyond the minimal path summed over all reroutes. */
+    std::uint64_t rerouteExtraHops() const { return rerouteExtraHops_; }
+
     /** Mean utilization over all lanes at time t. */
     double averageChannelUtilization(SimTime t) const;
 
@@ -217,6 +232,17 @@ class MeshNetwork
     /** Route from src to dst (dimension ordered, wrap-aware). */
     void route(int src, int dst, RouteBuf &hops) const;
 
+    /**
+     * Deadlock-free alternate route that avoids every link down at
+     * time `now`: a west-first turn-model BFS on the mesh, a
+     * ring-arc flip per dimension on the torus. Appends to @p hops
+     * and returns true on success; false when no legal detour exists
+     * (down *West* links are unavoidable under west-first, and a
+     * torus ring with both arcs cut is partitioned).
+     */
+    bool routeAvoiding(int src, int dst, double now,
+                       RouteBuf &hops) const;
+
     /** Node a hop lands on (wrap-aware). */
     int neighborOf(const Hop &hop) const;
 
@@ -239,6 +265,8 @@ class MeshNetwork
     desim::Tally contention_;
     std::uint64_t messages_ = 0;
     std::uint64_t payloadBytes_ = 0;
+    std::uint64_t rerouted_ = 0;
+    std::uint64_t rerouteExtraHops_ = 0;
 
     // Observability handles (detached when no sinks are installed).
     obs::Counter msgCtr_;
@@ -251,6 +279,9 @@ class MeshNetwork
     obs::Histogram queueHist_;
     obs::Histogram stallTimeHist_;
     obs::Histogram transitHist_;
+    /** Degraded-routing mirrors, registered only in fault mode. */
+    obs::Counter rerouteCtr_;
+    obs::Counter rerouteHopsCtr_;
     obs::Tracer *tracer_ = nullptr;
     obs::FlowTracker *flows_ = nullptr;
     /** Per-rank activity sink: in-network spans by source rank. */

@@ -14,6 +14,13 @@ MpWorld::MpWorld(desim::Simulator &sim, const MpConfig &cfg)
 {
     net_ = std::make_unique<mesh::MeshNetwork>(*sim_, cfg_.mesh, &log_);
     ranks_.resize(static_cast<std::size_t>(cfg_.nranks()));
+    if (faultMode_) {
+        windowMode_ = cfg_.mesh.faults->plan().retry().window > 1;
+        rankRetransmits_.assign(
+            static_cast<std::size_t>(cfg_.nranks()), 0);
+        rankCorruptDiscards_.assign(
+            static_cast<std::size_t>(cfg_.nranks()), 0);
+    }
     if (obs::MetricsRegistry *reg = obs::metrics()) {
         sendCtr_ = reg->counter("mp.sends");
         recvCtr_ = reg->counter("mp.recvs");
@@ -53,6 +60,61 @@ MpWorld::dispatcher(int rank)
                 // unacknowledged; the sender's timeout recovers.
                 ++corruptDiscards_;
                 corruptDiscardCtr_.add(1);
+                ++rankCorruptDiscards_[static_cast<std::size_t>(rank)];
+                continue;
+            }
+            if (windowMode_) {
+                if (msg.isAck) {
+                    ++acksReceived_;
+                    ackCtr_.add(1);
+                    auto cit = connections_.find(
+                        std::make_pair(rank,
+                                       static_cast<int>(msg.srcRank)));
+                    if (cit != connections_.end()) {
+                        Connection &conn = cit->second;
+                        // Cumulative first (recovers lost selective
+                        // acks), then the selective ack itself.
+                        while (!conn.flight.empty() &&
+                               conn.flight.begin()->first <= msg.ack)
+                            ackFlight(conn,
+                                      conn.flight.begin()->first);
+                        ackFlight(conn, msg.seq);
+                    }
+                    continue;
+                }
+                RecvConn &rconn =
+                    state.recvConns[static_cast<int>(msg.srcRank)];
+                bool fresh = rconn.seen.insert(msg.seq).second;
+                if (fresh && msg.seq >= rconn.expected) {
+                    if (msg.seq == rconn.expected) {
+                        deliverData(rank, state, msg);
+                        ++rconn.expected;
+                    } else {
+                        rconn.buffered.emplace(msg.seq, msg);
+                    }
+                }
+                if (msg.winBase > rconn.maxBase)
+                    rconn.maxBase = msg.winBase;
+                // Flush: deliver consecutive buffered arrivals, and
+                // skip holes the sender has resolved (a seq below its
+                // window base was acked — then it is buffered or
+                // delivered — or abandoned as a delivery failure).
+                for (;;) {
+                    auto bit = rconn.buffered.find(rconn.expected);
+                    if (bit != rconn.buffered.end()) {
+                        deliverData(rank, state, bit->second);
+                        rconn.buffered.erase(bit);
+                        ++rconn.expected;
+                    } else if (rconn.expected < rconn.maxBase) {
+                        ++rconn.expected;
+                    } else {
+                        break;
+                    }
+                }
+                // Ack every intact arrival (duplicates included):
+                // selective for this seq, cumulative for the in-order
+                // prefix delivered so far.
+                sendAck(rank, msg, rconn.expected - 1);
                 continue;
             }
             if (msg.isAck) {
@@ -72,22 +134,29 @@ MpWorld::dispatcher(int rank)
             if (!state.receivedSeqs.insert(msg.seq).second)
                 continue; // retransmitted duplicate, already delivered
         }
-        auto key = std::make_pair(static_cast<int>(msg.srcRank),
-                                  static_cast<int>(msg.tag));
-        auto wit = state.waiters.find(key);
-        if (wit != state.waiters.end() && !wit->second.empty()) {
-            RecvWaiter w = wit->second.front();
-            wit->second.pop_front();
-            *w.bytesOut = msg.bytes;
-            w.event->trigger();
-        } else {
-            state.arrived[key].push_back(msg.bytes);
-        }
+        deliverData(rank, state, msg);
     }
 }
 
 void
-MpWorld::sendAck(int rank, const MpMsg &msg)
+MpWorld::deliverData(int rank, RankState &state, const MpMsg &msg)
+{
+    (void)rank;
+    auto key = std::make_pair(static_cast<int>(msg.srcRank),
+                              static_cast<int>(msg.tag));
+    auto wit = state.waiters.find(key);
+    if (wit != state.waiters.end() && !wit->second.empty()) {
+        RecvWaiter w = wit->second.front();
+        wit->second.pop_front();
+        *w.bytesOut = msg.bytes;
+        w.event->trigger();
+    } else {
+        state.arrived[key].push_back(msg.bytes);
+    }
+}
+
+void
+MpWorld::sendAck(int rank, const MpMsg &msg, std::uint64_t cumulative)
 {
     mesh::Packet ack;
     ack.src = rank;
@@ -96,8 +165,125 @@ MpWorld::sendAck(int rank, const MpMsg &msg)
     ack.kind = trace::MessageKind::Control;
     ack.tag = static_cast<std::uint64_t>(msg.tag);
     ack.payload = MpMsg{static_cast<std::int32_t>(rank), msg.tag, 0,
-                        msg.seq, true};
+                        msg.seq, true, cumulative};
     net_->post(std::move(ack));
+}
+
+std::uint64_t
+MpWorld::windowBase(const Connection &conn)
+{
+    return conn.flight.empty() ? conn.nextSeq
+                               : conn.flight.begin()->first;
+}
+
+void
+MpWorld::wakeSlot(Connection &conn)
+{
+    if (!conn.slotWaiters.empty()) {
+        conn.slotWaiters.front()->trigger();
+        conn.slotWaiters.pop_front();
+    }
+}
+
+void
+MpWorld::ackFlight(Connection &conn, std::uint64_t seq)
+{
+    auto it = conn.flight.find(seq);
+    if (it == conn.flight.end())
+        return; // duplicate / stale ack for a resolved seq
+    if (it->second) {
+        it->second->acked = true;
+        it->second->ev.trigger();
+    }
+    conn.flight.erase(it);
+    wakeSlot(conn);
+}
+
+desim::Task<void>
+MpWorld::transmitWindowed(int src, int dst, int bytes, int tag,
+                          trace::MessageKind kind, std::uint64_t flowId)
+{
+    Connection &conn =
+        connections_[std::make_pair(src, dst)];
+    const fault::RetryConfig &rc = cfg_.mesh.faults->plan().retry();
+    while (conn.flight.size() >= static_cast<std::size_t>(rc.window)) {
+        // Window full: queue FIFO behind the oldest blocked sender so
+        // admission order stays deterministic.
+        desim::SimEvent ev{*sim_};
+        conn.slotWaiters.push_back(&ev);
+        co_await ev.wait();
+    }
+    std::uint64_t seq = conn.nextSeq++;
+    conn.flight[seq] = std::make_shared<AckWait>(*sim_);
+    sim_->spawn(windowDelivery(src, dst, bytes, tag, kind, flowId, seq),
+                "mp-window-" + std::to_string(src) + "-" +
+                    std::to_string(dst) + "-" + std::to_string(seq));
+}
+
+desim::Task<void>
+MpWorld::windowDelivery(int src, int dst, int bytes, int tag,
+                        trace::MessageKind kind, std::uint64_t flowId,
+                        std::uint64_t seq)
+{
+    Connection &conn =
+        connections_[std::make_pair(src, dst)];
+    const fault::RetryConfig &rc = cfg_.mesh.faults->plan().retry();
+    double timeout = rc.ackTimeoutUs;
+    for (int attempt = 1;; ++attempt) {
+        auto fit = conn.flight.find(seq);
+        if (fit == conn.flight.end())
+            co_return; // resolved by a cumulative ack meanwhile
+        std::shared_ptr<AckWait> wait = fit->second;
+        if (attempt > 1) {
+            // Fresh wait state per attempt: the previous timeout
+            // callback still holds the old one.
+            wait = std::make_shared<AckWait>(*sim_);
+            fit->second = wait;
+        }
+        mesh::Packet pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.bytes = bytes;
+        pkt.kind = kind;
+        pkt.tag = static_cast<std::uint64_t>(tag);
+        // Each retransmission is its own network flow; pass the
+        // app-level flow only on the first wire attempt.
+        pkt.flow = attempt == 1 ? flowId : 0;
+        pkt.payload = MpMsg{static_cast<std::int32_t>(src), tag, bytes,
+                            seq, false, 0, windowBase(conn)};
+        net_->post(std::move(pkt));
+        sim_->schedule(
+            [wait] {
+                if (!wait->acked)
+                    wait->ev.trigger();
+            },
+            sim_->now() + timeout);
+        co_await wait->ev.wait();
+        if (wait->acked)
+            co_return; // ackFlight already freed the slot
+        if (!rc.unbounded() && attempt >= rc.maxAttempts) {
+            ++deliveryFailures_;
+            deliveryFailCtr_.add(1);
+            std::ostringstream os;
+            os << "mp: delivery failure " << src << "->" << dst
+               << " tag=" << tag << " bytes=" << bytes
+               << " seq=" << seq << " after " << attempt
+               << " attempts at t=" << std::fixed
+               << std::setprecision(2) << sim_->now() << " us";
+            core::reportDiagnostic(core::DiagSeverity::Error, os.str());
+            // Abandon: free the slot so the window cannot wedge on a
+            // dead destination, and let the advancing window base
+            // tell the receiver to close the hole.
+            conn.flight.erase(seq);
+            wakeSlot(conn);
+            co_return;
+        }
+        ++retransmits_;
+        retransmitCtr_.add(1);
+        ++rankRetransmits_[static_cast<std::size_t>(src)];
+        backoffHist_.record(timeout);
+        timeout *= rc.backoffFactor;
+    }
 }
 
 desim::Task<void>
@@ -149,6 +335,7 @@ MpWorld::transmitReliable(int src, int dst, int bytes, int tag,
         }
         ++retransmits_;
         retransmitCtr_.add(1);
+        ++rankRetransmits_[static_cast<std::size_t>(src)];
         backoffHist_.record(timeout);
         timeout *= rc.backoffFactor;
     }
@@ -269,7 +456,13 @@ MpContext::sendInternal(int dst, int bytes, int tag,
     const MpConfig &cfg = world_->config();
     co_await world_->sim().delay(cfg.sendFraction * cfg.overhead(bytes));
 
-    if (world_->faultMode_) {
+    if (world_->windowMode_) {
+        // Sliding window: blocks only while the (rank, dst) window is
+        // full; delivery (and any retransmission) continues in the
+        // background so consecutive sends pipeline.
+        co_await world_->transmitWindowed(rank_, dst, bytes, tag, kind,
+                                          flowId);
+    } else if (world_->faultMode_) {
         // Reliable delivery: blocks until acked or the retry budget
         // is spent, so a lossy link slows the sender rather than
         // silently losing application messages.

@@ -117,6 +117,16 @@ class MpWorld
     std::uint64_t corruptDiscards() const { return corruptDiscards_; }
     /** Acks received by senders. */
     std::uint64_t acksReceived() const { return acksReceived_; }
+    /** Retransmissions attributed to the sending rank. */
+    const std::vector<std::uint64_t> &rankRetransmits() const
+    {
+        return rankRetransmits_;
+    }
+    /** Corrupt discards attributed to the receiving rank. */
+    const std::vector<std::uint64_t> &rankCorruptDiscards() const
+    {
+        return rankCorruptDiscards_;
+    }
 
   private:
     friend class MpContext;
@@ -127,16 +137,39 @@ class MpWorld
         std::int32_t srcRank;
         std::int32_t tag;
         std::int32_t bytes;
-        /** Fault-mode delivery id (unique per logical send; 0 = none). */
+        /** Fault-mode delivery id (unique per logical send; 0 = none).
+         *  Stop-and-wait numbers a single global space; the windowed
+         *  protocol numbers each (src, dst) connection separately. */
         std::uint64_t seq = 0;
         /** Fault-mode delivery acknowledgement (control packet). */
         bool isAck = false;
+        /** Window-mode ack: every seq <= ack was delivered in order
+         *  (cumulative); `seq` above carries the selective ack. */
+        std::uint64_t ack = 0;
+        /** Window-mode data: the sender's lowest in-flight seq when
+         *  this copy left. Seqs below it are resolved (acked or
+         *  abandoned), so the receiver may close those holes. */
+        std::uint64_t winBase = 0;
     };
 
     struct RecvWaiter
     {
         desim::SimEvent *event;
         std::int32_t *bytesOut;
+    };
+
+    /** Window-mode receiver state for one (sender -> this rank)
+     *  connection: in-order delivery with an out-of-order buffer. */
+    struct RecvConn
+    {
+        /** Next seq to deliver up to the application. */
+        std::uint64_t expected = 1;
+        /** Highest sender window base seen on any arrival. */
+        std::uint64_t maxBase = 1;
+        /** Intact arrivals ahead of `expected`, keyed by seq. */
+        std::map<std::uint64_t, MpMsg> buffered;
+        /** Seqs already acked (retransmit dedup). */
+        std::unordered_set<std::uint64_t> seen;
     };
 
     struct RankState
@@ -147,6 +180,8 @@ class MpWorld
         std::map<std::pair<int, int>, std::deque<RecvWaiter>> waiters;
         /** Fault-mode: seqs already delivered up (retransmit dedup). */
         std::unordered_set<std::uint64_t> receivedSeqs;
+        /** Window-mode receiver connections, keyed by source rank. */
+        std::map<int, RecvConn> recvConns;
     };
 
     /** Sender-side wait for one delivery attempt's ack. Heap-shared
@@ -157,6 +192,18 @@ class MpWorld
         explicit AckWait(desim::Simulator &sim) : ev(sim) {}
         desim::SimEvent ev;
         bool acked = false;
+    };
+
+    /** Window-mode sender state for one (src -> dst) connection. */
+    struct Connection
+    {
+        /** Next seq to assign on this connection. */
+        std::uint64_t nextSeq = 1;
+        /** Unacked transmissions, keyed by seq. A slot's AckWait is
+         *  replaced on every retransmission attempt. */
+        std::map<std::uint64_t, std::shared_ptr<AckWait>> flight;
+        /** Senders blocked on a full window, FIFO. */
+        std::deque<desim::SimEvent *> slotWaiters;
     };
 
     desim::Task<void> dispatcher(int rank);
@@ -171,8 +218,40 @@ class MpWorld
                                        int tag, trace::MessageKind kind,
                                        std::uint64_t flowId);
 
-    /** Post an ack control packet for a delivered data packet. */
-    void sendAck(int rank, const MpMsg &msg);
+    /**
+     * Window-mode admission: waits for a free window slot on the
+     * (src, dst) connection, assigns the next seq and hands delivery
+     * to a background windowDelivery() process, so up to
+     * retry().window sends pipeline per destination.
+     */
+    desim::Task<void> transmitWindowed(int src, int dst, int bytes,
+                                       int tag, trace::MessageKind kind,
+                                       std::uint64_t flowId);
+
+    /** Window-mode per-packet delivery: transmit, retransmit with
+     *  backoff, resolve as acked or as a delivery failure. */
+    desim::Task<void> windowDelivery(int src, int dst, int bytes,
+                                     int tag, trace::MessageKind kind,
+                                     std::uint64_t flowId,
+                                     std::uint64_t seq);
+
+    /** Lowest in-flight seq (next seq when the window is empty). */
+    static std::uint64_t windowBase(const Connection &conn);
+
+    /** Resolve one in-flight seq as acked; frees its window slot. */
+    void ackFlight(Connection &conn, std::uint64_t seq);
+
+    /** Wake the longest-waiting sender blocked on the window. */
+    void wakeSlot(Connection &conn);
+
+    /** Hand one in-order data message to the matching engine. */
+    void deliverData(int rank, RankState &state, const MpMsg &msg);
+
+    /** Post an ack control packet for a delivered data packet;
+     *  `cumulative` is the window-mode cumulative ack (0 for the
+     *  stop-and-wait protocol, which ignores it). */
+    void sendAck(int rank, const MpMsg &msg,
+                 std::uint64_t cumulative = 0);
 
     desim::Simulator *sim_;
     MpConfig cfg_;
@@ -186,12 +265,18 @@ class MpWorld
 
     /** Retransmission protocol active (cfg.mesh.faults != nullptr). */
     bool faultMode_ = false;
+    /** Sliding-window protocol active (retry().window > 1). */
+    bool windowMode_ = false;
     std::uint64_t nextSeq_ = 1;
     std::map<std::uint64_t, std::shared_ptr<AckWait>> pendingAcks_;
+    /** Window-mode sender connections, keyed by (src, dst). */
+    std::map<std::pair<int, int>, Connection> connections_;
     std::uint64_t retransmits_ = 0;
     std::uint64_t deliveryFailures_ = 0;
     std::uint64_t corruptDiscards_ = 0;
     std::uint64_t acksReceived_ = 0;
+    std::vector<std::uint64_t> rankRetransmits_;
+    std::vector<std::uint64_t> rankCorruptDiscards_;
 
     // Observability handles (detached when no sinks are installed).
     obs::Counter sendCtr_;

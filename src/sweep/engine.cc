@@ -174,6 +174,8 @@ fillFaults(JobOutcome &out, const fault::FaultInjector &injector,
     out.linkDrops = injector.linkDrops();
     out.retransmits = retransmits;
     out.deliveryFailures = deliveryFailures;
+    out.reroutedPackets = injector.reroutes();
+    out.rerouteExtraHops = injector.rerouteExtraHops();
 }
 
 mesh::MeshConfig
@@ -291,8 +293,14 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry,
             mp::MpWorld world{sim, cfg};
             desim::Watchdog watchdog{sim, wcfg};
             if (injector) {
-                watchdog.setProgressProbe(
-                    [&world] { return world.network().messageCount(); });
+                // Delivered messages plus resolved delivery failures:
+                // a bounded retry budget draining on a hostile plan is
+                // progress toward the accounted failure exit, while an
+                // unbounded no-delivery loop still trips the watchdog.
+                watchdog.setProgressProbe([&world] {
+                    return world.network().messageCount() +
+                           world.deliveryFailures();
+                });
                 watchdog.arm();
             } else if (cancel != nullptr) {
                 watchdog.setProgressProbe(
@@ -892,6 +900,8 @@ SweepResult::writeJson(std::ostream &os) const
            << ",\"link_drops\":" << o.linkDrops
            << ",\"retransmits\":" << o.retransmits
            << ",\"delivery_failures\":" << o.deliveryFailures
+           << ",\"rerouted_packets\":" << o.reroutedPackets
+           << ",\"reroute_extra_hops\":" << o.rerouteExtraHops
            << ",\"diag_warnings\":" << o.diagWarnings
            << ",\"diag_errors\":" << o.diagErrors
            << ",\"skew_max_us\":";
@@ -951,7 +961,8 @@ SweepResult::writeCsv(std::ostream &os) const
           "latency_max_us,contention_mean_us,makespan_us,"
           "avg_channel_utilization,max_channel_utilization,temporal_fit,"
           "spatial_pattern,dropped_packets,corrupted_packets,link_drops,"
-          "retransmits,delivery_failures,diag_warnings,diag_errors,"
+          "retransmits,delivery_failures,rerouted_packets,"
+          "reroute_extra_hops,diag_warnings,diag_errors,"
           "skew_max_us,idle_fraction_mean,idle_waves,wave_speed_max,"
           "max_link_util,link_gini,hotspot_count,"
           "congestion_onset_load,attempts,quarantined\n";
@@ -986,7 +997,8 @@ SweepResult::writeCsv(std::ostream &os) const
         csvField(os, o.spatialPattern);
         os << "," << o.droppedPackets << "," << o.corruptedPackets << ","
            << o.linkDrops << "," << o.retransmits << ","
-           << o.deliveryFailures << "," << o.diagWarnings << ","
+           << o.deliveryFailures << "," << o.reroutedPackets << ","
+           << o.rerouteExtraHops << "," << o.diagWarnings << ","
            << o.diagErrors << ",";
         jsonNumber(os, o.skewMaxUs);
         os << ",";

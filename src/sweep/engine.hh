@@ -71,6 +71,8 @@ struct JobOutcome
     std::uint64_t linkDrops = 0;
     std::uint64_t retransmits = 0;
     std::uint64_t deliveryFailures = 0;
+    std::uint64_t reroutedPackets = 0;
+    std::uint64_t rerouteExtraHops = 0;
 
     // Diagnostics emitted by this job's thread-local sink.
     std::uint64_t diagWarnings = 0;

@@ -213,6 +213,10 @@ parseRecordBody(core::JsonScanner &js)
             o.retransmits = js.readUInt();
         } else if (key == "delivery_failures") {
             o.deliveryFailures = js.readUInt();
+        } else if (key == "rerouted_packets") {
+            o.reroutedPackets = js.readUInt();
+        } else if (key == "reroute_extra_hops") {
+            o.rerouteExtraHops = js.readUInt();
         } else if (key == "diag_warnings") {
             o.diagWarnings = js.readUInt();
         } else if (key == "diag_errors") {
@@ -401,6 +405,8 @@ formatJournalRecord(const JournalRecord &record)
        << ",\"link_drops\":" << o.linkDrops
        << ",\"retransmits\":" << o.retransmits
        << ",\"delivery_failures\":" << o.deliveryFailures
+       << ",\"rerouted_packets\":" << o.reroutedPackets
+       << ",\"reroute_extra_hops\":" << o.rerouteExtraHops
        << ",\"diag_warnings\":" << o.diagWarnings
        << ",\"diag_errors\":" << o.diagErrors << ",\"skew_max_us\":";
     hexDouble(os, o.skewMaxUs);

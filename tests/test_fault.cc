@@ -343,7 +343,9 @@ TEST(FaultedMesh, DownLinkTailDropsWorm)
     FaultInjector inj{plan};
     Simulator sim;
     trace::TrafficLog log;
-    mesh::MeshNetwork net{sim, meshCfg(&inj), &log};
+    auto cfg = meshCfg(&inj);
+    cfg.adaptiveRouting = false; // force the worm onto the dead link
+    mesh::MeshNetwork net{sim, cfg, &log};
     MessageRecord out;
     sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
         o = co_await n.transfer(pkt(0, 3, 16));
@@ -352,6 +354,84 @@ TEST(FaultedMesh, DownLinkTailDropsWorm)
     EXPECT_FALSE(out.delivered);
     EXPECT_EQ(inj.linkDrops(), 1u);
     EXPECT_EQ(log.size(), 0u); // lost worms are not logged
+}
+
+TEST(FaultedMesh, DownLinkReroutesWhenAdaptive)
+{
+    // Same dead link, adaptive routing left on (the default): the
+    // worm detours via a west-first-legal path and still arrives.
+    FaultPlan plan = FaultPlan::parse("link:0->1:down");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mesh::MeshNetwork net{sim, meshCfg(&inj)};
+    MessageRecord out;
+    sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+        o = co_await n.transfer(pkt(0, 3, 16));
+    }(net, out));
+    sim.run();
+    EXPECT_TRUE(out.delivered);
+    EXPECT_EQ(inj.linkDrops(), 0u);
+    EXPECT_EQ(inj.reroutes(), 1u);
+    EXPECT_GE(inj.rerouteExtraHops(), 2u); // 0->3 detour costs >= 2
+    EXPECT_EQ(net.reroutedPackets(), 1u);
+}
+
+TEST(FaultedMesh, RerouteKeepsMinimalHopsWhenPossible)
+{
+    // 0->3 is blocked at its first East hop, but a same-length XY
+    // alternative does not exist under west-first on the bottom row,
+    // so the detour goes up and over: extra hops are even and > 0.
+    FaultPlan plan = FaultPlan::parse("link:1->2:down");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mesh::MeshNetwork net{sim, meshCfg(&inj)};
+    MessageRecord out;
+    sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+        o = co_await n.transfer(pkt(1, 2, 16));
+    }(net, out));
+    sim.run();
+    EXPECT_TRUE(out.delivered);
+    EXPECT_EQ(inj.reroutes(), 1u);
+    EXPECT_EQ(inj.rerouteExtraHops(), 2u); // 1->5->6->2 vs 1->2
+}
+
+TEST(FaultedMesh, TorusReroutesAlongLongerArc)
+{
+    // On a 4x4 torus the ring 0..3 offers two arcs; with 0->1 down
+    // the worm takes the three-hop westward arc 0->3->2->1 instead.
+    FaultPlan plan = FaultPlan::parse("link:0->1:down");
+    FaultInjector inj{plan};
+    auto cfg = meshCfg(&inj);
+    cfg.topology = mesh::Topology::Torus;
+    cfg.virtualChannels = 2;
+    Simulator sim;
+    mesh::MeshNetwork net{sim, cfg};
+    MessageRecord out;
+    sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+        o = co_await n.transfer(pkt(0, 1, 16));
+    }(net, out));
+    sim.run();
+    EXPECT_TRUE(out.delivered);
+    EXPECT_EQ(inj.reroutes(), 1u);
+    EXPECT_EQ(inj.rerouteExtraHops(), 2u); // 3-hop arc vs 1-hop arc
+}
+
+TEST(FaultedMesh, UnreachableDownWestLinkFallsThrough)
+{
+    // West hops cannot be detoured under the west-first turn model:
+    // the reroute search fails and the worm tail-drops as before.
+    FaultPlan plan = FaultPlan::parse("link:1->0:down");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mesh::MeshNetwork net{sim, meshCfg(&inj)};
+    MessageRecord out;
+    sim.spawn([](mesh::MeshNetwork &n, MessageRecord &o) -> Task<void> {
+        o = co_await n.transfer(pkt(1, 0, 16));
+    }(net, out));
+    sim.run();
+    EXPECT_FALSE(out.delivered);
+    EXPECT_EQ(inj.reroutes(), 0u);
+    EXPECT_EQ(inj.linkDrops(), 1u);
 }
 
 TEST(FaultedMesh, ReverseDirectionUnaffected)
@@ -504,6 +584,7 @@ TEST(MpRetransmit, BoundedRetriesGiveUpOnDeadLink)
     cfg.mesh.width = 2;
     cfg.mesh.height = 2;
     cfg.mesh.faults = &inj;
+    cfg.mesh.adaptiveRouting = false; // no detour: exhaust the budget
     mp::MpWorld world{sim, cfg};
     world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
         mp::MpContext ctx{w, 0};
@@ -513,6 +594,37 @@ TEST(MpRetransmit, BoundedRetriesGiveUpOnDeadLink)
     EXPECT_EQ(world.deliveryFailures(), 1u);
     EXPECT_EQ(world.retransmits(), 2u); // 3 attempts = 2 retries
     EXPECT_GE(inj.linkDrops(), 3u);
+}
+
+TEST(MpRetransmit, RerouteDeliversOverDeadLink)
+{
+    // Same dead link and budget, adaptive routing on: the first
+    // attempt detours (0->2->3->1 is west-first legal) and no retry
+    // budget is spent at all.
+    FaultPlan plan =
+        FaultPlan::parse("link:0->1:down; retry:timeout=50,max=3");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.mesh.faults = &inj;
+    mp::MpWorld world{sim, cfg};
+    int got = 0;
+    world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        co_await ctx.send(1, 64);
+    }(world));
+    world.spawnRank(1, [](mp::MpWorld &w, int &out) -> Task<void> {
+        mp::MpContext ctx{w, 1};
+        out = co_await ctx.recv(0);
+    }(world, got));
+    world.run();
+    EXPECT_EQ(got, 64);
+    EXPECT_EQ(world.deliveryFailures(), 0u);
+    EXPECT_EQ(world.retransmits(), 0u);
+    EXPECT_GE(inj.reroutes(), 1u); // data worm (+ its ack path if hit)
+    EXPECT_EQ(inj.linkDrops(), 0u);
 }
 
 TEST(MpRetransmit, FaultFreeWorldKeepsLegacyPath)
@@ -577,12 +689,229 @@ TEST(ReplayResilience, BoundedBudgetReportsFailures)
     mesh::MeshConfig cfg;
     cfg.width = 2;
     cfg.height = 2;
+    cfg.adaptiveRouting = false; // no detour: exhaust the budget
     core::ReplayOptions opts;
     opts.faults = &inj;
     auto res = core::TraceReplayer::replay(tinyTrace(), cfg, opts);
     EXPECT_EQ(res.deliveryFailures, 1u);
     EXPECT_EQ(res.linkDrops, 2u); // 2 attempts, both on the down link
     EXPECT_EQ(res.log.size(), 2u);
+}
+
+TEST(ReplayResilience, RerouteDeliversWholeTrace)
+{
+    // Adaptive routing on (the default): the 0->1 message detours
+    // and the replay completes with zero failures and zero retries.
+    FaultPlan plan =
+        FaultPlan::parse("link:0->1:down; retry:timeout=10,max=2");
+    FaultInjector inj{plan};
+    mesh::MeshConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    core::ReplayOptions opts;
+    opts.faults = &inj;
+    auto res = core::TraceReplayer::replay(tinyTrace(), cfg, opts);
+    EXPECT_EQ(res.deliveryFailures, 0u);
+    EXPECT_EQ(res.retransmits, 0u);
+    EXPECT_EQ(res.log.size(), 3u);
+    EXPECT_EQ(inj.reroutes(), 1u); // only 0->1 crossed the dead link
+}
+
+// --------------------------------------------------------------------
+// Sliding-window retransmission (retry:window=W, see DESIGN §6g)
+
+/**
+ * Run a two-rank MpWorld under `planSpec`: rank 0 sends `messages`
+ * distinct-size messages to rank 1, rank 1 receives them in order.
+ * Returns the received sizes (in delivery order to the app) and the
+ * world's traffic log records via out-params.
+ */
+void
+runWindowSession(const std::string &planSpec, int messages,
+                 std::vector<int> &received,
+                 std::vector<MessageRecord> &log,
+                 std::uint64_t &retransmits)
+{
+    FaultPlan plan = FaultPlan::parse(planSpec);
+    FaultInjector inj{plan};
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.mesh.faults = &inj;
+    mp::MpWorld world{sim, cfg};
+    world.spawnRank(0, [](mp::MpWorld &w, int n) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        for (int i = 0; i < n; ++i)
+            co_await ctx.send(1, 64 + i);
+    }(world, messages));
+    world.spawnRank(1,
+                    [](mp::MpWorld &w, int n,
+                       std::vector<int> &out) -> Task<void> {
+                        mp::MpContext ctx{w, 1};
+                        for (int i = 0; i < n; ++i)
+                            out.push_back(co_await ctx.recv(0));
+                    }(world, messages, received));
+    world.run();
+    log = world.log().records();
+    retransmits = world.retransmits();
+}
+
+TEST(MpWindow, WindowOneIsStopAndWait)
+{
+    // retry:window=1 must be byte-identical to the pre-window
+    // stop-and-wait protocol (the same legacy code path runs).
+    const std::string base = "seed=5; drop:p=0.2; retry:timeout=30,max=0";
+    std::vector<int> gotA, gotB;
+    std::vector<MessageRecord> logA, logB;
+    std::uint64_t rtA = 0, rtB = 0;
+    runWindowSession(base, 10, gotA, logA, rtA);
+    runWindowSession(base + ",window=1", 10, gotB, logB, rtB);
+    EXPECT_EQ(gotA, gotB);
+    EXPECT_EQ(rtA, rtB);
+    ASSERT_EQ(logA.size(), logB.size());
+    for (std::size_t i = 0; i < logA.size(); ++i) {
+        EXPECT_EQ(logA[i].src, logB[i].src);
+        EXPECT_EQ(logA[i].dst, logB[i].dst);
+        EXPECT_EQ(logA[i].bytes, logB[i].bytes);
+        EXPECT_DOUBLE_EQ(logA[i].injectTime, logB[i].injectTime);
+        EXPECT_DOUBLE_EQ(logA[i].deliverTime, logB[i].deliverTime);
+    }
+}
+
+TEST(MpWindow, WindowEightDeliversSameMessageSequence)
+{
+    // The reordered-delivery invariant: whatever the wire reorders or
+    // duplicates, the receiver's app sees the same in-order sequence
+    // a window of 1 delivers (per-destination in-order delivery).
+    const std::string base = "seed=5; drop:p=0.25; retry:timeout=30,max=0";
+    std::vector<int> gotA, gotB;
+    std::vector<MessageRecord> logA, logB;
+    std::uint64_t rtA = 0, rtB = 0;
+    runWindowSession(base + ",window=1", 20, gotA, logA, rtA);
+    runWindowSession(base + ",window=8", 20, gotB, logB, rtB);
+    ASSERT_EQ(gotA.size(), 20u);
+    EXPECT_EQ(gotA, gotB);
+    // The pipelined window needs no more data-packet wire attempts
+    // than stop-and-wait obtained (same Bernoulli stream), and with 8
+    // packets in flight the makespan can only shrink or hold.
+    EXPECT_GT(rtB, 0u) << "p=0.25 over 20 messages must retransmit";
+}
+
+TEST(MpWindow, CertainDropFailsDeliveriesWithoutTrippingWatchdog)
+{
+    // drop:1.0 regression (DESIGN §6b caveat): a bounded retry budget
+    // draining is progress toward the accounted delivery-failure
+    // deadlock exit, not a livelock — the watchdog must stay quiet
+    // and the run must end in the diagnosable exit-4 deadlock path.
+    FaultPlan plan =
+        FaultPlan::parse("drop:p=1; retry:timeout=20,max=3,window=4");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.mesh.faults = &inj;
+    mp::MpWorld world{sim, cfg};
+    // Check horizon (600us) comfortably above the bounded drain
+    // (~220us with this budget), mirroring the drivers' much larger
+    // 40ms default: resolved failures count as probe progress.
+    desim::Watchdog dog{sim, {.checkPeriodUs = 200.0, .stallChecks = 3}};
+    dog.setProgressProbe([&world] {
+        return world.network().messageCount() + world.deliveryFailures();
+    });
+    dog.arm();
+    world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        co_await ctx.send(1, 64);
+        co_await ctx.send(1, 65);
+    }(world));
+    world.spawnRank(1, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 1};
+        co_await ctx.recv(0);
+        co_await ctx.recv(0);
+    }(world));
+    try {
+        world.run();
+        FAIL() << "expected an application deadlock";
+    } catch (const core::CCharError &e) {
+        EXPECT_EQ(e.status().code(), core::StatusCode::SimError);
+        EXPECT_NE(std::string{e.what()}.find("delivery failures"),
+                  std::string::npos);
+    }
+    EXPECT_FALSE(dog.tripped());
+    EXPECT_EQ(world.deliveryFailures(), 2u);
+    EXPECT_EQ(world.retransmits(), 4u); // 3 attempts each = 2 retries
+}
+
+TEST(MpWindow, UnboundedNoDeliveryLoopStillTripsWatchdog)
+{
+    // The counterpart guarantee: max=0 on a hopeless plan is a real
+    // livelock (no deliveries, no accounted failures) and the
+    // watchdog must convert it into the exit-5 diagnosis.
+    FaultPlan plan =
+        FaultPlan::parse("drop:p=1; retry:timeout=20,max=0,window=2");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.mesh.faults = &inj;
+    mp::MpWorld world{sim, cfg};
+    desim::Watchdog dog{sim, {.checkPeriodUs = 50.0, .stallChecks = 3}};
+    dog.setProgressProbe([&world] {
+        return world.network().messageCount() + world.deliveryFailures();
+    });
+    dog.arm();
+    world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        co_await ctx.send(1, 64);
+    }(world));
+    world.spawnRank(1, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 1};
+        co_await ctx.recv(0);
+    }(world));
+    EXPECT_THROW(world.run(), desim::WatchdogError);
+    EXPECT_TRUE(dog.tripped());
+    EXPECT_EQ(world.deliveryFailures(), 0u);
+}
+
+TEST(MpWindow, PerRankCountersAttributeRecoveryWork)
+{
+    FaultPlan plan =
+        FaultPlan::parse("seed=9; corrupt:p=0.4; retry:timeout=40,max=0");
+    FaultInjector inj{plan};
+    Simulator sim;
+    mp::MpConfig cfg;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.mesh.faults = &inj;
+    mp::MpWorld world{sim, cfg};
+    std::vector<int> got;
+    world.spawnRank(0, [](mp::MpWorld &w) -> Task<void> {
+        mp::MpContext ctx{w, 0};
+        for (int i = 0; i < 10; ++i)
+            co_await ctx.send(1, 64);
+    }(world));
+    world.spawnRank(1,
+                    [](mp::MpWorld &w, std::vector<int> &out) -> Task<void> {
+                        mp::MpContext ctx{w, 1};
+                        for (int i = 0; i < 10; ++i)
+                            out.push_back(co_await ctx.recv(0));
+                    }(world, got));
+    world.run();
+    ASSERT_EQ(world.rankRetransmits().size(), 4u);
+    ASSERT_EQ(world.rankCorruptDiscards().size(), 4u);
+    // Sender-attributed retries live on rank 0 (acks can be corrupted
+    // too, so rank 1 never retransmits but rank 0 may discard); every
+    // injector corruption ends as exactly one receiver discard.
+    EXPECT_EQ(world.rankRetransmits()[0], world.retransmits());
+    EXPECT_EQ(world.rankRetransmits()[1], 0u);
+    std::uint64_t discards = 0;
+    for (std::uint64_t d : world.rankCorruptDiscards())
+        discards += d;
+    EXPECT_GT(world.rankCorruptDiscards()[1], 0u);
+    EXPECT_EQ(discards, inj.corrupts());
 }
 
 // --------------------------------------------------------------------

@@ -99,6 +99,7 @@
 
 #include "apps/registry.hh"
 #include "core/core.hh"
+#include "sweep/chaos.hh"
 #include "sweep/engine.hh"
 
 namespace {
@@ -132,6 +133,8 @@ struct Options
 
     /** --fault-plan SPEC or @FILE ("" = fault-free). */
     std::string faultPlan;
+    /** --no-reroute: disable fault-aware adaptive routing. */
+    bool reroute = true;
     std::uint64_t seed = 0;
     bool seedSet = false;
     trace::ErrorMode traceErrors = trace::ErrorMode::Strict;
@@ -163,6 +166,7 @@ meshOf(const Options &opts)
     } else {
         cfg.virtualChannels = opts.vcs;
     }
+    cfg.adaptiveRouting = opts.reroute;
     return cfg;
 }
 
@@ -294,6 +298,7 @@ usage()
            "                     [--link-stats] [--top-links N]\n"
            "                     [--sample-period US] [--progress]\n"
            "                     [--fault-plan SPEC|@FILE] [--seed N]\n"
+           "                     [--no-reroute]\n"
            "                     [--watchdog-period US]\n"
            "                     [--watchdog-stalls N]\n"
            "                     [--max-sim-time US]\n"
@@ -303,6 +308,7 @@ usage()
            "                      [--trace-out FILE] [--metrics-out FILE]\n"
            "                      [--link-stats] [--top-links N]\n"
            "                      [--fault-plan SPEC|@FILE] [--seed N]\n"
+           "                      [--no-reroute]\n"
            "                      [--trace-errors strict|skip]\n"
            "  cchar sweep [--spec FILE] [--apps LIST] [--procs LIST]\n"
            "              [--loads LIST] [--seeds LIST|A..B]\n"
@@ -312,6 +318,10 @@ usage()
            "              [--journal FILE] [--resume FILE]\n"
            "              [--job-timeout SEC] [--job-retries N]\n"
            "              [--retry-backoff-ms MS]\n"
+           "  cchar chaos [--seed N] [--plans N] [--apps LIST]\n"
+           "              [--procs N] [--max-faults N] [--horizon US]\n"
+           "              [--shrink-budget N] [--torus] [--vcs N]\n"
+           "              [--json] [--out FILE] [-j N] [--progress]\n"
            "exit codes: 0 ok, 1 verification/analysis failure, 2 usage,\n"
            "            3 input error, 4 simulation error, 5 watchdog,\n"
            "            6 job deadline exceeded, 7 interrupted (resume\n"
@@ -387,6 +397,8 @@ parseOptions(int argc, char **argv, int first, Options &opts)
             opts.faultPlan = argv[++i];
             if (opts.faultPlan.empty())
                 return false;
+        } else if (arg == "--no-reroute") {
+            opts.reroute = false;
         } else if (arg == "--seed") {
             if (i + 1 >= argc)
                 return false;
@@ -479,6 +491,8 @@ fillResilience(core::ResilienceSummary &rs,
     rs.deliveryFailures = deliveryFailures;
     rs.traceRecordsSkipped = traceRecordsSkipped;
     rs.plannedLinkDowntimeUs = injector.plan().plannedLinkDowntimeUs();
+    rs.reroutedPackets = injector.reroutes();
+    rs.rerouteExtraHops = injector.rerouteExtraHops();
 }
 
 void
@@ -582,8 +596,15 @@ cmdCharacterize(const std::string &name, const Options &opts)
         mp::MpWorld world{sim, cfg};
         desim::Watchdog watchdog{sim, opts.watchdog};
         if (injector) {
-            watchdog.setProgressProbe(
-                [&world] { return world.network().messageCount(); });
+            // Delivered messages plus resolved delivery failures: a
+            // bounded retry budget draining on a hostile plan (e.g.
+            // drop:1.0) is progress toward the accounted failure
+            // exit, while an unbounded no-delivery retry loop still
+            // trips the watchdog as livelock.
+            watchdog.setProgressProbe([&world] {
+                return world.network().messageCount() +
+                       world.deliveryFailures();
+            });
             watchdog.arm();
         }
         world.enableTracing();
@@ -633,6 +654,9 @@ cmdCharacterize(const std::string &name, const Options &opts)
                            world.deliveryFailures() +
                                replayed.deliveryFailures,
                            0);
+            report.resilience.rankRetransmits = world.rankRetransmits();
+            report.resilience.rankCorruptDiscards =
+                world.rankCorruptDiscards();
         }
         if (auto *tracker = obsSession.activity()) {
             report.rankActivity =
@@ -1080,6 +1104,107 @@ cmdSweep(int argc, char **argv)
     return (result.failures() || unverified) ? 1 : 0;
 }
 
+/**
+ * `cchar chaos`: seeded chaos campaign over generated fault plans.
+ * Exit 0 when the campaign completes (failing plans are the product,
+ * not an error) — nonzero only for usage or infrastructure problems.
+ */
+int
+cmdChaos(int argc, char **argv)
+{
+    sweep::ChaosOptions copts;
+    int jobs = 1;
+    bool progress = false;
+    bool json = false;
+    std::string outPath;
+
+    auto value = [&](int &i, const std::string &flag) -> std::string {
+        if (i + 1 >= argc) {
+            throw core::CCharError(core::StatusCode::UsageError,
+                                   "chaos: " + flag + " needs a value");
+        }
+        return argv[++i];
+    };
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--apps") {
+            copts.apps = sweep::parseList(value(i, arg));
+        } else if (arg == "--procs") {
+            copts.procs = std::atoi(value(i, arg).c_str());
+            if (copts.procs < 1) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "chaos: --procs must be >= 1");
+            }
+        } else if (arg == "--plans") {
+            copts.plans = std::atoi(value(i, arg).c_str());
+        } else if (arg == "--seed") {
+            copts.seed =
+                std::strtoull(value(i, arg).c_str(), nullptr, 10);
+        } else if (arg == "--max-faults") {
+            copts.maxFaults = std::atoi(value(i, arg).c_str());
+        } else if (arg == "--horizon") {
+            copts.horizonUs = std::atof(value(i, arg).c_str());
+            if (copts.horizonUs < 2.0) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "chaos: --horizon must be >= 2");
+            }
+        } else if (arg == "--shrink-budget") {
+            copts.shrinkBudget = std::atoi(value(i, arg).c_str());
+            if (copts.shrinkBudget < 0) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "chaos: --shrink-budget cannot "
+                                       "be negative");
+            }
+        } else if (arg == "--torus") {
+            copts.torus = true;
+        } else if (arg == "--vcs") {
+            copts.vcs = std::atoi(value(i, arg).c_str());
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--out") {
+            outPath = value(i, arg);
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg == "-j" || arg == "--jobs" ||
+                   arg.rfind("-j", 0) == 0) {
+            std::string count = (arg == "-j" || arg == "--jobs")
+                                    ? value(i, arg)
+                                    : arg.substr(2);
+            jobs = std::atoi(count.c_str());
+            if (jobs < 1) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "chaos: -j needs a positive "
+                                       "worker count");
+            }
+        } else {
+            throw core::CCharError(core::StatusCode::UsageError,
+                                   "chaos: unknown option '" + arg +
+                                       "'");
+        }
+    }
+
+    sweep::ChaosHarness harness{copts};
+    sweep::ChaosResult result = harness.run(jobs, progress);
+
+    if (outPath.empty()) {
+        if (json)
+            result.writeJson(std::cout);
+        else
+            result.print(std::cout);
+    } else {
+        core::AtomicFileWriter writer{outPath, "chaos"};
+        if (json)
+            result.writeJson(writer.stream());
+        else
+            result.print(writer.stream());
+        writer.commit();
+    }
+    std::cerr << "chaos: " << result.jobs.size() << " jobs, "
+              << result.failingCount() << " failing plans shrunk\n";
+    return 0;
+}
+
 int
 main(int argc, char **argv)
 {
@@ -1097,9 +1222,10 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (cmd == "sweep") {
+    if (cmd == "sweep" || cmd == "chaos") {
         try {
-            return cmdSweep(argc, argv);
+            return cmd == "sweep" ? cmdSweep(argc, argv)
+                                  : cmdChaos(argc, argv);
         } catch (const core::CCharError &err) {
             std::cerr << "error: " << err.what() << "\n";
             return core::exitCodeOf(err.status().code());
