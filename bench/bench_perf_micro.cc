@@ -14,6 +14,8 @@
 #include <optional>
 #include <string>
 
+#include "apps/registry.hh"
+#include "core/core.hh"
 #include "desim/desim.hh"
 #include "fault/injector.hh"
 #include "fault/plan.hh"
@@ -500,6 +502,53 @@ reportJournalOverhead(cchar::bench::SelfReport &report)
               << (noise ? ", below noise floor" : "") << ")\n";
 }
 
+/**
+ * Synthetic-generator throughput: messages per wall second of
+ * SyntheticTrafficGenerator::run on a model fitted from a real `is`
+ * characterization, rescaled to a fixed 100k-message budget so every
+ * rep (and every machine) does identical work. Min-of-N discards
+ * scheduler noise; the resulting synth_messages_per_sec rate is
+ * tracked by bench_compare.py like the kernel throughput rates —
+ * model replay "at scale" is only usable while millions of messages
+ * stay in seconds, so a silent generator slowdown must surface here.
+ */
+void
+reportSynthThroughput(cchar::bench::SelfReport &report)
+{
+    constexpr int kReps = 7;
+    constexpr std::size_t kMessages = 100000;
+
+    auto app = apps::makeSharedMemoryApp("is");
+    ccnuma::MachineConfig mcfg;
+    mcfg.mesh.width = 4;
+    mcfg.mesh.height = 4;
+    core::CharacterizationPipeline pipeline;
+    core::CharacterizationReport seed = pipeline.runDynamic(*app, mcfg);
+    core::SyntheticModel model =
+        core::SyntheticModel::fromReport(seed).scaleTo(0, kMessages);
+
+    auto once = [&model] {
+        auto t0 = std::chrono::steady_clock::now();
+        core::DriveResult r = core::SyntheticTrafficGenerator::run(
+            model, core::SynthRunOptions{});
+        benchmark::DoNotOptimize(r.makespan);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    once(); // warm-up: allocator, frame pools, code paths
+    double best = 0.0;
+    for (int i = 0; i < kReps; ++i) {
+        double t = once();
+        best = i == 0 ? t : std::min(best, t);
+    }
+    double rate = static_cast<double>(model.totalMessages()) / best;
+    report.extra("synth_messages_per_sec", rate);
+    std::cerr << "[bench] perf_micro: synth throughput " << rate
+              << " msgs/s (" << model.totalMessages()
+              << " messages, min of " << kReps << ")\n";
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the SelfReport registry wraps the runs.
@@ -515,6 +564,7 @@ main(int argc, char **argv)
     reportLinkStatsOverhead(selfReport);
     reportRerouteOverhead(selfReport);
     reportJournalOverhead(selfReport);
+    reportSynthThroughput(selfReport);
     // Event/message totals scale with google-benchmark's adaptive
     // iteration counts, so only the rate fields are comparable runs.
     selfReport.extraFlag("counts_deterministic", false);

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "stats/distributions.hh"
+
 namespace cchar::core {
 
 std::string
@@ -111,6 +113,22 @@ CharacterizationReport::print(std::ostream &os) const
     os << "  makespan=" << network.makespan
        << "us channel-util avg=" << network.avgChannelUtilization
        << " max=" << network.maxChannelUtilization << "\n";
+
+    if (synthFidelity.enabled) {
+        const SynthesisFidelity &sf = synthFidelity;
+        os << "-- Synthesis fidelity (model replay) --\n";
+        os << "  model: " << sf.modelSource << " ("
+           << sf.modelApplication << ", " << sf.modelProcs
+           << " procs) seed=" << sf.seed << "\n";
+        os << "  scale: tiles=" << sf.scaleTiles << " messageScale="
+           << std::setprecision(4) << sf.messageScale
+           << " syntheticMessages=" << sf.syntheticMessages << "\n";
+        os << "  KS divergence: temporal=" << std::setprecision(4)
+           << sf.temporalKs << " (" << sf.temporalSources
+           << " sources) spatial=" << sf.spatialKs
+           << " volume=" << sf.volumeKs
+           << " max=" << sf.maxKs() << "\n";
+    }
 
     if (resilience.enabled) {
         os << "-- Resilience (fault injection) --\n";
@@ -265,6 +283,14 @@ jsonTemporal(std::ostream &os, const TemporalFit &fit)
     if (fit.fit.dist) {
         os << ",\"family\":";
         jsonString(os, fit.fit.dist->name());
+        // Erlang's params() carries only the rate (the stage count k
+        // is fixed from moments, never optimized), so k must ride
+        // along separately or a model round-trip would lose it.
+        if (fit.fit.dist->name() == "erlang") {
+            const auto *erl =
+                static_cast<const stats::Erlang *>(fit.fit.dist.get());
+            os << ",\"stages\":" << erl->stages();
+        }
         os << ",\"params\":[";
         auto ps = fit.fit.dist->params();
         for (std::size_t i = 0; i < ps.size(); ++i)
@@ -290,7 +316,7 @@ CharacterizationReport::writeJson(std::ostream &os) const
        << mesh.height << ",\"topology\":";
     jsonString(os, mesh.topology == mesh::Topology::Torus ? "torus"
                                                           : "mesh");
-    os << "}";
+    os << ",\"vcs\":" << mesh.virtualChannels << "}";
 
     os << ",\"temporal\":{\"aggregate\":";
     jsonTemporal(os, temporalAggregate);
@@ -334,6 +360,9 @@ CharacterizationReport::writeJson(std::ostream &os) const
         os << "{\"bytes\":" << volume.lengthPmf[i].first
            << ",\"p\":" << volume.lengthPmf[i].second << "}";
     }
+    os << "],\"perSourceCounts\":[";
+    for (std::size_t i = 0; i < volume.perSourceCounts.size(); ++i)
+        os << (i ? "," : "") << volume.perSourceCounts[i];
     os << "]}";
 
     // Emitted only when phase detection ran: a run analyzed without
@@ -367,6 +396,26 @@ CharacterizationReport::writeJson(std::ostream &os) const
        << ",\"avgChannelUtilization\":"
        << network.avgChannelUtilization << ",\"avgHops\":"
        << network.avgHops << "}";
+
+    // Emitted only for `synth` replays: a report produced by
+    // `characterize` renders byte-identically to earlier versions.
+    if (synthFidelity.enabled) {
+        const SynthesisFidelity &sf = synthFidelity;
+        os << ",\"synthFidelity\":{\"modelSource\":";
+        jsonString(os, sf.modelSource);
+        os << ",\"modelApplication\":";
+        jsonString(os, sf.modelApplication);
+        os << ",\"modelProcs\":" << sf.modelProcs
+           << ",\"scaleTiles\":" << sf.scaleTiles
+           << ",\"messageScale\":" << sf.messageScale
+           << ",\"seed\":" << sf.seed
+           << ",\"syntheticMessages\":" << sf.syntheticMessages
+           << ",\"temporalKs\":" << sf.temporalKs
+           << ",\"temporalSources\":" << sf.temporalSources
+           << ",\"spatialKs\":" << sf.spatialKs
+           << ",\"volumeKs\":" << sf.volumeKs
+           << ",\"maxKs\":" << sf.maxKs() << "}";
+    }
 
     // Emitted only for faulted runs: a fault-free report renders
     // byte-identically to earlier versions.

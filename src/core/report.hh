@@ -281,6 +281,65 @@ struct LinkWeatherSummary
     std::vector<double> deliveredSeries;
 };
 
+/**
+ * Per-attribute divergence of a synthetic replay against the model it
+ * was generated from — the closed loop of the methodology: the
+ * re-characterized synthetic run is compared attribute by attribute
+ * (temporal / spatial / volume) with the distributions that drove it.
+ * Only rendered (text, JSON, HTML) when enabled — reports produced by
+ * `characterize` are unchanged.
+ */
+struct SynthesisFidelity
+{
+    /** True when the report describes a `cchar synth` replay. */
+    bool enabled = false;
+    /** Model provenance: file path, or "report" for --synthetic. */
+    std::string modelSource;
+    /** Application named by the originating characterization. */
+    std::string modelApplication;
+    /** Proc count of the originating characterization. */
+    int modelProcs = 0;
+    /** Topology tiles replicated by --scale-procs (1 = unscaled). */
+    int scaleTiles = 1;
+    /** Message-budget multiplier applied to the model counts. */
+    double messageScale = 1.0;
+    /** Generator seed of the replay. */
+    std::uint64_t seed = 0;
+    /** Synthetic messages delivered through the mesh. */
+    std::size_t syntheticMessages = 0;
+    /**
+     * Temporal attribute: message-count-weighted mean KS distance of
+     * each source's observed inter-arrival sample against the
+     * distribution that generated it.
+     */
+    double temporalKs = 1.0;
+    /** Sources that contributed a temporal KS term. */
+    std::size_t temporalSources = 0;
+    /**
+     * Spatial attribute: sup CDF distance (destination-index order)
+     * between the model's expected aggregate destination PMF and the
+     * observed synthetic one.
+     */
+    double spatialKs = 1.0;
+    /**
+     * Volume attribute: sup CDF distance (byte-size order) between
+     * the model length PMF and the observed synthetic one.
+     */
+    double volumeKs = 1.0;
+
+    /** Worst attribute divergence — the number the golden suite gates. */
+    double
+    maxKs() const
+    {
+        double m = temporalKs;
+        if (spatialKs > m)
+            m = spatialKs;
+        if (volumeKs > m)
+            m = volumeKs;
+        return m;
+    }
+};
+
 /** Acquisition strategy used for the run. */
 enum class Strategy
 {
@@ -327,6 +386,8 @@ struct CharacterizationReport
     RankActivitySummary rankActivity;
     /** Per-link network weather (rendered only when enabled). */
     LinkWeatherSummary linkStats;
+    /** Model-replay divergence (rendered only for `synth` runs). */
+    SynthesisFidelity synthFidelity;
 
     /** Paper-style multi-section text rendering. */
     void print(std::ostream &os) const;

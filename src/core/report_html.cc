@@ -562,6 +562,70 @@ writeFlowStats(std::ostream &os, const obs::FlowTracker *flows)
 }
 
 void
+writeSynthFidelity(std::ostream &os, const CharacterizationReport &r)
+{
+    const SynthesisFidelity &sf = r.synthFidelity;
+    if (!sf.enabled)
+        return;
+    os << "<h2>Synthesis fidelity</h2>\n";
+    os << "<p class=\"muted\">synthetic replay of "
+       << htmlEscape(sf.modelSource) << " ("
+       << htmlEscape(sf.modelApplication) << ", " << sf.modelProcs
+       << " procs) &middot; seed " << sf.seed << " &middot; "
+       << sf.scaleTiles << " topology tile"
+       << (sf.scaleTiles == 1 ? "" : "s") << " &middot; message scale "
+       << fmt(sf.messageScale, 4) << " &middot; "
+       << sf.syntheticMessages << " synthetic messages</p>\n";
+
+    // One bar per attribute: KS distance between the driving model and
+    // the re-characterized synthetic run (closer to 0 = higher
+    // fidelity). Bars share a fixed [0, 0.5] scale so reports from
+    // different runs compare visually.
+    struct Attr
+    {
+        const char *label;
+        double ks;
+        int slot;
+    };
+    Attr attrs[] = {
+        {"temporal (inter-arrival)", sf.temporalKs, 1},
+        {"spatial (destination)", sf.spatialKs, 2},
+        {"volume (message length)", sf.volumeKs, 3},
+    };
+    const double w = 720.0, rowH = 22.0, barX = 190.0;
+    double h = 3 * rowH + 16.0;
+    os << "<svg viewBox=\"0 0 " << w << ' ' << fmt(h, 6)
+       << "\" role=\"img\" aria-label=\"per-attribute KS "
+          "divergence\">\n";
+    for (int i = 0; i < 3; ++i) {
+        const Attr &a = attrs[i];
+        double y0 = i * rowH;
+        double frac = std::clamp(a.ks / 0.5, 0.0, 1.0);
+        double bw = std::max(frac * (w - barX), 1.0);
+        os << "<text x=\"" << fmt(barX - 6.0, 6) << "\" y=\""
+           << fmt(y0 + 14.0, 6) << "\" text-anchor=\"end\">"
+           << a.label << "</text>\n";
+        os << "<rect x=\"" << fmt(barX, 6) << "\" y=\""
+           << fmt(y0 + 4.0, 6) << "\" width=\"" << fmt(bw, 6)
+           << "\" height=\"12\" rx=\"3\" fill=\"var(--cat-" << a.slot
+           << ")\"><title>" << a.label << ": KS = " << fmt(a.ks, 4)
+           << "</title></rect>\n";
+        os << "<text x=\"" << fmt(barX + bw + 6.0, 6) << "\" y=\""
+           << fmt(y0 + 14.0, 6) << "\" class=\"muted\">"
+           << fmt(a.ks, 4) << "</text>\n";
+    }
+    os << "<text x=\"" << fmt(barX, 6) << "\" y=\"" << fmt(h - 2.0, 6)
+       << "\" class=\"muted\">0</text>\n<text x=\"" << w << "\" y=\""
+       << fmt(h - 2.0, 6) << "\" text-anchor=\"end\" "
+          "class=\"muted\">0.5</text>\n</svg>\n";
+    os << "<p class=\"legend\">KS distance between the driving model "
+          "and the re-characterized synthetic run (0 = exact); "
+          "temporal is averaged over " << sf.temporalSources
+       << " source" << (sf.temporalSources == 1 ? "" : "s")
+       << "; worst attribute = " << fmt(sf.maxKs(), 4) << "</p>\n";
+}
+
+void
 writeResilience(std::ostream &os, const CharacterizationReport &r)
 {
     const ResilienceSummary &rs = r.resilience;
@@ -921,6 +985,7 @@ writeHtmlReport(std::ostream &os, const HtmlReportInputs &inputs)
     writeHeatmap(os, r);
     writeTelemetry(os, r, inputs.sampler);
     writeFlowStats(os, inputs.flows);
+    writeSynthFidelity(os, r);
     writeResilience(os, r);
     writeRankActivity(os, r);
     writeLinkWeather(os, r);

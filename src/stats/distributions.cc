@@ -706,4 +706,42 @@ standardCandidates()
     return v;
 }
 
+std::unique_ptr<Distribution>
+distributionFromName(const std::string &name,
+                     std::span<const double> params, int stages)
+{
+    std::unique_ptr<Distribution> dist;
+    if (name == "exponential") {
+        dist = std::make_unique<Exponential>();
+    } else if (name == "shifted-exponential") {
+        dist = std::make_unique<ShiftedExponential>();
+    } else if (name == "hyperexponential-2") {
+        dist = std::make_unique<HyperExponential2>();
+    } else if (name == "erlang") {
+        if (stages < 1)
+            return nullptr;
+        dist = std::make_unique<Erlang>(stages);
+    } else if (name == "gamma") {
+        dist = std::make_unique<GammaDist>();
+    } else if (name == "weibull") {
+        dist = std::make_unique<Weibull>();
+    } else if (name == "lognormal") {
+        dist = std::make_unique<LogNormal>();
+    } else if (name == "normal") {
+        dist = std::make_unique<Normal>();
+    } else if (name == "uniform") {
+        dist = std::make_unique<UniformDist>();
+    } else if (name == "pareto") {
+        dist = std::make_unique<Pareto>();
+    } else if (name == "deterministic") {
+        dist = std::make_unique<Deterministic>();
+    } else {
+        return nullptr;
+    }
+    if (params.size() != dist->paramCount())
+        return nullptr;
+    dist->setParams(params);
+    return dist;
+}
+
 } // namespace cchar::stats

@@ -324,6 +324,21 @@ class Deterministic : public Distribution
 /** The default candidate set used by the fitter. */
 std::vector<std::unique_ptr<Distribution>> standardCandidates();
 
+/**
+ * Reconstruct a distribution from its serialized (name, params) form —
+ * the inverse of the report JSON's {"family", "params"} pair, used by
+ * the synthetic-model loader.
+ *
+ * @param stages Erlang stage count k. params() deliberately exposes
+ *        only the regression-free parameters (k is fixed from moments,
+ *        never optimized), so the serialized form carries k separately.
+ * @return nullptr when the family name is unknown or the parameter
+ *         count does not match it (the caller owns the error message).
+ */
+std::unique_ptr<Distribution>
+distributionFromName(const std::string &name,
+                     std::span<const double> params, int stages = 0);
+
 } // namespace cchar::stats
 
 #endif // CCHAR_STATS_DISTRIBUTIONS_HH

@@ -1,0 +1,52 @@
+#include "sampling.hh"
+
+#include <algorithm>
+
+namespace cchar::stats {
+
+DiscreteSampler
+DiscreteSampler::fromPmf(const DiscretePmf &pmf)
+{
+    DiscreteSampler s;
+    s.cdf_.reserve(pmf.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pmf.size(); ++i) {
+        acc += pmf[i];
+        s.cdf_.push_back(acc);
+    }
+    s.fallback_ = pmf.argmax();
+    return s;
+}
+
+DiscreteSampler
+DiscreteSampler::fromLengthPmf(
+    const std::vector<std::pair<int, double>> &pmf, int fallback)
+{
+    DiscreteSampler s;
+    s.cdf_.reserve(pmf.size());
+    s.values_.reserve(pmf.size());
+    double acc = 0.0;
+    for (const auto &[value, prob] : pmf) {
+        acc += prob;
+        s.cdf_.push_back(acc);
+        s.values_.push_back(value);
+    }
+    s.fallback_ = pmf.empty() ? fallback : pmf.back().first;
+    return s;
+}
+
+int
+DiscreteSampler::sample(Rng &rng) const
+{
+    // The uniform draw happens unconditionally: the linear scans this
+    // replaces consume one draw even over an empty support, and the
+    // seeded draw sequence is part of the output contract.
+    double u = rng.uniform01();
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return fallback_;
+    std::size_t i = static_cast<std::size_t>(it - cdf_.begin());
+    return values_.empty() ? static_cast<int>(i) : values_[i];
+}
+
+} // namespace cchar::stats

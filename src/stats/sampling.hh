@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded inverse-CDF sampling of discrete models at generator scale.
+ *
+ * The synthetic traffic generator replays a fitted characterization as
+ * millions of messages, and every message costs one destination draw
+ * and one length draw. DiscretePmf::sample walks its mass linearly
+ * (O(n) per draw — fine for classification, hostile at replay volume),
+ * so the generator builds a DiscreteSampler once per source: the
+ * prefix-sum CDF is cached and each draw is a binary search.
+ *
+ * Determinism contract: a DiscreteSampler consumes exactly one
+ * Rng::uniform01() per draw and returns bit-identical results to the
+ * linear scan it replaces (same left-to-right accumulation order, same
+ * `u < cdf` acceptance, same fallback on a degenerate tail draw), so
+ * replacing the scan cannot change any seeded output.
+ */
+
+#ifndef CCHAR_STATS_SAMPLING_HH
+#define CCHAR_STATS_SAMPLING_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rng.hh"
+#include "spatial.hh"
+
+namespace cchar::stats {
+
+/**
+ * Cached-CDF inverse-transform sampler over a discrete distribution.
+ *
+ * Two constructions:
+ *  - fromPmf: categories 0..n-1 with DiscretePmf probabilities; draws
+ *    return the category index (argmax on a degenerate tail draw,
+ *    mirroring DiscretePmf::sample).
+ *  - fromLengthPmf: (value, probability) support as stored in
+ *    VolumeCharacterization::lengthPmf; draws return the value (the
+ *    last support point on a degenerate tail draw, `fallback` when the
+ *    support is empty).
+ */
+class DiscreteSampler
+{
+  public:
+    DiscreteSampler() = default;
+
+    static DiscreteSampler fromPmf(const DiscretePmf &pmf);
+
+    static DiscreteSampler
+    fromLengthPmf(const std::vector<std::pair<int, double>> &pmf,
+                  int fallback);
+
+    /** One uniform01 draw; O(log n) binary search over the CDF. */
+    int sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    /** Left-to-right prefix sums of the probability mass. */
+    std::vector<double> cdf_;
+    /** Mapped values; empty = identity (category index). */
+    std::vector<int> values_;
+    /** Result of a draw past the accumulated mass (or empty support). */
+    int fallback_ = -1;
+};
+
+} // namespace cchar::stats
+
+#endif // CCHAR_STATS_SAMPLING_HH

@@ -11,6 +11,7 @@
 #include "distributions.hh"
 #include "fit.hh"
 #include "rng.hh"
+#include "sampling.hh"
 #include "spatial.hh"
 #include "special.hh"
 #include "summary.hh"

@@ -17,6 +17,7 @@
 #include "core/pipeline.hh"
 #include "core/replay.hh"
 #include "core/status.hh"
+#include "core/synthetic.hh"
 #include "desim/watchdog.hh"
 #include "fault/injector.hh"
 #include "fault/plan.hh"
@@ -165,6 +166,32 @@ fillLinkStats(JobOutcome &out, const core::LinkWeatherSummary &lw)
     out.congestionOnsetLoad = lw.congestionOnsetLoad;
 }
 
+/**
+ * Close the loop for one job: replay the fitted model through the
+ * network and record how faithfully it reproduces the original run.
+ * Runs fully unobserved — the synthetic mesh must not feed the job's
+ * metrics registry or activity/link trackers, whose contents describe
+ * the *application* run.
+ */
+void
+fillSynthetic(JobOutcome &out, const core::CharacterizationReport &report)
+{
+    obs::ScopedObservability detach{nullptr, nullptr, nullptr, nullptr,
+                                    nullptr};
+    core::SyntheticModel model = core::SyntheticModel::fromReport(report);
+    core::DriveResult synth =
+        core::SyntheticTrafficGenerator::run(model, core::SynthRunOptions{});
+    core::SynthesisFidelity sf = core::computeSynthFidelity(model, synth.log);
+    out.synthLatencyErr =
+        report.network.latencyMean != 0.0
+            ? (synth.latencyMean - report.network.latencyMean) /
+                  report.network.latencyMean
+            : 0.0;
+    out.synthTemporalKs = sf.temporalKs;
+    out.synthSpatialKs = sf.spatialKs;
+    out.synthVolumeKs = sf.volumeKs;
+}
+
 void
 fillFaults(JobOutcome &out, const fault::FaultInjector &injector,
            std::uint64_t retransmits, std::uint64_t deliveryFailures)
@@ -268,6 +295,8 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry,
                               sim.now()));
             report.verified = app->verify();
             fillOutcome(out, report);
+            if (job.synthetic)
+                fillSynthetic(out, report);
             if (injector)
                 fillFaults(out, *injector, 0, 0);
             if (job.rankActivity) {
@@ -356,6 +385,8 @@ SweepEngine::runJob(const SweepJob &job, obs::MetricsRegistry &registry,
                                  core::Strategy::Static, net);
             report.verified = verified;
             fillOutcome(out, report);
+            if (job.synthetic)
+                fillSynthetic(out, report);
             if (job.rankActivity) {
                 core::RankActivitySummary ra =
                     core::RankActivityAnalyzer{}.analyze(activity,
@@ -918,6 +949,14 @@ SweepResult::writeJson(std::ostream &os) const
         os << ",\"hotspot_count\":" << o.hotspotCount
            << ",\"congestion_onset_load\":";
         jsonNumber(os, o.congestionOnsetLoad);
+        os << ",\"synth_latency_err\":";
+        jsonNumber(os, o.synthLatencyErr);
+        os << ",\"synth_temporal_ks\":";
+        jsonNumber(os, o.synthTemporalKs);
+        os << ",\"synth_spatial_ks\":";
+        jsonNumber(os, o.synthSpatialKs);
+        os << ",\"synth_volume_ks\":";
+        jsonNumber(os, o.synthVolumeKs);
         os << ",\"attempts\":" << o.attempts << ",\"quarantined\":"
            << (o.quarantined ? "true" : "false") << "}";
     }
@@ -965,7 +1004,8 @@ SweepResult::writeCsv(std::ostream &os) const
           "reroute_extra_hops,diag_warnings,diag_errors,"
           "skew_max_us,idle_fraction_mean,idle_waves,wave_speed_max,"
           "max_link_util,link_gini,hotspot_count,"
-          "congestion_onset_load,attempts,quarantined\n";
+          "congestion_onset_load,synth_latency_err,synth_temporal_ks,"
+          "synth_spatial_ks,synth_volume_ks,attempts,quarantined\n";
     for (const JobOutcome &o : outcomes) {
         os << o.job.index << ",";
         csvField(os, o.job.app);
@@ -1011,6 +1051,14 @@ SweepResult::writeCsv(std::ostream &os) const
         jsonNumber(os, o.linkGini);
         os << "," << o.hotspotCount << ",";
         jsonNumber(os, o.congestionOnsetLoad);
+        os << ",";
+        jsonNumber(os, o.synthLatencyErr);
+        os << ",";
+        jsonNumber(os, o.synthTemporalKs);
+        os << ",";
+        jsonNumber(os, o.synthSpatialKs);
+        os << ",";
+        jsonNumber(os, o.synthVolumeKs);
         os << "," << o.attempts << "," << (o.quarantined ? 1 : 0)
            << "\n";
     }

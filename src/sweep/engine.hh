@@ -93,6 +93,16 @@ struct JobOutcome
     std::uint64_t hotspotCount = 0;
     double congestionOnsetLoad = 0.0;
 
+    // Synthetic-replay fidelity (all zero unless the job ran with the
+    // synthetic flag; same always-present-columns contract). The job's
+    // fitted model is replayed through the network and compared with
+    // the original run: signed relative latency error plus the
+    // per-attribute KS distances of the re-characterization.
+    double synthLatencyErr = 0.0;
+    double synthTemporalKs = 0.0;
+    double synthSpatialKs = 0.0;
+    double synthVolumeKs = 0.0;
+
     // Orchestration accounting (always-present columns). attempts is
     // 0 for a job an interrupted run never started.
     int attempts = 1;

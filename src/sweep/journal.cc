@@ -237,6 +237,14 @@ parseRecordBody(core::JsonScanner &js)
             o.hotspotCount = js.readUInt();
         } else if (key == "congestion_onset_load") {
             o.congestionOnsetLoad = parseHexDouble(js);
+        } else if (key == "synth_latency_err") {
+            o.synthLatencyErr = parseHexDouble(js);
+        } else if (key == "synth_temporal_ks") {
+            o.synthTemporalKs = parseHexDouble(js);
+        } else if (key == "synth_spatial_ks") {
+            o.synthSpatialKs = parseHexDouble(js);
+        } else if (key == "synth_volume_ks") {
+            o.synthVolumeKs = parseHexDouble(js);
         } else if (key == "counters") {
             js.expect('{');
             if (!js.consumeIf('}')) {
@@ -347,6 +355,7 @@ jobHash(const SweepJob &job)
     fnvString(h, job.faultPlan);
     fnvU64(h, job.rankActivity ? 1 : 0);
     fnvU64(h, job.linkStats ? 1 : 0);
+    fnvU64(h, job.synthetic ? 1 : 0);
     return h;
 }
 
@@ -421,6 +430,14 @@ formatJournalRecord(const JournalRecord &record)
     os << ",\"hotspot_count\":" << o.hotspotCount
        << ",\"congestion_onset_load\":";
     hexDouble(os, o.congestionOnsetLoad);
+    os << ",\"synth_latency_err\":";
+    hexDouble(os, o.synthLatencyErr);
+    os << ",\"synth_temporal_ks\":";
+    hexDouble(os, o.synthTemporalKs);
+    os << ",\"synth_spatial_ks\":";
+    hexDouble(os, o.synthSpatialKs);
+    os << ",\"synth_volume_ks\":";
+    hexDouble(os, o.synthVolumeKs);
     os << ",\"counters\":{";
     bool first = true;
     for (const auto &[name, value] : record.counters) {

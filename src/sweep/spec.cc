@@ -141,6 +141,7 @@ SweepSpec::expand() const
                         job.faultPlan = plan == "none" ? "" : plan;
                         job.rankActivity = rankActivity;
                         job.linkStats = linkStats;
+                        job.synthetic = synthetic;
                         jobs.push_back(std::move(job));
                     }
                 }
@@ -233,6 +234,8 @@ SweepSpec::fromJson(const std::string &text)
                 spec.rankActivity = js.readBool();
             } else if (key == "link_stats") {
                 spec.linkStats = js.readBool();
+            } else if (key == "synthetic") {
+                spec.synthetic = js.readBool();
             } else {
                 js.fail("unknown spec key '" + key + "'");
             }

@@ -29,7 +29,7 @@
  *    "loads": [1.0, 2.0], "seeds": [1, 2],
  *    "fault_plans": ["none", "drop:p=0.001"],
  *    "torus": false, "vcs": 1, "rank_activity": false,
- *    "link_stats": false}
+ *    "link_stats": false, "synthetic": false}
  *
  * (restricted schema, same no-external-parser discipline as the fault
  * plan JSON form).
@@ -64,6 +64,12 @@ struct SweepJob
     bool rankActivity = false;
     /** Track per-link stats and report network-weather aggregates. */
     bool linkStats = false;
+    /**
+     * After characterizing, run the fitted synthetic model back
+     * through the network and record its fidelity (latency error and
+     * per-attribute KS) alongside the job's metrics.
+     */
+    bool synthetic = false;
 
     /** Compact human-readable job label for logs and reports. */
     std::string label() const;
@@ -83,6 +89,8 @@ struct SweepSpec
     bool rankActivity = false;
     /** Run every job with link-stats tracking (--link-stats). */
     bool linkStats = false;
+    /** Run every job's synthetic-replay validation (--synthetic). */
+    bool synthetic = false;
 
     /**
      * Cross the dimensions into the canonical job list.

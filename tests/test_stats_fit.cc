@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "stats/stats.hh"
@@ -167,6 +168,188 @@ TEST(FitGolden, GeneratingFamilyOutranksWrongFamily)
         EXPECT_GT(uniform.adjustedR2(xs.size()),
                   pareto.adjustedR2(xs.size()));
     }
+}
+
+// --------------------------------------------------------------------
+// Sampler properties: the synthesis loop stands on (a) samplers that
+// reproduce the fitted parameters when their output is refit, and
+// (b) bit-exact seeded determinism. Both are asserted across many
+// seeds, not one lucky draw.
+
+TEST(SamplerProperty, RefitRecoversParamsAcrossSeeds)
+{
+    struct Case
+    {
+        const char *family;
+        std::vector<double> params;
+        const Distribution *prototype;
+        double tol; // relative tolerance per parameter
+    };
+    static const Exponential exponentialProto{};
+    static const GammaDist gammaProto{};
+    static const Weibull weibullProto{};
+    static const Normal normalProto{};
+    static const UniformDist uniformProto{};
+    const Case cases[] = {
+        {"exponential", {0.8}, &exponentialProto, 0.10},
+        {"gamma", {2.0, 1.0}, &gammaProto, 0.20},
+        {"weibull", {1.5, 2.0}, &weibullProto, 0.20},
+        {"normal", {5.0, 1.0}, &normalProto, 0.10},
+        {"uniform", {2.0, 6.0}, &uniformProto, 0.10},
+    };
+
+    DistributionFitter fitter;
+    for (const Case &c : cases) {
+        auto truth = distributionFromName(c.family, c.params);
+        ASSERT_NE(truth, nullptr) << c.family;
+        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+            auto xs = sampleFrom(*truth, 4000, seed * 1009);
+            FitResult fr = fitter.fitOne(xs, *c.prototype);
+            ASSERT_TRUE(fr.usable) << c.family << " seed " << seed;
+            auto p = fr.dist->params();
+            ASSERT_EQ(p.size(), c.params.size())
+                << c.family << " seed " << seed;
+            for (std::size_t i = 0; i < p.size(); ++i) {
+                double scale = std::max(std::abs(c.params[i]), 1.0);
+                EXPECT_NEAR(p[i], c.params[i], c.tol * scale)
+                    << c.family << " param " << i << " seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(SamplerProperty, DistributionFromNameRoundTrips)
+{
+    struct Case
+    {
+        const char *family;
+        std::vector<double> params;
+        int stages;
+    };
+    const Case cases[] = {
+        {"exponential", {0.8}, 0},
+        {"shifted-exponential", {0.5, 1.2}, 0},
+        {"hyperexponential-2", {0.3, 3.0, 0.4}, 0},
+        {"erlang", {2.0}, 3},
+        {"gamma", {2.0, 1.0}, 0},
+        {"weibull", {1.5, 2.0}, 0},
+        {"lognormal", {0.5, 0.4}, 0},
+        {"normal", {5.0, 1.0}, 0},
+        {"uniform", {2.0, 6.0}, 0},
+        {"pareto", {2.5, 1.0}, 0},
+        {"deterministic", {3.25}, 0},
+    };
+    for (const Case &c : cases) {
+        auto d = distributionFromName(c.family, c.params, c.stages);
+        ASSERT_NE(d, nullptr) << c.family;
+        EXPECT_EQ(d->name(), c.family);
+        auto p = d->params();
+        ASSERT_EQ(p.size(), c.params.size()) << c.family;
+        for (std::size_t i = 0; i < p.size(); ++i)
+            EXPECT_DOUBLE_EQ(p[i], c.params[i]) << c.family;
+    }
+
+    EXPECT_EQ(distributionFromName("cauchy", std::vector<double>{1.0}),
+              nullptr);
+    EXPECT_EQ(distributionFromName("exponential", std::vector<double>{}),
+              nullptr);
+    EXPECT_EQ(distributionFromName("exponential",
+                                   std::vector<double>{1.0, 2.0}),
+              nullptr);
+    EXPECT_EQ(distributionFromName("erlang", std::vector<double>{2.0}, 0),
+              nullptr);
+}
+
+TEST(SamplerProperty, SameSeedDrawsAreByteIdentical)
+{
+    const char *families[] = {"exponential", "gamma", "weibull",
+                              "normal", "hyperexponential-2"};
+    const std::vector<std::vector<double>> params = {
+        {0.8}, {2.0, 1.0}, {1.5, 2.0}, {5.0, 1.0}, {0.3, 3.0, 0.4}};
+
+    for (std::size_t f = 0; f < std::size(families); ++f) {
+        auto d = distributionFromName(families[f], params[f]);
+        ASSERT_NE(d, nullptr) << families[f];
+        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+            auto a = sampleFrom(*d, 256, seed);
+            auto b = sampleFrom(*d, 256, seed);
+            // Bitwise, not approximate: the replay contract is
+            // byte-identical output, so the draws must be too.
+            EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                                  a.size() * sizeof(double)),
+                      0)
+                << families[f] << " seed " << seed;
+        }
+    }
+}
+
+TEST(SamplerProperty, DiscreteSamplerMatchesLinearScanDrawForDraw)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng setup{seed * 613};
+        std::size_t n = 2 + setup.below(30);
+        std::vector<double> weights(n);
+        for (auto &w : weights)
+            w = setup.uniform01();
+        // A couple of zero-mass categories exercise the CDF plateaus.
+        weights[setup.below(n)] = 0.0;
+        DiscretePmf pmf{weights};
+        DiscreteSampler sampler = DiscreteSampler::fromPmf(pmf);
+
+        Rng scanRng{seed};
+        Rng cdfRng{seed};
+        for (int i = 0; i < 2000; ++i) {
+            EXPECT_EQ(pmf.sample(scanRng), sampler.sample(cdfRng))
+                << "seed " << seed << " draw " << i;
+        }
+    }
+}
+
+TEST(SamplerProperty, DiscreteSamplerRecoversPmfFrequencies)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng setup{seed * 389};
+        std::size_t n = 3 + setup.below(12);
+        std::vector<double> weights(n);
+        for (auto &w : weights)
+            w = 0.05 + setup.uniform01();
+        DiscretePmf pmf{weights};
+        DiscreteSampler sampler = DiscreteSampler::fromPmf(pmf);
+
+        const int draws = 20000;
+        std::vector<double> counts(n, 0.0);
+        Rng rng{seed};
+        for (int i = 0; i < draws; ++i)
+            counts[static_cast<std::size_t>(sampler.sample(rng))] += 1.0;
+
+        DiscretePmf observed = DiscretePmf::fromCounts(counts);
+        EXPECT_LT(pmf.tvd(observed), 0.03) << "seed " << seed;
+    }
+}
+
+TEST(SamplerProperty, LengthSamplerMapsValuesAndFallback)
+{
+    std::vector<std::pair<int, double>> lengthPmf = {
+        {8, 0.5}, {64, 0.3}, {1024, 0.2}};
+    DiscreteSampler sampler =
+        DiscreteSampler::fromLengthPmf(lengthPmf, 8);
+
+    Rng rng{7};
+    std::vector<double> counts(3, 0.0);
+    for (int i = 0; i < 20000; ++i) {
+        int v = sampler.sample(rng);
+        ASSERT_TRUE(v == 8 || v == 64 || v == 1024) << v;
+        counts[v == 8 ? 0 : v == 64 ? 1 : 2] += 1.0;
+    }
+    DiscretePmf observed = DiscretePmf::fromCounts(counts);
+    DiscretePmf expected{{0.5, 0.3, 0.2}};
+    EXPECT_LT(expected.tvd(observed), 0.03);
+
+    // Empty support: every draw returns the fallback value.
+    DiscreteSampler empty = DiscreteSampler::fromLengthPmf({}, 96);
+    Rng rng2{11};
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(empty.sample(rng2), 96);
 }
 
 } // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Seeded, deterministic fuzz tests for the synthesis model loader
+ * (SyntheticModel::fromJson), in the mold of test_trace_fuzz.cc.
+ *
+ * Strategy: start from a real characterization JSON (produced by the
+ * actual pipeline, so the corpus tracks the real schema), then apply
+ * mutations — truncation at every stride offset, seeded byte
+ * corruption, targeted semantic damage to named fields. The contract
+ * under test: every malformed or semantically invalid document raises
+ * CCharError mapping to process exit code 3 (ParseError), with a
+ * message that names what was wrong; nothing ever aborts, loops, or
+ * allocates unboundedly (hostile size fields are range-checked before
+ * any reservation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.hh"
+#include "core/core.hh"
+#include "stats/stats.hh"
+
+namespace {
+
+using namespace cchar;
+using core::CCharError;
+using core::SyntheticModel;
+
+/** One real characterization JSON, produced once per process. */
+const std::string &
+baseDocument()
+{
+    static const std::string doc = [] {
+        auto app = apps::makeSharedMemoryApp("is");
+        ccnuma::MachineConfig cfg;
+        cfg.mesh.width = 4;
+        cfg.mesh.height = 4;
+        core::CharacterizationPipeline pipeline;
+        core::CharacterizationReport report =
+            pipeline.runDynamic(*app, cfg);
+        std::ostringstream os;
+        report.writeJson(os);
+        return os.str();
+    }();
+    return doc;
+}
+
+/**
+ * Loading must either succeed or throw a CCharError that the CLI maps
+ * to exit 3 — never any other exception, never an abort.
+ */
+void
+expectParseErrorOrSuccess(const std::string &text,
+                          const std::string &what)
+{
+    try {
+        (void)SyntheticModel::fromJson(text);
+    } catch (const CCharError &err) {
+        EXPECT_EQ(core::exitCodeOf(err.status().code()), 3) << what;
+    } catch (const std::exception &err) {
+        FAIL() << what << ": non-CCharError escaped: " << err.what();
+    }
+}
+
+/** The mutation is known-bad: it must throw, naming `field`. */
+void
+expectNamedFailure(const std::string &text, const std::string &field)
+{
+    try {
+        (void)SyntheticModel::fromJson(text);
+        FAIL() << "loader accepted a document with damaged '" << field
+               << "'";
+    } catch (const CCharError &err) {
+        EXPECT_EQ(core::exitCodeOf(err.status().code()), 3) << field;
+        EXPECT_NE(std::string{err.what()}.find(field),
+                  std::string::npos)
+            << "error message does not name '" << field
+            << "': " << err.what();
+    }
+}
+
+/** Replace the first occurrence of `from` (must exist) with `to`. */
+std::string
+replaceOnce(const std::string &text, const std::string &from,
+            const std::string &to)
+{
+    std::size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    std::string out = text;
+    out.replace(pos, from.size(), to);
+    return out;
+}
+
+// --------------------------------------------------------------------
+// The base document itself must load
+
+TEST(SynthFuzz, BaseDocumentLoads)
+{
+    SyntheticModel model = SyntheticModel::fromJson(baseDocument());
+    EXPECT_EQ(model.nprocs, 16);
+    EXPECT_FALSE(model.sources.empty());
+    EXPECT_FALSE(model.lengthPmf.empty());
+}
+
+// --------------------------------------------------------------------
+// Truncation: every prefix is either rejected cleanly or (never, in
+// practice) accepted — nothing crashes
+
+TEST(SynthFuzz, EveryTruncationIsRejectedCleanly)
+{
+    const std::string &doc = baseDocument();
+    // Prime stride keeps the cost bounded while hitting offsets in
+    // every syntactic context (mid-string, mid-number, mid-object).
+    for (std::size_t cut = 0; cut < doc.size(); cut += 97) {
+        std::string prefix = doc.substr(0, cut);
+        try {
+            (void)SyntheticModel::fromJson(prefix);
+            FAIL() << "loader accepted a " << cut << "-byte prefix";
+        } catch (const CCharError &err) {
+            EXPECT_EQ(core::exitCodeOf(err.status().code()), 3)
+                << "cut " << cut;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Seeded byte corruption: flip bytes anywhere, survive everything
+
+TEST(SynthFuzz, SeededByteCorruptionNeverAborts)
+{
+    const std::string &doc = baseDocument();
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        stats::Rng rng{seed * 2027};
+        std::string mutated = doc;
+        int flips = 1 + static_cast<int>(rng.below(4));
+        for (int f = 0; f < flips; ++f) {
+            std::size_t pos = rng.below(mutated.size());
+            mutated[pos] = static_cast<char>(rng.below(256));
+        }
+        expectParseErrorOrSuccess(mutated, "seed " +
+                                               std::to_string(seed));
+    }
+}
+
+TEST(SynthFuzz, BinaryGarbageIsRejected)
+{
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        stats::Rng rng{seed * 131};
+        std::string junk;
+        std::size_t len = 1 + rng.below(2048);
+        for (std::size_t i = 0; i < len; ++i)
+            junk += static_cast<char>(rng.below(256));
+        expectParseErrorOrSuccess(junk,
+                                  "seed " + std::to_string(seed));
+    }
+}
+
+// --------------------------------------------------------------------
+// Targeted semantic damage: known-bad fields fail by name
+
+TEST(SynthFuzz, DamagedFieldsFailWithNamedErrors)
+{
+    const std::string &doc = baseDocument();
+
+    expectNamedFailure(replaceOnce(doc, "\"nprocs\":16", "\"nprocs\":0"),
+                       "nprocs");
+    expectNamedFailure(
+        replaceOnce(doc, "\"mesh\":{\"width\":4", "\"mesh\":{\"width\":0"),
+        "width");
+    expectNamedFailure(
+        replaceOnce(doc, "\"topology\":\"mesh\"", "\"topology\":\"ring\""),
+        "topology");
+    expectNamedFailure(replaceOnce(doc, "\"vcs\":1", "\"vcs\":99"),
+                       "vcs");
+    // More processes than the scaled board has nodes.
+    expectNamedFailure(replaceOnce(doc, "\"nprocs\":16", "\"nprocs\":17"),
+                       "nprocs");
+    // An unknown temporal family cannot be reconstructed.
+    expectNamedFailure(
+        replaceOnce(doc, "\"family\":\"", "\"family\":\"martian-"),
+        "family");
+}
+
+TEST(SynthFuzz, MissingSectionsFailWithNamedErrors)
+{
+    const std::string &doc = baseDocument();
+    // Renaming a required section is equivalent to deleting it (the
+    // loader skips unknown keys), so each must fail by name.
+    expectNamedFailure(
+        replaceOnce(doc, "\"temporal\":", "\"temporalX\":"), "temporal");
+    expectNamedFailure(replaceOnce(doc, "\"spatial\":", "\"spatialX\":"),
+                       "spatial");
+    expectNamedFailure(replaceOnce(doc, "\"volume\":", "\"volumeX\":"),
+                       "volume");
+    expectNamedFailure(
+        replaceOnce(doc, "\"mesh\":", "\"meshX\":"), "mesh");
+    expectNamedFailure(replaceOnce(doc, "\"perSourceCounts\":",
+                                   "\"perSourceCountsX\":"),
+                       "perSourceCounts");
+}
+
+TEST(SynthFuzz, HostileSizesAreRangeCheckedBeforeAllocation)
+{
+    const std::string &doc = baseDocument();
+    // A multi-billion-node board must be rejected up front, not
+    // "honoured" with a giant allocation or an endless generation.
+    expectParseErrorOrSuccess(
+        replaceOnce(doc, "\"mesh\":{\"width\":4",
+                    "\"mesh\":{\"width\":2000000000"),
+        "huge width");
+    expectParseErrorOrSuccess(
+        replaceOnce(doc, "\"nprocs\":16",
+                    "\"nprocs\":99999999999999999999"),
+        "overflowing nprocs");
+    expectParseErrorOrSuccess(
+        replaceOnce(doc, "\"mesh\":{\"width\":4",
+                    "\"mesh\":{\"width\":-4"),
+        "negative width");
+}
+
+TEST(SynthFuzz, DeepNestingIsBounded)
+{
+    // An unknown key whose value nests 10k arrays must trip the depth
+    // guard in skipValue, not the process stack.
+    std::string doc = "{\"application\":\"x\",\"junk\":";
+    for (int i = 0; i < 10000; ++i)
+        doc += '[';
+    for (int i = 0; i < 10000; ++i)
+        doc += ']';
+    doc += "}";
+    expectParseErrorOrSuccess(doc, "deep nesting");
+}
+
+TEST(SynthFuzz, TrailingContentIsRejected)
+{
+    expectNamedFailure(baseDocument() + "extra", "trailing");
+}
+
+} // namespace

@@ -49,7 +49,7 @@ import shutil
 import sys
 
 EXACT_FIELDS = ("events", "messages")
-RATE_FIELDS = ("events_per_sec", "messages_per_sec")
+RATE_FIELDS = ("events_per_sec", "messages_per_sec", "synth_messages_per_sec")
 NOISE_FLAG_SUFFIX = "_within_noise"
 
 

@@ -9,6 +9,12 @@
  *                                    to --out FILE (default stdout)
  *   trace <mp-app> --out FILE        collect an SP2-style trace
  *   replay <FILE> [options]          replay a trace into a mesh
+ *   synth <MODEL.json> [options]     drive the mesh with synthetic
+ *                                    traffic drawn from a saved
+ *                                    characterization (the --json
+ *                                    output of `characterize`),
+ *                                    re-characterize it and report
+ *                                    per-attribute model fidelity
  *   sweep <SPEC|@FILE> [options]     run a job matrix on a worker
  *                                    pool, merge deterministically
  *
@@ -310,10 +316,18 @@ usage()
            "                      [--fault-plan SPEC|@FILE] [--seed N]\n"
            "                      [--no-reroute]\n"
            "                      [--trace-errors strict|skip]\n"
+           "  cchar synth <MODEL.json> [--scale-procs N] [--messages M]\n"
+           "              [--seed N] [--time-scale X]\n"
+           "              [--max-outstanding N] [--use-phases]\n"
+           "              [--phases] [--json] [--out FILE]\n"
+           "              [--report-out FILE] [--metrics-out FILE]\n"
+           "              [--rank-activity] [--link-stats]\n"
+           "              [--top-links N] [--progress]\n"
            "  cchar sweep [--spec FILE] [--apps LIST] [--procs LIST]\n"
            "              [--loads LIST] [--seeds LIST|A..B]\n"
            "              [--fault-plan SPEC]... [--torus] [--vcs N]\n"
-           "              [--rank-activity] [--link-stats] [--progress]\n"
+           "              [--rank-activity] [--link-stats] [--synthetic]\n"
+           "              [--progress]\n"
            "              [-j N] [--out FILE] [--csv FILE]\n"
            "              [--journal FILE] [--resume FILE]\n"
            "              [--job-timeout SEC] [--job-retries N]\n"
@@ -844,6 +858,206 @@ cmdReplay(const std::string &path, const Options &opts)
     return obsSession.finish() ? 0 : 1;
 }
 
+/**
+ * `cchar synth` — model-driven traffic replay at arbitrary scale.
+ *
+ * Loads a characterization JSON (the --json output of `characterize`),
+ * optionally re-projects it onto a larger topology (--scale-procs) and
+ * a larger message budget (--messages), drives the mesh simulator with
+ * seeded draws from the fitted distributions, re-characterizes the
+ * synthetic traffic, and reports the per-attribute KS divergence
+ * between the model and what it produced — the closed loop of the
+ * methodology. Deterministic: identical inputs produce byte-identical
+ * output.
+ */
+int
+cmdSynth(int argc, char **argv)
+{
+    if (argc < 3 || argv[2][0] == '-') {
+        throw core::CCharError(core::StatusCode::UsageError,
+                               "synth: needs a model JSON path");
+    }
+    std::string modelPath = argv[2];
+    Options opts;
+    core::SynthRunOptions ropts;
+    int scaleProcs = 0;
+    std::uint64_t messages = 0;
+
+    auto value = [&](int &i, const std::string &flag) -> std::string {
+        if (i + 1 >= argc) {
+            throw core::CCharError(core::StatusCode::UsageError,
+                                   "synth: " + flag + " needs a value");
+        }
+        return argv[++i];
+    };
+
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--scale-procs") {
+            scaleProcs = std::atoi(value(i, arg).c_str());
+            if (scaleProcs < 1) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "synth: --scale-procs must be "
+                                       ">= 1");
+            }
+        } else if (arg == "--messages") {
+            std::string v = value(i, arg);
+            char *end = nullptr;
+            messages = std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0') {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "synth: bad --messages value '" +
+                                           v + "'");
+            }
+        } else if (arg == "--seed") {
+            std::string v = value(i, arg);
+            char *end = nullptr;
+            ropts.seed = std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0') {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "synth: bad --seed value '" + v +
+                                           "'");
+            }
+        } else if (arg == "--time-scale") {
+            ropts.timeScale = std::atof(value(i, arg).c_str());
+            if (ropts.timeScale <= 0.0) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "synth: --time-scale must be "
+                                       "> 0");
+            }
+        } else if (arg == "--max-outstanding") {
+            ropts.maxOutstanding = std::atoi(value(i, arg).c_str());
+            if (ropts.maxOutstanding < 0) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "synth: --max-outstanding "
+                                       "cannot be negative");
+            }
+        } else if (arg == "--use-phases") {
+            ropts.usePhases = true;
+        } else if (arg == "--phases") {
+            opts.phases = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--out") {
+            opts.out = value(i, arg);
+        } else if (arg == "--report-out") {
+            opts.reportOut = value(i, arg);
+        } else if (arg == "--metrics-out") {
+            opts.metricsOut = value(i, arg);
+        } else if (arg == "--rank-activity") {
+            opts.rankActivity = true;
+        } else if (arg == "--link-stats") {
+            opts.linkStats = true;
+        } else if (arg == "--top-links") {
+            opts.topLinks = std::atoi(value(i, arg).c_str());
+            if (opts.topLinks < 1) {
+                throw core::CCharError(core::StatusCode::UsageError,
+                                       "synth: --top-links must be "
+                                       ">= 1");
+            }
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else {
+            throw core::CCharError(core::StatusCode::UsageError,
+                                   "synth: unknown option '" + arg +
+                                       "'");
+        }
+    }
+
+    core::SyntheticModel model =
+        core::SyntheticModel::fromJsonFile(modelPath);
+    const int origProcs = model.nprocs;
+    const int origNodes = model.mesh.nodes();
+    const std::size_t origTotal = model.totalMessages();
+    if (scaleProcs > 0 || messages > 0)
+        model = model.scaleTo(scaleProcs, messages);
+
+    // The trackers must be ambient before the generator builds its
+    // MeshNetwork (components resolve the sinks at construction).
+    ObsSession obsSession{opts};
+    core::DriveResult result =
+        core::SyntheticTrafficGenerator::run(model, ropts);
+
+    core::PipelineOptions popts;
+    popts.detectPhases = opts.phases || !opts.reportOut.empty();
+    core::CharacterizationPipeline pipeline{popts};
+    core::NetworkSummary net;
+    net.latencyMean = result.latencyMean;
+    net.latencyMax = result.latencyMax;
+    net.contentionMean = result.contentionMean;
+    net.makespan = result.makespan;
+    net.avgChannelUtilization = result.avgChannelUtilization;
+    net.maxChannelUtilization = result.maxChannelUtilization;
+    std::string label = model.application.empty()
+                            ? modelPath
+                            : model.application + " (synthetic)";
+    core::CharacterizationReport report = pipeline.analyze(
+        result.log, model.mesh, label, core::Strategy::Static, net);
+    report.verified = true; // a model replay has no app invariant
+
+    report.synthFidelity = core::computeSynthFidelity(model, result.log);
+    report.synthFidelity.modelSource = modelPath;
+    report.synthFidelity.modelProcs = origProcs;
+    report.synthFidelity.scaleTiles = model.mesh.nodes() / origNodes;
+    report.synthFidelity.messageScale =
+        origTotal > 0 ? static_cast<double>(model.totalMessages()) /
+                            static_cast<double>(origTotal)
+                      : 1.0;
+    report.synthFidelity.seed = ropts.seed;
+
+    if (auto *tracker = obsSession.activity()) {
+        tracker->finish(result.makespan);
+        report.rankActivity = core::RankActivityAnalyzer{}.analyze(
+            *tracker, report.phases);
+        if (auto *reg = obsSession.mutableRegistry())
+            core::publishRankMetrics(*reg, report.rankActivity);
+    }
+    if (auto *tracker = obsSession.linkStats()) {
+        tracker->finish(result.makespan);
+        core::LinkWeatherConfig lwcfg;
+        lwcfg.topLinks = opts.topLinks;
+        report.linkStats = core::LinkWeatherAnalyzer{lwcfg}.analyze(
+            *tracker, model.mesh, report.phases);
+        if (auto *reg = obsSession.mutableRegistry())
+            core::publishLinkMetrics(*reg, report.linkStats);
+    }
+
+    if (!obsSession.finish())
+        return 1;
+
+    if (!opts.reportOut.empty()) {
+        core::HtmlReportInputs html;
+        html.report = &report;
+        html.registry = obsSession.registry();
+        html.sampler = obsSession.sampler();
+        html.flows = obsSession.flows();
+        core::AtomicFileWriter writer{opts.reportOut};
+        core::writeHtmlReport(writer.stream(), html);
+        writer.commit();
+        std::cerr << "wrote HTML report to " << opts.reportOut << "\n";
+    }
+
+    if (opts.out.empty()) {
+        if (opts.json)
+            report.writeJson(std::cout);
+        else
+            report.print(std::cout);
+    } else {
+        core::AtomicFileWriter writer{opts.out, "synth"};
+        if (opts.json)
+            report.writeJson(writer.stream());
+        else
+            report.print(writer.stream());
+        writer.commit();
+    }
+    std::cerr << "synth: " << result.log.size() << " messages from "
+              << modelPath << " (KS temporal "
+              << report.synthFidelity.temporalKs << ", spatial "
+              << report.synthFidelity.spatialKs << ", volume "
+              << report.synthFidelity.volumeKs << ")\n";
+    return 0;
+}
+
 } // namespace
 
 /**
@@ -970,6 +1184,8 @@ cmdSweep(int argc, char **argv)
             spec.rankActivity = true;
         } else if (arg == "--link-stats") {
             spec.linkStats = true;
+        } else if (arg == "--synthetic") {
+            spec.synthetic = true;
         } else if (arg == "--progress") {
             progress = true;
         } else if (arg == "-j" || arg == "--jobs" ||
@@ -1222,10 +1438,11 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (cmd == "sweep" || cmd == "chaos") {
+    if (cmd == "sweep" || cmd == "chaos" || cmd == "synth") {
         try {
-            return cmd == "sweep" ? cmdSweep(argc, argv)
-                                  : cmdChaos(argc, argv);
+            return cmd == "sweep"   ? cmdSweep(argc, argv)
+                   : cmd == "chaos" ? cmdChaos(argc, argv)
+                                    : cmdSynth(argc, argv);
         } catch (const core::CCharError &err) {
             std::cerr << "error: " << err.what() << "\n";
             return core::exitCodeOf(err.status().code());
